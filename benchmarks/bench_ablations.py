@@ -1,0 +1,124 @@
+"""Ablation benchmarks (DESIGN.md design-choice studies).
+
+Each prints its table; assertions pin the direction of each effect:
+
+- the paper's Δl/Δn amortized greedy cost is at least as good as plain Δl
+  on average;
+- DGA started from nearest-server needs far fewer modifications than a
+  random start for comparable quality;
+- NSA's penalty grows with the triangle-violation rate of the matrix;
+- assignments computed from Vivaldi-estimated latencies lose
+  interactivity versus measured latencies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_dga_initial,
+    ablation_estimated_latencies,
+    ablation_greedy_cost,
+    ablation_measurement_error,
+    ablation_placement_strategies,
+    ablation_triangle_violations,
+)
+
+
+def test_ablation_dga_initial(benchmark, bench_matrix):
+    result = benchmark.pedantic(
+        ablation_dga_initial,
+        args=(bench_matrix,),
+        kwargs={"n_servers": 30, "n_runs": 5, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    by_name = {row[0]: row for row in result.rows}
+    # Random starts converge to similar quality but need many more moves.
+    assert by_name["random"][3] > 2 * by_name["nearest-server"][3]
+    # NSA start is within 15% of the best start.
+    best = min(row[1] for row in result.rows)
+    assert by_name["nearest-server"][1] <= 1.15 * best
+
+
+def test_ablation_greedy_cost(benchmark, bench_matrix):
+    result = benchmark.pedantic(
+        ablation_greedy_cost,
+        args=(bench_matrix,),
+        kwargs={"n_servers": 30, "n_runs": 8, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    by_name = {row[0]: row[1] for row in result.rows}
+    # Amortization is at worst a small loss and typically a gain.
+    assert by_name["greedy"] <= by_name["greedy-absolute"] * 1.08
+
+
+def test_ablation_triangle_violations(benchmark):
+    result = benchmark.pedantic(
+        ablation_triangle_violations,
+        kwargs={
+            "n_nodes": 150,
+            "n_servers": 15,
+            "spike_fractions": (0.0, 0.05, 0.15),
+            "n_runs": 3,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    gaps = result.column("NSA/DGA")
+    assert gaps[-1] > gaps[0]  # non-metricity hurts NSA relative to DGA
+
+
+def test_ablation_estimated_latencies(benchmark, bench_matrix):
+    result = benchmark.pedantic(
+        ablation_estimated_latencies,
+        args=(bench_matrix,),
+        kwargs={"n_servers": 25, "embedding_rounds": 25, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    penalties = result.column("penalty")
+    # Coordinates cost something somewhere (no free lunch) but keep
+    # every algorithm within a bounded factor.
+    assert max(penalties) > 1.0
+    assert max(penalties) < 3.0
+
+
+def test_ablation_placement_strategies(benchmark, bench_matrix):
+    result = benchmark.pedantic(
+        ablation_placement_strategies,
+        args=(bench_matrix,),
+        kwargs={"n_servers": 25, "n_runs": 3, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    assert len(result.rows) == 6
+
+
+def test_ablation_measurement_error(benchmark, bench_matrix):
+    result = benchmark.pedantic(
+        ablation_measurement_error,
+        args=(bench_matrix.submatrix(range(150)),),
+        kwargs={"n_servers": 15, "probes_sweep": (1, 3, 10), "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    errors = result.column("median rel. error")
+    penalties = result.column("penalty")
+    # More probes -> lower measurement error (strict dose-response).
+    assert errors[1] > errors[2] > errors[3]
+    # The truth row is the baseline penalty 1.0.
+    assert penalties[0] == pytest.approx(1.0)

@@ -1,0 +1,49 @@
+"""Micro-benchmarks: per-algorithm runtime at a fixed realistic instance.
+
+These track the complexity claims of §IV — NSA O(|C||S|), LFB
+O(|C|(|C|+|S|)), GA O(|S||C| log |C| + m |S||C|) — and guard against
+performance regressions in the vectorized implementations.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.core import ClientAssignmentProblem, max_interaction_path_length
+from repro.placement import random_placement
+
+ALGORITHMS = [
+    "nearest-server",
+    "longest-first-batch",
+    "greedy",
+    "distributed-greedy",
+    "best-single-server",
+]
+
+
+@pytest.fixture(scope="module")
+def instance(bench_matrix):
+    servers = random_placement(bench_matrix, 40, seed=0)
+    return ClientAssignmentProblem(bench_matrix, servers)
+
+
+@pytest.fixture(scope="module")
+def capacitated_instance(bench_matrix):
+    servers = random_placement(bench_matrix, 40, seed=0)
+    capacity = max(1, 2 * bench_matrix.n_nodes // 40)
+    return ClientAssignmentProblem(bench_matrix, servers, capacities=capacity)
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_algorithm_runtime(benchmark, instance, name):
+    fn = get_algorithm(name)
+    assignment = benchmark(fn, instance, seed=0)
+    assert max_interaction_path_length(assignment) > 0
+
+
+@pytest.mark.parametrize(
+    "name", ["nearest-server", "longest-first-batch", "greedy", "distributed-greedy"]
+)
+def test_capacitated_algorithm_runtime(benchmark, capacitated_instance, name):
+    fn = get_algorithm(name)
+    assignment = benchmark(fn, capacitated_instance, seed=0)
+    assert assignment.respects_capacities()

@@ -1,0 +1,38 @@
+"""The §V-A/B claims checklist as a single benchmark.
+
+Regenerates all four figures at the benchmark profile and verifies every
+qualitative claim of the paper's evaluation narrative.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    render_claims,
+    run_all_claims,
+)
+
+
+def _all_claims(profile, matrix):
+    return run_all_claims(
+        fig7(profile, "random", matrix=matrix),
+        fig8(profile, matrix=matrix),
+        fig9(profile, matrix=matrix),
+        fig10(profile, "random", matrix=matrix),
+        n_clients=matrix.n_nodes,
+    )
+
+
+def test_paper_claims(benchmark, bench_profile, bench_matrix):
+    claims = benchmark.pedantic(
+        _all_claims, args=(bench_profile, bench_matrix), rounds=1, iterations=1
+    )
+    print()
+    print(render_claims(claims))
+    failing = [c for c in claims if not c.holds]
+    assert not failing, "failed claims: " + "; ".join(
+        f"{c.claim} [{c.measured}]" for c in failing
+    )

@@ -1,0 +1,84 @@
+"""Dataset-substrate benchmarks: generation throughput and realism stats.
+
+Prints the realism profile of the synthetic Meridian-like matrix (the
+DESIGN.md §5 substitution evidence) alongside generation timing.
+"""
+
+import pytest
+
+from repro.datasets import synthesize_meridian_like, synthesize_mit_like
+from repro.experiments.reporting import format_table
+from repro.net.analysis import stretch_report
+from repro.net.coordinates import embed_latencies
+
+
+def test_meridian_generation(benchmark):
+    matrix = benchmark(synthesize_meridian_like, 400, seed=0)
+    assert matrix.n_nodes == 400
+
+
+def test_mit_generation(benchmark):
+    matrix = benchmark(synthesize_mit_like, 400, seed=0)
+    assert matrix.n_nodes == 400
+
+
+def test_realism_profile(benchmark, bench_matrix):
+    def profile():
+        tri = bench_matrix.triangle_inequality_report(max_triples=100_000)
+        stretch = stretch_report(bench_matrix)
+        return [
+            ["nodes", bench_matrix.n_nodes],
+            ["median latency (ms)", bench_matrix.latency_percentile(50)],
+            ["p99 latency (ms)", bench_matrix.latency_percentile(99)],
+            ["triangle violation rate", tri.violation_rate],
+            ["mean violation severity", tri.mean_severity],
+            ["mean stretch vs metric closure", stretch.mean_stretch],
+            ["pairs with available detour", stretch.fraction_stretched],
+        ]
+
+    rows = benchmark.pedantic(profile, rounds=1, iterations=1)
+    print()
+    print(
+        "Synthetic Meridian-like realism profile\n"
+        + format_table(["property", "value"], rows)
+    )
+    values = dict((r[0], r[1]) for r in rows)
+    assert 0.005 < values["triangle violation rate"] < 0.25
+    assert values["p99 latency (ms)"] > 2 * values["median latency (ms)"]
+
+
+def test_vivaldi_embedding_speed(benchmark, bench_matrix):
+    small = bench_matrix.submatrix(range(120))
+
+    def embed():
+        return embed_latencies(small, rounds=10, seed=0)
+
+    _matrix, quality = benchmark.pedantic(embed, rounds=1, iterations=1)
+    print(
+        f"\nVivaldi on 120 nodes, 10 rounds: median relative error "
+        f"{quality.median_relative_error:.1%}"
+    )
+    assert quality.median_relative_error < 0.6
+
+
+def test_cross_dataset_similarity(benchmark):
+    """The paper's 'MIT shows similar results' remark, quantified."""
+    from repro.experiments.cross_dataset import (
+        compare_datasets,
+        render_cross_dataset,
+    )
+
+    result = benchmark.pedantic(
+        compare_datasets,
+        kwargs={
+            "n_nodes": 200,
+            "server_counts": (20, 40, 60),
+            "n_runs": 5,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_cross_dataset(result))
+    assert result.similar(min_correlation=0.7, max_level_gap=0.35)

@@ -1,0 +1,34 @@
+"""Benchmark: the δ-feasibility knee (§II-C's theorem, end to end).
+
+Prints the lateness-vs-lag table; the assertion pins the knee exactly at
+δ/D = 1 — the strongest single certification in the harness (analysis,
+offset construction and simulator must all agree).
+"""
+
+import pytest
+
+from repro.algorithms import distributed_greedy
+from repro.core import ClientAssignmentProblem
+from repro.experiments.delta_sweep import delta_sweep, render_delta_sweep
+from repro.placement import kcenter_b
+
+
+def test_delta_knee(benchmark, bench_matrix):
+    matrix = bench_matrix.submatrix(range(60))
+    problem = ClientAssignmentProblem(matrix, kcenter_b(matrix, 6, seed=0))
+    assignment = distributed_greedy(problem)
+
+    points = benchmark.pedantic(
+        delta_sweep,
+        args=(assignment,),
+        kwargs={"seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_delta_sweep(points))
+    for p in points:
+        if p.delta_ratio >= 1.0:
+            assert p.late_messages == 0 and p.constraints_feasible
+        else:
+            assert p.late_messages > 0 and not p.constraints_feasible

@@ -1,0 +1,49 @@
+"""Fig. 10 — impact of server capacity on normalized interactivity.
+
+The paper: interactivity degrades as capacity tightens (sharply when
+severely limited); NSA and DGA are least affected; LFB and GA degrade
+more (their assignments are less balanced) and can approach or exceed
+NSA under severe limits; DGA is the best overall.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig10, render_fig10
+
+
+@pytest.mark.parametrize("placement", ["random", "k-center-a", "k-center-b"])
+def test_fig10_panel(benchmark, bench_profile, bench_matrix, placement):
+    series = benchmark.pedantic(
+        fig10,
+        args=(bench_profile, placement),
+        kwargs={"matrix": bench_matrix},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig10(series))
+
+    algorithms = list(series.points[0].mean)
+    # Tightest capacity is never better than the loosest (per algorithm).
+    for name in algorithms:
+        vals = series.series(name)
+        assert vals[0] >= vals[-1] - 1e-9
+    # DGA best overall (mean across the sweep).
+    means = {a: float(np.mean(series.series(a))) for a in algorithms}
+    assert means["distributed-greedy"] <= min(means.values()) + 1e-9
+
+
+def test_fig10_dga_improves_capacitated_nsa(benchmark, bench_profile, bench_matrix):
+    """DGA consistently and significantly improves over NSA across
+    capacities (paper §V-B)."""
+    series = benchmark.pedantic(
+        fig10,
+        args=(bench_profile, "random"),
+        kwargs={"matrix": bench_matrix},
+        rounds=1,
+        iterations=1,
+    )
+    nsa = series.series("nearest-server")
+    dga = series.series("distributed-greedy")
+    assert all(d <= n + 1e-9 for d, n in zip(dga, nsa))

@@ -1,0 +1,58 @@
+"""Fig. 7 — normalized interactivity vs number of servers.
+
+Regenerates all three panels (random / K-center-A / K-center-B) and
+prints the same series the paper plots. Shape assertions encode the
+paper's qualitative findings; see EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig7, render_fig7
+
+
+@pytest.mark.parametrize("placement", ["random", "k-center-a", "k-center-b"])
+def test_fig7_panel(benchmark, bench_profile, bench_matrix, placement):
+    series = benchmark.pedantic(
+        fig7,
+        args=(bench_profile, placement),
+        kwargs={"matrix": bench_matrix},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig7(series))
+
+    # Paper shapes: the greedy pair dominates; NSA is the worst overall.
+    nsa = np.mean(series.series("nearest-server"))
+    lfb = np.mean(series.series("longest-first-batch"))
+    ga = np.mean(series.series("greedy"))
+    dga = np.mean(series.series("distributed-greedy"))
+    assert max(ga, dga) < min(nsa, lfb)
+    assert nsa >= max(lfb, ga, dga) - 1e-9
+    # Normalized interactivity is a ratio to a lower bound: >= 1.
+    for name in series.points[0].mean:
+        assert all(v >= 1.0 - 1e-9 for v in series.series(name))
+
+
+def test_fig7_mit_dataset(benchmark, bench_profile):
+    """The paper's remark: the MIT data set shows similar results."""
+    import dataclasses
+
+    from repro.datasets import synthesize_mit_like
+
+    mit_profile = dataclasses.replace(bench_profile, dataset="mit")
+    matrix = synthesize_mit_like(mit_profile.n_nodes, seed=mit_profile.seed)
+    series = benchmark.pedantic(
+        fig7,
+        args=(mit_profile, "random"),
+        kwargs={"matrix": matrix},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig7(series))
+    nsa = np.mean(series.series("nearest-server"))
+    dga = np.mean(series.series("distributed-greedy"))
+    assert dga < nsa

@@ -1,0 +1,37 @@
+"""Fig. 8 — CDF of normalized interactivity over random placements.
+
+The paper's observation: over 1000 runs with 80 random servers,
+Nearest-Server exceeds 2x the lower bound in a substantial fraction of
+runs (and 3x in some), while the other three algorithms hardly ever
+exceed 2x.
+"""
+
+import pytest
+
+from repro.experiments import fig8, render_fig8
+
+
+def test_fig8_cdf(benchmark, bench_profile, bench_matrix):
+    series = benchmark.pedantic(
+        fig8,
+        args=(bench_profile,),
+        kwargs={"matrix": bench_matrix},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig8(series))
+
+    nsa_tail = series.fraction_above("nearest-server", 2.0)
+    ga_tail = series.fraction_above("greedy", 2.0)
+    dga_tail = series.fraction_above("distributed-greedy", 2.0)
+    # NSA's tail dominates; the greedy algorithms essentially never
+    # exceed 2x.
+    assert nsa_tail > max(ga_tail, dga_tail)
+    assert ga_tail <= 0.05
+    assert dga_tail <= 0.05
+    # CDFs are proper distributions.
+    for name in series.samples:
+        x, f = series.cdf(name)
+        assert f[-1] == pytest.approx(1.0)
+        assert all(b >= a for a, b in zip(x, x[1:]))

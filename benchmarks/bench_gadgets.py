@@ -1,0 +1,64 @@
+"""Figs. 4 and 5 — the paper's worked gadget examples, as benchmarks.
+
+Prints the ratio series for the Fig. 4 gadget (NSA approaching its
+3-approximation bound as epsilon -> 0) and the Fig. 5 comparison.
+"""
+
+import pytest
+
+from repro.algorithms import longest_first_batch, nearest_server
+from repro.core import (
+    ClientAssignmentProblem,
+    max_interaction_path_length,
+    solve_bruteforce,
+)
+from repro.experiments.reporting import format_table
+from repro.net.topology import approx_ratio_gadget, lfb_gadget
+
+
+def _fig4_series():
+    rows = []
+    a = 10.0
+    for eps in (4.0, 2.0, 1.0, 0.5, 0.1, 0.01):
+        g = approx_ratio_gadget(a, eps)
+        problem = ClientAssignmentProblem(g.matrix, g.servers, g.clients)
+        nsa = max_interaction_path_length(nearest_server(problem))
+        opt = solve_bruteforce(problem).objective
+        rows.append([eps, nsa, opt, nsa / opt])
+    return rows
+
+
+def test_fig4_ratio_series(benchmark):
+    rows = benchmark.pedantic(_fig4_series, rounds=1, iterations=1)
+    print()
+    print(
+        "Fig.4 gadget: NSA approximation ratio vs epsilon (a = 10)\n"
+        + format_table(["epsilon", "NSA D", "optimal D", "ratio"], rows)
+    )
+    ratios = [row[3] for row in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] == pytest.approx(3.0, abs=0.005)
+    assert all(r < 3.0 for r in ratios)
+
+
+def _fig5_comparison():
+    g = lfb_gadget()
+    problem = ClientAssignmentProblem(g.matrix, g.servers, g.clients)
+    return {
+        "nsa": max_interaction_path_length(nearest_server(problem)),
+        "lfb": max_interaction_path_length(longest_first_batch(problem)),
+        "opt": solve_bruteforce(problem).objective,
+    }
+
+
+def test_fig5_comparison(benchmark):
+    result = benchmark.pedantic(_fig5_comparison, rounds=1, iterations=1)
+    print()
+    print(
+        "Fig.5 gadget: NSA D = {nsa:g}, LFB D = {lfb:g}, optimal D = {opt:g} "
+        "(paper prose reports LFB = 9 by omitting the self-interaction "
+        "round trip; the formulation gives 10)".format(**result)
+    )
+    assert result["nsa"] == pytest.approx(12.0)
+    assert result["lfb"] == pytest.approx(10.0)
+    assert result["lfb"] == pytest.approx(result["opt"])

@@ -1,0 +1,57 @@
+"""Placement-algorithm benchmarks: runtime and K-center quality.
+
+Prints the coverage radius achieved by each strategy at the benchmark
+scale, the quantity the minimum-K-center problem optimizes. K-center-B
+(greedy) typically edges out K-center-A (2-approx) in quality at higher
+cost — the classic approximation-vs-heuristic tradeoff the paper
+inherits from Jamin et al.
+"""
+
+import pytest
+
+from repro.experiments.reporting import format_table
+from repro.placement import (
+    best_of_random_placement,
+    coverage_radius,
+    k_median_placement,
+    kcenter_a,
+    kcenter_b,
+    medoid_placement,
+    random_placement,
+)
+
+STRATEGIES = {
+    "random": random_placement,
+    "best-of-16-random": best_of_random_placement,
+    "k-center-a": kcenter_a,
+    "k-center-b": kcenter_b,
+    "k-median": k_median_placement,
+    "medoids": medoid_placement,
+}
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+def test_placement_runtime(benchmark, bench_matrix, name):
+    strategy = STRATEGIES[name]
+    servers = benchmark(strategy, bench_matrix, 40, seed=0)
+    assert servers.shape == (40,)
+
+
+def test_placement_quality_table(benchmark, bench_matrix):
+    def build():
+        rows = []
+        for name, strategy in STRATEGIES.items():
+            servers = strategy(bench_matrix, 40, seed=0)
+            rows.append([name, coverage_radius(bench_matrix, servers)])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(
+        "Placement quality: coverage radius at 40 servers\n"
+        + format_table(["strategy", "coverage radius (ms)"], rows)
+    )
+    by_name = dict(rows)
+    # Both K-center algorithms beat plain random placement.
+    assert by_name["k-center-a"] < by_name["random"]
+    assert by_name["k-center-b"] < by_name["random"]

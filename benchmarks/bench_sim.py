@@ -1,0 +1,122 @@
+"""Benchmarks for the DIA event simulator and the §II-E jitter study.
+
+Prints the percentile-planning tradeoff table: planning the lag against
+higher latency percentiles trades interactivity (longer delta) for a
+lower late-message rate — the paper's §II-E discussion, quantified.
+"""
+
+import pytest
+
+from repro.algorithms import greedy
+from repro.core import ClientAssignmentProblem, OffsetSchedule
+from repro.experiments.reporting import format_table
+from repro.net.jitter import LogNormalJitter
+from repro.placement import random_placement
+from repro.sim import poisson_workload, simulate_assignment
+from repro.sim.dia import percentile_schedule
+
+
+@pytest.fixture(scope="module")
+def solved(bench_matrix):
+    small = bench_matrix.submatrix(range(80))
+    problem = ClientAssignmentProblem(small, random_placement(small, 8, seed=0))
+    return problem, greedy(problem)
+
+
+def test_simulation_throughput(benchmark, solved):
+    problem, assignment = solved
+    schedule = OffsetSchedule(assignment)
+    ops = poisson_workload(problem.n_clients, rate=0.005, horizon=1000, seed=0)
+
+    def run():
+        return simulate_assignment(schedule, ops)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.healthy
+    print(
+        f"\nsimulated {report.n_operations} operations / "
+        f"{report.n_messages} messages"
+    )
+
+
+def test_percentile_planning_tradeoff(benchmark, solved):
+    problem, assignment = solved
+    jitter = LogNormalJitter(0.3)
+    ops = poisson_workload(problem.n_clients, rate=0.005, horizon=1000, seed=1)
+
+    def sweep():
+        rows = []
+        for q in (50.0, 90.0, 99.0, 99.9):
+            schedule = percentile_schedule(assignment, jitter, q)
+            report = simulate_assignment(
+                schedule,
+                ops,
+                jitter=jitter,
+                seed=2,
+                allow_late=True,
+                base_matrix=problem.matrix.values,
+            )
+            late = report.late_server_arrivals + report.late_client_updates
+            rows.append(
+                [q, schedule.delta, late, late / report.n_messages, report.repairs]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        "§II-E percentile planning tradeoff (lognormal jitter, sigma=0.3)\n"
+        + format_table(
+            ["percentile", "delta (ms)", "late msgs", "late rate", "repairs"],
+            rows,
+        )
+    )
+    deltas = [row[1] for row in rows]
+    lates = [row[2] for row in rows]
+    assert deltas == sorted(deltas)  # delta grows with the percentile
+    assert lates[-1] <= lates[0]  # lateness shrinks
+    assert lates[-1] <= 0.01 * lates[0] + 5  # p99.9 nearly eliminates it
+
+
+def test_flash_crowd_processing_backlog(benchmark, solved):
+    """§IV-E quantified: a flash crowd on an unbalanced assignment
+    builds server backlogs that a balanced (capacitated) assignment
+    avoids."""
+    import numpy as np
+
+    from repro.core import Assignment
+    from repro.sim import ProcessingModel, flash_crowd_workload
+
+    problem, balanced_assignment = solved
+    n = problem.n_clients
+    lopsided = Assignment(problem, np.zeros(n, dtype=np.int64))
+    ops = flash_crowd_workload(
+        n, base_rate=0.002, burst_rate=0.2, burst_start=300.0,
+        burst_duration=60.0, horizon=600.0, seed=3,
+    )
+    model = ProcessingModel(0.5, load_factor=0.05)
+
+    def run():
+        out = {}
+        for label, assignment in (
+            ("lopsided", lopsided),
+            ("balanced", balanced_assignment),
+        ):
+            report = simulate_assignment(
+                OffsetSchedule(assignment), ops,
+                processing=model, allow_late=True,
+            )
+            out[label] = report
+        return out
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for label, report in reports.items():
+        print(
+            f"{label:>9}: backlog max = {report.max_processing_backlog:7.1f} ms, "
+            f"late updates = {report.late_client_updates}"
+        )
+    assert (
+        reports["lopsided"].max_processing_backlog
+        > reports["balanced"].max_processing_backlog
+    )

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmark profile defaults to ``bench`` (250 nodes, 8 runs per
+random point) so the full harness finishes in a few minutes while
+preserving every qualitative shape from the paper. Set
+``REPRO_PROFILE=default`` (400 nodes) or ``REPRO_PROFILE=paper``
+(1796 nodes, 1000 runs — hours) to scale up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import dataset_for, profile_from_env
+
+
+@pytest.fixture(scope="session")
+def bench_profile():
+    return profile_from_env("bench")
+
+
+@pytest.fixture(scope="session")
+def bench_matrix(bench_profile):
+    """The synthetic Meridian-like matrix shared by all benchmarks."""
+    return dataset_for(bench_profile)

@@ -1,0 +1,76 @@
+"""Scenario: provisioning server capacity for a simulation platform.
+
+A distributed interactive simulation operator must decide how much
+capacity to provision per server site (paper §IV-E / Fig. 10): too
+little and the assignment algorithms cannot place clients well; beyond a
+point, extra capacity buys nothing. This example sweeps per-server
+capacity, reports the interactivity of each algorithm, and locates the
+knee — the smallest capacity within 5% of the uncapacitated optimum.
+
+Run:
+    python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.algorithms import get_algorithm, paper_algorithm_names
+from repro.core import (
+    ClientAssignmentProblem,
+    interaction_lower_bound,
+    max_interaction_path_length,
+)
+from repro.datasets import synthesize_meridian_like
+from repro.placement import random_placement
+
+N_NODES = 240
+N_SERVERS = 24
+
+
+def main() -> None:
+    matrix = synthesize_meridian_like(N_NODES, seed=3)
+    servers = random_placement(matrix, N_SERVERS, seed=0)
+    balanced = N_NODES // N_SERVERS
+    capacities = [balanced, int(1.5 * balanced), 2 * balanced, 4 * balanced, N_NODES]
+    lb = interaction_lower_bound(ClientAssignmentProblem(matrix, servers))
+
+    algorithms = paper_algorithm_names()
+    print(
+        f"{N_NODES} clients, {N_SERVERS} servers "
+        f"(balanced load = {balanced} clients/server)\n"
+    )
+    header = f"{'capacity':>9} " + " ".join(f"{a:>20}" for a in algorithms)
+    print(header)
+
+    results = {a: [] for a in algorithms}
+    for capacity in capacities:
+        problem = ClientAssignmentProblem(matrix, servers, capacities=capacity)
+        row = [f"{capacity:>9}"]
+        for name in algorithms:
+            assignment = get_algorithm(name)(problem, seed=0)
+            norm = max_interaction_path_length(assignment) / lb
+            results[name].append(norm)
+            row.append(f"{norm:>20.3f}")
+        print(" ".join(row))
+
+    print("\nprovisioning knee (capacity reaching within 5% of uncapacitated):")
+    for name in algorithms:
+        best = results[name][-1]  # loosest capacity ~= uncapacitated
+        knee = next(
+            (
+                capacities[i]
+                for i in range(len(capacities))
+                if results[name][i] <= 1.05 * best
+            ),
+            capacities[-1],
+        )
+        print(f"  {name:<22} {knee} clients/server")
+
+    print(
+        "\nExpected shape (paper Fig. 10): interactivity degrades as "
+        "capacity tightens;\nnearest-server and distributed-greedy are "
+        "least affected, and distributed-greedy\nremains the best overall."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Scenario: watching Distributed-Greedy converge (paper Fig. 9, live).
+
+Distributed-Greedy runs *on the servers themselves*: the server holding
+a client on the current longest interaction path coordinates a
+reassignment, one modification at a time. This example traces the
+protocol on one instance: the maximum interaction path length after
+every modification, which client moved, and the message cost — then
+verifies the paper's observation that a few tens of modifications
+(a small fraction of the client count) capture ~99% of the improvement.
+
+Run:
+    python examples/distributed_convergence.py
+"""
+
+from repro.algorithms import distributed_greedy_detailed, nearest_server
+from repro.core import (
+    ClientAssignmentProblem,
+    interaction_lower_bound,
+    max_interaction_path_length,
+)
+from repro.datasets import synthesize_meridian_like
+from repro.placement import random_placement
+
+
+def main() -> None:
+    matrix = synthesize_meridian_like(400, seed=5)
+    problem = ClientAssignmentProblem(matrix, random_placement(matrix, 40, seed=2))
+    lb = interaction_lower_bound(problem)
+
+    initial = nearest_server(problem)
+    print(
+        f"initial (nearest-server) D = "
+        f"{max_interaction_path_length(initial):.0f} ms "
+        f"(normalized {max_interaction_path_length(initial) / lb:.3f})\n"
+    )
+
+    result = distributed_greedy_detailed(problem, initial=initial)
+
+    print("convergence trace (D after each assignment modification):")
+    trace = result.trace
+    milestones = sorted(
+        {0, 1, 2, 5, 10, 20, 40, len(trace) - 1} & set(range(len(trace)))
+    )
+    for i in milestones:
+        marker = " <- initial" if i == 0 else (" <- final" if i == len(trace) - 1 else "")
+        print(f"  after {i:>3} mods: D = {trace[i]:>7.0f} ms "
+              f"(normalized {trace[i] / lb:.3f}){marker}")
+
+    total_improvement = trace[0] - trace[-1]
+    pct_clients = 100.0 * result.n_modifications / problem.n_clients
+    print(
+        f"\nconverged: {result.converged}; "
+        f"{result.n_modifications} modifications "
+        f"({pct_clients:.1f}% of {problem.n_clients} clients), "
+        f"{result.n_messages} protocol messages"
+    )
+    print(
+        f"total improvement: {total_improvement:.0f} ms "
+        f"({100 * total_improvement / trace[0]:.1f}% of the initial D)"
+    )
+
+    # The paper's ~99% observation, on this instance.
+    budget = 2 * problem.n_servers
+    at_budget = trace[min(budget, len(trace) - 1)]
+    fraction = (trace[0] - at_budget) / total_improvement if total_improvement else 1.0
+    print(
+        f"improvement captured within {budget} modifications "
+        f"(2 per server): {100 * fraction:.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Scenario: assigning players to mirrored game servers.
+
+A multiplayer game operator runs 12 mirrored world servers (the paper's
+distributed server architecture) with limited slots per server. Players
+are spread across the world; the operator wants the *fairness-safe*
+interaction time — the constant lag δ every operation is executed with —
+as low as possible.
+
+This example:
+
+1. builds a player population on a clustered latency matrix;
+2. compares the intuitive nearest-server matchmaking against the
+   paper's Distributed-Greedy assignment under per-server slot limits;
+3. derives the simulation-time offsets each server must run ahead by
+   (the deployable output of the paper's §II-C analysis);
+4. validates both deployments in the discrete-event simulator: every
+   player sees every action after exactly δ ms, in issuance order.
+
+Run:
+    python examples/game_shard_assignment.py
+"""
+
+import numpy as np
+
+from repro.algorithms import distributed_greedy_detailed, nearest_server
+from repro.core import ClientAssignmentProblem, OffsetSchedule, max_interaction_path_length
+from repro.datasets import synthesize_meridian_like
+from repro.placement import kcenter_b
+from repro.sim import poisson_workload, simulate_assignment
+
+N_PLAYERS = 240
+N_SERVERS = 12
+SLOTS_PER_SERVER = 30  # capacity: 1.5x the balanced load
+
+
+def main() -> None:
+    matrix = synthesize_meridian_like(N_PLAYERS, seed=7)
+    servers = kcenter_b(matrix, N_SERVERS, seed=0)
+    problem = ClientAssignmentProblem(
+        matrix, servers, capacities=SLOTS_PER_SERVER
+    )
+    print(
+        f"{N_PLAYERS} players, {N_SERVERS} mirrored servers, "
+        f"{SLOTS_PER_SERVER} slots each\n"
+    )
+
+    # --- Matchmaking strategies -------------------------------------
+    nearest = nearest_server(problem)
+    refined = distributed_greedy_detailed(problem)
+
+    for label, assignment in (
+        ("nearest-server matchmaking", nearest),
+        ("distributed-greedy refinement", refined.assignment),
+    ):
+        d = max_interaction_path_length(assignment)
+        loads = assignment.loads()
+        print(f"{label}:")
+        print(f"  fairness-safe action delay delta = {d:.0f} ms")
+        print(
+            f"  server loads: min={loads.min()}, max={loads.max()}, "
+            f"servers used: {assignment.used_servers().size}/{N_SERVERS}"
+        )
+
+    saved = max_interaction_path_length(nearest) - refined.final_d
+    print(
+        f"\nreassigning {refined.n_modifications} players "
+        f"({refined.n_messages} coordination messages) cut the action "
+        f"delay by {saved:.0f} ms\n"
+    )
+
+    # --- Deployable clock offsets ------------------------------------
+    schedule = OffsetSchedule(refined.assignment)
+    offsets = schedule.server_offsets
+    print("per-server simulation clock offsets (run ahead of clients by):")
+    for rank, s in enumerate(np.argsort(-offsets)[:5]):
+        print(f"  server node {problem.servers[s]:>4}: +{offsets[s]:.0f} ms")
+    print("  ...\n")
+
+    # --- End-to-end validation ---------------------------------------
+    ops = poisson_workload(N_PLAYERS, rate=0.002, horizon=2000.0, seed=1)
+    report = simulate_assignment(schedule, ops)
+    print(
+        f"simulated {report.n_operations} player actions "
+        f"({report.n_messages} messages): healthy={report.healthy}"
+    )
+    print(
+        f"every action visible to every player after exactly "
+        f"{report.max_interaction_time:.0f} ms "
+        f"(consistent={report.servers_consistent}, fair={report.fair})"
+    )
+
+
+if __name__ == "__main__":
+    main()

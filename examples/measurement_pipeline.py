@@ -1,0 +1,115 @@
+"""Scenario: from raw probes to a validated deployment plan.
+
+The full operational pipeline a DIA operator would run, end to end:
+
+1. **Measure** — simulate a King probing campaign against the (unknown)
+   true latencies: 3 probes per pair, lognormal jitter, and node/pair
+   losses (real campaigns never measure everything).
+2. **Clean** — drop nodes with incomplete measurements, exactly as the
+   paper prepares Meridian (2500 → 1796).
+3. **Plan** — place servers (K-center-B), solve the assignment
+   (Distributed-Greedy), and compute the simulation-clock offsets with
+   headroom: the lag δ is planned against the 95th percentile of the
+   jittered latencies (§II-E).
+4. **Ship** — serialize the assignment + offsets as a JSON deployment
+   plan (`repro.core.deployment`).
+5. **Validate** — replay a workload in the event simulator against the
+   *true* latencies with live jitter, and count late messages.
+
+Run:
+    python examples/measurement_pipeline.py
+"""
+
+import numpy as np
+
+from repro.algorithms import distributed_greedy
+from repro.core import ClientAssignmentProblem, DeploymentPlan, max_interaction_path_length
+from repro.datasets import (
+    MeasurementCampaign,
+    drop_incomplete_nodes,
+    simulate_king_measurements,
+    synthesize_meridian_like,
+)
+from repro.net.jitter import LogNormalJitter
+from repro.net.latency import LatencyMatrix
+from repro.placement import kcenter_b
+from repro.sim import poisson_workload, simulate_assignment
+from repro.sim.dia import percentile_schedule
+
+TRUE_NODES = 200
+JITTER = LogNormalJitter(0.25)
+
+
+def main() -> None:
+    # The "real world": true latencies nobody observes directly.
+    truth = synthesize_meridian_like(TRUE_NODES, seed=31)
+
+    # 1. Measurement campaign.
+    campaign = MeasurementCampaign(
+        probes_per_pair=3,
+        jitter=JITTER,
+        pair_loss_rate=0.005,
+        node_loss_rate=0.02,
+    )
+    raw = simulate_king_measurements(truth, campaign, seed=0)
+    print(
+        f"campaign: {TRUE_NODES} nodes probed, "
+        f"{np.isnan(raw).sum() // 2} unordered pairs unmeasured"
+    )
+
+    # 2. Cleaning.
+    measured, report = drop_incomplete_nodes(raw)
+    print(f"cleaning: {report.n_before} -> {report.n_after} nodes "
+          f"({len(report.dropped)} dropped)\n")
+    kept = np.array(
+        [u for u in range(TRUE_NODES) if u not in set(report.dropped)]
+    )
+    truth_kept = truth.submatrix(kept)
+
+    # 3. Plan on the measured matrix with percentile headroom.
+    servers = kcenter_b(measured, 16, seed=0)
+    problem = ClientAssignmentProblem(measured, servers)
+    assignment = distributed_greedy(problem)
+    schedule = percentile_schedule(assignment, JITTER, 95.0)
+    print(
+        f"plan: D(measured) = "
+        f"{max_interaction_path_length(assignment):.0f} ms, "
+        f"lag planned at p95 = {schedule.delta:.0f} ms"
+    )
+
+    # 4. Ship.
+    plan = DeploymentPlan.from_schedule(schedule)
+    plan.save("/tmp/dia_deployment.json")
+    print(f"shipped: /tmp/dia_deployment.json "
+          f"({len(plan.client_assignments)} clients, "
+          f"{len(plan.server_offsets)} servers)\n")
+
+    # 5. Validate against the true network with live jitter.
+    ops = poisson_workload(problem.n_clients, rate=0.002, horizon=2000, seed=1)
+    result = simulate_assignment(
+        schedule,
+        ops,
+        jitter=JITTER,
+        seed=2,
+        allow_late=True,
+        base_matrix=truth_kept.values,
+    )
+    late = result.late_server_arrivals + result.late_client_updates
+    print(
+        f"validation: {result.n_operations} operations, "
+        f"{result.n_messages} messages over TRUE latencies + live jitter"
+    )
+    print(
+        f"late messages: {late} ({late / result.n_messages:.3%}), "
+        f"timewarp repairs: {result.repairs}, "
+        f"consistent: {result.servers_consistent}"
+    )
+    print(
+        "\nThe p95 headroom absorbs both the measurement error and the "
+        "live jitter;\nre-plan at a higher percentile if the late rate "
+        "exceeds the application's artifact budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

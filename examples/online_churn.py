@@ -1,0 +1,68 @@
+"""Scenario: keeping interactivity low while players come and go.
+
+Server placement is a long-term decision, but client assignment "can be
+adjusted promptly to adapt to system dynamics" (paper §VI). This example
+runs a session-long join/leave process through the online assignment
+manager and compares three operating policies:
+
+1. **nearest joins** — each arriving player connects to the closest
+   server (what naive matchmaking does);
+2. **greedy joins** — each arrival is placed to minimize the resulting
+   maximum interaction path length (an O(|S|^2) decision);
+3. **greedy joins + periodic rebalance** — additionally run a bounded
+   Distributed-Greedy repair every 25 events.
+
+Run:
+    python examples/online_churn.py
+"""
+
+from repro.algorithms.online import simulate_churn
+from repro.datasets import synthesize_meridian_like
+from repro.placement import kcenter_b
+
+N_NODES = 250
+N_SERVERS = 16
+N_EVENTS = 400
+
+
+def main() -> None:
+    matrix = synthesize_meridian_like(N_NODES, seed=21)
+    servers = kcenter_b(matrix, N_SERVERS, seed=0)
+
+    policies = (
+        ("nearest joins", dict(join_policy="nearest")),
+        ("greedy joins", dict(join_policy="greedy")),
+        (
+            "greedy + rebalance/25",
+            dict(join_policy="greedy", rebalance_every=25, rebalance_moves=8),
+        ),
+    )
+
+    print(
+        f"{N_EVENTS} join/leave events, {N_SERVERS} servers, "
+        f"{N_NODES}-node network\n"
+    )
+    print(f"{'policy':<24} {'mean D (ms)':>12} {'final D (ms)':>13} {'repairs':>8}")
+    results = {}
+    for label, kwargs in policies:
+        result = simulate_churn(
+            matrix, servers, n_events=N_EVENTS, seed=3, **kwargs
+        )
+        results[label] = result
+        print(
+            f"{label:<24} {result.mean_d():>12.1f} {result.final_d():>13.1f} "
+            f"{result.moves_by_rebalance:>8d}"
+        )
+
+    nearest = results["nearest joins"].mean_d()
+    managed = results["greedy + rebalance/25"].mean_d()
+    print(
+        f"\nplacement-aware joins + periodic repair keep the fairness-safe "
+        f"delay {100 * (nearest - managed) / nearest:.0f}% below "
+        f"nearest-server matchmaking, with no disruption to connected "
+        f"players beyond the listed repair moves."
+    )
+
+
+if __name__ == "__main__":
+    main()

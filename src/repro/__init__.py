@@ -1,0 +1,55 @@
+"""dia-cap: client assignment for continuous distributed interactive
+applications.
+
+A complete reproduction of Zhang & Tang, *The Client Assignment Problem
+for Continuous Distributed Interactive Applications* (ICDCS 2011):
+problem formulation and interactivity analysis (:mod:`repro.core`), the
+four heuristic assignment algorithms with capacitated variants
+(:mod:`repro.algorithms`), server placement (:mod:`repro.placement`),
+synthetic Internet latency data sets (:mod:`repro.datasets`), a
+discrete-event DIA simulator validating the consistency/fairness
+analysis (:mod:`repro.sim`), and the full §V experiment harness
+(:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (
+        ClientAssignmentProblem,
+        interaction_lower_bound,
+        max_interaction_path_length,
+    )
+    from repro.algorithms import distributed_greedy
+    from repro.datasets import synthesize_meridian_like
+    from repro.placement import kcenter_a
+
+    matrix = synthesize_meridian_like(400, seed=0)
+    servers = kcenter_a(matrix, 40, seed=0)
+    problem = ClientAssignmentProblem(matrix, servers)
+    assignment = distributed_greedy(problem)
+    d = max_interaction_path_length(assignment)
+    print(d / interaction_lower_bound(problem))  # normalized interactivity
+"""
+
+from repro._version import __version__
+from repro.core import (
+    Assignment,
+    ClientAssignmentProblem,
+    OffsetSchedule,
+    interaction_lower_bound,
+    max_interaction_path_length,
+    normalized_interactivity,
+)
+from repro.errors import ReproError
+from repro.net.latency import LatencyMatrix
+
+__all__ = [
+    "__version__",
+    "LatencyMatrix",
+    "ClientAssignmentProblem",
+    "Assignment",
+    "OffsetSchedule",
+    "max_interaction_path_length",
+    "normalized_interactivity",
+    "interaction_lower_bound",
+    "ReproError",
+]

@@ -1,0 +1,66 @@
+"""Client assignment algorithms.
+
+The paper's four heuristics (§IV), registered under their experiment
+names:
+
+- ``nearest-server`` — §IV-A, the intuitive baseline (3-approximation
+  under triangle inequality);
+- ``longest-first-batch`` — §IV-B, batching refinement of
+  nearest-server;
+- ``greedy`` — §IV-C, amortized-cost greedy (Fig. 6 pseudocode);
+- ``distributed-greedy`` — §IV-D, distributed local search from a
+  nearest-server start (the paper's overall winner).
+
+Extra baselines and ablations: ``best-single-server``, ``random``,
+``hill-climbing``, ``simulated-annealing``.
+
+All entry points share the signature ``fn(problem, *, seed=None) ->
+Assignment`` and automatically run their capacitated variants (§IV-E)
+when the problem carries capacities. Use
+:func:`~repro.algorithms.base.get_algorithm` for name-based lookup.
+"""
+
+from repro.algorithms.base import (
+    algorithm_names,
+    get_algorithm,
+    paper_algorithm_names,
+    register,
+)
+from repro.algorithms.baselines import best_single_server, random_assignment
+from repro.algorithms.distributed_greedy import (
+    DistributedGreedyResult,
+    distributed_greedy,
+    distributed_greedy_detailed,
+)
+from repro.algorithms.greedy import greedy, greedy_absolute
+from repro.algorithms.local_search import hill_climbing, simulated_annealing
+from repro.algorithms.longest_first_batch import longest_first_batch
+from repro.algorithms.nearest import nearest_server
+from repro.algorithms.online import (
+    ChurnResult,
+    ChurnTracePoint,
+    OnlineAssignmentManager,
+    simulate_churn,
+)
+
+__all__ = [
+    "nearest_server",
+    "longest_first_batch",
+    "greedy",
+    "greedy_absolute",
+    "OnlineAssignmentManager",
+    "simulate_churn",
+    "ChurnResult",
+    "ChurnTracePoint",
+    "distributed_greedy",
+    "distributed_greedy_detailed",
+    "DistributedGreedyResult",
+    "best_single_server",
+    "random_assignment",
+    "hill_climbing",
+    "simulated_annealing",
+    "get_algorithm",
+    "algorithm_names",
+    "paper_algorithm_names",
+    "register",
+]

@@ -1,0 +1,70 @@
+"""Common algorithm interface and registry.
+
+Every assignment algorithm is a callable
+``(problem, *, seed=None) -> Assignment``. Algorithms that produce extra
+artifacts (e.g. Distributed-Greedy's modification trace) expose a richer
+entry point returning a result object, plus a registry-compatible
+wrapper that discards the extras.
+
+Capacity handling follows the paper's §IV-E: when the problem instance
+carries capacities, each algorithm automatically runs its "capacitated"
+variant; no separate entry points are needed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.problem import ClientAssignmentProblem
+
+#: Uniform algorithm signature.
+AlgorithmFn = Callable[..., Assignment]
+
+_REGISTRY: Dict[str, AlgorithmFn] = {}
+
+
+def register(name: str) -> Callable[[AlgorithmFn], AlgorithmFn]:
+    """Class decorator registering an algorithm under a CLI/plot name."""
+
+    def decorator(fn: AlgorithmFn) -> AlgorithmFn:
+        if name in _REGISTRY:
+            raise ValueError(f"algorithm name {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def get_algorithm(name: str) -> AlgorithmFn:
+    """Look up a registered algorithm by name.
+
+    Raises ``KeyError`` listing the available names on a miss.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        available = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown algorithm {name!r}; available: {available}") from None
+
+
+def algorithm_names() -> List[str]:
+    """Registered algorithm names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def paper_algorithm_names() -> List[str]:
+    """The paper's four heuristics, in the paper's presentation order."""
+    return ["nearest-server", "longest-first-batch", "greedy", "distributed-greedy"]
+
+
+def round_trip_distances(problem: ClientAssignmentProblem) -> np.ndarray:
+    """``(|C|, |S|)`` matrix of ``d(c, s) + d(s, c)`` round trips.
+
+    The self-interaction path of a client equals its round trip; several
+    algorithms need it as the batch-internal path-length floor.
+    """
+    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]
+    return problem.client_server + sc.T

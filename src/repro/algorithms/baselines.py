@@ -1,0 +1,74 @@
+"""Additional baselines beyond the paper's four heuristics.
+
+§III motivates the problem's difficulty by contrasting two extremes:
+assigning each client to its nearest server (optimizes client-server
+legs, ignores inter-server legs) and assigning *all* clients to a single
+server (eliminates inter-server legs, bloats client-server legs).
+:func:`best_single_server` implements the strongest version of the
+latter — try every server and keep the best — and
+:func:`random_assignment` provides a chance-level reference for
+experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import register
+from repro.core.assignment import Assignment
+from repro.core.problem import ClientAssignmentProblem
+from repro.errors import CapacityError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@register("best-single-server")
+def best_single_server(
+    problem: ClientAssignmentProblem, *, seed: SeedLike = None
+) -> Assignment:
+    """Assign every client to the single server minimizing D.
+
+    With all clients on one server ``s``, the maximum interaction path
+    length is ``max_{c1,c2} d(c1, s) + d(s, c2)`` — the sum of the two
+    largest legs (same client allowed: the round trip). O(|C| |S|).
+
+    Raises :class:`~repro.errors.CapacityError` on capacitated problems
+    whose per-server capacity cannot hold every client.
+    """
+    if problem.is_capacitated:
+        feasible = problem.capacities >= problem.n_clients
+        if not feasible.any():
+            raise CapacityError(
+                "best-single-server needs one server able to hold all "
+                f"{problem.n_clients} clients"
+            )
+    else:
+        feasible = np.ones(problem.n_servers, dtype=bool)
+    cs = problem.client_server
+    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]
+    d_per_server = cs.max(axis=0) + sc.max(axis=1)  # (S,)
+    d_per_server = np.where(feasible, d_per_server, np.inf)
+    best = int(np.argmin(d_per_server))
+    return Assignment(
+        problem, np.full(problem.n_clients, best, dtype=np.int64)
+    )
+
+
+@register("random")
+def random_assignment(
+    problem: ClientAssignmentProblem, *, seed: SeedLike = None
+) -> Assignment:
+    """Assign clients to servers uniformly at random.
+
+    Capacitated problems are handled by sampling a random feasible
+    slot-permutation: server slots are materialized up to capacity,
+    shuffled, and dealt to clients.
+    """
+    rng = ensure_rng(seed)
+    if not problem.is_capacitated:
+        return Assignment(
+            problem,
+            rng.integers(0, problem.n_servers, size=problem.n_clients),
+        )
+    slots = np.repeat(np.arange(problem.n_servers), problem.capacities)
+    rng.shuffle(slots)
+    return Assignment(problem, slots[: problem.n_clients])

@@ -1,0 +1,142 @@
+"""Local search and simulated annealing (ablation baselines).
+
+Not part of the paper — included to calibrate how much headroom the
+paper's heuristics leave to generic metaheuristics, and as an ablation
+for the design choice of Distributed-Greedy's "only clients on longest
+paths move" rule (here *any* client may move).
+
+Both optimizers use the same move structure as Distributed-Greedy
+(relocate one client to another server) with incremental objective
+evaluation, so comparisons isolate the *search policy*, not the move
+machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.base import register
+from repro.algorithms.nearest import nearest_server
+from repro.core.assignment import Assignment
+from repro.core.metrics import max_interaction_path_length
+from repro.core.problem import ClientAssignmentProblem
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def _objective_after_move(
+    problem: ClientAssignmentProblem,
+    server_of: np.ndarray,
+    client: int,
+    new_server: int,
+) -> float:
+    """D after relocating one client, in O(|C| + |S|^2)."""
+    old = server_of[client]
+    server_of[client] = new_server
+    try:
+        assignment = Assignment(problem, server_of, validate=False)
+        return max_interaction_path_length(assignment)
+    finally:
+        server_of[client] = old
+
+
+@register("hill-climbing")
+def hill_climbing(
+    problem: ClientAssignmentProblem,
+    *,
+    seed: SeedLike = None,
+    initial: Optional[Assignment] = None,
+    max_rounds: int = 50,
+) -> Assignment:
+    """Steepest-descent over single-client relocations.
+
+    Each round scans a random order of clients; for each client the best
+    relocation is applied when it strictly reduces D. Stops when a full
+    round makes no move (local optimum) or after ``max_rounds``.
+    """
+    rng = ensure_rng(seed)
+    if initial is None:
+        initial = nearest_server(problem)
+    server_of = initial.server_of.copy()
+    loads = np.bincount(server_of, minlength=problem.n_servers)
+    capacities = problem.capacities
+
+    best_d = max_interaction_path_length(Assignment(problem, server_of, validate=False))
+    for _ in range(max_rounds):
+        improved = False
+        for c in rng.permutation(problem.n_clients):
+            c = int(c)
+            home = int(server_of[c])
+            for s in range(problem.n_servers):
+                if s == home:
+                    continue
+                if capacities is not None and loads[s] >= capacities[s]:
+                    continue
+                d_new = _objective_after_move(problem, server_of, c, s)
+                if d_new < best_d - 1e-12:
+                    server_of[c] = s
+                    loads[home] -= 1
+                    loads[s] += 1
+                    best_d = d_new
+                    home = s
+                    improved = True
+        if not improved:
+            break
+    return Assignment(problem, server_of)
+
+
+@register("simulated-annealing")
+def simulated_annealing(
+    problem: ClientAssignmentProblem,
+    *,
+    seed: SeedLike = None,
+    initial: Optional[Assignment] = None,
+    n_steps: int = 2000,
+    start_temperature: Optional[float] = None,
+    cooling: float = 0.995,
+) -> Assignment:
+    """Simulated annealing over single-client relocations.
+
+    Accepts worsening moves with probability ``exp(-Δ/T)``; the
+    temperature decays geometrically by ``cooling`` per step. Returns the
+    best assignment visited. The default start temperature is 10% of the
+    initial objective.
+    """
+    rng = ensure_rng(seed)
+    if initial is None:
+        initial = nearest_server(problem)
+    server_of = initial.server_of.copy()
+    loads = np.bincount(server_of, minlength=problem.n_servers)
+    capacities = problem.capacities
+
+    current_d = max_interaction_path_length(
+        Assignment(problem, server_of, validate=False)
+    )
+    best_d = current_d
+    best = server_of.copy()
+    temperature = (
+        start_temperature if start_temperature is not None else 0.1 * current_d
+    )
+    temperature = max(temperature, 1e-9)
+
+    for _ in range(n_steps):
+        c = int(rng.integers(0, problem.n_clients))
+        s = int(rng.integers(0, problem.n_servers))
+        home = int(server_of[c])
+        if s == home:
+            continue
+        if capacities is not None and loads[s] >= capacities[s]:
+            continue
+        d_new = _objective_after_move(problem, server_of, c, s)
+        delta = d_new - current_d
+        if delta <= 0 or rng.uniform() < np.exp(-delta / temperature):
+            server_of[c] = s
+            loads[home] -= 1
+            loads[s] += 1
+            current_d = d_new
+            if current_d < best_d:
+                best_d = current_d
+                best = server_of.copy()
+        temperature *= cooling
+    return Assignment(problem, best)

@@ -1,0 +1,54 @@
+"""Nearest-Server Assignment (paper §IV-A).
+
+Each client picks the server with the lowest client-to-server latency.
+This is the intuitive baseline used by deployed systems ([16], [26] in
+the paper) and has approximation ratio exactly 3 under triangle
+inequality (Theorem 2, tight by the Fig. 4 gadget) — but real latency
+data violates the triangle inequality, and the paper's experiments show
+Nearest-Server can exceed 3x the lower bound.
+
+Capacitated variant (§IV-E): each client tries its nearest server, then
+the second nearest, and so on, until it finds a server with spare
+capacity. Clients are processed in ascending client-index order; the
+paper leaves the order unspecified (clients act independently in the
+uncapacitated setting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import register
+from repro.core.assignment import Assignment
+from repro.core.problem import ClientAssignmentProblem
+from repro.errors import CapacityError
+from repro.utils.rng import SeedLike
+
+
+@register("nearest-server")
+def nearest_server(
+    problem: ClientAssignmentProblem, *, seed: SeedLike = None
+) -> Assignment:
+    """Assign every client to its nearest (unsaturated) server.
+
+    ``seed`` is accepted for interface uniformity and ignored — the
+    algorithm is deterministic (ties broken by lowest server index, the
+    behaviour of ``argmin``).
+    """
+    cs = problem.client_server
+    if not problem.is_capacitated:
+        return Assignment(problem, np.argmin(cs, axis=1))
+
+    remaining = problem.capacities.copy()
+    server_of = np.empty(problem.n_clients, dtype=np.int64)
+    # Each client walks its personal nearest-first server ranking.
+    ranking = np.argsort(cs, axis=1, kind="stable")
+    for c in range(problem.n_clients):
+        for s in ranking[c]:
+            if remaining[s] > 0:
+                server_of[c] = s
+                remaining[s] -= 1
+                break
+        else:  # pragma: no cover - prevented by problem validation
+            raise CapacityError("no server with spare capacity remains")
+    return Assignment(problem, server_of)

@@ -1,0 +1,333 @@
+"""Online client assignment under churn.
+
+The paper's §VI argues that, unlike server placement, client assignment
+"can be adjusted promptly to adapt to system dynamics". This module
+makes that concrete: an :class:`OnlineAssignmentManager` maintains an
+assignment while clients **join and leave**, using the same move-cost
+machinery as Distributed-Greedy:
+
+- **join**: the arriving client is placed on the server minimizing the
+  resulting maximum interaction path length through that client
+  (``L(s') = max_{s''} d(c, s') + d(s', s'') + l(s'')``), respecting
+  capacities — an O(|S|^2) decision, no global recomputation;
+- **leave**: the client is removed and its server's farthest-client
+  summary refreshed;
+- **rebalance**: run a bounded number of Distributed-Greedy
+  modifications to repair accumulated drift.
+
+A :func:`simulate_churn` driver replays a Poisson arrival/departure
+process and records D over time with and without periodic rebalancing,
+so the value of prompt reassignment is measurable (see
+``benchmarks/bench_online.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.metrics import max_interaction_path_length
+from repro.core.problem import ClientAssignmentProblem
+from repro.errors import CapacityError, InvalidAssignmentError
+from repro.net.latency import LatencyMatrix
+from repro.types import IndexArrayLike, as_index_array
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class OnlineAssignmentManager:
+    """Maintains a client assignment under joins, leaves and rebalances.
+
+    Parameters
+    ----------
+    matrix:
+        All-pairs latency matrix over the node universe.
+    servers:
+        Node indices hosting servers.
+    capacity:
+        Optional uniform per-server client capacity.
+
+    Notes
+    -----
+    Clients are identified by their **node index** in the matrix. The
+    manager keeps per-server farthest-client summaries (the ``l(s)`` of
+    the paper's §IV-D) incrementally, so joins are O(|S|^2 + members of
+    one server) and the current D is always available in O(|S|^2).
+    """
+
+    def __init__(
+        self,
+        matrix: LatencyMatrix,
+        servers: IndexArrayLike,
+        *,
+        capacity: Optional[int] = None,
+        join_policy: str = "greedy",
+    ) -> None:
+        self._matrix = matrix
+        self._servers = as_index_array(servers, "servers")
+        if self._servers.size == 0:
+            raise ValueError("need at least one server")
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if join_policy not in ("greedy", "nearest"):
+            raise ValueError(
+                f"join_policy must be 'greedy' or 'nearest', got {join_policy!r}"
+            )
+        self._capacity = capacity
+        self._join_policy = join_policy
+        self._ss = matrix.values[np.ix_(self._servers, self._servers)]
+        #: node -> local server index
+        self._assigned: Dict[int, int] = {}
+        #: per-server member node sets
+        self._members: List[Set[int]] = [set() for _ in range(self._servers.size)]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_servers(self) -> int:
+        """Number of servers."""
+        return int(self._servers.size)
+
+    @property
+    def n_clients(self) -> int:
+        """Number of currently connected clients."""
+        return len(self._assigned)
+
+    @property
+    def clients(self) -> Tuple[int, ...]:
+        """Currently connected client nodes (sorted)."""
+        return tuple(sorted(self._assigned))
+
+    def server_of(self, client_node: int) -> int:
+        """Local server index of a connected client."""
+        return self._assigned[client_node]
+
+    def loads(self) -> np.ndarray:
+        """Per-server client counts."""
+        return np.array([len(m) for m in self._members], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _l_vector(self, *, exclude: Optional[int] = None) -> np.ndarray:
+        """Per-server farthest member distance (both directions folded:
+        symmetric matrices only need one; we take the max of both)."""
+        l = np.full(self.n_servers, -np.inf)
+        d = self._matrix.values
+        for s, members in enumerate(self._members):
+            node = self._servers[s]
+            for c in members:
+                if c == exclude:
+                    continue
+                val = max(d[c, node], d[node, c])
+                if val > l[s]:
+                    l[s] = val
+        return l
+
+    def current_d(self) -> float:
+        """The maximum interaction path length of the current state.
+
+        Returns 0.0 with no clients connected.
+        """
+        if not self._assigned:
+            return 0.0
+        l = self._l_vector()
+        used = np.flatnonzero(np.isfinite(l))
+        sub = l[used][:, None] + self._ss[np.ix_(used, used)] + l[used][None, :]
+        return float(sub.max())
+
+    def _candidate_costs(self, client_node: int, *, exclude_self: bool) -> np.ndarray:
+        """L(s') for assigning ``client_node`` to each server."""
+        d = self._matrix.values
+        l = self._l_vector(exclude=client_node if exclude_self else None)
+        to_servers = d[client_node, self._servers]
+        from_servers = d[self._servers, client_node]
+        with np.errstate(invalid="ignore"):
+            best = (self._ss + l[None, :]).max(axis=1)
+        costs = np.maximum(to_servers + best, to_servers + from_servers)
+        if self._capacity is not None:
+            loads = self.loads()
+            if exclude_self and client_node in self._assigned:
+                loads[self._assigned[client_node]] -= 1
+            costs = np.where(loads >= self._capacity, np.inf, costs)
+        return costs
+
+    # ------------------------------------------------------------------
+    def join(self, client_node: int) -> int:
+        """Connect a new client; returns its assigned local server index.
+
+        Raises :class:`~repro.errors.InvalidAssignmentError` if already
+        connected and :class:`~repro.errors.CapacityError` when every
+        server is saturated.
+        """
+        if client_node in self._assigned:
+            raise InvalidAssignmentError(f"client {client_node} already connected")
+        if not 0 <= client_node < self._matrix.n_nodes:
+            raise InvalidAssignmentError(f"client node {client_node} out of range")
+        if self._join_policy == "nearest":
+            costs = self._matrix.values[client_node, self._servers].astype(float)
+            if self._capacity is not None:
+                costs = np.where(self.loads() >= self._capacity, np.inf, costs)
+        else:
+            costs = self._candidate_costs(client_node, exclude_self=False)
+        best = int(np.argmin(costs))
+        if not np.isfinite(costs[best]):
+            raise CapacityError("all servers are at capacity")
+        self._assigned[client_node] = best
+        self._members[best].add(client_node)
+        return best
+
+    def leave(self, client_node: int) -> None:
+        """Disconnect a client."""
+        try:
+            server = self._assigned.pop(client_node)
+        except KeyError:
+            raise InvalidAssignmentError(
+                f"client {client_node} is not connected"
+            ) from None
+        self._members[server].discard(client_node)
+
+    def rebalance(self, *, max_moves: int = 16) -> int:
+        """Run bounded Distributed-Greedy repair; returns moves made."""
+        if len(self._assigned) < 1 or max_moves < 1:
+            return 0
+        result = self._run_dga(max_moves)
+        return result
+
+    def _run_dga(self, max_moves: int) -> int:
+        from repro.algorithms.distributed_greedy import distributed_greedy_detailed
+
+        problem, assignment, nodes = self.snapshot()
+        result = distributed_greedy_detailed(
+            problem, initial=assignment, max_modifications=max_moves
+        )
+        # Fold the improved assignment back into the live state.
+        for local_idx, node in enumerate(nodes):
+            new_server = int(result.assignment.server_of[local_idx])
+            old_server = self._assigned[node]
+            if new_server != old_server:
+                self._members[old_server].discard(node)
+                self._members[new_server].add(node)
+                self._assigned[node] = new_server
+        return result.n_modifications
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple[ClientAssignmentProblem, Assignment, Tuple[int, ...]]:
+        """Freeze the current state into problem + assignment objects.
+
+        Returns ``(problem, assignment, client_nodes)`` where
+        ``client_nodes[i]`` is the node of local client ``i``.
+        """
+        if not self._assigned:
+            raise InvalidAssignmentError("no clients connected")
+        nodes = tuple(sorted(self._assigned))
+        problem = ClientAssignmentProblem(
+            self._matrix,
+            self._servers,
+            clients=list(nodes),
+            capacities=self._capacity,
+        )
+        server_of = np.array([self._assigned[n] for n in nodes], dtype=np.int64)
+        return problem, Assignment(problem, server_of), nodes
+
+    def verify(self) -> bool:
+        """Internal consistency check: incremental D equals the exact D."""
+        if not self._assigned:
+            return True
+        _problem, assignment, _nodes = self.snapshot()
+        exact = max_interaction_path_length(assignment)
+        return abs(exact - self.current_d()) <= 1e-6 * max(1.0, exact)
+
+
+# ----------------------------------------------------------------------
+# Churn driver
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChurnTracePoint:
+    """State after one churn event."""
+
+    event_index: int
+    event: str  # "join" | "leave" | "rebalance"
+    n_clients: int
+    d: float
+
+
+@dataclass(frozen=True)
+class ChurnResult:
+    """Outcome of a churn simulation."""
+
+    trace: Tuple[ChurnTracePoint, ...]
+    moves_by_rebalance: int
+
+    def mean_d(self) -> float:
+        """Time-average D over the trace (ignoring empty-system points)."""
+        values = [p.d for p in self.trace if p.n_clients > 0]
+        return float(np.mean(values)) if values else 0.0
+
+    def final_d(self) -> float:
+        """D after the last event."""
+        return self.trace[-1].d if self.trace else 0.0
+
+
+def simulate_churn(
+    matrix: LatencyMatrix,
+    servers: IndexArrayLike,
+    *,
+    n_events: int = 200,
+    join_probability: float = 0.55,
+    rebalance_every: Optional[int] = None,
+    rebalance_moves: int = 8,
+    capacity: Optional[int] = None,
+    join_policy: str = "greedy",
+    seed: SeedLike = 0,
+) -> ChurnResult:
+    """Replay a random join/leave sequence through the online manager.
+
+    Joins pick a uniformly random unconnected node; leaves pick a
+    uniformly random connected client. When ``rebalance_every`` is set,
+    a bounded Distributed-Greedy repair runs after every that-many
+    events. Returns the D-over-time trace. ``join_policy`` selects the
+    placement rule for arrivals ("greedy" = minimize resulting D,
+    "nearest" = deployed-system default).
+    """
+    if not 0.0 < join_probability < 1.0:
+        raise ValueError("join_probability must be in (0, 1)")
+    rng = ensure_rng(seed)
+    manager = OnlineAssignmentManager(
+        matrix, servers, capacity=capacity, join_policy=join_policy
+    )
+    server_set = set(int(s) for s in as_index_array(servers))
+    candidates = [u for u in range(matrix.n_nodes) if u not in server_set]
+    trace: List[ChurnTracePoint] = []
+    total_moves = 0
+
+    for i in range(n_events):
+        connected = manager.clients
+        do_join = (not connected) or (
+            len(connected) < len(candidates) and rng.uniform() < join_probability
+        )
+        if do_join:
+            free = [u for u in candidates if u not in manager._assigned]
+            node = int(free[rng.integers(0, len(free))])
+            try:
+                manager.join(node)
+                event = "join"
+            except CapacityError:
+                if not connected:
+                    continue
+                manager.leave(int(connected[rng.integers(0, len(connected))]))
+                event = "leave"
+        else:
+            manager.leave(int(connected[rng.integers(0, len(connected))]))
+            event = "leave"
+        trace.append(
+            ChurnTracePoint(i, event, manager.n_clients, manager.current_d())
+        )
+        if rebalance_every and (i + 1) % rebalance_every == 0 and manager.n_clients:
+            moves = manager.rebalance(max_moves=rebalance_moves)
+            total_moves += moves
+            trace.append(
+                ChurnTracePoint(
+                    i, "rebalance", manager.n_clients, manager.current_d()
+                )
+            )
+    return ChurnResult(trace=tuple(trace), moves_by_rebalance=total_moves)

@@ -1,0 +1,19 @@
+"""Statistical helpers for experiment aggregation and reporting."""
+
+from repro.analysis.stats import (
+    SummaryStats,
+    bootstrap_mean_ci,
+    empirical_cdf,
+    mean_confidence_interval,
+    spearman_rank_correlation,
+    summarize,
+)
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "mean_confidence_interval",
+    "bootstrap_mean_ci",
+    "empirical_cdf",
+    "spearman_rank_correlation",
+]

@@ -1,0 +1,136 @@
+"""Lightweight statistics for multi-run experiment results.
+
+Kept dependency-free (numpy only): a normal-approximation confidence
+interval for well-behaved means, a bootstrap interval for skewed
+distributions (normalized interactivity is right-skewed — Fig. 8), and
+an empirical CDF helper shared by reporting code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+#: Two-sided z values for common confidence levels.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p90: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Summary statistics of a non-empty sample."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return SummaryStats(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        p90=float(np.percentile(arr, 90)),
+        maximum=float(arr.max()),
+    )
+
+
+def mean_confidence_interval(
+    values: Sequence[float], *, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Normal-approximation CI for the mean.
+
+    Suitable for the averaged sweeps (n >= 20 runs per point); for small
+    or skewed samples use :func:`bootstrap_mean_ci`.
+    """
+    if confidence not in _Z:
+        raise ValueError(f"confidence must be one of {sorted(_Z)}")
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot compute a CI of an empty sample")
+    if arr.size == 1:
+        return float(arr[0]), float(arr[0])
+    half = _Z[confidence] * arr.std(ddof=1) / np.sqrt(arr.size)
+    mean = float(arr.mean())
+    return mean - half, mean + half
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: SeedLike = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap CI for the mean (skew-robust)."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    rng = ensure_rng(seed)
+    idx = rng.integers(0, arr.size, size=(resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.percentile(means, 100 * alpha)),
+        float(np.percentile(means, 100 * (1 - alpha))),
+    )
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted values and cumulative fractions (the Fig. 8 axes)."""
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        raise ValueError("cannot build a CDF of an empty sample")
+    fractions = np.arange(1, arr.size + 1) / arr.size
+    return arr, fractions
+
+
+def spearman_rank_correlation(
+    x: Sequence[float], y: Sequence[float]
+) -> float:
+    """Spearman's rank correlation coefficient of two equal-length samples.
+
+    Ties receive average ranks. Returns a value in [-1, 1]; 1 means the
+    two samples order their items identically. Used by the cross-dataset
+    comparison to quantify "similar results" (paper §V on the MIT data).
+    """
+    ax = np.asarray(x, dtype=np.float64)
+    ay = np.asarray(y, dtype=np.float64)
+    if ax.shape != ay.shape or ax.ndim != 1:
+        raise ValueError("x and y must be equal-length 1-D sequences")
+    if ax.size < 2:
+        raise ValueError("need at least two observations")
+
+    def average_ranks(arr: np.ndarray) -> np.ndarray:
+        order = np.argsort(arr, kind="stable")
+        ranks = np.empty(arr.size, dtype=np.float64)
+        ranks[order] = np.arange(1, arr.size + 1)
+        # Average ranks over ties.
+        for value in np.unique(arr):
+            mask = arr == value
+            if mask.sum() > 1:
+                ranks[mask] = ranks[mask].mean()
+        return ranks
+
+    rx, ry = average_ranks(ax), average_ranks(ay)
+    rx -= rx.mean()
+    ry -= ry.mean()
+    denom = np.sqrt((rx**2).sum() * (ry**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((rx * ry).sum() / denom)

@@ -1,0 +1,489 @@
+"""Command-line interface: ``dia-cap`` / ``python -m repro``.
+
+Subcommands:
+
+- ``dataset``  — generate a synthetic latency matrix (and describe it).
+- ``solve``    — run one assignment algorithm on a generated instance.
+- ``fig``      — regenerate a paper figure's data series as a table.
+- ``claims``   — run the §V claims checklist.
+- ``simulate`` — run the DIA event simulation for a solved assignment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro._version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dia-cap",
+        description=(
+            "Client assignment for continuous distributed interactive "
+            "applications (Zhang & Tang, ICDCS 2011) — reproduction toolkit"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dataset = sub.add_parser("dataset", help="generate a synthetic latency matrix")
+    p_dataset.add_argument("--nodes", type=int, default=400)
+    p_dataset.add_argument("--kind", choices=("meridian", "mit"), default="meridian")
+    p_dataset.add_argument("--seed", type=int, default=0)
+    p_dataset.add_argument("--out", type=str, default=None, help=".npy or text path")
+
+    p_analyze = sub.add_parser(
+        "analyze", help="structural analytics of a latency matrix"
+    )
+    p_analyze.add_argument("--nodes", type=int, default=300)
+    p_analyze.add_argument("--kind", choices=("meridian", "mit"), default="meridian")
+    p_analyze.add_argument("--seed", type=int, default=0)
+    p_analyze.add_argument(
+        "--load", type=str, default=None, help="analyze a matrix file instead"
+    )
+    p_analyze.add_argument("--clusters", type=int, default=8)
+
+    p_solve = sub.add_parser("solve", help="run one algorithm on an instance")
+    p_solve.add_argument("--nodes", type=int, default=400)
+    p_solve.add_argument("--kind", choices=("meridian", "mit"), default="meridian")
+    p_solve.add_argument("--servers", type=int, default=80)
+    p_solve.add_argument(
+        "--placement", choices=("random", "k-center-a", "k-center-b"), default="random"
+    )
+    p_solve.add_argument("--algorithm", type=str, default="distributed-greedy")
+    p_solve.add_argument("--capacity", type=int, default=None)
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument(
+        "--save-deployment",
+        type=str,
+        default=None,
+        help="write the assignment + clock offsets as a JSON deployment plan",
+    )
+
+    p_fig = sub.add_parser("fig", help="regenerate a paper figure's data")
+    p_fig.add_argument("figure", choices=("7", "8", "9", "10"))
+    p_fig.add_argument(
+        "--placement",
+        choices=("random", "k-center-a", "k-center-b"),
+        default="random",
+        help="panel for figures 7 and 10",
+    )
+    p_fig.add_argument("--profile", type=str, default="default")
+    p_fig.add_argument(
+        "--save", type=str, default=None, help="write the series to a JSON file"
+    )
+    p_fig.add_argument(
+        "--load",
+        type=str,
+        default=None,
+        help="render a previously saved series instead of recomputing",
+    )
+
+    p_claims = sub.add_parser("claims", help="run the §V claims checklist")
+    p_claims.add_argument("--profile", type=str, default="default")
+
+    p_report = sub.add_parser(
+        "report", help="regenerate the full evaluation (all figures + claims)"
+    )
+    p_report.add_argument("--profile", type=str, default="default")
+    p_report.add_argument(
+        "--out", type=str, default=None, help="directory for JSON series + report.txt"
+    )
+    p_report.add_argument(
+        "--ablations", action="store_true", help="include the ablation studies"
+    )
+
+    p_ablate = sub.add_parser("ablate", help="run an ablation study")
+    p_ablate.add_argument(
+        "study",
+        choices=(
+            "dga-initial",
+            "greedy-cost",
+            "triangle",
+            "estimated-latencies",
+            "measurement-error",
+            "placement",
+        ),
+    )
+    p_ablate.add_argument("--nodes", type=int, default=200)
+    p_ablate.add_argument("--servers", type=int, default=20)
+    p_ablate.add_argument("--runs", type=int, default=5)
+    p_ablate.add_argument("--seed", type=int, default=0)
+
+    p_churn = sub.add_parser(
+        "churn", help="simulate online client churn with/without rebalancing"
+    )
+    p_churn.add_argument("--nodes", type=int, default=200)
+    p_churn.add_argument("--servers", type=int, default=16)
+    p_churn.add_argument("--events", type=int, default=300)
+    p_churn.add_argument("--rebalance-every", type=int, default=20)
+    p_churn.add_argument("--seed", type=int, default=0)
+
+    p_sim = sub.add_parser("simulate", help="run the DIA event simulation")
+    p_sim.add_argument("--nodes", type=int, default=120)
+    p_sim.add_argument("--servers", type=int, default=10)
+    p_sim.add_argument("--algorithm", type=str, default="greedy")
+    p_sim.add_argument("--ops-rate", type=float, default=0.01)
+    p_sim.add_argument("--horizon", type=float, default=500.0)
+    p_sim.add_argument("--jitter-sigma", type=float, default=0.0)
+    p_sim.add_argument(
+        "--percentile", type=float, default=None,
+        help="plan the lag against this latency percentile (with jitter)",
+    )
+    p_sim.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _make_matrix(kind: str, nodes: int, seed: int):
+    from repro.datasets import synthesize_meridian_like, synthesize_mit_like
+
+    if kind == "mit":
+        return synthesize_mit_like(nodes, seed=seed)
+    return synthesize_meridian_like(nodes, seed=seed)
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.datasets.io import write_matrix_npy, write_matrix_text
+    from repro.net.latency import describe
+
+    matrix = _make_matrix(args.kind, args.nodes, args.seed)
+    print(describe(matrix))
+    if args.out:
+        if args.out.endswith(".npy"):
+            write_matrix_npy(args.out, matrix.values)
+        else:
+            write_matrix_text(args.out, matrix.values)
+        print(f"wrote {matrix.n_nodes}x{matrix.n_nodes} matrix to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.datasets import drop_incomplete_nodes
+    from repro.datasets.io import load_matrix_auto
+    from repro.net.analysis import (
+        asymmetry_report,
+        cluster_nodes,
+        cluster_quality,
+        stretch_report,
+    )
+    from repro.net.latency import describe
+
+    if args.load:
+        raw = load_matrix_auto(args.load)
+        matrix, report = drop_incomplete_nodes(raw)
+        if report.dropped:
+            print(
+                f"cleaned: {report.n_before} -> {report.n_after} nodes "
+                f"({len(report.dropped)} dropped)"
+            )
+    else:
+        matrix = _make_matrix(args.kind, args.nodes, args.seed)
+    print(describe(matrix))
+    asym = asymmetry_report(matrix)
+    print(
+        f"asymmetry: mean {asym.mean_relative_asymmetry:.2%}, "
+        f"max {asym.max_relative_asymmetry:.2%}, "
+        f">10%: {asym.fraction_above_10pct:.2%} of pairs"
+    )
+    stretch = stretch_report(matrix)
+    print(
+        f"stretch vs metric closure: mean {stretch.mean_stretch:.3f}, "
+        f"p95 {stretch.p95_stretch:.3f}, max {stretch.max_stretch:.3f}, "
+        f"detour available for {stretch.fraction_stretched:.1%} of pairs"
+    )
+    k = min(args.clusters, matrix.n_nodes)
+    labels, medoids = cluster_nodes(matrix, k, seed=args.seed)
+    quality = cluster_quality(matrix, labels)
+    import numpy as np
+
+    sizes = np.bincount(labels, minlength=k)
+    print(
+        f"k-medoids (k={k}): separation score {quality:.3f}, "
+        f"cluster sizes {sorted(sizes.tolist(), reverse=True)}"
+    )
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.algorithms import get_algorithm
+    from repro.core import (
+        ClientAssignmentProblem,
+        interaction_lower_bound,
+        max_interaction_path_length,
+    )
+    from repro.experiments.runner import PLACEMENTS
+    from repro.utils.timing import Stopwatch
+
+    matrix = _make_matrix(args.kind, args.nodes, args.seed)
+    servers = PLACEMENTS[args.placement](matrix, args.servers, seed=args.seed)
+    problem = ClientAssignmentProblem(matrix, servers, capacities=args.capacity)
+    algorithm = get_algorithm(args.algorithm)
+    with Stopwatch() as sw:
+        assignment = algorithm(problem, seed=args.seed)
+    d = max_interaction_path_length(assignment)
+    lb = interaction_lower_bound(problem.uncapacitated())
+    loads = assignment.loads()
+    print(f"instance: {problem}")
+    print(f"algorithm: {args.algorithm} ({sw.elapsed*1000:.1f} ms)")
+    print(f"max interaction path length D = {d:.2f} ms")
+    print(f"lower bound = {lb:.2f} ms, normalized interactivity = {d/lb:.3f}")
+    print(
+        f"servers used: {assignment.used_servers().size}/{problem.n_servers}, "
+        f"max load: {int(loads.max())}"
+    )
+    if args.save_deployment:
+        from repro.core import DeploymentPlan
+
+        plan = DeploymentPlan.from_assignment(assignment)
+        plan.save(args.save_deployment)
+        print(
+            f"wrote deployment plan (delta={plan.delta:.2f} ms, "
+            f"{len(plan.server_offsets)} servers, "
+            f"{len(plan.client_assignments)} clients) to {args.save_deployment}"
+        )
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig7,
+        fig8,
+        fig9,
+        fig10,
+        profile,
+        render_fig7,
+        render_fig8,
+        render_fig9,
+        render_fig10,
+    )
+
+    from repro.experiments import load_result, save_result
+
+    renderers = {"7": render_fig7, "8": render_fig8, "9": render_fig9, "10": render_fig10}
+    if args.load is not None:
+        result = load_result(args.load)
+    else:
+        prof = profile(args.profile)
+        if args.figure == "7":
+            result = fig7(prof, args.placement)
+        elif args.figure == "8":
+            result = fig8(prof)
+        elif args.figure == "9":
+            result = fig9(prof)
+        else:
+            result = fig10(prof, args.placement)
+    print(renderers[args.figure](result))
+    if args.save is not None:
+        save_result(args.save, result)
+        print(f"saved series to {args.save}")
+    return 0
+
+
+def _cmd_claims(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        dataset_for,
+        fig7,
+        fig8,
+        fig9,
+        fig10,
+        profile,
+        render_claims,
+        run_all_claims,
+    )
+
+    prof = profile(args.profile)
+    matrix = dataset_for(prof)
+    claims = run_all_claims(
+        fig7(prof, "random", matrix=matrix),
+        fig8(prof, matrix=matrix),
+        fig9(prof, matrix=matrix),
+        fig10(prof, "random", matrix=matrix),
+        n_clients=matrix.n_nodes,
+    )
+    print(render_claims(claims))
+    return 0 if all(c.holds for c in claims) else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import profile, run_full_evaluation
+
+    bundle = run_full_evaluation(
+        profile(args.profile),
+        out_dir=args.out,
+        include_ablations=args.ablations,
+        progress=lambda msg: print(f"[report] {msg}"),
+    )
+    print()
+    print(bundle.render())
+    return 0 if bundle.all_claims_hold else 1
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import (
+        ablation_dga_initial,
+        ablation_estimated_latencies,
+        ablation_greedy_cost,
+        ablation_placement_strategies,
+        ablation_triangle_violations,
+    )
+
+    if args.study == "triangle":
+        result = ablation_triangle_violations(
+            n_nodes=args.nodes,
+            n_servers=args.servers,
+            n_runs=args.runs,
+            seed=args.seed,
+        )
+    else:
+        matrix = _make_matrix("meridian", args.nodes, args.seed)
+        if args.study == "dga-initial":
+            result = ablation_dga_initial(
+                matrix, n_servers=args.servers, n_runs=args.runs, seed=args.seed
+            )
+        elif args.study == "greedy-cost":
+            result = ablation_greedy_cost(
+                matrix, n_servers=args.servers, n_runs=args.runs, seed=args.seed
+            )
+        elif args.study == "estimated-latencies":
+            result = ablation_estimated_latencies(
+                matrix, n_servers=args.servers, seed=args.seed
+            )
+        elif args.study == "measurement-error":
+            from repro.experiments.ablations import ablation_measurement_error
+
+            result = ablation_measurement_error(
+                matrix, n_servers=args.servers, seed=args.seed
+            )
+        else:
+            result = ablation_placement_strategies(
+                matrix, n_servers=args.servers, n_runs=args.runs, seed=args.seed
+            )
+    print(result.render())
+    return 0
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    from repro.algorithms.online import simulate_churn
+    from repro.placement import kcenter_b
+
+    matrix = _make_matrix("meridian", args.nodes, args.seed)
+    servers = kcenter_b(matrix, args.servers, seed=args.seed)
+    nearest = simulate_churn(
+        matrix,
+        servers,
+        n_events=args.events,
+        rebalance_every=None,
+        join_policy="nearest",
+        seed=args.seed,
+    )
+    greedy_joins = simulate_churn(
+        matrix,
+        servers,
+        n_events=args.events,
+        rebalance_every=None,
+        join_policy="greedy",
+        seed=args.seed,
+    )
+    managed = simulate_churn(
+        matrix,
+        servers,
+        n_events=args.events,
+        rebalance_every=args.rebalance_every,
+        join_policy="greedy",
+        seed=args.seed,
+    )
+    print(
+        f"{args.events} join/leave events over {args.servers} servers "
+        f"({args.nodes}-node network)"
+    )
+    print(
+        f"nearest-server joins:      mean D = {nearest.mean_d():8.1f} ms, "
+        f"final D = {nearest.final_d():8.1f} ms"
+    )
+    print(
+        f"greedy joins:              mean D = {greedy_joins.mean_d():8.1f} ms, "
+        f"final D = {greedy_joins.final_d():8.1f} ms"
+    )
+    print(
+        f"greedy + rebalance/{args.rebalance_every:<3}:    mean D = "
+        f"{managed.mean_d():8.1f} ms, final D = {managed.final_d():8.1f} ms "
+        f"({managed.moves_by_rebalance} repair moves)"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.algorithms import get_algorithm
+    from repro.core import (
+        ClientAssignmentProblem,
+        OffsetSchedule,
+        max_interaction_path_length,
+    )
+    from repro.net.jitter import LogNormalJitter, NoJitter
+    from repro.placement import random_placement
+    from repro.sim import poisson_workload, simulate_assignment
+    from repro.sim.dia import percentile_schedule
+
+    matrix = _make_matrix("meridian", args.nodes, args.seed)
+    servers = random_placement(matrix, args.servers, seed=args.seed)
+    problem = ClientAssignmentProblem(matrix, servers)
+    assignment = get_algorithm(args.algorithm)(problem, seed=args.seed)
+    jitter = LogNormalJitter(args.jitter_sigma) if args.jitter_sigma > 0 else NoJitter()
+    if args.percentile is not None and args.jitter_sigma > 0:
+        schedule = percentile_schedule(assignment, jitter, args.percentile)
+    else:
+        schedule = OffsetSchedule(assignment)
+    ops = poisson_workload(
+        problem.n_clients, rate=args.ops_rate, horizon=args.horizon, seed=args.seed
+    )
+    report = simulate_assignment(
+        schedule,
+        ops,
+        jitter=jitter,
+        seed=args.seed,
+        allow_late=args.jitter_sigma > 0,
+        base_matrix=matrix.values,
+    )
+    d = max_interaction_path_length(assignment)
+    print(f"assignment D = {d:.2f} ms, planned lag delta = {schedule.delta:.2f} ms")
+    print(
+        f"operations: {report.n_operations}, messages: {report.n_messages}, "
+        f"healthy: {report.healthy}"
+    )
+    print(
+        f"late at servers: {report.late_server_arrivals}, "
+        f"late at clients: {report.late_client_updates}, "
+        f"timewarp repairs: {report.repairs}"
+    )
+    print(
+        f"interaction time min/max: {report.min_interaction_time:.2f} / "
+        f"{report.max_interaction_time:.2f} ms "
+        f"(servers consistent: {report.servers_consistent}, fair: {report.fair})"
+    )
+    return 0 if report.servers_consistent and report.fair else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "dataset": _cmd_dataset,
+        "analyze": _cmd_analyze,
+        "solve": _cmd_solve,
+        "fig": _cmd_fig,
+        "claims": _cmd_claims,
+        "report": _cmd_report,
+        "ablate": _cmd_ablate,
+        "churn": _cmd_churn,
+        "simulate": _cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

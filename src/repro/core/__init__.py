@@ -1,0 +1,80 @@
+"""Core of the reproduction: problem, assignment, metrics, analysis.
+
+This package implements the paper's primary contribution:
+
+- :class:`~repro.core.problem.ClientAssignmentProblem` /
+  :class:`~repro.core.assignment.Assignment` — Definition 1's instance
+  and decision variable;
+- :mod:`repro.core.metrics` — interaction path lengths and the objective
+  D (§II-A, §II-D);
+- :mod:`repro.core.offsets` — the simulation-time offset schedule
+  achieving δ = D (§II-C);
+- :mod:`repro.core.lower_bound` — the super-optimal lower bound used for
+  normalization (§V);
+- :mod:`repro.core.npc` — Theorem 1's set-cover reduction (§III);
+- :mod:`repro.core.exact` — brute force / branch-and-bound optima for
+  calibrating the heuristics.
+"""
+
+from repro.core.assignment import Assignment
+from repro.core.deployment import DeploymentPlan
+from repro.core.exact import ExactResult, solve_branch_and_bound, solve_bruteforce
+from repro.core.lower_bound import (
+    interaction_lower_bound,
+    interaction_lower_bound_bruteforce,
+    single_pair_lower_bound,
+)
+from repro.core.metrics import (
+    argmax_interaction_path,
+    average_interaction_path_length,
+    clients_on_longest_paths,
+    interaction_path,
+    interaction_path_length,
+    max_interaction_path_length,
+    max_interaction_path_length_bruteforce,
+    normalized_interactivity,
+    per_client_interactivity,
+)
+from repro.core.npc import (
+    REDUCTION_BOUND,
+    ReductionLayout,
+    SetCoverInstance,
+    assignment_from_cover,
+    cover_from_assignment,
+    reduce_set_cover_to_cap,
+    solve_gadget_bruteforce,
+    verify_reduction_roundtrip,
+)
+from repro.core.offsets import ConstraintReport, OffsetSchedule
+from repro.core.problem import ClientAssignmentProblem
+
+__all__ = [
+    "ClientAssignmentProblem",
+    "Assignment",
+    "interaction_path_length",
+    "interaction_path",
+    "max_interaction_path_length",
+    "max_interaction_path_length_bruteforce",
+    "argmax_interaction_path",
+    "clients_on_longest_paths",
+    "average_interaction_path_length",
+    "normalized_interactivity",
+    "per_client_interactivity",
+    "interaction_lower_bound",
+    "interaction_lower_bound_bruteforce",
+    "single_pair_lower_bound",
+    "OffsetSchedule",
+    "ConstraintReport",
+    "DeploymentPlan",
+    "SetCoverInstance",
+    "ReductionLayout",
+    "REDUCTION_BOUND",
+    "reduce_set_cover_to_cap",
+    "assignment_from_cover",
+    "cover_from_assignment",
+    "solve_gadget_bruteforce",
+    "verify_reduction_roundtrip",
+    "ExactResult",
+    "solve_bruteforce",
+    "solve_branch_and_bound",
+]

@@ -1,0 +1,178 @@
+"""Deployable configuration: assignment + clock offsets as JSON.
+
+Solving the client assignment problem produces two artifacts a DIA
+deployment actually consumes:
+
+1. the **client-to-server mapping** (which server each client connects
+   to), and
+2. the **per-server simulation clock offsets** and the lag δ (how far
+   ahead each server must run so every interaction lands after exactly
+   δ, §II-C).
+
+:class:`DeploymentPlan` bundles both with enough metadata to validate
+against the network it was computed for, and serializes to plain JSON.
+``dia-cap solve --save-deployment plan.json`` writes one from the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.metrics import max_interaction_path_length
+from repro.core.offsets import OffsetSchedule
+from repro.core.problem import ClientAssignmentProblem
+from repro.errors import DatasetError, InvalidAssignmentError
+from repro.net.latency import LatencyMatrix
+
+PathLike = Union[str, os.PathLike]
+
+#: Bump on incompatible schema changes.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """The full deployable output of one solve.
+
+    All node identifiers are *global* node ids of the latency matrix the
+    plan was computed for.
+    """
+
+    #: Constant execution lag δ (ms); the interaction time every client
+    #: pair experiences.
+    delta: float
+    #: Global server node -> simulation-clock offset (ms ahead of the
+    #: shared client clock).
+    server_offsets: Dict[int, float]
+    #: Global client node -> global server node.
+    client_assignments: Dict[int, int]
+    #: Number of nodes in the matrix the plan was computed against
+    #: (sanity check on load).
+    n_nodes: int
+
+    @classmethod
+    def from_schedule(cls, schedule: OffsetSchedule) -> "DeploymentPlan":
+        """Build a plan from a solved assignment's offset schedule."""
+        assignment = schedule.assignment
+        problem = assignment.problem
+        return cls(
+            delta=schedule.delta,
+            server_offsets={
+                int(node): float(offset)
+                for node, offset in zip(problem.servers, schedule.server_offsets)
+            },
+            client_assignments=assignment.as_mapping(),
+            n_nodes=problem.matrix.n_nodes,
+        )
+
+    @classmethod
+    def from_assignment(cls, assignment: Assignment) -> "DeploymentPlan":
+        """Build a minimal-lag (δ = D) plan from an assignment."""
+        return cls.from_schedule(OffsetSchedule(assignment))
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> Dict[str, object]:
+        """Plain-JSON form."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "deployment-plan",
+            "delta_ms": self.delta,
+            "n_nodes": self.n_nodes,
+            "server_offsets_ms": {
+                str(k): v for k, v in sorted(self.server_offsets.items())
+            },
+            "client_assignments": {
+                str(k): v for k, v in sorted(self.client_assignments.items())
+            },
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, object]) -> "DeploymentPlan":
+        """Parse the JSON form (raises ``DatasetError`` on bad input)."""
+        if not isinstance(data, dict):
+            raise DatasetError("deployment plan must be a JSON object")
+        if data.get("schema_version") != SCHEMA_VERSION:
+            raise DatasetError(
+                f"unsupported deployment schema version "
+                f"{data.get('schema_version')!r}"
+            )
+        if data.get("kind") != "deployment-plan":
+            raise DatasetError(f"not a deployment plan: kind={data.get('kind')!r}")
+        try:
+            return cls(
+                delta=float(data["delta_ms"]),
+                n_nodes=int(data["n_nodes"]),
+                server_offsets={
+                    int(k): float(v)
+                    for k, v in data["server_offsets_ms"].items()
+                },
+                client_assignments={
+                    int(k): int(v)
+                    for k, v in data["client_assignments"].items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatasetError(f"malformed deployment plan: {exc}") from exc
+
+    def save(self, path: PathLike) -> None:
+        """Write the plan as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_jsonable(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "DeploymentPlan":
+        """Read a plan written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise DatasetError(f"{path}: invalid JSON: {exc}") from exc
+        return cls.from_jsonable(data)
+
+    # ------------------------------------------------------------------
+    def to_assignment(self, matrix: LatencyMatrix) -> Assignment:
+        """Rebuild the Assignment against the original matrix.
+
+        Validates that the plan's topology fits the matrix and that
+        every client maps to a known server.
+        """
+        if matrix.n_nodes != self.n_nodes:
+            raise InvalidAssignmentError(
+                f"plan was computed for {self.n_nodes} nodes; matrix has "
+                f"{matrix.n_nodes}"
+            )
+        servers = np.array(sorted(self.server_offsets), dtype=np.int64)
+        clients = np.array(sorted(self.client_assignments), dtype=np.int64)
+        server_index = {int(s): i for i, s in enumerate(servers)}
+        try:
+            server_of = np.array(
+                [
+                    server_index[self.client_assignments[int(c)]]
+                    for c in clients
+                ],
+                dtype=np.int64,
+            )
+        except KeyError as exc:
+            raise InvalidAssignmentError(
+                f"plan assigns a client to unknown server {exc}"
+            ) from exc
+        problem = ClientAssignmentProblem(matrix, servers, clients=clients)
+        return Assignment(problem, server_of)
+
+    def validate_against(self, matrix: LatencyMatrix) -> bool:
+        """Whether δ is still feasible on (possibly updated) latencies.
+
+        Returns ``True`` when the plan's lag is at least the current
+        minimum achievable interaction time D of its assignment — i.e.
+        the deployment still meets consistency and fairness if latencies
+        changed since the plan was computed.
+        """
+        assignment = self.to_assignment(matrix)
+        return self.delta >= max_interaction_path_length(assignment) - 1e-9

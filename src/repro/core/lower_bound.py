@@ -1,0 +1,100 @@
+"""The super-optimal lower bound on D (paper §V).
+
+For any assignment, the interaction path between clients ``c, c'`` is at
+least ``min_{s, s' in S} d(c, s) + d(s, s') + d(s', c')`` — as if each
+client could pick a *different* best server for every interaction.
+Hence
+
+.. math::
+
+   LB = \\max_{c, c' \\in C} \\; \\min_{s, s' \\in S}
+        \\{ d(c, s) + d(s, s') + d(s', c') \\}
+
+is a lower bound on the optimum (generally unachievable — a
+super-optimum). The paper normalizes every algorithm's D by this bound
+("normalized interactivity").
+
+Complexity
+----------
+The naive form is O(|C|^2 |S|^2). We factor it into two min-plus
+products:
+
+1. ``A[c, s'] = min_s (d(c, s) + d(s, s'))`` — O(|C| |S|^2), vectorized.
+2. ``LB = max_{c,c'} min_{s'} (A[c, s'] + d(s', c'))`` — O(|C|^2 |S|),
+   blocked over clients to bound memory.
+
+For the paper's full scale (|C| = 1796, |S| = 100) this runs in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import ClientAssignmentProblem
+
+
+def interaction_lower_bound(
+    problem: ClientAssignmentProblem, *, block_size: int = 256
+) -> float:
+    """The super-optimal lower bound LB for a problem instance.
+
+    ``block_size`` controls the client blocking of the second min-plus
+    product (memory is O(block_size * |C|)).
+    """
+    cs = problem.client_server  # d(c, s), shape (C, S)
+    ss = problem.server_server  # d(s, s'), shape (S, S)
+    # Server-to-client direction for the receiving leg.
+    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]  # (S, C)
+
+    # A[c, s'] = min over s of d(c, s) + d(s, s').
+    # cs[:, :, None] + ss[None, :, :] would be (C, S, S); block over
+    # clients to keep memory modest.
+    n_clients = problem.n_clients
+    n_servers = problem.n_servers
+    a = np.empty((n_clients, n_servers))
+    for start in range(0, n_clients, block_size):
+        stop = min(start + block_size, n_clients)
+        block = cs[start:stop, :, None] + ss[None, :, :]
+        a[start:stop] = block.min(axis=1)
+
+    # LB = max over (c, c') of min over s' of A[c, s'] + d(s', c').
+    # The temporary here is (block, S, C); cap it at ~2e7 elements so the
+    # full-scale instance stays within a few hundred MB.
+    pair_block = max(1, min(block_size, int(2e7 / max(n_servers * n_clients, 1))))
+    best = -np.inf
+    for start in range(0, n_clients, pair_block):
+        stop = min(start + pair_block, n_clients)
+        # (block, S, 1) + (1, S, C) -> per client-pair min over s'.
+        totals = a[start:stop, :, None] + sc[None, :, :]
+        pair_min = totals.min(axis=1)  # (block, C)
+        block_max = float(pair_min.max())
+        if block_max > best:
+            best = block_max
+    return best
+
+
+def interaction_lower_bound_bruteforce(problem: ClientAssignmentProblem) -> float:
+    """O(|C|^2 |S|^2) reference implementation (tests only)."""
+    cs = problem.client_server
+    ss = problem.server_server
+    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]
+    best = -np.inf
+    for ci in range(problem.n_clients):
+        for cj in range(problem.n_clients):
+            # min over (s, s') of d(ci, s) + d(s, s') + d(s', cj)
+            totals = cs[ci][:, None] + ss + sc[:, cj][None, :]
+            pair = float(totals.min())
+            if pair > best:
+                best = pair
+    return best
+
+
+def single_pair_lower_bound(
+    problem: ClientAssignmentProblem, client_a: int, client_b: int
+) -> float:
+    """``min_{s,s'} d(c_a, s) + d(s, s') + d(s', c_b)`` for one pair."""
+    cs = problem.client_server
+    ss = problem.server_server
+    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]
+    totals = cs[client_a][:, None] + ss + sc[:, client_b][None, :]
+    return float(totals.min())

@@ -1,0 +1,296 @@
+"""NP-completeness machinery: the set-cover reduction of Theorem 1.
+
+The paper proves the client assignment problem NP-complete by reducing
+**minimum set cover** to its decision version with bound ``L = 3``:
+
+Given a set-cover instance ``R`` with ``n`` elements and ``m`` subsets
+and a budget ``K``, build a network with:
+
+- one client ``c_i`` per element ``p_i``;
+- ``K`` groups of ``m`` servers each; server ``s^l_j`` (group ``l``,
+  position ``j``) corresponds to subset ``Q_j``;
+- a unit-length link ``(c_i, s^l_j)`` for every group ``l`` iff
+  ``p_i ∈ Q_j``;
+- unit-length links between every pair of servers in *different* groups
+  (servers in the same group are **not** linked — their shortest-path
+  distance is 2 via another group);
+- shortest-path routing.
+
+Then ``R`` has a cover of size ≤ K **iff** the constructed instance has
+an assignment with maximum interaction path length ≤ 3.
+
+This module builds the gadget (:func:`reduce_set_cover_to_cap`),
+converts witnesses in both directions
+(:func:`assignment_from_cover`, :func:`cover_from_assignment`), and
+provides brute-force solvers for small instances so tests can verify the
+iff on exhaustive families. A greedy ln(n)-approximate set-cover solver
+is included for use as a comparison point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.metrics import max_interaction_path_length
+from repro.core.problem import ClientAssignmentProblem
+from repro.errors import InvalidProblemError
+from repro.net.graph import NetworkGraph
+
+#: The decision bound used by the reduction.
+REDUCTION_BOUND = 3.0
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """An instance of minimum set cover.
+
+    ``universe`` is the element count ``n`` (elements are ``0..n-1``);
+    ``subsets`` is the collection ``Q`` as tuples of element indices.
+    """
+
+    universe: int
+    subsets: Tuple[FrozenSet[int], ...]
+
+    def __post_init__(self) -> None:
+        if self.universe < 1:
+            raise ValueError(f"universe must have >= 1 element, got {self.universe}")
+        if not self.subsets:
+            raise ValueError("need at least one subset")
+        for i, q in enumerate(self.subsets):
+            if not q:
+                raise ValueError(f"subset {i} is empty")
+            if min(q) < 0 or max(q) >= self.universe:
+                raise ValueError(f"subset {i} contains out-of-range elements")
+        covered = frozenset().union(*self.subsets)
+        if len(covered) != self.universe:
+            missing = sorted(set(range(self.universe)) - covered)
+            raise ValueError(f"elements {missing} are not covered by any subset")
+
+    @classmethod
+    def from_lists(
+        cls, universe: int, subsets: Sequence[Sequence[int]]
+    ) -> "SetCoverInstance":
+        """Convenience constructor from plain lists."""
+        return cls(universe, tuple(frozenset(q) for q in subsets))
+
+    @property
+    def n_subsets(self) -> int:
+        """``m = |Q|``."""
+        return len(self.subsets)
+
+    def is_cover(self, selection: Sequence[int]) -> bool:
+        """Whether the selected subset indices cover the universe."""
+        covered: set = set()
+        for j in selection:
+            covered |= self.subsets[j]
+        return len(covered) == self.universe
+
+    def minimum_cover_bruteforce(self) -> Tuple[int, ...]:
+        """Smallest cover by exhaustive search (tests / tiny instances)."""
+        for size in range(1, self.n_subsets + 1):
+            for combo in itertools.combinations(range(self.n_subsets), size):
+                if self.is_cover(combo):
+                    return combo
+        raise AssertionError("validated instance must have a cover")
+
+    def greedy_cover(self) -> Tuple[int, ...]:
+        """The classical ln(n)-approximate greedy cover."""
+        uncovered = set(range(self.universe))
+        chosen: List[int] = []
+        while uncovered:
+            best = max(
+                range(self.n_subsets),
+                key=lambda j: (len(self.subsets[j] & uncovered), -j),
+            )
+            gain = self.subsets[best] & uncovered
+            if not gain:
+                raise AssertionError("validated instance must be coverable")
+            chosen.append(best)
+            uncovered -= gain
+        return tuple(chosen)
+
+
+@dataclass(frozen=True)
+class ReductionLayout:
+    """Index bookkeeping of the constructed CAP gadget.
+
+    Nodes are laid out clients-first: client ``i`` is node ``i``; server
+    ``s^l_j`` (group ``l`` in ``0..K-1``, subset position ``j`` in
+    ``0..m-1``) is node ``n + l * m + j``.
+    """
+
+    instance: SetCoverInstance
+    k: int
+
+    @property
+    def n_clients(self) -> int:
+        return self.instance.universe
+
+    @property
+    def m(self) -> int:
+        return self.instance.n_subsets
+
+    @property
+    def n_servers(self) -> int:
+        return self.k * self.m
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_clients + self.n_servers
+
+    def server_node(self, group: int, subset: int) -> int:
+        """Global node id of server ``s^group_subset``."""
+        if not 0 <= group < self.k:
+            raise IndexError(f"group {group} out of range [0, {self.k})")
+        if not 0 <= subset < self.m:
+            raise IndexError(f"subset {subset} out of range [0, {self.m})")
+        return self.n_clients + group * self.m + subset
+
+    def server_local_index(self, group: int, subset: int) -> int:
+        """Local (problem) server index of ``s^group_subset``."""
+        return group * self.m + subset
+
+    def decode_server(self, local_index: int) -> Tuple[int, int]:
+        """Inverse of :meth:`server_local_index` -> ``(group, subset)``."""
+        return divmod(local_index, self.m)
+
+
+def reduce_set_cover_to_cap(
+    instance: SetCoverInstance, k: int
+) -> Tuple[ClientAssignmentProblem, ReductionLayout]:
+    """Build the Theorem 1 gadget for budget ``K = k``.
+
+    Returns the CAP instance (all link lengths 1, shortest-path routing)
+    and the layout for witness conversion. The construction is
+    polynomial: O((n + mK)^2) nodes-squared work for routing.
+    """
+    if not 1 <= k <= instance.n_subsets:
+        raise ValueError(
+            f"budget k={k} must be in [1, m={instance.n_subsets}]"
+        )
+    layout = ReductionLayout(instance, k)
+    graph = NetworkGraph(layout.n_nodes)
+    # Client-to-server links: c_i -- s^l_j iff p_i in Q_j, for every group l.
+    for j, subset in enumerate(instance.subsets):
+        for element in subset:
+            for group in range(k):
+                graph.add_link(element, layout.server_node(group, j), 1.0)
+    # Inter-group server links: all pairs in different groups.
+    for g1 in range(k):
+        for g2 in range(g1 + 1, k):
+            for j1 in range(layout.m):
+                for j2 in range(layout.m):
+                    graph.add_link(
+                        layout.server_node(g1, j1),
+                        layout.server_node(g2, j2),
+                        1.0,
+                    )
+    # With k = 1 there are no inter-group links, so the gadget can be
+    # disconnected when the subset hypergraph is; to_latency_matrix then
+    # raises GraphError, mirroring that Theorem 1's construction is only
+    # meaningful for connected gadgets.
+    matrix = graph.to_latency_matrix()
+    servers = np.array(
+        [layout.server_node(g, j) for g in range(k) for j in range(layout.m)],
+        dtype=np.int64,
+    )
+    clients = np.arange(layout.n_clients, dtype=np.int64)
+    problem = ClientAssignmentProblem(matrix, servers, clients)
+    return problem, layout
+
+
+def assignment_from_cover(
+    problem: ClientAssignmentProblem,
+    layout: ReductionLayout,
+    cover: Sequence[int],
+) -> Assignment:
+    """Forward witness: a cover of size ≤ K -> an assignment with D ≤ 3.
+
+    Follows the proof's construction: process each chosen subset ``Q_j``
+    in its own fresh server group; assign every not-yet-assigned client
+    whose element lies in ``Q_j`` to that group's ``j``-th server.
+    """
+    if len(cover) > layout.k:
+        raise ValueError(
+            f"cover has {len(cover)} subsets but the gadget was built "
+            f"for budget K={layout.k}"
+        )
+    if not layout.instance.is_cover(cover):
+        raise ValueError("the given selection does not cover the universe")
+    server_of = np.full(layout.n_clients, -1, dtype=np.int64)
+    for group, j in enumerate(cover):
+        for element in layout.instance.subsets[j]:
+            if server_of[element] == -1:
+                server_of[element] = layout.server_local_index(group, j)
+    assert np.all(server_of >= 0), "a cover must assign every client"
+    return Assignment(problem, server_of)
+
+
+def cover_from_assignment(
+    layout: ReductionLayout, assignment: Assignment
+) -> Tuple[int, ...]:
+    """Backward witness: an assignment with D ≤ 3 -> a cover of size ≤ K.
+
+    Selects subset ``Q_j`` iff some server at position ``j`` (any group)
+    is assigned at least one client. Per the proof, when D ≤ 3 (a) at
+    most one server per group is used, so at most K subsets are chosen,
+    and (b) every client sits on a direct link to its server, so the
+    chosen subsets cover the universe. This function performs the
+    syntactic extraction; use :func:`verify_reduction_roundtrip` (or the
+    tests) for the semantic guarantees.
+    """
+    chosen = sorted(
+        {layout.decode_server(int(s))[1] for s in np.unique(assignment.server_of)}
+    )
+    return tuple(chosen)
+
+
+def solve_gadget_bruteforce(
+    problem: ClientAssignmentProblem, *, bound: float = REDUCTION_BOUND
+) -> Optional[Assignment]:
+    """Exhaustively search for an assignment with D ≤ bound.
+
+    Exponential — only for the tiny instances used in tests. Returns a
+    witnessing assignment or ``None``.
+    """
+    n_clients = problem.n_clients
+    n_servers = problem.n_servers
+    if n_servers**n_clients > 2_000_000:
+        raise InvalidProblemError(
+            "gadget too large for brute force "
+            f"({n_servers}^{n_clients} assignments)"
+        )
+    for combo in itertools.product(range(n_servers), repeat=n_clients):
+        candidate = Assignment(problem, np.array(combo, dtype=np.int64))
+        if max_interaction_path_length(candidate) <= bound + 1e-9:
+            return candidate
+    return None
+
+
+def verify_reduction_roundtrip(instance: SetCoverInstance, k: int) -> bool:
+    """Check both directions of Theorem 1 on one instance (exhaustively).
+
+    Returns ``True`` when: (cover of size ≤ k exists) iff (assignment
+    with D ≤ 3 exists), with witnesses converted and re-verified in both
+    directions. Intended for small instances in tests.
+    """
+    problem, layout = reduce_set_cover_to_cap(instance, k)
+    minimum = instance.minimum_cover_bruteforce()
+    cover_exists = len(minimum) <= k
+    witness = solve_gadget_bruteforce(problem)
+    assignment_exists = witness is not None
+    if cover_exists != assignment_exists:
+        return False
+    if cover_exists:
+        forward = assignment_from_cover(problem, layout, minimum)
+        if max_interaction_path_length(forward) > REDUCTION_BOUND + 1e-9:
+            return False
+        back = cover_from_assignment(layout, witness)
+        if len(back) > k or not instance.is_cover(back):
+            return False
+    return True

@@ -1,0 +1,194 @@
+"""Simulation-time offsets achieving the minimum lag δ = D (paper §II-C/D).
+
+Given a client assignment, the paper constructs a concrete schedule of
+simulation-time offsets under which the constant execution lag δ equals
+the maximum interaction path length D:
+
+- all client simulation times are synchronized: ``Δ_{c,c'} = 0``;
+- each server ``s`` runs ahead of the clients by
+
+  .. math::
+
+     Δ_{s,c} = D - \\max_{c'} \\{ d(c', s_A(c')) + d(s_A(c'), s) \\}
+
+  (the second term is the longest time for any operation to reach ``s``
+  through its issuer's server).
+
+Under this schedule constraints (i) and (ii) hold and **every** pairwise
+interaction time equals D. :class:`OffsetSchedule` computes the offsets,
+verifies the constraints, and exposes the per-pair interaction times so
+the discrete-event simulator can be checked against the analysis.
+
+Offsets are represented relative to the shared client simulation time:
+``offset[u] = Δ_{u, c}`` for any client ``c`` (positive = ahead of the
+clients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.metrics import max_interaction_path_length
+from repro.errors import InfeasibleScheduleError
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """Result of checking the paper's feasibility constraints (i)/(ii).
+
+    Constraint (i): every server receives every operation before its
+    simulation time reaches issuance + δ, i.e.
+    ``d(c, s_A(c)) + d(s_A(c), s) + Δ_{s,c} <= δ`` for all ``c, s``.
+
+    Constraint (ii): every client receives the state update in time, i.e.
+    ``d(s_A(c), c) + Δ_{c, s_A(c)} <= 0`` for all ``c``.
+    """
+
+    feasible: bool
+    #: Worst slack of constraint (i): max over (c, s) of LHS - δ
+    #: (<= 0 when feasible).
+    worst_slack_i: float
+    #: Worst slack of constraint (ii): max over c of LHS (<= 0 when
+    #: feasible).
+    worst_slack_ii: float
+
+
+class OffsetSchedule:
+    """Simulation-time offsets for an assignment and a lag δ.
+
+    Parameters
+    ----------
+    assignment:
+        A valid client assignment.
+    delta:
+        The constant execution lag; defaults to the minimum achievable
+        value D for the assignment. Values below D raise
+        :class:`~repro.errors.InfeasibleScheduleError` (Theorem of
+        §II-C: no offset setting can satisfy the constraints).
+    strict:
+        Pass ``False`` to permit an infeasible ``delta < D`` anyway —
+        the offsets are still computed by the same formula, constraints
+        (i)/(ii) will report violations, and a simulation will produce
+        late messages. Exists for the δ-sweep experiment that
+        demonstrates D is exactly the feasibility knee
+        (:func:`repro.experiments.delta_sweep.delta_sweep`); never use
+        it in a deployment.
+    """
+
+    def __init__(
+        self,
+        assignment: Assignment,
+        delta: Optional[float] = None,
+        *,
+        strict: bool = True,
+    ) -> None:
+        self._assignment = assignment
+        problem = assignment.problem
+        self._d_max = max_interaction_path_length(assignment)
+        if delta is None:
+            delta = self._d_max
+        if strict and delta < self._d_max - 1e-9:
+            raise InfeasibleScheduleError(
+                f"lag delta={delta:.6g} is below the minimum achievable "
+                f"interaction time D={self._d_max:.6g}"
+            )
+        if delta <= 0:
+            raise InfeasibleScheduleError(
+                f"lag delta must be positive, got {delta}"
+            )
+        self._delta = float(delta)
+
+        # reach[c, s] = d(c, s_A(c)) + d(s_A(c), s): time for an operation
+        # issued by client c to reach server s.
+        server_of = assignment.server_of
+        idx = np.arange(problem.n_clients)
+        d_c_home = problem.client_server[idx, server_of]
+        d_home_s = problem.server_server[server_of, :]
+        self._reach = d_c_home[:, None] + d_home_s
+
+        # Server offsets: Δ_{s, clients} = delta - max_c reach[c, s].
+        # (The paper states the scheme for delta = D; using the actual
+        # delta keeps the schedule tight for any feasible lag.)
+        self._server_offsets = self._delta - self._reach.max(axis=0)
+
+    # ------------------------------------------------------------------
+    @property
+    def assignment(self) -> Assignment:
+        """The underlying assignment."""
+        return self._assignment
+
+    @property
+    def delta(self) -> float:
+        """The constant execution lag δ."""
+        return self._delta
+
+    @property
+    def min_achievable_delta(self) -> float:
+        """D — the smallest feasible lag for this assignment."""
+        return self._d_max
+
+    @property
+    def server_offsets(self) -> np.ndarray:
+        """Length-``|S|`` offsets ``Δ_{s, c}`` of each server's simulation
+        time relative to the (shared) client simulation time."""
+        return self._server_offsets
+
+    def client_offsets(self) -> np.ndarray:
+        """Length-``|C|`` client offsets (all zero — clients are
+        synchronized)."""
+        return np.zeros(self._assignment.problem.n_clients)
+
+    # ------------------------------------------------------------------
+    def check_constraints(self) -> ConstraintReport:
+        """Verify feasibility constraints (i) and (ii).
+
+        Returns a report rather than raising, so tests can assert on the
+        slack magnitudes.
+        """
+        problem = self._assignment.problem
+        server_of = self._assignment.server_of
+        idx = np.arange(problem.n_clients)
+
+        # (i): reach[c, s] + Δ_{s,c} <= delta for all c, s.
+        slack_i = self._reach + self._server_offsets[None, :] - self._delta
+        worst_i = float(slack_i.max())
+
+        # (ii): d(s_A(c), c) + Δ_{c, s_A(c)} <= 0. With client offsets 0,
+        # Δ_{c, s} = -Δ_{s, c} = -server_offsets[s].
+        d_home_c = problem.matrix.values[
+            problem.servers[server_of], problem.clients[idx]
+        ]
+        slack_ii = d_home_c - self._server_offsets[server_of]
+        worst_ii = float(slack_ii.max())
+
+        tol = 1e-9 * max(1.0, self._delta)
+        return ConstraintReport(
+            feasible=(worst_i <= tol and worst_ii <= tol),
+            worst_slack_i=worst_i,
+            worst_slack_ii=worst_ii,
+        )
+
+    def interaction_times(self) -> np.ndarray:
+        """Pairwise interaction times under this schedule.
+
+        ``out[i, j]`` is the simulation-time duration for client ``j`` to
+        see the effect of client ``i``'s operation: with synchronized
+        client clocks this equals δ + Δ_{c_i, c_j} = δ for every pair —
+        the paper's §II-D conclusion. Returned as a full matrix so tests
+        can assert uniformity without special cases.
+        """
+        n = self._assignment.problem.n_clients
+        return np.full((n, n), self._delta)
+
+    def wall_clock_view(self) -> np.ndarray:
+        """Wall-clock lateness budget of each server for each client.
+
+        ``out[c, s] = delta - reach[c, s] - Δ_{s,c}`` — how much wall
+        clock slack remains when client ``c``'s operation arrives at
+        server ``s``. Nonnegative everywhere iff constraint (i) holds.
+        """
+        return self._delta - self._reach - self._server_offsets[None, :]

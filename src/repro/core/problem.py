@@ -1,0 +1,185 @@
+"""The client assignment problem instance (paper Definition 1).
+
+A :class:`ClientAssignmentProblem` bundles everything Definition 1
+needs: the all-pairs distance function (a
+:class:`~repro.net.latency.LatencyMatrix`), the server set ``S``, the
+client set ``C``, and — for §IV-E — optional per-server capacities.
+
+For efficiency the instance precomputes the two distance views every
+algorithm uses:
+
+- ``client_server`` — shape ``(|C|, |S|)``, entry ``[i, j] = d(c_i, s_j)``
+  (client-to-server direction);
+- ``server_server`` — shape ``(|S|, |S|)``, entry ``[j, j'] = d(s_j, s_j')``.
+
+Algorithms and metrics work in *local* index space (client index
+``0..|C|-1``, server index ``0..|S|-1``); conversion to global node ids
+is available via :attr:`clients` / :attr:`servers`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import CapacityError, InvalidProblemError
+from repro.net.latency import LatencyMatrix
+from repro.types import IndexArrayLike, as_index_array
+
+
+class ClientAssignmentProblem:
+    """An instance of the client assignment problem.
+
+    Parameters
+    ----------
+    matrix:
+        All-pairs latency matrix over the node set ``V``.
+    servers:
+        Distinct node indices forming ``S``.
+    clients:
+        Distinct node indices forming ``C``. Defaults to *all* nodes
+        (the paper's setup: "a client is located at each node").
+    capacities:
+        Optional per-server client capacity: a scalar (uniform capacity)
+        or a length-``|S|`` sequence. ``None`` means uncapacitated.
+
+    Raises
+    ------
+    InvalidProblemError
+        On malformed inputs.
+    CapacityError
+        When total capacity is below ``|C|``.
+    """
+
+    def __init__(
+        self,
+        matrix: LatencyMatrix,
+        servers: IndexArrayLike,
+        clients: Optional[IndexArrayLike] = None,
+        *,
+        capacities: Union[None, int, Sequence[int]] = None,
+    ) -> None:
+        self._matrix = matrix
+        self._servers = as_index_array(servers, "servers")
+        if self._servers.size == 0:
+            raise InvalidProblemError("the server set S must be non-empty")
+        if np.unique(self._servers).size != self._servers.size:
+            raise InvalidProblemError("servers must be distinct")
+        if clients is None:
+            self._clients = np.arange(matrix.n_nodes, dtype=np.int64)
+        else:
+            self._clients = as_index_array(clients, "clients")
+        if self._clients.size == 0:
+            raise InvalidProblemError("the client set C must be non-empty")
+        if np.unique(self._clients).size != self._clients.size:
+            raise InvalidProblemError("clients must be distinct")
+        n = matrix.n_nodes
+        for name, arr in (("servers", self._servers), ("clients", self._clients)):
+            if arr.min() < 0 or arr.max() >= n:
+                raise InvalidProblemError(
+                    f"{name} contain indices outside [0, {n})"
+                )
+        self._servers.setflags(write=False)
+        self._clients.setflags(write=False)
+
+        self._capacities = self._normalize_capacities(capacities)
+
+        # Precomputed distance views (read-only).
+        self._cs = matrix.client_server_distances(self._clients, self._servers).copy()
+        self._ss = matrix.server_server_distances(self._servers).copy()
+        self._cs.setflags(write=False)
+        self._ss.setflags(write=False)
+
+    def _normalize_capacities(
+        self, capacities: Union[None, int, Sequence[int]]
+    ) -> Optional[np.ndarray]:
+        if capacities is None:
+            return None
+        if np.isscalar(capacities):
+            cap = np.full(self.n_servers, int(capacities), dtype=np.int64)
+        else:
+            cap = np.asarray(capacities, dtype=np.int64).copy()
+            if cap.shape != (self.n_servers,):
+                raise InvalidProblemError(
+                    f"capacities must have length |S|={self.n_servers}, "
+                    f"got shape {cap.shape}"
+                )
+        if np.any(cap < 0):
+            raise InvalidProblemError("capacities must be nonnegative")
+        if cap.sum() < self.n_clients:
+            raise CapacityError(
+                f"total capacity {int(cap.sum())} is below the number of "
+                f"clients {self.n_clients}"
+            )
+        cap.setflags(write=False)
+        return cap
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self) -> LatencyMatrix:
+        """The underlying all-pairs latency matrix."""
+        return self._matrix
+
+    @property
+    def servers(self) -> np.ndarray:
+        """Global node ids of the servers (read-only, length ``|S|``)."""
+        return self._servers
+
+    @property
+    def clients(self) -> np.ndarray:
+        """Global node ids of the clients (read-only, length ``|C|``)."""
+        return self._clients
+
+    @property
+    def n_servers(self) -> int:
+        """``|S|``."""
+        return int(self._servers.size)
+
+    @property
+    def n_clients(self) -> int:
+        """``|C|``."""
+        return int(self._clients.size)
+
+    @property
+    def capacities(self) -> Optional[np.ndarray]:
+        """Per-server capacities in local server index space, or ``None``."""
+        return self._capacities
+
+    @property
+    def is_capacitated(self) -> bool:
+        """Whether server capacities are in force."""
+        return self._capacities is not None
+
+    @property
+    def client_server(self) -> np.ndarray:
+        """``(|C|, |S|)`` distances ``d(c_i, s_j)`` (read-only)."""
+        return self._cs
+
+    @property
+    def server_server(self) -> np.ndarray:
+        """``(|S|, |S|)`` distances ``d(s_j, s_j')`` (read-only)."""
+        return self._ss
+
+    def uncapacitated(self) -> "ClientAssignmentProblem":
+        """A copy of this instance with capacities removed."""
+        if not self.is_capacitated:
+            return self
+        return ClientAssignmentProblem(self._matrix, self._servers, self._clients)
+
+    def with_capacity(
+        self, capacities: Union[int, Sequence[int]]
+    ) -> "ClientAssignmentProblem":
+        """A copy of this instance with the given capacities."""
+        return ClientAssignmentProblem(
+            self._matrix, self._servers, self._clients, capacities=capacities
+        )
+
+    def __repr__(self) -> str:
+        cap = "capacitated" if self.is_capacitated else "uncapacitated"
+        return (
+            f"ClientAssignmentProblem(|C|={self.n_clients}, "
+            f"|S|={self.n_servers}, {cap})"
+        )

@@ -1,0 +1,63 @@
+"""Latency data sets: synthetic generators and real-format loaders.
+
+The paper evaluates on two data sets measured with the King technique:
+
+- **Meridian** — pairwise latencies between 2500 Internet nodes; after
+  discarding nodes with missing measurements, a complete matrix over
+  1796 nodes remains.
+- **MIT King (p2psim)** — a complete pairwise matrix over 1024 nodes.
+
+Neither data set ships with this repository (no network access, and the
+original download sites are long gone), so this subpackage provides
+**synthetic equivalents** that reproduce the statistical structure the
+assignment algorithms are sensitive to — geographic clustering, a heavy
+right tail, asymmetry, and triangle-inequality violations — together
+with loaders for the original file formats for users who have the data.
+See DESIGN.md §5 for the substitution rationale and
+``tests/datasets/test_realism.py`` for the properties we assert.
+"""
+
+from repro.datasets.cleaning import CleaningReport, drop_incomplete_nodes
+from repro.datasets.io import (
+    load_matrix_auto,
+    read_matrix_npy,
+    read_matrix_text,
+    write_matrix_npy,
+    write_matrix_text,
+)
+from repro.datasets.measurement import (
+    MeasurementCampaign,
+    measurement_error_report,
+    simulate_king_measurements,
+)
+from repro.datasets.meridian import (
+    MERIDIAN_NODE_COUNT,
+    load_meridian_file,
+    synthesize_meridian_like,
+)
+from repro.datasets.mit_king import (
+    MIT_KING_NODE_COUNT,
+    load_mit_king_file,
+    synthesize_mit_like,
+)
+from repro.datasets.synthetic import InternetLatencyModel
+
+__all__ = [
+    "InternetLatencyModel",
+    "MeasurementCampaign",
+    "simulate_king_measurements",
+    "measurement_error_report",
+    "synthesize_meridian_like",
+    "load_meridian_file",
+    "MERIDIAN_NODE_COUNT",
+    "synthesize_mit_like",
+    "load_mit_king_file",
+    "MIT_KING_NODE_COUNT",
+    "drop_incomplete_nodes",
+    "CleaningReport",
+    "read_matrix_text",
+    "write_matrix_text",
+    "read_matrix_npy",
+    "write_matrix_npy",
+    "load_matrix_auto",
+]

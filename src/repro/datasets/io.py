@@ -1,0 +1,86 @@
+"""Reading and writing latency matrices in the common on-disk formats.
+
+Supported formats:
+
+- **text** — whitespace-separated floats, one matrix row per line; the
+  format of the MIT p2psim King matrix. Comment lines starting with
+  ``#`` are skipped. Sentinels ``-1`` and NaN denote missing entries.
+- **npy** — raw numpy arrays for fast caching of generated matrices.
+
+``load_matrix_auto`` dispatches on file extension.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_matrix_text(path: PathLike) -> np.ndarray:
+    """Read a whitespace-separated square matrix (raw, may contain NaN).
+
+    ``-1`` entries are mapped to NaN (the p2psim missing-value sentinel).
+    """
+    rows = []
+    expected_width = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                row = np.array([float(tok) for tok in stripped.split()])
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{line_no}: unparseable row: {exc}") from exc
+            if expected_width is None:
+                expected_width = row.size
+            elif row.size != expected_width:
+                raise DatasetError(
+                    f"{path}:{line_no}: row has {row.size} entries, expected "
+                    f"{expected_width}"
+                )
+            rows.append(row)
+    if not rows:
+        raise DatasetError(f"{path}: no matrix rows found")
+    matrix = np.vstack(rows)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise DatasetError(
+            f"{path}: matrix is {matrix.shape[0]}x{matrix.shape[1]}, expected square"
+        )
+    matrix = np.where(matrix == -1.0, np.nan, matrix)
+    return matrix
+
+
+def write_matrix_text(path: PathLike, matrix: np.ndarray, *, fmt: str = "%.3f") -> None:
+    """Write a matrix in the text format (NaN written as ``-1``)."""
+    out = np.asarray(matrix, dtype=np.float64)
+    out = np.where(np.isfinite(out), out, -1.0)
+    np.savetxt(path, out, fmt=fmt)
+
+
+def read_matrix_npy(path: PathLike) -> np.ndarray:
+    """Read a matrix from a ``.npy`` file."""
+    matrix = np.load(path, allow_pickle=False)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise DatasetError(f"{path}: expected a square 2-D array, got {matrix.shape}")
+    return np.asarray(matrix, dtype=np.float64)
+
+
+def write_matrix_npy(path: PathLike, matrix: np.ndarray) -> None:
+    """Write a matrix to a ``.npy`` file."""
+    np.save(path, np.asarray(matrix, dtype=np.float64))
+
+
+def load_matrix_auto(path: PathLike) -> np.ndarray:
+    """Load a raw matrix, dispatching on extension (.npy vs text)."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".npy":
+        return read_matrix_npy(path)
+    return read_matrix_text(path)

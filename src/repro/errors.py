@@ -1,0 +1,80 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError` so callers can catch package-level failures with a
+single ``except`` clause while letting genuine programming errors
+(``TypeError``, ``KeyError`` from internal bugs, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class InvalidLatencyMatrixError(ReproError):
+    """A latency matrix failed structural validation.
+
+    Raised when a matrix is not square, contains NaN/inf where not
+    permitted, has nonpositive off-diagonal entries, or has a nonzero
+    diagonal.
+    """
+
+
+class InvalidProblemError(ReproError):
+    """A :class:`~repro.core.problem.ClientAssignmentProblem` is malformed.
+
+    Examples: empty server or client set, indices out of range, duplicate
+    servers, or capacities that cannot accommodate all clients.
+    """
+
+
+class InvalidAssignmentError(ReproError):
+    """An assignment violates the problem definition.
+
+    Examples: a client mapped to a node that is not a server, an
+    unassigned client, or a capacitated assignment exceeding a server's
+    capacity.
+    """
+
+
+class CapacityError(ReproError):
+    """Total server capacity is insufficient for the client population."""
+
+
+class InfeasibleScheduleError(ReproError):
+    """A requested lag ``delta`` is below the minimum achievable value D."""
+
+
+class DatasetError(ReproError):
+    """A dataset file could not be parsed or failed integrity checks."""
+
+
+class GraphError(ReproError):
+    """A network graph is malformed or disconnected where connectivity
+    is required (e.g. routing between nodes with no path)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its budget."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an internal inconsistency."""
+
+
+class ConsistencyViolation(SimulationError):
+    """The simulated DIA violated the consistency criterion.
+
+    Two clients observed different application states at the same
+    simulation time.
+    """
+
+
+class FairnessViolation(SimulationError):
+    """The simulated DIA violated the fairness criterion.
+
+    Operations were executed out of issuance order, or the
+    issuance-to-execution lag was not constant across operations.
+    """

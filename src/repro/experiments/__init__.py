@@ -1,0 +1,136 @@
+"""Experiment harness: profiles, runners, per-figure generators, claims.
+
+Typical use::
+
+    from repro.experiments import profile, fig7, render_fig7
+
+    series = fig7(profile("default"), "random")
+    print(render_fig7(series))
+"""
+
+from repro.experiments.ablations import (
+    AblationResult,
+    ablation_dga_initial,
+    ablation_estimated_latencies,
+    ablation_greedy_cost,
+    ablation_measurement_error,
+    ablation_placement_strategies,
+    ablation_triangle_violations,
+)
+from repro.experiments.claims import (
+    ClaimResult,
+    check_capacity_degradation,
+    check_dga_fast_convergence,
+    check_fig8_tail,
+    check_greedy_beats_simple,
+    check_greedy_near_optimal,
+    check_nearest_server_worst,
+    run_all_claims,
+)
+from repro.experiments.config import (
+    PROFILES,
+    ExperimentProfile,
+    profile,
+    profile_from_env,
+)
+from repro.experiments.figures import (
+    Fig7Series,
+    Fig8Series,
+    Fig9Trace,
+    Fig10Series,
+    dataset_for,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+)
+from repro.experiments.cross_dataset import (
+    CrossDatasetResult,
+    compare_datasets,
+    render_cross_dataset,
+)
+from repro.experiments.delta_sweep import (
+    DeltaSweepPoint,
+    delta_sweep,
+    render_delta_sweep,
+)
+from repro.experiments.orchestrator import EvaluationBundle, run_full_evaluation
+from repro.experiments.persistence import (
+    from_jsonable,
+    load_result,
+    save_result,
+    to_jsonable,
+)
+from repro.experiments.reporting import (
+    format_table,
+    render_claims,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+)
+from repro.experiments.runner import (
+    PLACEMENT_NAMES,
+    PLACEMENTS,
+    AlgorithmScore,
+    InstanceResult,
+    SweepPoint,
+    evaluate_instance,
+    run_placement_sweep,
+)
+
+__all__ = [
+    "AblationResult",
+    "ablation_dga_initial",
+    "ablation_greedy_cost",
+    "ablation_triangle_violations",
+    "ablation_estimated_latencies",
+    "ablation_measurement_error",
+    "ablation_placement_strategies",
+    "ExperimentProfile",
+    "PROFILES",
+    "profile",
+    "profile_from_env",
+    "AlgorithmScore",
+    "InstanceResult",
+    "SweepPoint",
+    "evaluate_instance",
+    "run_placement_sweep",
+    "PLACEMENTS",
+    "PLACEMENT_NAMES",
+    "dataset_for",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "Fig7Series",
+    "Fig8Series",
+    "Fig9Trace",
+    "Fig10Series",
+    "ClaimResult",
+    "run_all_claims",
+    "check_greedy_beats_simple",
+    "check_greedy_near_optimal",
+    "check_nearest_server_worst",
+    "check_fig8_tail",
+    "check_dga_fast_convergence",
+    "check_capacity_degradation",
+    "EvaluationBundle",
+    "run_full_evaluation",
+    "delta_sweep",
+    "render_delta_sweep",
+    "DeltaSweepPoint",
+    "compare_datasets",
+    "render_cross_dataset",
+    "CrossDatasetResult",
+    "save_result",
+    "load_result",
+    "to_jsonable",
+    "from_jsonable",
+    "format_table",
+    "render_fig7",
+    "render_fig8",
+    "render_fig9",
+    "render_fig10",
+    "render_claims",
+]

@@ -1,0 +1,118 @@
+"""Plot-free charts: ASCII line/bar rendering for figure series.
+
+The harness deliberately has no plotting dependency; these renderers
+give the CLI report a visual summary of each figure that survives
+copy-paste into terminals, logs and markdown code blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline of a numeric series."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    low, high = min(vals), max(vals)
+    span = high - low
+    if span <= 0:
+        return _BLOCKS[4] * len(vals)
+    out = []
+    for v in vals:
+        idx = int(round((v - low) / span * (len(_BLOCKS) - 2))) + 1
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return ""
+    vals = [float(v) for v in values]
+    top = max(vals)
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, vals):
+        bar_len = 0 if top <= 0 else int(round(value / top * width))
+        bar = "█" * bar_len
+        lines.append(f"{str(label):<{label_width}}  {bar} {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def multi_series_chart(
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    *,
+    height: int = 10,
+    markers: Optional[str] = None,
+) -> str:
+    """A character-grid line chart of several series over shared x values.
+
+    Each series gets one marker character; collisions show the later
+    series' marker. A y-axis of min/max annotations frames the grid.
+    """
+    if not series:
+        return ""
+    names = list(series)
+    n_points = len(x_values)
+    for name in names:
+        if len(series[name]) != n_points:
+            raise ValueError(f"series {name!r} length != len(x_values)")
+    if markers is None:
+        markers = "ox+*#@%&"
+    all_vals = [float(v) for vals in series.values() for v in vals]
+    low, high = min(all_vals), max(all_vals)
+    span = high - low or 1.0
+    grid = [[" "] * n_points for _ in range(height)]
+    for idx, name in enumerate(names):
+        marker = markers[idx % len(markers)]
+        for col, value in enumerate(series[name]):
+            row = int(round((float(value) - low) / span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = f"{high:8.3f} |"
+        elif i == height - 1:
+            prefix = f"{low:8.3f} |"
+        else:
+            prefix = " " * 8 + " |"
+        lines.append(prefix + " " + "  ".join(row))
+    # Repeat columns with two spaces of separation for readability, so
+    # the x-axis needs matching spacing.
+    axis = " " * 10 + "  ".join("-" for _ in range(n_points))
+    lines.append(axis)
+    x_line = " " * 10 + "  ".join(str(x)[0] for x in x_values)
+    lines.append(x_line + f"   (x: {x_values[0]} .. {x_values[-1]})")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def render_series_summary(
+    title: str, x_values: Sequence[object], series: Dict[str, Sequence[float]]
+) -> str:
+    """Title + per-series sparkline block (the compact figure view)."""
+    width = max(len(name) for name in series)
+    lines = [title]
+    for name, values in series.items():
+        vals = [float(v) for v in values]
+        lines.append(
+            f"  {name:<{width}}  {sparkline(vals)}  "
+            f"[{min(vals):.3f} .. {max(vals):.3f}]"
+        )
+    return "\n".join(lines)

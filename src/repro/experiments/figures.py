@@ -1,0 +1,254 @@
+"""Per-figure data-series generators (paper §V, Figs. 7-10).
+
+Each ``figN`` function regenerates the data behind the corresponding
+figure as plain dataclasses of numbers — the benchmark harness and CLI
+render them as text tables; plotting is deliberately out of scope (no
+matplotlib dependency).
+
+All functions take an :class:`~repro.experiments.config.ExperimentProfile`
+so the same code runs at test, laptop, or paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms import distributed_greedy_detailed, paper_algorithm_names
+from repro.core import (
+    ClientAssignmentProblem,
+    interaction_lower_bound,
+)
+from repro.datasets import synthesize_meridian_like, synthesize_mit_like
+from repro.experiments.config import ExperimentProfile
+from repro.experiments.runner import (
+    PLACEMENT_NAMES,
+    PLACEMENTS,
+    SweepPoint,
+    run_placement_sweep,
+)
+from repro.net.latency import LatencyMatrix
+from repro.utils.rng import derive_seed
+
+
+def dataset_for(profile: ExperimentProfile) -> LatencyMatrix:
+    """The profile's synthetic latency matrix (deterministic per seed)."""
+    if profile.dataset == "mit":
+        return synthesize_mit_like(profile.n_nodes, seed=profile.seed)
+    return synthesize_meridian_like(profile.n_nodes, seed=profile.seed)
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — normalized interactivity vs number of servers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig7Series:
+    """One panel of Fig. 7 (one placement strategy)."""
+
+    placement: str
+    points: Tuple[SweepPoint, ...]
+
+    def series(self, algorithm: str) -> List[float]:
+        """Mean normalized interactivity by server count, for plotting."""
+        return [p.mean[algorithm] for p in self.points]
+
+    @property
+    def server_counts(self) -> List[int]:
+        return [p.x for p in self.points]
+
+
+def fig7(
+    profile: ExperimentProfile,
+    placement: str = "random",
+    *,
+    algorithms: Optional[Sequence[str]] = None,
+    matrix: Optional[LatencyMatrix] = None,
+) -> Fig7Series:
+    """Fig. 7 panel: interactivity vs server count for one placement.
+
+    ``placement`` is ``random`` (panel a, averaged over
+    ``profile.n_random_runs`` placements), ``k-center-a`` (b) or
+    ``k-center-b`` (c).
+    """
+    if algorithms is None:
+        algorithms = paper_algorithm_names()
+    if matrix is None:
+        matrix = dataset_for(profile)
+    points = []
+    for k in profile.server_counts:
+        point, _results = run_placement_sweep(
+            matrix,
+            placement,
+            k,
+            algorithms,
+            n_runs=profile.n_random_runs,
+            seed=profile.seed,
+        )
+        points.append(point)
+    return Fig7Series(placement=placement, points=tuple(points))
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — CDF of normalized interactivity (80 random servers)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig8Series:
+    """Per-algorithm sorted normalized-interactivity samples."""
+
+    n_servers: int
+    samples: Dict[str, Tuple[float, ...]]
+
+    def cdf(self, algorithm: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(x, fraction-of-runs <= x) arrays for plotting."""
+        values = np.sort(np.asarray(self.samples[algorithm]))
+        fractions = np.arange(1, values.size + 1) / values.size
+        return values, fractions
+
+    def fraction_above(self, algorithm: str, threshold: float) -> float:
+        """Fraction of runs with normalized interactivity > threshold."""
+        values = np.asarray(self.samples[algorithm])
+        return float((values > threshold).mean())
+
+
+def fig8(
+    profile: ExperimentProfile,
+    *,
+    algorithms: Optional[Sequence[str]] = None,
+    matrix: Optional[LatencyMatrix] = None,
+) -> Fig8Series:
+    """Fig. 8: distribution of normalized interactivity over random runs."""
+    if algorithms is None:
+        algorithms = paper_algorithm_names()
+    if matrix is None:
+        matrix = dataset_for(profile)
+    samples: Dict[str, List[float]] = {name: [] for name in algorithms}
+    for run in range(profile.fig8_runs):
+        run_seed = derive_seed(profile.seed, 8, run)
+        servers = PLACEMENTS["random"](matrix, profile.fixed_servers, seed=run_seed)
+        problem = ClientAssignmentProblem(matrix, servers)
+        lb = interaction_lower_bound(problem)
+        from repro.experiments.runner import evaluate_instance
+
+        result = evaluate_instance(
+            problem, algorithms, seed=run_seed, lower_bound=lb
+        )
+        for name, value in result.normalized().items():
+            samples[name].append(value)
+    return Fig8Series(
+        n_servers=profile.fixed_servers,
+        samples={name: tuple(vals) for name, vals in samples.items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — Distributed-Greedy convergence trace
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig9Trace:
+    """Normalized D after each DGA assignment modification."""
+
+    placement: str
+    n_servers: int
+    #: normalized_trace[i] = D after i modifications, divided by LB.
+    normalized_trace: Tuple[float, ...]
+    converged: bool
+
+    @property
+    def n_modifications(self) -> int:
+        return len(self.normalized_trace) - 1
+
+    def improvement_fraction_at(self, n: int) -> float:
+        """Fraction of the total improvement achieved after n moves."""
+        start = self.normalized_trace[0]
+        end = self.normalized_trace[-1]
+        total = start - end
+        if total <= 0:
+            return 1.0
+        at = self.normalized_trace[min(n, len(self.normalized_trace) - 1)]
+        return (start - at) / total
+
+
+def fig9(
+    profile: ExperimentProfile,
+    *,
+    placements: Sequence[str] = PLACEMENT_NAMES,
+    matrix: Optional[LatencyMatrix] = None,
+) -> List[Fig9Trace]:
+    """Fig. 9: DGA's D after each modification, per placement."""
+    if matrix is None:
+        matrix = dataset_for(profile)
+    traces: List[Fig9Trace] = []
+    for placement in placements:
+        run_seed = derive_seed(profile.seed, 9, PLACEMENT_NAMES.index(placement))
+        servers = PLACEMENTS[placement](matrix, profile.fixed_servers, seed=run_seed)
+        problem = ClientAssignmentProblem(matrix, servers)
+        lb = interaction_lower_bound(problem)
+        result = distributed_greedy_detailed(problem)
+        traces.append(
+            Fig9Trace(
+                placement=placement,
+                n_servers=profile.fixed_servers,
+                normalized_trace=tuple(t / lb for t in result.trace),
+                converged=result.converged,
+            )
+        )
+    return traces
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — impact of server capacity
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig10Series:
+    """One panel of Fig. 10 (one placement strategy)."""
+
+    placement: str
+    n_servers: int
+    points: Tuple[SweepPoint, ...]
+
+    def series(self, algorithm: str) -> List[float]:
+        return [p.mean[algorithm] for p in self.points]
+
+    @property
+    def capacities(self) -> List[int]:
+        return [p.x for p in self.points]
+
+
+def fig10(
+    profile: ExperimentProfile,
+    placement: str = "random",
+    *,
+    algorithms: Optional[Sequence[str]] = None,
+    matrix: Optional[LatencyMatrix] = None,
+) -> Fig10Series:
+    """Fig. 10 panel: interactivity vs per-server capacity.
+
+    Capacities are scaled from the paper's 1796-node sweep to the
+    profile's client count (see
+    :meth:`~repro.experiments.config.ExperimentProfile.scaled_capacities`)
+    so that capacity pressure — the ratio to the balanced load
+    ``|C| / |S|`` — matches the paper's.
+    """
+    if algorithms is None:
+        algorithms = paper_algorithm_names()
+    if matrix is None:
+        matrix = dataset_for(profile)
+    points = []
+    for capacity in profile.scaled_capacities():
+        point, _results = run_placement_sweep(
+            matrix,
+            placement,
+            profile.fixed_servers,
+            algorithms,
+            n_runs=profile.n_random_runs,
+            seed=profile.seed,
+            capacity=capacity,
+        )
+        points.append(point)
+    return Fig10Series(
+        placement=placement,
+        n_servers=profile.fixed_servers,
+        points=tuple(points),
+    )

@@ -1,0 +1,131 @@
+"""LaTeX rendering of figure series (for papers citing the reproduction).
+
+Produces ``booktabs``-style tables from the same data objects the text
+renderers consume. No LaTeX packages are required beyond ``booktabs``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.experiments.figures import Fig7Series, Fig8Series, Fig9Trace, Fig10Series
+
+
+def _escape(text: str) -> str:
+    """Escape the LaTeX special characters that appear in our labels."""
+    replacements = {
+        "&": r"\&",
+        "%": r"\%",
+        "#": r"\#",
+        "_": r"\_",
+        "{": r"\{",
+        "}": r"\}",
+    }
+    for char, escaped in replacements.items():
+        text = text.replace(char, escaped)
+    return text
+
+
+def latex_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    caption: str = "",
+    label: str = "",
+) -> str:
+    """A complete ``table`` environment with booktabs rules."""
+    cols = "l" + "r" * (len(headers) - 1)
+    lines: List[str] = [
+        r"\begin{table}[t]",
+        r"\centering",
+    ]
+    if caption:
+        lines.append(rf"\caption{{{_escape(caption)}}}")
+    if label:
+        lines.append(rf"\label{{{label}}}")
+    lines.append(rf"\begin{{tabular}}{{{cols}}}")
+    lines.append(r"\toprule")
+    lines.append(" & ".join(_escape(str(h)) for h in headers) + r" \\")
+    lines.append(r"\midrule")
+    for row in rows:
+        cells = [
+            f"{value:.3f}" if isinstance(value, float) else _escape(str(value))
+            for value in row
+        ]
+        lines.append(" & ".join(cells) + r" \\")
+    lines.append(r"\bottomrule")
+    lines.append(r"\end{tabular}")
+    lines.append(r"\end{table}")
+    return "\n".join(lines)
+
+
+def latex_fig7(series: Fig7Series, **kwargs: str) -> str:
+    """Fig. 7 panel as a LaTeX table."""
+    algorithms = list(series.points[0].mean)
+    headers = ["Servers", *algorithms]
+    rows = [[p.x, *[p.mean[a] for a in algorithms]] for p in series.points]
+    kwargs.setdefault(
+        "caption",
+        f"Normalized interactivity vs.\\ number of servers "
+        f"({series.placement} placement).",
+    )
+    return latex_table(headers, rows, **kwargs)
+
+
+def latex_fig8(
+    series: Fig8Series, *, thresholds: Sequence[float] = (1.5, 2.0, 3.0), **kwargs: str
+) -> str:
+    """Fig. 8 tail probabilities as a LaTeX table."""
+    import numpy as np
+
+    headers = ["Algorithm", "Median", *[f"$P(>{t:g})$" for t in thresholds]]
+    rows = []
+    for name, values in series.samples.items():
+        arr = np.asarray(values)
+        rows.append(
+            [
+                name,
+                float(np.median(arr)),
+                *[f"{(arr > t).mean() * 100:.1f}\\%" for t in thresholds],
+            ]
+        )
+    kwargs.setdefault(
+        "caption",
+        f"Distribution of normalized interactivity over random "
+        f"placements ({series.n_servers} servers).",
+    )
+    return latex_table(headers, rows, **kwargs)
+
+
+def latex_fig9(traces: Sequence[Fig9Trace], **kwargs: str) -> str:
+    """Fig. 9 milestones as a LaTeX table."""
+    headers = ["Placement", "Initial", "After 20", "Final", "Modifications"]
+    rows = []
+    for t in traces:
+        tr = t.normalized_trace
+        rows.append(
+            [
+                t.placement,
+                tr[0],
+                tr[min(20, len(tr) - 1)],
+                tr[-1],
+                t.n_modifications,
+            ]
+        )
+    kwargs.setdefault(
+        "caption", "Distributed-Greedy convergence over assignment modifications."
+    )
+    return latex_table(headers, rows, **kwargs)
+
+
+def latex_fig10(series: Fig10Series, **kwargs: str) -> str:
+    """Fig. 10 panel as a LaTeX table."""
+    algorithms = list(series.points[0].mean)
+    headers = ["Capacity", *algorithms]
+    rows = [[p.x, *[p.mean[a] for a in algorithms]] for p in series.points]
+    kwargs.setdefault(
+        "caption",
+        f"Normalized interactivity vs.\\ server capacity "
+        f"({series.placement} placement, {series.n_servers} servers).",
+    )
+    return latex_table(headers, rows, **kwargs)

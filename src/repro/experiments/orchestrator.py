@@ -1,0 +1,194 @@
+"""One-call regeneration of the paper's entire evaluation.
+
+:func:`run_full_evaluation` produces every figure series, the claims
+checklist and (optionally) the ablation studies for a profile, writes
+machine-readable JSON plus a human-readable ``report.txt`` into an
+output directory, and returns the in-memory bundle. The CLI exposes it
+as ``dia-cap report``.
+
+Directory layout::
+
+    <out>/
+      fig7_random.json  fig7_k-center-a.json  fig7_k-center-b.json
+      fig8.json  fig9.json
+      fig10_random.json fig10_k-center-a.json fig10_k-center-b.json
+      report.txt
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.experiments.ablations import (
+    AblationResult,
+    ablation_dga_initial,
+    ablation_greedy_cost,
+    ablation_placement_strategies,
+)
+from repro.experiments.claims import ClaimResult, run_all_claims
+from repro.experiments.config import ExperimentProfile
+from repro.experiments.figures import (
+    Fig7Series,
+    Fig8Series,
+    Fig9Trace,
+    Fig10Series,
+    dataset_for,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+)
+from repro.experiments.persistence import save_result
+from repro.experiments.reporting import (
+    render_claims,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+)
+from repro.experiments.runner import PLACEMENT_NAMES
+
+PathLike = Union[str, os.PathLike]
+
+
+@dataclass
+class EvaluationBundle:
+    """Everything one profile's evaluation produced."""
+
+    profile: ExperimentProfile
+    fig7_panels: Dict[str, Fig7Series]
+    fig8_series: Fig8Series
+    fig9_traces: List[Fig9Trace]
+    fig10_panels: Dict[str, Fig10Series]
+    claims: List[ClaimResult]
+    ablations: List[AblationResult] = field(default_factory=list)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        """Whether every §V claim passed."""
+        return all(c.holds for c in self.claims)
+
+    def render(self) -> str:
+        """The full text report."""
+        sections = [
+            f"dia-cap evaluation report — profile '{self.profile.name}' "
+            f"({self.profile.n_nodes} nodes, dataset "
+            f"{self.profile.dataset}, seed {self.profile.seed})",
+            "",
+        ]
+        from repro.experiments.ascii_charts import render_series_summary
+
+        for placement in PLACEMENT_NAMES:
+            panel = self.fig7_panels[placement]
+            sections.append(render_fig7(panel))
+            sections.append(
+                render_series_summary(
+                    f"  (trend over {panel.server_counts[0]}..{panel.server_counts[-1]} servers)",
+                    panel.server_counts,
+                    {a: panel.series(a) for a in panel.points[0].mean},
+                )
+            )
+            sections.append("")
+        sections.append(render_fig8(self.fig8_series))
+        sections.append("")
+        sections.append(render_fig9(self.fig9_traces))
+        sections.append("")
+        for placement in PLACEMENT_NAMES:
+            sections.append(render_fig10(self.fig10_panels[placement]))
+            sections.append("")
+        sections.append(render_claims(self.claims))
+        for ablation in self.ablations:
+            sections.append("")
+            sections.append(ablation.render())
+        sections.append("")
+        return "\n".join(sections)
+
+
+def run_full_evaluation(
+    profile: ExperimentProfile,
+    *,
+    out_dir: Optional[PathLike] = None,
+    include_ablations: bool = False,
+    progress: Optional[callable] = None,
+) -> EvaluationBundle:
+    """Regenerate every figure (and optionally the ablations).
+
+    Parameters
+    ----------
+    profile:
+        Scale/seed bundle.
+    out_dir:
+        When given, JSON series and ``report.txt`` are written there
+        (the directory is created if needed).
+    include_ablations:
+        Also run the matrix-level ablation studies (slower).
+    progress:
+        Optional ``callable(str)`` invoked before each stage — the CLI
+        passes ``print``.
+    """
+    say = progress if progress is not None else (lambda _msg: None)
+    say(f"generating {profile.dataset}-like matrix ({profile.n_nodes} nodes)")
+    matrix = dataset_for(profile)
+
+    fig7_panels = {}
+    for placement in PLACEMENT_NAMES:
+        say(f"fig 7 ({placement})")
+        fig7_panels[placement] = fig7(profile, placement, matrix=matrix)
+    say("fig 8")
+    fig8_series = fig8(profile, matrix=matrix)
+    say("fig 9")
+    fig9_traces = fig9(profile, matrix=matrix)
+    fig10_panels = {}
+    for placement in PLACEMENT_NAMES:
+        say(f"fig 10 ({placement})")
+        fig10_panels[placement] = fig10(profile, placement, matrix=matrix)
+
+    say("claims")
+    claims = run_all_claims(
+        fig7_panels["random"],
+        fig8_series,
+        fig9_traces,
+        fig10_panels["random"],
+        n_clients=matrix.n_nodes,
+    )
+
+    ablations: List[AblationResult] = []
+    if include_ablations:
+        say("ablations")
+        ablations = [
+            ablation_dga_initial(
+                matrix, n_servers=min(30, profile.fixed_servers), seed=profile.seed
+            ),
+            ablation_greedy_cost(
+                matrix, n_servers=min(30, profile.fixed_servers), seed=profile.seed
+            ),
+            ablation_placement_strategies(
+                matrix, n_servers=min(25, profile.fixed_servers), seed=profile.seed
+            ),
+        ]
+
+    bundle = EvaluationBundle(
+        profile=profile,
+        fig7_panels=fig7_panels,
+        fig8_series=fig8_series,
+        fig9_traces=fig9_traces,
+        fig10_panels=fig10_panels,
+        claims=claims,
+        ablations=ablations,
+    )
+
+    if out_dir is not None:
+        directory = Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for placement, series in fig7_panels.items():
+            save_result(directory / f"fig7_{placement}.json", series)
+        save_result(directory / "fig8.json", fig8_series)
+        save_result(directory / "fig9.json", fig9_traces)
+        for placement, series in fig10_panels.items():
+            save_result(directory / f"fig10_{placement}.json", series)
+        (directory / "report.txt").write_text(bundle.render(), encoding="utf-8")
+        say(f"wrote {directory}/report.txt")
+    return bundle

@@ -1,0 +1,150 @@
+"""Saving and loading experiment results as JSON.
+
+Figure series at paper scale take hours to produce; persisting them lets
+reporting, plotting and claim-checking run without recomputation. The
+format is plain JSON with a ``kind`` tag and a schema version so files
+survive package upgrades (unknown versions are rejected loudly rather
+than misparsed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Union
+
+from repro.errors import DatasetError
+from repro.experiments.figures import (
+    Fig7Series,
+    Fig8Series,
+    Fig9Trace,
+    Fig10Series,
+)
+from repro.experiments.runner import SweepPoint
+
+PathLike = Union[str, os.PathLike]
+
+#: Bump when the on-disk schema changes incompatibly.
+SCHEMA_VERSION = 1
+
+FigureResult = Union[Fig7Series, Fig8Series, List[Fig9Trace], Fig10Series]
+
+
+def _point_to_dict(point: SweepPoint) -> Dict[str, Any]:
+    return {
+        "x": point.x,
+        "mean": dict(point.mean),
+        "std": dict(point.std),
+        "n_runs": point.n_runs,
+    }
+
+
+def _point_from_dict(data: Dict[str, Any]) -> SweepPoint:
+    return SweepPoint(
+        x=int(data["x"]),
+        mean={k: float(v) for k, v in data["mean"].items()},
+        std={k: float(v) for k, v in data["std"].items()},
+        n_runs=int(data["n_runs"]),
+    )
+
+
+def to_jsonable(result: FigureResult) -> Dict[str, Any]:
+    """Convert a figure result into a JSON-serializable dict."""
+    if isinstance(result, Fig7Series):
+        body = {
+            "kind": "fig7",
+            "placement": result.placement,
+            "points": [_point_to_dict(p) for p in result.points],
+        }
+    elif isinstance(result, Fig8Series):
+        body = {
+            "kind": "fig8",
+            "n_servers": result.n_servers,
+            "samples": {k: list(v) for k, v in result.samples.items()},
+        }
+    elif isinstance(result, Fig10Series):
+        body = {
+            "kind": "fig10",
+            "placement": result.placement,
+            "n_servers": result.n_servers,
+            "points": [_point_to_dict(p) for p in result.points],
+        }
+    elif isinstance(result, list) and all(
+        isinstance(t, Fig9Trace) for t in result
+    ):
+        body = {
+            "kind": "fig9",
+            "traces": [
+                {
+                    "placement": t.placement,
+                    "n_servers": t.n_servers,
+                    "normalized_trace": list(t.normalized_trace),
+                    "converged": t.converged,
+                }
+                for t in result
+            ],
+        }
+    else:
+        raise TypeError(f"unsupported result type: {type(result)!r}")
+    body["schema_version"] = SCHEMA_VERSION
+    return body
+
+
+def from_jsonable(data: Dict[str, Any]) -> FigureResult:
+    """Reconstruct a figure result from its JSON form."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise DatasetError(
+            f"unsupported result schema version {version!r} "
+            f"(this build reads {SCHEMA_VERSION})"
+        )
+    kind = data.get("kind")
+    if kind == "fig7":
+        return Fig7Series(
+            placement=data["placement"],
+            points=tuple(_point_from_dict(p) for p in data["points"]),
+        )
+    if kind == "fig8":
+        return Fig8Series(
+            n_servers=int(data["n_servers"]),
+            samples={
+                k: tuple(float(x) for x in v)
+                for k, v in data["samples"].items()
+            },
+        )
+    if kind == "fig9":
+        return [
+            Fig9Trace(
+                placement=t["placement"],
+                n_servers=int(t["n_servers"]),
+                normalized_trace=tuple(float(x) for x in t["normalized_trace"]),
+                converged=bool(t["converged"]),
+            )
+            for t in data["traces"]
+        ]
+    if kind == "fig10":
+        return Fig10Series(
+            placement=data["placement"],
+            n_servers=int(data["n_servers"]),
+            points=tuple(_point_from_dict(p) for p in data["points"]),
+        )
+    raise DatasetError(f"unknown result kind {kind!r}")
+
+
+def save_result(path: PathLike, result: FigureResult) -> None:
+    """Write a figure result to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_result(path: PathLike) -> FigureResult:
+    """Read a figure result previously written by :func:`save_result`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise DatasetError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise DatasetError(f"{path}: expected a JSON object at top level")
+    return from_jsonable(data)

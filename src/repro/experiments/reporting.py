@@ -1,0 +1,134 @@
+"""Plain-text rendering of experiment results (figure tables, claims).
+
+The benchmark harness prints "the same rows/series the paper reports";
+these helpers format them uniformly. No plotting dependency — the tables
+are the artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.claims import ClaimResult
+from repro.experiments.figures import (
+    Fig7Series,
+    Fig8Series,
+    Fig9Trace,
+    Fig10Series,
+)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_fig7(series: Fig7Series) -> str:
+    """Fig. 7 panel as a table: one row per server count."""
+    algorithms = list(series.points[0].mean)
+    headers = ["servers", *algorithms]
+    rows = [
+        [point.x, *[point.mean[a] for a in algorithms]] for point in series.points
+    ]
+    title = (
+        f"Fig.7 normalized interactivity vs number of servers "
+        f"({series.placement} placement, {series.points[0].n_runs} run(s)/point)"
+    )
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def render_fig8(series: Fig8Series, *, thresholds: Sequence[float] = (1.5, 2.0, 3.0)) -> str:
+    """Fig. 8 as tail-probability rows per algorithm."""
+    headers = ["algorithm", "median", *[f"P(>{t:g})" for t in thresholds]]
+    rows = []
+    import numpy as np
+
+    for name, values in series.samples.items():
+        arr = np.asarray(values)
+        rows.append(
+            [
+                name,
+                float(np.median(arr)),
+                *[f"{(arr > t).mean():.1%}" for t in thresholds],
+            ]
+        )
+    title = (
+        f"Fig.8 normalized interactivity distribution "
+        f"({series.n_servers} random servers, {len(next(iter(series.samples.values())))} runs)"
+    )
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def render_fig9(traces: Sequence[Fig9Trace]) -> str:
+    """Fig. 9 as one row per placement with trace milestones."""
+    headers = [
+        "placement",
+        "initial",
+        "after 10",
+        "after 20",
+        "after 40",
+        "final",
+        "mods",
+        "converged",
+    ]
+    rows = []
+    for t in traces:
+        tr = t.normalized_trace
+
+        def at(n: int) -> float:
+            return tr[min(n, len(tr) - 1)]
+
+        rows.append(
+            [
+                t.placement,
+                tr[0],
+                at(10),
+                at(20),
+                at(40),
+                tr[-1],
+                t.n_modifications,
+                t.converged,
+            ]
+        )
+    title = "Fig.9 Distributed-Greedy normalized D vs assignment modifications"
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def render_fig10(series: Fig10Series) -> str:
+    """Fig. 10 panel as a table: one row per capacity."""
+    algorithms = list(series.points[0].mean)
+    headers = ["capacity", *algorithms]
+    rows = [
+        [point.x, *[point.mean[a] for a in algorithms]] for point in series.points
+    ]
+    title = (
+        f"Fig.10 normalized interactivity vs server capacity "
+        f"({series.placement} placement, {series.n_servers} servers)"
+    )
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def render_claims(claims: Sequence[ClaimResult]) -> str:
+    """Claims checklist with measured values."""
+    headers = ["holds", "claim", "measured"]
+    rows = [["PASS" if c.holds else "FAIL", c.claim, c.measured] for c in claims]
+    return f"Paper claims (§V):\n{format_table(headers, rows)}"

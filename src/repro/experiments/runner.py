@@ -1,0 +1,152 @@
+"""Instance evaluation and multi-run aggregation.
+
+The unit of work is *evaluate one problem instance with one or more
+algorithms*: compute the super-optimal lower bound once, run each
+algorithm, and record raw D, normalized interactivity, and wall time.
+Multi-run helpers sweep placements (the paper averages 1000 random
+placements per data point) with per-run derived seeds so any single run
+is independently reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms import get_algorithm
+from repro.core import (
+    ClientAssignmentProblem,
+    interaction_lower_bound,
+    max_interaction_path_length,
+)
+from repro.net.latency import LatencyMatrix
+from repro.placement import kcenter_a, kcenter_b, random_placement
+from repro.utils.rng import derive_seed
+from repro.utils.timing import Stopwatch
+
+#: Placement strategies by experiment name.
+PLACEMENTS = {
+    "random": random_placement,
+    "k-center-a": kcenter_a,
+    "k-center-b": kcenter_b,
+}
+
+PLACEMENT_NAMES = tuple(PLACEMENTS)
+
+
+@dataclass(frozen=True)
+class AlgorithmScore:
+    """One algorithm's result on one instance."""
+
+    algorithm: str
+    max_path_length: float
+    normalized: float
+    seconds: float
+
+
+@dataclass(frozen=True)
+class InstanceResult:
+    """All algorithms' results on one instance."""
+
+    lower_bound: float
+    scores: Tuple[AlgorithmScore, ...]
+
+    def normalized(self) -> Dict[str, float]:
+        """``{algorithm: normalized interactivity}``."""
+        return {s.algorithm: s.normalized for s in self.scores}
+
+
+def evaluate_instance(
+    problem: ClientAssignmentProblem,
+    algorithms: Sequence[str],
+    *,
+    seed: Optional[int] = None,
+    lower_bound: Optional[float] = None,
+) -> InstanceResult:
+    """Run the named algorithms on one instance and score them.
+
+    ``lower_bound`` can be supplied to avoid recomputation when several
+    capacity settings share a placement (the bound ignores capacities).
+    """
+    if lower_bound is None:
+        lower_bound = interaction_lower_bound(problem)
+    scores: List[AlgorithmScore] = []
+    for name in algorithms:
+        fn = get_algorithm(name)
+        with Stopwatch() as sw:
+            assignment = fn(problem, seed=seed)
+        d = max_interaction_path_length(assignment)
+        scores.append(
+            AlgorithmScore(
+                algorithm=name,
+                max_path_length=d,
+                normalized=d / lower_bound,
+                seconds=sw.elapsed,
+            )
+        )
+    return InstanceResult(lower_bound=lower_bound, scores=tuple(scores))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated normalized interactivity at one sweep coordinate."""
+
+    #: The sweep coordinate (number of servers, capacity, ...).
+    x: int
+    #: Per-algorithm mean normalized interactivity.
+    mean: Dict[str, float]
+    #: Per-algorithm standard deviation (zero for single-run points).
+    std: Dict[str, float]
+    #: Number of runs aggregated.
+    n_runs: int
+
+
+def run_placement_sweep(
+    matrix: LatencyMatrix,
+    placement: str,
+    n_servers: int,
+    algorithms: Sequence[str],
+    *,
+    n_runs: int,
+    seed: int,
+    capacity: Optional[int] = None,
+) -> Tuple[SweepPoint, List[InstanceResult]]:
+    """Evaluate algorithms at one (placement, server-count) coordinate.
+
+    Random placement draws ``n_runs`` independent server sets; the
+    deterministic K-center placements run once (additional runs would be
+    identical, matching the paper's single-curve presentation).
+    """
+    if placement not in PLACEMENTS:
+        raise KeyError(
+            f"unknown placement {placement!r}; available: {PLACEMENT_NAMES}"
+        )
+    place = PLACEMENTS[placement]
+    effective_runs = n_runs if placement == "random" else 1
+    placement_tag = PLACEMENT_NAMES.index(placement)  # stable across runs
+    results: List[InstanceResult] = []
+    for run in range(effective_runs):
+        run_seed = derive_seed(seed, n_servers, run, placement_tag)
+        servers = place(matrix, n_servers, seed=run_seed)
+        problem = ClientAssignmentProblem(
+            matrix, servers, capacities=capacity
+        )
+        lb = interaction_lower_bound(problem.uncapacitated())
+        results.append(
+            evaluate_instance(problem, algorithms, seed=run_seed, lower_bound=lb)
+        )
+    means: Dict[str, float] = {}
+    stds: Dict[str, float] = {}
+    for name in algorithms:
+        values = np.array([r.normalized()[name] for r in results])
+        means[name] = float(values.mean())
+        stds[name] = float(values.std())
+    point = SweepPoint(
+        x=n_servers if capacity is None else capacity,
+        mean=means,
+        std=stds,
+        n_runs=effective_runs,
+    )
+    return point, results

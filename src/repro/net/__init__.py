@@ -1,0 +1,79 @@
+"""Network substrate: latency matrices, graphs, routing, jitter, topologies.
+
+The paper models the network as a graph ``G = (V, E)`` with per-link
+latencies and extends the distance function to all node pairs via routing
+(§II-A). This subpackage provides both views:
+
+- :class:`~repro.net.latency.LatencyMatrix` — the all-pairs view the
+  assignment algorithms consume (this is also what the Meridian / MIT King
+  data sets provide directly).
+- :class:`~repro.net.graph.NetworkGraph` — the link-level view used by the
+  NP-completeness gadgets and topology generators, converted to a
+  ``LatencyMatrix`` through shortest-path routing
+  (:mod:`repro.net.routing`).
+
+Jitter modelling (§II-E) lives in :mod:`repro.net.jitter`; parametric
+topology generators in :mod:`repro.net.topology`.
+"""
+
+from repro.net.analysis import (
+    AsymmetryReport,
+    StretchReport,
+    asymmetry_report,
+    cluster_nodes,
+    cluster_quality,
+    stretch_report,
+)
+from repro.net.coordinates import EmbeddingQuality, VivaldiEmbedding, embed_latencies
+from repro.net.graph import NetworkGraph
+from repro.net.jitter import (
+    GammaJitter,
+    JitterModel,
+    LogNormalJitter,
+    NoJitter,
+    ShiftedExponentialJitter,
+    percentile_matrix,
+)
+from repro.net.latency import LatencyMatrix, TriangleInequalityReport
+from repro.net.routing import all_pairs_shortest_paths, dijkstra
+from repro.net.topology import (
+    approx_ratio_gadget,
+    clustered_euclidean_matrix,
+    grid_graph,
+    lfb_gadget,
+    line_graph,
+    ring_graph,
+    star_graph,
+    waxman_graph,
+)
+
+__all__ = [
+    "AsymmetryReport",
+    "StretchReport",
+    "asymmetry_report",
+    "stretch_report",
+    "cluster_nodes",
+    "cluster_quality",
+    "VivaldiEmbedding",
+    "EmbeddingQuality",
+    "embed_latencies",
+    "LatencyMatrix",
+    "TriangleInequalityReport",
+    "NetworkGraph",
+    "dijkstra",
+    "all_pairs_shortest_paths",
+    "JitterModel",
+    "NoJitter",
+    "LogNormalJitter",
+    "GammaJitter",
+    "ShiftedExponentialJitter",
+    "percentile_matrix",
+    "clustered_euclidean_matrix",
+    "waxman_graph",
+    "star_graph",
+    "ring_graph",
+    "line_graph",
+    "grid_graph",
+    "approx_ratio_gadget",
+    "lfb_gadget",
+]

@@ -1,0 +1,160 @@
+"""Structural analytics for latency matrices.
+
+Tools for characterizing a matrix the way the measurement literature
+does — used to validate that the synthetic data sets have Internet-like
+structure and to explain algorithm behaviour on a given input:
+
+- :func:`asymmetry_report` — directional asymmetry statistics;
+- :func:`cluster_nodes` — k-medoids clustering (PAM-lite) revealing the
+  continental/AS grouping the generators plant;
+- :func:`cluster_quality` — silhouette-style separation score;
+- :func:`stretch_report` — how far the matrix deviates from its metric
+  closure (routing inefficiency / detour availability), the quantity
+  that drives the Nearest-Server penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.net.latency import LatencyMatrix
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class AsymmetryReport:
+    """Directional asymmetry of a latency matrix."""
+
+    #: Mean of |d(u,v) - d(v,u)| / max(d(u,v), d(v,u)) over pairs.
+    mean_relative_asymmetry: float
+    #: Maximum relative asymmetry over pairs.
+    max_relative_asymmetry: float
+    #: Fraction of pairs with relative asymmetry above 10%.
+    fraction_above_10pct: float
+
+
+def asymmetry_report(matrix: LatencyMatrix) -> AsymmetryReport:
+    """Quantify directional asymmetry (0 everywhere for symmetric input)."""
+    d = matrix.values
+    n = matrix.n_nodes
+    iu = np.triu_indices(n, k=1)
+    forward = d[iu]
+    backward = d.T[iu]
+    denom = np.maximum(forward, backward)
+    denom = np.where(denom > 0, denom, 1.0)
+    rel = np.abs(forward - backward) / denom
+    if rel.size == 0:
+        return AsymmetryReport(0.0, 0.0, 0.0)
+    return AsymmetryReport(
+        mean_relative_asymmetry=float(rel.mean()),
+        max_relative_asymmetry=float(rel.max()),
+        fraction_above_10pct=float((rel > 0.10).mean()),
+    )
+
+
+@dataclass(frozen=True)
+class StretchReport:
+    """Deviation of a matrix from its shortest-path (metric) closure.
+
+    ``stretch(u, v) = d(u, v) / closure(u, v) >= 1``; values above 1 mean
+    a detour through other nodes beats the direct path — the situation
+    that breaks Nearest-Server's approximation guarantee.
+    """
+
+    mean_stretch: float
+    p95_stretch: float
+    max_stretch: float
+    #: Fraction of ordered pairs with stretch > 1 (detour available).
+    fraction_stretched: float
+
+
+def stretch_report(matrix: LatencyMatrix) -> StretchReport:
+    """Compare the matrix against its metric closure."""
+    closure = matrix.metric_closure().values
+    d = matrix.values
+    n = matrix.n_nodes
+    off = ~np.eye(n, dtype=bool)
+    ratio = d[off] / np.where(closure[off] > 0, closure[off], 1.0)
+    return StretchReport(
+        mean_stretch=float(ratio.mean()),
+        p95_stretch=float(np.percentile(ratio, 95)),
+        max_stretch=float(ratio.max()),
+        fraction_stretched=float((ratio > 1.0 + 1e-9).mean()),
+    )
+
+
+def cluster_nodes(
+    matrix: LatencyMatrix,
+    k: int,
+    *,
+    max_iterations: int = 30,
+    seed: SeedLike = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """K-medoids clustering of the node set.
+
+    Returns ``(labels, medoids)``: per-node cluster index in ``0..k-1``
+    and the medoid node of each cluster. Uses the alternate
+    assign/update iteration (PAM-lite): assign each node to its nearest
+    medoid, then recenter each cluster on its internal medoid; repeats
+    until stable. Deterministic given the seed (used for medoid
+    initialization).
+    """
+    n = matrix.n_nodes
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = ensure_rng(seed)
+    d = (matrix.values + matrix.values.T) / 2.0
+    medoids = rng.choice(n, size=k, replace=False)
+    labels = np.argmin(d[:, medoids], axis=1)
+    for _ in range(max_iterations):
+        new_medoids = medoids.copy()
+        for c in range(k):
+            members = np.flatnonzero(labels == c)
+            if members.size == 0:
+                continue
+            within = d[np.ix_(members, members)].sum(axis=1)
+            new_medoids[c] = members[int(np.argmin(within))]
+        new_labels = np.argmin(d[:, new_medoids], axis=1)
+        if np.array_equal(new_medoids, medoids) and np.array_equal(
+            new_labels, labels
+        ):
+            break
+        medoids, labels = new_medoids, new_labels
+    return labels.astype(np.int64), np.asarray(medoids, dtype=np.int64)
+
+
+def cluster_quality(matrix: LatencyMatrix, labels: np.ndarray) -> float:
+    """Mean separation score in [-1, 1] (silhouette-style).
+
+    For each node: ``(b - a) / max(a, b)`` where ``a`` is the mean
+    distance to its own cluster and ``b`` the mean distance to the
+    nearest other cluster. High values mean tight, well-separated
+    clusters. Nodes in singleton clusters score 0.
+    """
+    labels = np.asarray(labels)
+    n = matrix.n_nodes
+    if labels.shape != (n,):
+        raise ValueError(f"labels must have shape ({n},), got {labels.shape}")
+    d = (matrix.values + matrix.values.T) / 2.0
+    unique = np.unique(labels)
+    scores = np.zeros(n)
+    for u in range(n):
+        own = labels[u]
+        own_members = np.flatnonzero((labels == own) & (np.arange(n) != u))
+        if own_members.size == 0:
+            continue
+        a = d[u, own_members].mean()
+        b = np.inf
+        for c in unique:
+            if c == own:
+                continue
+            members = np.flatnonzero(labels == c)
+            if members.size:
+                b = min(b, d[u, members].mean())
+        if not np.isfinite(b):
+            continue
+        scores[u] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())

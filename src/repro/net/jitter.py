@@ -1,0 +1,273 @@
+"""Jitter models for latency variability (paper §II-E).
+
+The paper's formulation stays valid under jitter by setting each link
+length ``d(u, v)`` to a chosen *percentile* of the latency distribution
+between ``u`` and ``v``: the higher the percentile, the lower the chance
+that a late message causes an inconsistency, at the cost of a longer
+synchronization lag. This module provides:
+
+- parametric per-pair latency distributions (:class:`LogNormalJitter`,
+  :class:`GammaJitter`, :class:`ShiftedExponentialJitter`,
+  :class:`NoJitter`), all sharing the :class:`JitterModel` interface;
+- :func:`percentile_matrix`, which maps a matrix of *base* (median-ish)
+  latencies to the matrix of ``q``-th percentile latencies under a model;
+- per-message sampling used by the discrete-event simulator to inject
+  jitter and measure the resulting inconsistency rate.
+
+All models treat the base latency as a scale: a sample for a pair with
+base latency ``b`` is ``b * X`` (plus ``b`` for the shifted exponential)
+where ``X`` is a nonnegative random factor with median approximately 1.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Union
+
+import numpy as np
+
+
+
+class JitterModel(abc.ABC):
+    """Distribution of the multiplicative latency factor for one message."""
+
+    @abc.abstractmethod
+    def sample_factor(
+        self, rng: np.random.Generator, size: Union[int, tuple] = 1
+    ) -> np.ndarray:
+        """Draw random latency factors (each > 0)."""
+
+    @abc.abstractmethod
+    def factor_percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of the latency factor."""
+
+    def sample(
+        self,
+        base_latency: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Sample one latency per entry of ``base_latency``."""
+        base = np.asarray(base_latency, dtype=np.float64)
+        factors = self.sample_factor(rng, size=base.shape)
+        return base * factors
+
+
+class NoJitter(JitterModel):
+    """Deterministic latencies — the factor is always exactly 1."""
+
+    def sample_factor(self, rng: np.random.Generator, size: Union[int, tuple] = 1) -> np.ndarray:
+        return np.ones(size)
+
+    def factor_percentile(self, q: float) -> float:
+        _check_percentile(q)
+        return 1.0
+
+    def __repr__(self) -> str:
+        return "NoJitter()"
+
+
+class LogNormalJitter(JitterModel):
+    """Log-normal multiplicative jitter.
+
+    ``factor = exp(N(0, sigma))`` — median exactly 1, right-skewed tail,
+    the classic model for Internet delay variation.
+    """
+
+    def __init__(self, sigma: float = 0.2) -> None:
+        if not sigma >= 0:
+            raise ValueError(f"sigma must be nonnegative, got {sigma}")
+        self.sigma = float(sigma)
+
+    def sample_factor(self, rng: np.random.Generator, size: Union[int, tuple] = 1) -> np.ndarray:
+        return rng.lognormal(mean=0.0, sigma=self.sigma, size=size)
+
+    def factor_percentile(self, q: float) -> float:
+        _check_percentile(q)
+        if self.sigma == 0.0:
+            return 1.0
+        z = _normal_ppf(q / 100.0)
+        return math.exp(self.sigma * z)
+
+    def __repr__(self) -> str:
+        return f"LogNormalJitter(sigma={self.sigma})"
+
+
+class GammaJitter(JitterModel):
+    """Gamma multiplicative jitter with unit mean.
+
+    ``factor ~ Gamma(shape=k, scale=1/k)``; larger ``k`` means less
+    variability. Mean is exactly 1 (median slightly below 1).
+    """
+
+    def __init__(self, shape: float = 20.0) -> None:
+        if not shape > 0:
+            raise ValueError(f"shape must be positive, got {shape}")
+        self.shape = float(shape)
+
+    def sample_factor(self, rng: np.random.Generator, size: Union[int, tuple] = 1) -> np.ndarray:
+        return rng.gamma(self.shape, 1.0 / self.shape, size=size)
+
+    def factor_percentile(self, q: float) -> float:
+        _check_percentile(q)
+        # No closed form; invert the CDF numerically by bisection on a
+        # generous bracket. Gamma(k, 1/k) has mean 1 and std 1/sqrt(k).
+        return _bisect_percentile(
+            lambda x: _gamma_cdf(x * self.shape, self.shape), q / 100.0
+        )
+
+    def __repr__(self) -> str:
+        return f"GammaJitter(shape={self.shape})"
+
+
+class ShiftedExponentialJitter(JitterModel):
+    """Base latency plus an exponential tail: ``factor = 1 + Exp(rate)``.
+
+    Models a fixed propagation delay plus random queueing delay; commonly
+    used for access-link congestion. ``mean_extra`` is the mean of the
+    additive exponential component, as a fraction of the base latency.
+    """
+
+    def __init__(self, mean_extra: float = 0.1) -> None:
+        if not mean_extra >= 0:
+            raise ValueError(f"mean_extra must be nonnegative, got {mean_extra}")
+        self.mean_extra = float(mean_extra)
+
+    def sample_factor(self, rng: np.random.Generator, size: Union[int, tuple] = 1) -> np.ndarray:
+        if self.mean_extra == 0.0:
+            return np.ones(size)
+        return 1.0 + rng.exponential(self.mean_extra, size=size)
+
+    def factor_percentile(self, q: float) -> float:
+        _check_percentile(q)
+        if self.mean_extra == 0.0:
+            return 1.0
+        p = q / 100.0
+        if p >= 1.0:
+            raise ValueError("the 100th percentile of an exponential is unbounded")
+        return 1.0 - self.mean_extra * math.log(1.0 - p)
+
+    def __repr__(self) -> str:
+        return f"ShiftedExponentialJitter(mean_extra={self.mean_extra})"
+
+
+def percentile_matrix(
+    base: np.ndarray, model: JitterModel, q: float = 90.0
+) -> np.ndarray:
+    """Matrix of ``q``-th percentile latencies under a jitter model.
+
+    This is the paper's §II-E recipe: plan the assignment (and the lag δ)
+    against a high percentile of the latency so that only a small
+    fraction of messages arrive late.
+    """
+    base = np.asarray(base, dtype=np.float64)
+    factor = model.factor_percentile(q)
+    out = base * factor
+    # Keep the diagonal at zero regardless of the factor.
+    if out.ndim == 2 and out.shape[0] == out.shape[1]:
+        np.fill_diagonal(out, 0.0)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Numeric helpers (kept dependency-free: scipy is an optional extra)
+# ----------------------------------------------------------------------
+def _check_percentile(q: float) -> None:
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+
+
+def _normal_ppf(p: float) -> float:
+    """Inverse standard normal CDF (Acklam's rational approximation)."""
+    if p <= 0.0:
+        return -math.inf
+    if p >= 1.0:
+        return math.inf
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    e = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        qv = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * qv + c[1]) * qv + c[2]) * qv + c[3]) * qv + c[4]) * qv + c[5]) / (
+            (((e[0] * qv + e[1]) * qv + e[2]) * qv + e[3]) * qv + 1.0
+        )
+    if p > 1.0 - p_low:
+        qv = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * qv + c[1]) * qv + c[2]) * qv + c[3]) * qv + c[4]) * qv + c[5]) / (
+            (((e[0] * qv + e[1]) * qv + e[2]) * qv + e[3]) * qv + 1.0
+        )
+    qv = p - 0.5
+    r = qv * qv
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * qv / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )
+
+
+def _gamma_cdf(x: float, k: float) -> float:
+    """Regularized lower incomplete gamma P(k, x) via series/continued
+    fraction (Numerical Recipes style)."""
+    if x < 0:
+        return 0.0
+    if x == 0:
+        return 0.0
+    lg = math.lgamma(k)
+    if x < k + 1.0:
+        # Series expansion.
+        term = 1.0 / k
+        total = term
+        a = k
+        for _ in range(500):
+            a += 1.0
+            term *= x / a
+            total += term
+            if abs(term) < abs(total) * 1e-14:
+                break
+        return total * math.exp(-x + k * math.log(x) - lg)
+    # Continued fraction for Q(k, x), then P = 1 - Q.
+    tiny = 1e-300
+    b = x + 1.0 - k
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        an = -i * (i - k)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    q = math.exp(-x + k * math.log(x) - lg) * h
+    return 1.0 - q
+
+
+def _bisect_percentile(cdf, p: float, *, lo: float = 0.0, hi: float = 64.0) -> float:
+    """Invert a CDF by bisection on [lo, hi]."""
+    if p <= 0.0:
+        return lo
+    while cdf(hi) < p:
+        hi *= 2.0
+        if hi > 1e9:
+            raise ValueError("percentile bracket exploded; check the CDF")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if cdf(mid) < p:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-12 * max(1.0, hi):
+            break
+    return 0.5 * (lo + hi)

@@ -1,0 +1,164 @@
+"""Shortest-path routing over link-level graphs.
+
+The paper's NP-completeness construction assumes "messages are routed in
+the network by shortest path routing" (§III); its gadget networks are
+specified at the link level. These routines turn a link-level graph into
+the all-pairs distance function ``d(u, v)`` used everywhere else.
+
+Implementation notes
+--------------------
+``dijkstra`` is a textbook binary-heap implementation, O((V+E) log V).
+``all_pairs_shortest_paths`` chooses between running Dijkstra from every
+source (sparse graphs) and a vectorized Floyd–Warshall (dense graphs);
+both return a dense ``(n, n)`` float array with ``inf`` for unreachable
+pairs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+
+#: Adjacency representation: for each node, a list of (neighbor, weight).
+AdjacencyList = Sequence[Sequence[Tuple[int, float]]]
+
+
+def dijkstra(
+    adjacency: AdjacencyList,
+    source: int,
+    *,
+    target: Optional[int] = None,
+) -> np.ndarray:
+    """Single-source shortest path distances.
+
+    Parameters
+    ----------
+    adjacency:
+        ``adjacency[u]`` lists ``(v, w)`` pairs for each edge ``u -> v``
+        of weight ``w > 0``.
+    source:
+        Start node.
+    target:
+        Optional early-exit node: the search stops as soon as the target
+        is settled. Distances of unsettled nodes are then upper bounds.
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-``n`` array of distances; ``inf`` marks unreachable nodes.
+    """
+    n = len(adjacency)
+    if not 0 <= source < n:
+        raise GraphError(f"source {source} out of range for {n} nodes")
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    settled = np.zeros(n, dtype=bool)
+    while heap:
+        du, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = True
+        if target is not None and u == target:
+            break
+        for v, w in adjacency[u]:
+            if w <= 0:
+                raise GraphError(f"nonpositive edge weight {w} on ({u}, {v})")
+            nd = du + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def floyd_warshall(weights: np.ndarray) -> np.ndarray:
+    """All-pairs shortest paths on a dense weight matrix.
+
+    ``weights[u, v]`` is the direct-link latency (``inf`` when no link,
+    0 on the diagonal). Vectorized over the inner two loops; O(n^3) time,
+    O(n^2) space.
+    """
+    d = np.asarray(weights, dtype=np.float64).copy()
+    n = d.shape[0]
+    if d.shape != (n, n):
+        raise GraphError(f"weight matrix must be square, got {d.shape}")
+    for k in range(n):
+        # d[u, v] = min(d[u, v], d[u, k] + d[k, v]) for all u, v at once.
+        np.minimum(d, d[:, k][:, None] + d[k, :][None, :], out=d)
+    return d
+
+
+def all_pairs_shortest_paths(
+    adjacency: AdjacencyList,
+    *,
+    dense_threshold: float = 0.25,
+) -> np.ndarray:
+    """All-pairs shortest path distances for an adjacency-list graph.
+
+    Uses Floyd–Warshall when edge density exceeds ``dense_threshold``
+    and repeated Dijkstra otherwise.
+    """
+    n = len(adjacency)
+    if n == 0:
+        return np.zeros((0, 0))
+    m = sum(len(nbrs) for nbrs in adjacency)
+    density = m / max(n * n, 1)
+    if density >= dense_threshold:
+        weights = np.full((n, n), np.inf)
+        np.fill_diagonal(weights, 0.0)
+        for u, nbrs in enumerate(adjacency):
+            for v, w in nbrs:
+                if w <= 0:
+                    raise GraphError(f"nonpositive edge weight {w} on ({u}, {v})")
+                weights[u, v] = min(weights[u, v], w)
+        return floyd_warshall(weights)
+    out = np.empty((n, n))
+    for u in range(n):
+        out[u] = dijkstra(adjacency, u)
+    return out
+
+
+def shortest_path_tree(
+    adjacency: AdjacencyList, source: int
+) -> Tuple[np.ndarray, Dict[int, int]]:
+    """Distances plus predecessor map for path reconstruction."""
+    n = len(adjacency)
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    pred: Dict[int, int] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    settled = np.zeros(n, dtype=bool)
+    while heap:
+        du, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = True
+        for v, w in adjacency[u]:
+            nd = du + w
+            if nd < dist[v]:
+                dist[v] = nd
+                pred[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, pred
+
+
+def reconstruct_path(pred: Dict[int, int], source: int, target: int) -> List[int]:
+    """Node sequence from ``source`` to ``target`` given a predecessor map.
+
+    Raises :class:`~repro.errors.GraphError` when no path exists.
+    """
+    if source == target:
+        return [source]
+    path = [target]
+    node = target
+    while node != source:
+        if node not in pred:
+            raise GraphError(f"no path from {source} to {target}")
+        node = pred[node]
+        path.append(node)
+    path.reverse()
+    return path

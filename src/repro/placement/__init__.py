@@ -1,0 +1,51 @@
+"""Server placement strategies (paper §V experimental setup).
+
+The paper places servers three ways:
+
+- **random** — uniform without replacement over all nodes;
+- **K-center-A** — the 2-approximation algorithm for minimum K-center
+  (parametric-pruning / bottleneck method, Vazirani ch. 5; equivalent
+  guarantee to Gonzalez/Hochbaum–Shmoys);
+- **K-center-B** — the greedy K-center heuristic of Jamin et al.
+  (INFOCOM'01): iteratively add the center that minimizes the resulting
+  maximum node-to-nearest-center distance.
+
+Each strategy returns an array of node indices to use as the server set
+``S``. Placement quality (the K-center objective) is measured by
+:func:`coverage_radius`.
+"""
+
+from repro.placement.base import PlacementStrategy, coverage_radius
+from repro.placement.extra import (
+    best_of_random_placement,
+    k_median_placement,
+    medoid_placement,
+)
+from repro.placement.joint import (
+    JointResult,
+    joint_selection_exhaustive,
+    joint_selection_greedy,
+)
+from repro.placement.kcenter import (
+    gonzalez_kcenter,
+    greedy_kcenter,
+    kcenter_a,
+    kcenter_b,
+)
+from repro.placement.random_placement import random_placement
+
+__all__ = [
+    "PlacementStrategy",
+    "coverage_radius",
+    "random_placement",
+    "kcenter_a",
+    "kcenter_b",
+    "gonzalez_kcenter",
+    "greedy_kcenter",
+    "k_median_placement",
+    "best_of_random_placement",
+    "medoid_placement",
+    "JointResult",
+    "joint_selection_greedy",
+    "joint_selection_exhaustive",
+]

@@ -1,0 +1,170 @@
+"""Joint server selection + client assignment (extension).
+
+The paper treats placement and assignment as separate stages (§VI:
+"client assignment complements server placement"). A natural follow-up
+question is how much is lost by the decoupling: K-center placement
+optimizes the node-to-center radius, which is only a proxy for the
+interaction-path objective D that the assignment stage then minimizes.
+
+This module optimizes the *end* objective directly:
+
+- :func:`joint_selection_greedy` — forward selection: grow the server
+  set one site at a time, each round adding the candidate whose
+  addition minimizes the D achieved by a chosen assignment algorithm;
+- :func:`joint_selection_exhaustive` — enumerate all k-subsets (guarded)
+  for small instances, as ground truth;
+- both return the chosen servers *and* the final assignment.
+
+``benchmarks/bench_joint.py`` measures the gap between decoupled
+(K-center + DGA) and joint selection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms import get_algorithm
+from repro.core.assignment import Assignment
+from repro.core.metrics import max_interaction_path_length
+from repro.core.problem import ClientAssignmentProblem
+from repro.errors import InvalidProblemError
+from repro.net.latency import LatencyMatrix
+from repro.types import IndexArrayLike, as_index_array
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class JointResult:
+    """Outcome of a joint selection run."""
+
+    servers: np.ndarray
+    assignment: Assignment
+    objective: float
+    #: Candidate evaluations performed (assignment-algorithm runs).
+    evaluations: int
+
+
+def _evaluate(
+    matrix: LatencyMatrix,
+    servers: np.ndarray,
+    clients: Optional[np.ndarray],
+    algorithm: str,
+    seed: SeedLike,
+) -> Tuple[Assignment, float]:
+    problem = ClientAssignmentProblem(matrix, servers, clients=clients)
+    assignment = get_algorithm(algorithm)(problem, seed=seed)
+    return assignment, max_interaction_path_length(assignment)
+
+
+def joint_selection_greedy(
+    matrix: LatencyMatrix,
+    k: int,
+    *,
+    candidates: Optional[IndexArrayLike] = None,
+    clients: Optional[IndexArrayLike] = None,
+    algorithm: str = "greedy",
+    seed: SeedLike = 0,
+) -> JointResult:
+    """Forward-select ``k`` server sites minimizing the achieved D.
+
+    Each round evaluates every remaining candidate by running the
+    assignment algorithm on the incremented server set and keeps the
+    argmin. O(k · |candidates|) assignment runs.
+    """
+    cand = (
+        np.arange(matrix.n_nodes, dtype=np.int64)
+        if candidates is None
+        else as_index_array(candidates, "candidates")
+    )
+    client_arr = None if clients is None else as_index_array(clients, "clients")
+    if not 1 <= k <= cand.size:
+        raise ValueError(f"k={k} must be in [1, {cand.size}]")
+
+    chosen: list = []
+    evaluations = 0
+    best_assignment: Optional[Assignment] = None
+    best_objective = np.inf
+    for _round in range(k):
+        round_best = None
+        round_obj = np.inf
+        round_assignment = None
+        for candidate in cand:
+            candidate = int(candidate)
+            if candidate in chosen:
+                continue
+            trial = np.asarray(sorted(chosen + [candidate]), dtype=np.int64)
+            assignment, objective = _evaluate(
+                matrix, trial, client_arr, algorithm, seed
+            )
+            evaluations += 1
+            if objective < round_obj:
+                round_obj = objective
+                round_best = candidate
+                round_assignment = assignment
+        chosen.append(round_best)
+        best_objective = round_obj
+        best_assignment = round_assignment
+    servers = np.asarray(sorted(chosen), dtype=np.int64)
+    # Note: `round_assignment` was built against the sorted trial set, so
+    # its local indices already match `servers`.
+    return JointResult(
+        servers=servers,
+        assignment=best_assignment,
+        objective=best_objective,
+        evaluations=evaluations,
+    )
+
+
+def joint_selection_exhaustive(
+    matrix: LatencyMatrix,
+    k: int,
+    *,
+    candidates: Optional[IndexArrayLike] = None,
+    clients: Optional[IndexArrayLike] = None,
+    algorithm: str = "greedy",
+    seed: SeedLike = 0,
+    max_subsets: int = 200_000,
+) -> JointResult:
+    """Evaluate every k-subset of the candidates (small instances)."""
+    cand = (
+        np.arange(matrix.n_nodes, dtype=np.int64)
+        if candidates is None
+        else as_index_array(candidates, "candidates")
+    )
+    client_arr = None if clients is None else as_index_array(clients, "clients")
+    if not 1 <= k <= cand.size:
+        raise ValueError(f"k={k} must be in [1, {cand.size}]")
+    import math
+
+    total = math.comb(cand.size, k)
+    if total > max_subsets:
+        raise InvalidProblemError(
+            f"{total} subsets exceed max_subsets={max_subsets}; use "
+            "joint_selection_greedy"
+        )
+    best: Optional[JointResult] = None
+    evaluations = 0
+    for combo in itertools.combinations(sorted(int(c) for c in cand), k):
+        servers = np.asarray(combo, dtype=np.int64)
+        assignment, objective = _evaluate(
+            matrix, servers, client_arr, algorithm, seed
+        )
+        evaluations += 1
+        if best is None or objective < best.objective:
+            best = JointResult(
+                servers=servers,
+                assignment=assignment,
+                objective=objective,
+                evaluations=evaluations,
+            )
+    assert best is not None
+    return JointResult(
+        servers=best.servers,
+        assignment=best.assignment,
+        objective=best.objective,
+        evaluations=evaluations,
+    )

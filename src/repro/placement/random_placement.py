@@ -1,0 +1,24 @@
+"""Uniform random server placement."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.latency import LatencyMatrix
+from repro.placement.base import validate_k
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def random_placement(
+    matrix: LatencyMatrix, k: int, *, seed: SeedLike = None
+) -> np.ndarray:
+    """Place ``k`` servers uniformly at random without replacement.
+
+    The paper's random-placement experiments average 1000 such draws.
+    The returned indices are sorted for deterministic downstream
+    iteration order.
+    """
+    validate_k(matrix, k)
+    rng = ensure_rng(seed)
+    chosen = rng.choice(matrix.n_nodes, size=k, replace=False)
+    return np.sort(chosen).astype(np.int64)

@@ -1,0 +1,54 @@
+"""Discrete-event DIA simulator (validation of the paper's §II analysis).
+
+Build an :class:`~repro.core.offsets.OffsetSchedule` from any solved
+assignment, generate a workload from :mod:`repro.sim.workload`, and run
+:func:`~repro.sim.dia.simulate_assignment`. A healthy report certifies
+that the schedule's lag is feasible and every pairwise interaction time
+equals δ; see :mod:`repro.sim.dia` for the full list of certified
+properties.
+"""
+
+from repro.sim.clocks import SimulationClock
+from repro.sim.dia import (
+    DIASimulation,
+    DIASimulationReport,
+    percentile_schedule,
+    simulate_assignment,
+)
+from repro.sim.engine import EventEngine
+from repro.sim.processing import ProcessingModel, ServerQueue
+from repro.sim.events import (
+    ExecutionDue,
+    Operation,
+    OperationMessage,
+    StateUpdateMessage,
+)
+from repro.sim.workload import (
+    adversarial_pair_workload,
+    diurnal_workload,
+    flash_crowd_workload,
+    lockstep_workload,
+    poisson_workload,
+    uniform_workload,
+)
+
+__all__ = [
+    "DIASimulation",
+    "DIASimulationReport",
+    "simulate_assignment",
+    "percentile_schedule",
+    "ProcessingModel",
+    "ServerQueue",
+    "EventEngine",
+    "SimulationClock",
+    "Operation",
+    "OperationMessage",
+    "StateUpdateMessage",
+    "ExecutionDue",
+    "poisson_workload",
+    "uniform_workload",
+    "lockstep_workload",
+    "adversarial_pair_workload",
+    "flash_crowd_workload",
+    "diurnal_workload",
+]

@@ -1,0 +1,516 @@
+"""Discrete-event simulation of a continuous DIA (validates §II).
+
+The simulator replays the paper's interaction protocol over a solved
+client assignment and an :class:`~repro.core.offsets.OffsetSchedule`:
+
+- clients issue operations per a workload (client simulation clocks are
+  the wall-clock reference; servers run ahead by their schedule offset);
+- an operation travels client -> home server -> all other servers, each
+  leg delayed by the latency matrix (optionally jittered);
+- each server executes the operation when its *local simulation clock*
+  reads ``issue_time + delta`` — i.e. the constant-lag rule that §II-B
+  shows is necessary and sufficient for consistency + fairness;
+- after executing, a server pushes a state update to each of its
+  clients, who present the effect when their own clocks read
+  ``issue_time + delta``.
+
+What the simulation certifies (and the tests assert):
+
+1. With ``delta = D`` (the maximum interaction path length) and no
+   jitter, **no message is ever late**: every server receives every
+   operation before its execution point and every client receives every
+   update before its presentation point — constraints (i) and (ii).
+2. Every server executes all operations in identical order at identical
+   simulation times (consistency), which is exactly issuance order with
+   a constant lag (fairness).
+3. The measured interaction time between every ordered client pair is
+   exactly ``delta`` (= D), matching §II-D's claim that the offsets make
+   all pairwise interaction times equal.
+4. With ``delta < D`` the protocol *must* break: some message is late
+   (the analysis' converse).
+5. Under jitter, lateness appears at a rate controlled by the planning
+   percentile (§II-E); late executions are repaired timewarp-style
+   (re-execution in corrected order) and counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.offsets import OffsetSchedule
+from repro.errors import (
+    ConsistencyViolation,
+    FairnessViolation,
+    SimulationError,
+)
+from repro.net.jitter import JitterModel, NoJitter
+from repro.sim.clocks import SimulationClock
+from repro.sim.engine import EventEngine
+from repro.sim.events import (
+    ExecutionDue,
+    Operation,
+    OperationMessage,
+    StateUpdateMessage,
+)
+from repro.sim.processing import ProcessingModel, ServerQueue
+from repro.utils.rng import SeedLike, ensure_rng
+
+_TOL = 1e-9
+
+
+@dataclass
+class _ServerState:
+    """Mutable per-server simulation state."""
+
+    clock: SimulationClock
+    #: Executed operations in execution order: (operation, exec_sim_time).
+    log: List[Tuple[Operation, float]] = field(default_factory=list)
+    #: Operations that arrived after their execution point.
+    late_arrivals: List[Tuple[Operation, float]] = field(default_factory=list)
+    #: Number of timewarp-style repairs (re-orderings after a late
+    #: arrival executed out of order).
+    repairs: int = 0
+
+
+@dataclass
+class _ClientState:
+    """Mutable per-client simulation state."""
+
+    clock: SimulationClock
+    #: Presented operations: operation -> presentation sim time.
+    presented: Dict[int, float] = field(default_factory=dict)
+    #: Updates that arrived after the presentation point.
+    late_updates: List[Tuple[Operation, float]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class DIASimulationReport:
+    """Aggregate outcome of one simulation run."""
+
+    #: The constant lag the run was planned with.
+    delta: float
+    #: Number of operations issued.
+    n_operations: int
+    #: Total protocol messages delivered.
+    n_messages: int
+    #: Operations that reached some server after its execution point.
+    late_server_arrivals: int
+    #: State updates that reached some client after its presentation point.
+    late_client_updates: int
+    #: Timewarp-style repairs performed at servers.
+    repairs: int
+    #: True iff all server logs are identical (same order, same
+    #: execution simulation times).
+    servers_consistent: bool
+    #: True iff execution order equals issuance order with a constant
+    #: lag at every server.
+    fair: bool
+    #: Measured interaction times: min and max over (operation,
+    #: receiving client) pairs. Both equal ``delta`` in a healthy run.
+    min_interaction_time: float
+    max_interaction_time: float
+    #: Largest server processing backlog observed (0 without a
+    #: processing model).
+    max_processing_backlog: float = 0.0
+    #: Execution order equals issuance order at every server
+    #: (``fair`` = this AND ``constant_lag``).
+    order_preserved: bool = True
+    #: The issuance-to-execution lag is the same constant for every
+    #: operation — the paper's strict fairness criterion; bucket
+    #: synchronization trades it away.
+    constant_lag: bool = True
+
+    @property
+    def healthy(self) -> bool:
+        """No lateness, consistent, fair."""
+        return (
+            self.late_server_arrivals == 0
+            and self.late_client_updates == 0
+            and self.servers_consistent
+            and self.fair
+        )
+
+    def raise_for_violations(self) -> None:
+        """Raise a typed error if the run violated the DIA guarantees.
+
+        Useful when a caller ran with ``allow_late=True`` to *collect*
+        statistics but still wants a hard failure on actual guarantee
+        violations: raises :class:`~repro.errors.FairnessViolation` when
+        the (post-repair) execution order or lag is wrong, and
+        :class:`~repro.errors.ConsistencyViolation` when server logs
+        diverged or messages were late. A healthy report returns
+        silently; repairs alone (lateness recovered by timewarp) raise
+        ConsistencyViolation because the users saw artifacts.
+        """
+        if not self.fair:
+            raise FairnessViolation(
+                "operations executed out of issuance order or with a "
+                "non-constant lag"
+            )
+        if not self.servers_consistent:
+            raise ConsistencyViolation("server execution logs diverged")
+        late = self.late_server_arrivals + self.late_client_updates
+        if late:
+            raise ConsistencyViolation(
+                f"{late} message(s) arrived after their deadline "
+                f"({self.repairs} timewarp repair(s) performed)"
+            )
+
+
+class DIASimulation:
+    """Simulate the DIA protocol for one assignment + offset schedule.
+
+    Parameters
+    ----------
+    schedule:
+        Offsets and lag; build with ``OffsetSchedule(assignment)`` for
+        the minimal lag δ = D, or pass a larger δ for slack.
+    jitter:
+        Per-message latency noise; default none (deterministic run).
+    seed:
+        RNG for the jitter samples.
+    allow_late:
+        When ``False`` (default) a late message raises
+        :class:`~repro.errors.ConsistencyViolation` immediately; when
+        ``True`` lateness is recorded, the operation is executed/presented
+        late, out-of-order executions are repaired timewarp-style, and
+        counts appear in the report (the §II-E jitter study).
+    """
+
+    def __init__(
+        self,
+        schedule: OffsetSchedule,
+        *,
+        jitter: Optional[JitterModel] = None,
+        seed: SeedLike = None,
+        allow_late: bool = False,
+        base_matrix: Optional[np.ndarray] = None,
+        processing: Optional[ProcessingModel] = None,
+        bucket_size: Optional[float] = None,
+    ) -> None:
+        self._schedule = schedule
+        self._assignment = schedule.assignment
+        self._problem = schedule.assignment.problem
+        self._jitter = jitter if jitter is not None else NoJitter()
+        self._rng = ensure_rng(seed)
+        self._allow_late = allow_late
+        self._processing = processing
+        self._queues = ServerQueue(schedule.assignment.problem.n_servers)
+        if bucket_size is not None and bucket_size <= 0:
+            raise SimulationError(
+                f"bucket_size must be positive, got {bucket_size}"
+            )
+        self._bucket_size = bucket_size
+        # §II-E percentile planning: the schedule may have been computed
+        # on an inflated (percentile) matrix while actual message
+        # latencies are sampled around the true base matrix.
+        if base_matrix is None:
+            self._base = self._problem.matrix.values
+        else:
+            base = np.asarray(base_matrix, dtype=np.float64)
+            if base.shape != self._problem.matrix.values.shape:
+                raise SimulationError(
+                    f"base_matrix shape {base.shape} does not match the "
+                    f"problem matrix {self._problem.matrix.values.shape}"
+                )
+            self._base = base
+
+        problem = self._problem
+        self._servers = [
+            _ServerState(SimulationClock(float(off)))
+            for off in schedule.server_offsets
+        ]
+        self._clients = [
+            _ClientState(SimulationClock(0.0)) for _ in range(problem.n_clients)
+        ]
+        # Clients of each server, precomputed.
+        self._clients_of: List[np.ndarray] = [
+            np.flatnonzero(self._assignment.server_of == s)
+            for s in range(problem.n_servers)
+        ]
+        self._engine = EventEngine()
+        self._n_messages = 0
+        self._interaction_times: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Latency sampling
+    # ------------------------------------------------------------------
+    def _latency(self, src_node: int, dst_node: int) -> float:
+        base = self._base[src_node, dst_node]
+        factor = float(self._jitter.sample_factor(self._rng, size=1)[0])
+        return base * factor
+
+    def _client_node(self, client: int) -> int:
+        return int(self._problem.clients[client])
+
+    def _server_node(self, server: int) -> int:
+        return int(self._problem.servers[server])
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _issue(self, wall: float, operation: Operation) -> None:
+        client = operation.client
+        home = self._assignment.server_of_client(client)
+        latency = self._latency(self._client_node(client), self._server_node(home))
+        self._n_messages += 1
+        self._engine.schedule(
+            wall + latency,
+            OperationMessage(operation, home, first_leg=True),
+            self._receive_operation,
+        )
+
+    def _receive_operation(self, wall: float, message: OperationMessage) -> None:
+        server = message.dest_server
+        operation = message.operation
+        if message.first_leg:
+            # Forward to every other server.
+            src = self._server_node(server)
+            for other in range(self._problem.n_servers):
+                if other == server:
+                    continue
+                latency = self._latency(src, self._server_node(other))
+                self._n_messages += 1
+                self._engine.schedule(
+                    wall + latency,
+                    OperationMessage(operation, other, first_leg=False),
+                    self._receive_operation,
+                )
+        state = self._servers[server]
+        exec_sim = self._intended_exec_sim(operation)
+        exec_wall = state.clock.wall_time(exec_sim)
+        if wall <= exec_wall + _TOL:
+            self._engine.schedule(
+                exec_wall, ExecutionDue(operation, server), self._execute
+            )
+            return
+        # Late arrival: constraint (i) violated for this message.
+        state.late_arrivals.append((operation, wall))
+        if not self._allow_late:
+            raise ConsistencyViolation(
+                f"operation {operation} reached server {server} at wall "
+                f"{wall:.6f}, after its execution point {exec_wall:.6f}"
+            )
+        # Timewarp-style recovery: roll back, re-execute at the intended
+        # simulation time (retroactively), and count the repair if the
+        # log actually had to be reordered.
+        self._apply_execution(wall, server, operation, exec_sim, retroactive=True)
+
+    def _intended_exec_sim(self, operation: Operation) -> float:
+        """The simulation time every server must execute ``operation`` at.
+
+        Constant lag by default (the paper's local-lag style criterion);
+        with ``bucket_size`` set, quantized up to the next bucket
+        boundary (bucket synchronization, Gautier et al. [12]).
+        """
+        exec_sim = operation.issue_sim_time + self._schedule.delta
+        if self._bucket_size is not None:
+            import math
+
+            exec_sim = math.ceil(exec_sim / self._bucket_size) * self._bucket_size
+        return exec_sim
+
+    def _execute(self, wall: float, due: ExecutionDue) -> None:
+        # Record the *intended* execution simulation time rather than
+        # recomputing it from the wall clock: the sim->wall->sim float
+        # round trip differs per server offset by ~1e-10, which would
+        # make bitwise log comparison across servers spuriously fail.
+        exec_sim = self._intended_exec_sim(due.operation)
+        self._apply_execution(wall, due.server, due.operation, exec_sim, retroactive=False)
+
+    def _apply_execution(
+        self,
+        wall: float,
+        server: int,
+        operation: Operation,
+        exec_sim: float,
+        *,
+        retroactive: bool,
+    ) -> None:
+        state = self._servers[server]
+        entry = (operation, exec_sim)
+        key = (round(exec_sim, 9), operation.seq)
+        log = state.log
+        if log and (round(log[-1][1], 9), log[-1][0].seq) > key:
+            # Out-of-order landing. Two on-time operations can only tie
+            # on simulation time (their timers fire in wall order, and
+            # wall order equals simulation order on one clock), so the
+            # deterministic seq tie-break is a normalization, not a
+            # repair. A retroactive (late) execution jumping over
+            # later-sim entries is a genuine timewarp repair.
+            if retroactive and round(log[-1][1], 9) > key[0]:
+                state.repairs += 1
+            log.append(entry)
+            log.sort(key=lambda e: (round(e[1], 9), e[0].seq))
+        else:
+            log.append(entry)
+        # Server processing (§IV-E): the update leaves the server only
+        # after its FIFO service time; an overloaded server's backlog
+        # delays every subsequent update.
+        send_wall = wall
+        if self._processing is not None:
+            service = self._processing.effective_service_time(
+                len(self._clients_of[server])
+            )
+            send_wall = self._queues.submit(server, wall, service)
+        src = self._server_node(server)
+        for client in self._clients_of[server]:
+            client = int(client)
+            latency = self._latency(src, self._client_node(client))
+            self._n_messages += 1
+            self._engine.schedule(
+                send_wall + latency,
+                StateUpdateMessage(operation, server, client, exec_sim),
+                self._receive_update,
+            )
+
+    def _receive_update(self, wall: float, message: StateUpdateMessage) -> None:
+        client = self._clients[message.dest_client]
+        operation = message.operation
+        # Clients present the effect when their clocks reach the
+        # execution simulation time (== issuance + delta under the
+        # constant-lag criterion; the next bucket boundary under bucket
+        # synchronization).
+        present_sim = message.execution_sim_time
+        arrival_sim = client.clock.sim_time(wall)
+        if arrival_sim > present_sim + _TOL:
+            client.late_updates.append((operation, arrival_sim))
+            if not self._allow_late:
+                raise ConsistencyViolation(
+                    f"update for {operation} reached client "
+                    f"{message.dest_client} at sim {arrival_sim:.6f}, after "
+                    f"its presentation point {present_sim:.6f}"
+                )
+        presented_at = max(present_sim, arrival_sim)
+        client.presented[operation.seq] = presented_at
+        self._interaction_times.append(presented_at - operation.issue_sim_time)
+
+    # ------------------------------------------------------------------
+    # Run + verification
+    # ------------------------------------------------------------------
+    def run(self, operations: Sequence[Operation]) -> DIASimulationReport:
+        """Execute the workload and return the report.
+
+        Raises :class:`~repro.errors.SimulationError` subclasses when
+        ``allow_late`` is False and the schedule is violated.
+        """
+        for operation in operations:
+            # Client clocks are the wall reference: issue wall time ==
+            # issue sim time.
+            self._engine.schedule(operation.issue_sim_time, operation, self._issue)
+        self._engine.run()
+
+        servers_consistent = self._check_server_consistency()
+        order_preserved = self._check_order_preserved()
+        constant_lag = self._check_constant_lag()
+        times = np.asarray(self._interaction_times)
+        return DIASimulationReport(
+            delta=self._schedule.delta,
+            n_operations=len(operations),
+            n_messages=self._n_messages,
+            late_server_arrivals=sum(
+                len(s.late_arrivals) for s in self._servers
+            ),
+            late_client_updates=sum(
+                len(c.late_updates) for c in self._clients
+            ),
+            repairs=sum(s.repairs for s in self._servers),
+            servers_consistent=servers_consistent,
+            fair=order_preserved and constant_lag,
+            min_interaction_time=float(times.min()) if times.size else np.nan,
+            max_interaction_time=float(times.max()) if times.size else np.nan,
+            max_processing_backlog=self._queues.max_backlog,
+            order_preserved=order_preserved,
+            constant_lag=constant_lag,
+        )
+
+    def _check_server_consistency(self) -> bool:
+        """All server logs identical: same order, same execution sim times."""
+        logs = [
+            [(op.seq, round(t, 9)) for op, t in state.log]
+            for state in self._servers
+        ]
+        return all(log == logs[0] for log in logs[1:]) if logs else True
+
+    def _check_order_preserved(self) -> bool:
+        """Execution order equals issuance order at every server."""
+        for state in self._servers:
+            seqs = [op.seq for op, _t in state.log]
+            if seqs != sorted(seqs):
+                return False
+        return True
+
+    def _check_constant_lag(self) -> bool:
+        """The issuance-to-execution lag is the same constant everywhere.
+
+        This is the paper's strict fairness criterion (interval
+        preservation). Bucket synchronization intentionally violates it:
+        lags vary within [delta, delta + bucket_size).
+        """
+        for state in self._servers:
+            for op, exec_sim in state.log:
+                lag = exec_sim - op.issue_sim_time
+                if abs(lag - self._schedule.delta) > 1e-6 * max(
+                    1.0, self._schedule.delta
+                ):
+                    return False
+        return True
+
+
+def simulate_assignment(
+    schedule: OffsetSchedule,
+    operations: Sequence[Operation],
+    *,
+    jitter: Optional[JitterModel] = None,
+    seed: SeedLike = None,
+    allow_late: bool = False,
+    base_matrix: Optional[np.ndarray] = None,
+    processing: Optional[ProcessingModel] = None,
+    bucket_size: Optional[float] = None,
+) -> DIASimulationReport:
+    """One-call convenience wrapper around :class:`DIASimulation`."""
+    sim = DIASimulation(
+        schedule,
+        jitter=jitter,
+        seed=seed,
+        allow_late=allow_late,
+        base_matrix=base_matrix,
+        processing=processing,
+        bucket_size=bucket_size,
+    )
+    return sim.run(operations)
+
+
+def percentile_schedule(
+    assignment, jitter: JitterModel, q: float = 90.0
+) -> OffsetSchedule:
+    """Plan a schedule against the ``q``-th percentile latencies (§II-E).
+
+    Rebuilds the problem on the percentile-inflated matrix (same servers,
+    clients and capacities) and returns the minimal-lag schedule for the
+    same client-to-server mapping. Simulate it against the *base* matrix
+    by passing ``base_matrix=assignment.problem.matrix.values`` to
+    :func:`simulate_assignment`; higher ``q`` trades a longer lag δ for a
+    lower late-message rate.
+    """
+    from repro.core.assignment import Assignment
+    from repro.core.problem import ClientAssignmentProblem
+    from repro.net.jitter import percentile_matrix
+    from repro.net.latency import LatencyMatrix
+
+    problem = assignment.problem
+    inflated = LatencyMatrix(
+        percentile_matrix(problem.matrix.values, jitter, q), validate=False
+    )
+    capacities = problem.capacities
+    inflated_problem = ClientAssignmentProblem(
+        inflated,
+        problem.servers,
+        problem.clients,
+        capacities=None if capacities is None else capacities.copy(),
+    )
+    inflated_assignment = Assignment(inflated_problem, assignment.server_of)
+    return OffsetSchedule(inflated_assignment)

@@ -1,0 +1,79 @@
+"""A minimal deterministic discrete-event engine.
+
+Events are ``(wall_time, tie_breaker, payload, handler)`` entries in a
+binary heap. The tie breaker is a monotone sequence number, which makes
+simultaneous events fire in scheduling order — the engine is fully
+deterministic for a fixed input, a property the reproducibility tests
+rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+#: An event handler receives (wall_time, payload).
+Handler = Callable[[float, Any], None]
+
+
+class EventEngine:
+    """Priority-queue event loop keyed on wall-clock time."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Any, Handler]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current wall-clock time (time of the event being processed)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events dispatched so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def schedule(self, wall_time: float, payload: Any, handler: Handler) -> None:
+        """Schedule ``handler(wall_time, payload)``.
+
+        Scheduling into the past raises
+        :class:`~repro.errors.SimulationError` — latencies are positive,
+        so a well-formed simulation never needs it.
+        """
+        if wall_time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at {wall_time} before now={self._now}"
+            )
+        heapq.heappush(
+            self._queue, (wall_time, next(self._counter), payload, handler)
+        )
+
+    def run(self, *, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Dispatch events in time order.
+
+        Stops when the queue empties, the next event exceeds ``until``,
+        or ``max_events`` have been processed (raising in the last case,
+        as a runaway guard).
+        """
+        while self._queue:
+            if self._events_processed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded max_events={max_events}"
+                )
+            wall_time, _seq, payload, handler = self._queue[0]
+            if until is not None and wall_time > until:
+                break
+            heapq.heappop(self._queue)
+            self._now = wall_time
+            self._events_processed += 1
+            handler(wall_time, payload)

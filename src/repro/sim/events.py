@@ -1,0 +1,71 @@
+"""Event and message types for the DIA discrete-event simulation.
+
+The protocol being simulated is the paper's §II-A interaction process:
+
+1. ``OperationIssued`` — a client issues an operation at a simulation
+   time ``t`` (its local clock) and unicasts it to its assigned server.
+2. ``OperationMessage`` — in flight client -> home server, then home
+   server -> every other server (forwarding).
+3. ``ExecutionDue`` — a server's local simulation clock reaches
+   ``t + delta``; the operation executes and state updates go out.
+4. ``StateUpdateMessage`` — in flight server -> each of its clients.
+
+Wall-clock time is the event queue's key; each node converts to its
+local simulation time through its clock offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Operation:
+    """A user operation.
+
+    Ordering is by issuance simulation time then sequence number, which
+    is exactly the fairness-relevant issuance order.
+    """
+
+    #: Issuance time on the issuing client's simulation clock.
+    issue_sim_time: float
+    #: Global sequence number (unique, assigned by the workload).
+    seq: int
+    #: Local index of the issuing client.
+    client: int = field(compare=False)
+
+    def __repr__(self) -> str:
+        return f"Op(seq={self.seq}, client={self.client}, t={self.issue_sim_time:.3f})"
+
+
+@dataclass(frozen=True)
+class OperationMessage:
+    """An operation in flight toward a server."""
+
+    operation: Operation
+    #: Local index of the destination server.
+    dest_server: int
+    #: True for the client -> home-server leg; False for forwarding.
+    first_leg: bool
+
+
+@dataclass(frozen=True)
+class StateUpdateMessage:
+    """A state update in flight toward a client."""
+
+    operation: Operation
+    #: Local index of the originating server.
+    src_server: int
+    #: Local index of the destination client.
+    dest_client: int
+    #: Simulation time at which the operation was executed (should be
+    #: ``issue_sim_time + delta`` when the system is healthy).
+    execution_sim_time: float
+
+
+@dataclass(frozen=True)
+class ExecutionDue:
+    """Internal server timer: execute the operation now."""
+
+    operation: Operation
+    server: int

@@ -1,0 +1,89 @@
+"""Server processing-delay models (paper §II-E / §IV-E motivation).
+
+The paper's formulation deliberately excludes server processing delays,
+arguing they are easier to fix than network latency ("a busy server can
+always be better provisioned") — and handles the residual risk through
+capacity limits (§IV-E): assigning more clients to a server than its
+capacity "may result in significant increase in the processing delay,
+damaging the interactivity".
+
+This module lets the discrete-event simulator quantify that argument. A
+:class:`ProcessingModel` turns each operation execution into a FIFO job
+on the executing server: the state update leaves the server only after
+its service time, and an overloaded server builds a backlog that
+delays updates past the clients' presentation points. Running the same
+workload with and without capacity limits shows exactly the §IV-E
+failure mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ProcessingModel:
+    """FIFO server processing with a per-operation service time.
+
+    Parameters
+    ----------
+    service_time:
+        Milliseconds of server compute per (operation, subscribed
+        client-update batch). The update for an operation leaves the
+        server ``service_time`` after the server starts processing it,
+        and a server processes one operation at a time.
+    load_factor:
+        Optional additional per-assigned-client cost: the effective
+        service time is ``service_time * (1 + load_factor * n_clients)``,
+        modelling per-recipient serialization/marshalling work. Zero by
+        default (constant service time).
+    """
+
+    service_time: float
+    load_factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.service_time < 0:
+            raise ValueError(f"service_time must be >= 0, got {self.service_time}")
+        if self.load_factor < 0:
+            raise ValueError(f"load_factor must be >= 0, got {self.load_factor}")
+
+    def effective_service_time(self, n_clients: int) -> float:
+        """Service time for a server currently serving ``n_clients``."""
+        return self.service_time * (1.0 + self.load_factor * n_clients)
+
+
+class ServerQueue:
+    """Per-server FIFO backlog tracker used by the simulator."""
+
+    __slots__ = ("_busy_until", "_jobs", "_max_backlog")
+
+    def __init__(self, n_servers: int) -> None:
+        self._busy_until = np.zeros(n_servers)
+        self._jobs = np.zeros(n_servers, dtype=np.int64)
+        self._max_backlog = 0.0
+
+    def submit(self, server: int, wall: float, service_time: float) -> float:
+        """Enqueue a job arriving at ``wall``; returns its completion time."""
+        start = max(wall, float(self._busy_until[server]))
+        completion = start + service_time
+        self._busy_until[server] = completion
+        self._jobs[server] += 1
+        backlog = start - wall
+        if backlog > self._max_backlog:
+            self._max_backlog = backlog
+        return completion
+
+    @property
+    def max_backlog(self) -> float:
+        """Largest queueing delay (ms) any job experienced."""
+        return self._max_backlog
+
+    def jobs_processed(self, server: Optional[int] = None) -> int:
+        """Jobs processed by one server (or all servers)."""
+        if server is None:
+            return int(self._jobs.sum())
+        return int(self._jobs[server])

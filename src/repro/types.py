@@ -1,0 +1,72 @@
+"""Shared type aliases and small value objects used across the package.
+
+The package consistently identifies network nodes by **integer indices**
+into a pairwise latency matrix. Three aliases make signatures
+self-documenting:
+
+- :data:`NodeId` — an index into the full node set ``V``.
+- :data:`ServerId` — a node index that is a member of the server set ``S``.
+- :data:`ClientId` — a node index that is a member of the client set ``C``.
+
+Servers and clients live in the *same* index space as nodes (a node may be
+both a server and a client, matching the paper's model where a client is
+located at every node and servers occupy selected nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+NodeId = int
+ServerId = int
+ClientId = int
+
+#: Anything accepted where an array of node indices is expected.
+IndexArrayLike = Union[Sequence[int], np.ndarray]
+
+#: Floating point latency value, in the unit of the latency matrix
+#: (conventionally milliseconds).
+Latency = float
+
+
+@dataclass(frozen=True)
+class InteractionPath:
+    """The three-hop path through which two clients interact.
+
+    The path ``ci -> s(ci) -> s(cj) -> cj`` and its total length. Lengths
+    are in the unit of the underlying latency matrix (milliseconds by
+    convention).
+    """
+
+    client_a: ClientId
+    server_a: ServerId
+    server_b: ServerId
+    client_b: ClientId
+    length: Latency
+
+    def hops(self) -> tuple:
+        """Return the node sequence of the path, collapsing equal servers."""
+        if self.server_a == self.server_b:
+            return (self.client_a, self.server_a, self.client_b)
+        return (self.client_a, self.server_a, self.server_b, self.client_b)
+
+
+def as_index_array(indices: IndexArrayLike, name: str = "indices") -> np.ndarray:
+    """Coerce ``indices`` to a 1-D ``int64`` numpy array.
+
+    Raises ``ValueError`` when the input is not one-dimensional or not
+    integral. A defensive copy is made so callers may mutate their input
+    afterwards.
+    """
+    arr = np.asarray(indices)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        if np.issubdtype(arr.dtype, np.floating) and np.all(arr == arr.astype(np.int64)):
+            arr = arr.astype(np.int64)
+        else:
+            raise ValueError(f"{name} must contain integers, got dtype {arr.dtype}")
+    return arr.astype(np.int64, copy=True)

@@ -1,0 +1,18 @@
+"""Small cross-cutting helpers: RNG handling, validation, timing."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import (
+    require,
+    require_positive,
+    require_in_range,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "require",
+    "require_positive",
+    "require_in_range",
+]

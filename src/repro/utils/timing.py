@@ -1,0 +1,37 @@
+"""Wall-clock timing helper used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Stopwatch:
+    """A tiny context-manager stopwatch.
+
+    Example::
+
+        with Stopwatch() as sw:
+            run_algorithm()
+        print(sw.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self._elapsed = time.perf_counter() - self._start
+            self._start = None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed; live while running, frozen after exit."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed

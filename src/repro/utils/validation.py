@@ -1,0 +1,23 @@
+"""Argument-validation helpers producing uniform error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+
+def require(condition: bool, message: str, error: Type[Exception] = ValueError) -> None:
+    """Raise ``error(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise error(message)
+
+
+def require_positive(value: Any, name: str) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_in_range(value: Any, low: Any, high: Any, name: str) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")

@@ -1,0 +1,72 @@
+"""Theorem 2: Nearest-Server is a 3-approximation on metric inputs."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import longest_first_batch, nearest_server
+from repro.core import (
+    ClientAssignmentProblem,
+    max_interaction_path_length,
+    solve_branch_and_bound,
+)
+from repro.net.latency import LatencyMatrix
+
+
+def random_metric_instance(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(8, 14))
+    matrix = LatencyMatrix.random_metric(n, seed=seed)
+    k = int(rng.integers(2, 4))
+    nodes = rng.permutation(n)
+    servers = nodes[:k]
+    n_clients = int(rng.integers(4, min(8, n - k) + 1))
+    clients = nodes[k : k + n_clients]
+    return ClientAssignmentProblem(matrix, servers, clients)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_nsa_within_3x_optimal_on_metric(seed):
+    problem = random_metric_instance(seed)
+    opt = solve_branch_and_bound(problem).objective
+    nsa = max_interaction_path_length(nearest_server(problem))
+    assert nsa <= 3.0 * opt + 1e-9
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_lfb_within_3x_optimal_on_metric(seed):
+    # LFB inherits the bound (its D never exceeds NSA's).
+    problem = random_metric_instance(seed)
+    opt = solve_branch_and_bound(problem).objective
+    lfb = max_interaction_path_length(longest_first_batch(problem))
+    assert lfb <= 3.0 * opt + 1e-9
+
+
+def test_bound_can_fail_without_triangle_inequality():
+    """Footnote 2 of §V: the 3x bound does not survive non-metric data.
+
+    Build an explicit instance where NSA exceeds 3x the optimum: nearest
+    servers look attractive on the client-server leg but are connected
+    by an enormous inter-server latency.
+    """
+    big = 1000.0
+    d = np.array(
+        [
+            #  s0     s1     s2     c0    c1
+            [0.0, big, 10.0, 9.0, big],   # s0 (near c0)
+            [big, 0.0, 10.0, big, 9.0],   # s1 (near c1)
+            [10.0, 10.0, 0.0, 10.0, 10.0],  # s2 (hub)
+            [9.0, big, 10.0, 0.0, big],   # c0
+            [big, 9.0, 10.0, big, 0.0],   # c1
+        ]
+    )
+    problem = ClientAssignmentProblem(
+        LatencyMatrix(d), servers=[0, 1, 2], clients=[3, 4]
+    )
+    nsa = max_interaction_path_length(nearest_server(problem))
+    opt = solve_branch_and_bound(problem).objective
+    # NSA picks s0/s1 (distance 9 each) and pays the huge inter-server
+    # leg; the optimum puts both clients on the hub s2 (D = 10 + 10,
+    # with no inter-server leg).
+    assert opt == pytest.approx(10 + 10)
+    assert nsa == pytest.approx(9 + big + 9)
+    assert nsa > 3.0 * opt

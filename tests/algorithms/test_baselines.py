@@ -1,0 +1,130 @@
+"""Tests for baselines (best-single-server, random) and local search."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    best_single_server,
+    hill_climbing,
+    nearest_server,
+    random_assignment,
+    simulated_annealing,
+)
+from repro.core import (
+    Assignment,
+    ClientAssignmentProblem,
+    max_interaction_path_length,
+)
+from repro.errors import CapacityError
+
+
+class TestBestSingleServer:
+    def test_all_on_one_server(self, small_problem):
+        a = best_single_server(small_problem)
+        assert a.used_servers().size == 1
+
+    def test_picks_the_best(self, small_problem):
+        a = best_single_server(small_problem)
+        d_best = max_interaction_path_length(a)
+        for s in range(small_problem.n_servers):
+            candidate = Assignment(
+                small_problem,
+                np.full(small_problem.n_clients, s, dtype=np.int64),
+            )
+            assert d_best <= max_interaction_path_length(candidate) + 1e-9
+
+    def test_capacitated_feasibility(self, small_matrix):
+        problem = ClientAssignmentProblem(
+            small_matrix, servers=[0, 10], capacities=[40, 40]
+        )
+        a = best_single_server(problem)
+        assert a.respects_capacities()
+
+    def test_capacitated_infeasible_raises(self, small_matrix):
+        problem = ClientAssignmentProblem(
+            small_matrix, servers=[0, 10], capacities=[25, 25]
+        )
+        with pytest.raises(CapacityError):
+            best_single_server(problem)
+
+
+class TestRandomAssignment:
+    def test_seeded_reproducible(self, small_problem):
+        a = random_assignment(small_problem, seed=4)
+        b = random_assignment(small_problem, seed=4)
+        assert a == b
+
+    def test_capacitated_respects_capacities(self, capacitated_problem):
+        for seed in range(5):
+            a = random_assignment(capacitated_problem, seed=seed)
+            assert a.respects_capacities()
+
+    def test_uncapacitated_valid(self, small_problem):
+        a = random_assignment(small_problem, seed=0)
+        assert np.all(a.server_of < small_problem.n_servers)
+
+
+class TestHillClimbing:
+    def test_never_worse_than_initial(self, small_problem):
+        initial = nearest_server(small_problem)
+        a = hill_climbing(small_problem, seed=0)
+        assert max_interaction_path_length(a) <= max_interaction_path_length(
+            initial
+        ) + 1e-9
+
+    def test_local_optimum_no_single_move_improves(self, small_problem):
+        a = hill_climbing(small_problem, seed=1, max_rounds=100)
+        d = max_interaction_path_length(a)
+        for c in range(small_problem.n_clients):
+            for s in range(small_problem.n_servers):
+                if s == a.server_of_client(c):
+                    continue
+                moved = a.replace(c, s)
+                assert max_interaction_path_length(moved) >= d - 1e-9
+
+    def test_capacitated(self, capacitated_problem):
+        a = hill_climbing(capacitated_problem, seed=0)
+        assert a.respects_capacities()
+
+
+class TestSimulatedAnnealing:
+    def test_never_worse_than_initial(self, small_problem):
+        initial = nearest_server(small_problem)
+        a = simulated_annealing(small_problem, seed=0, n_steps=500)
+        assert max_interaction_path_length(a) <= max_interaction_path_length(
+            initial
+        ) + 1e-9
+
+    def test_seeded_reproducible(self, small_problem):
+        a = simulated_annealing(small_problem, seed=7, n_steps=300)
+        b = simulated_annealing(small_problem, seed=7, n_steps=300)
+        assert a == b
+
+    def test_capacitated(self, capacitated_problem):
+        a = simulated_annealing(capacitated_problem, seed=0, n_steps=300)
+        assert a.respects_capacities()
+
+
+class TestRegistry:
+    def test_all_names_resolvable(self):
+        from repro.algorithms import algorithm_names, get_algorithm
+
+        for name in algorithm_names():
+            assert callable(get_algorithm(name))
+
+    def test_paper_names_registered(self):
+        from repro.algorithms import algorithm_names, paper_algorithm_names
+
+        assert set(paper_algorithm_names()) <= set(algorithm_names())
+
+    def test_unknown_name_lists_options(self):
+        from repro.algorithms import get_algorithm
+
+        with pytest.raises(KeyError, match="available"):
+            get_algorithm("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.algorithms import register
+
+        with pytest.raises(ValueError):
+            register("greedy")(lambda problem, **kw: None)

@@ -1,0 +1,105 @@
+"""Capacitated variants: constructed edge cases (§IV-E semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import greedy, longest_first_batch, nearest_server
+from repro.core import ClientAssignmentProblem, max_interaction_path_length
+from repro.net.latency import LatencyMatrix
+
+
+def hub_instance():
+    """Five clients clustered around server 0, a far server 1.
+
+    Uncapacitated, every algorithm sends all clients to server 0;
+    capacities force spillover, exposing the truncation rules.
+    """
+    #        s0    s1    c0    c1    c2    c3    c4
+    d = np.array(
+        [
+            [0.0, 50.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+            [50.0, 0.0, 51.0, 52.0, 48.0, 47.0, 46.0],
+            [1.0, 51.0, 0.0, 1.0, 2.0, 3.0, 4.0],
+            [2.0, 52.0, 1.0, 0.0, 1.0, 2.0, 3.0],
+            [3.0, 48.0, 2.0, 1.0, 0.0, 1.0, 2.0],
+            [4.0, 47.0, 3.0, 2.0, 1.0, 0.0, 1.0],
+            [5.0, 46.0, 4.0, 3.0, 2.0, 1.0, 0.0],
+        ]
+    )
+    matrix = LatencyMatrix(d)
+    return ClientAssignmentProblem(
+        matrix, servers=[0, 1], clients=[2, 3, 4, 5, 6], capacities=[3, 5]
+    )
+
+
+class TestLfbTruncation:
+    def test_farthest_client_kept_in_truncated_batch(self):
+        problem = hub_instance()
+        a = longest_first_batch(problem)
+        assert a.respects_capacities()
+        # The LFB driver is c4 (distance 5 to its nearest server s0);
+        # the truncated batch must contain c4 itself.
+        assert a.server_of_client(4) == 0
+
+    def test_leftovers_respect_new_nearest(self):
+        problem = hub_instance()
+        a = longest_first_batch(problem)
+        # Exactly 3 clients on s0 (its capacity), 2 spill to s1.
+        loads = a.loads()
+        assert loads[0] == 3
+        assert loads[1] == 2
+
+
+class TestGreedyTruncation:
+    def test_capacity_respected_and_selected_client_assigned(self):
+        problem = hub_instance()
+        a = greedy(problem)
+        assert a.respects_capacities()
+        assert a.loads().sum() == 5
+
+    def test_truncated_batch_farthest_is_selected_client(self):
+        # The Δl bookkeeping requires the selected client to be the
+        # farthest member of its (possibly truncated) batch: verify the
+        # invariant post-hoc for every server.
+        problem = hub_instance()
+        a = greedy(problem)
+        cs = problem.client_server
+        for s in a.used_servers():
+            members = np.flatnonzero(a.server_of == s)
+            # farthest member distance must equal l(s) used internally
+            farthest = cs[members, s].max()
+            assert farthest == a.farthest_client_distance()[int(s)]
+
+
+class TestNearestSpillover:
+    def test_spill_goes_to_second_nearest(self):
+        problem = hub_instance()
+        a = nearest_server(problem)
+        assert a.respects_capacities()
+        # First three clients (index order) grab s0; the rest spill.
+        assert list(a.server_of) == [0, 0, 0, 1, 1]
+
+
+class TestExactFitStress:
+    def test_capacity_one_per_server(self):
+        # |C| == |S| with capacity 1: a perfect matching is forced.
+        rng = np.random.default_rng(0)
+        d = rng.uniform(1.0, 10.0, size=(8, 8))
+        d = (d + d.T) / 2
+        np.fill_diagonal(d, 0.0)
+        matrix = LatencyMatrix(d)
+        problem = ClientAssignmentProblem(
+            matrix, servers=[0, 1, 2, 3], clients=[4, 5, 6, 7], capacities=1
+        )
+        for fn in (nearest_server, longest_first_batch, greedy):
+            a = fn(problem)
+            assert a.respects_capacities()
+            assert sorted(a.server_of.tolist()) == [0, 1, 2, 3]
+
+    def test_capacitated_never_beats_uncapacitated(self):
+        problem = hub_instance()
+        free = problem.uncapacitated()
+        for fn in (nearest_server, longest_first_batch, greedy):
+            d_cap = max_interaction_path_length(fn(problem))
+            d_free = max_interaction_path_length(fn(free))
+            assert d_cap >= d_free - 1e-9

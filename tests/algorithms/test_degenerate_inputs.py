@@ -1,0 +1,107 @@
+"""Algorithms on degenerate and adversarial inputs.
+
+Uniform distances (total tie-breaking), near-zero spreads, single
+clients, clients co-located with servers, and asymmetric matrices — the
+inputs where index arithmetic and tie handling break first.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    distributed_greedy_detailed,
+    greedy,
+    longest_first_batch,
+    nearest_server,
+)
+from repro.core import (
+    Assignment,
+    ClientAssignmentProblem,
+    max_interaction_path_length,
+    max_interaction_path_length_bruteforce,
+)
+from repro.net.latency import LatencyMatrix
+
+ALGORITHMS = [nearest_server, longest_first_batch, greedy]
+
+
+def uniform_matrix(n, value=7.0):
+    d = np.full((n, n), value)
+    np.fill_diagonal(d, 0.0)
+    return LatencyMatrix(d)
+
+
+class TestUniformDistances:
+    def test_all_algorithms_terminate(self):
+        problem = ClientAssignmentProblem(
+            uniform_matrix(12), servers=[0, 1, 2], clients=list(range(3, 12))
+        )
+        for fn in ALGORITHMS:
+            a = fn(problem)
+            assert np.all(a.server_of >= 0)
+            # All assignments are equivalent: D = 7 + x + 7 where the
+            # middle leg is 0 (same server) or 7.
+            d = max_interaction_path_length(a)
+            assert d in (pytest.approx(14.0), pytest.approx(21.0))
+
+    def test_dga_converges_on_ties(self):
+        problem = ClientAssignmentProblem(
+            uniform_matrix(12), servers=[0, 1, 2], clients=list(range(3, 12))
+        )
+        result = distributed_greedy_detailed(problem)
+        # With all-equal distances no move can strictly improve below
+        # the all-on-one-server optimum of 14.
+        assert result.converged or result.n_modifications <= 120
+
+
+class TestTinyPopulations:
+    def test_single_client_single_server(self):
+        matrix = LatencyMatrix(np.array([[0.0, 3.0], [3.0, 0.0]]))
+        problem = ClientAssignmentProblem(matrix, servers=[0], clients=[1])
+        for fn in ALGORITHMS:
+            a = fn(problem)
+            assert max_interaction_path_length(a) == pytest.approx(6.0)
+
+    def test_clients_colocated_with_servers(self):
+        matrix = LatencyMatrix.random_metric(6, seed=0)
+        problem = ClientAssignmentProblem(
+            matrix, servers=[0, 1, 2], clients=[0, 1, 2]
+        )
+        for fn in ALGORITHMS:
+            a = fn(problem)
+            # Each co-located client's nearest server is itself (d = 0);
+            # NSA gives zero client legs.
+            assert max_interaction_path_length(a) >= 0.0
+        nsa = nearest_server(problem)
+        assert np.all(nsa.client_distances() == 0.0)
+
+
+class TestAsymmetric:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        rng = np.random.default_rng(3)
+        d = rng.uniform(2.0, 40.0, size=(15, 15))
+        np.fill_diagonal(d, 0.0)
+        return ClientAssignmentProblem(LatencyMatrix(d), servers=[0, 5, 10])
+
+    def test_algorithms_valid_and_d_consistent(self, problem):
+        for fn in ALGORITHMS:
+            a = fn(problem)
+            assert max_interaction_path_length(a) == pytest.approx(
+                max_interaction_path_length_bruteforce(a)
+            )
+
+    def test_dga_monotone(self, problem):
+        result = distributed_greedy_detailed(problem)
+        trace = result.trace
+        assert all(b <= a + 1e-9 for a, b in zip(trace, trace[1:]))
+
+
+class TestNearZeroSpread:
+    def test_min_latency_floor_inputs(self):
+        # All distances at the validation floor: everything ties.
+        matrix = uniform_matrix(8, value=1e-6)
+        problem = ClientAssignmentProblem(matrix, servers=[0, 1])
+        for fn in ALGORITHMS:
+            a = fn(problem)
+            assert np.all(a.server_of >= 0)

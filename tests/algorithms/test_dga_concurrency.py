@@ -1,0 +1,112 @@
+"""Why Distributed-Greedy needs concurrency control (paper §IV-D).
+
+The paper requires "a concurrency control mechanism ... to prevent
+servers from performing assignment modifications simultaneously",
+because each modification's benefit is computed assuming every other
+client stays put. This module demonstrates the hazard concretely: an
+instance where two clients on longest paths each have a move promising
+``L(s') < D``, yet applying both moves *simultaneously* increases D —
+while the sequential protocol (what we implement) is provably
+non-increasing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import distributed_greedy_detailed, nearest_server
+from repro.core import (
+    Assignment,
+    ClientAssignmentProblem,
+    clients_on_longest_paths,
+    max_interaction_path_length,
+)
+from repro.datasets.synthetic import small_world_latencies
+from repro.placement import random_placement
+
+# Pinned instance found by randomized search: see the docstring test
+# below which re-derives the property rather than trusting magic
+# numbers.
+SEED = 5
+CLIENT_A, CLIENT_B = 4, 17
+
+
+def _dga_move_estimate(problem, server_of, client):
+    """Replicate DGA's L(s') estimate for moving one client."""
+    cs, ss = problem.client_server, problem.server_server
+    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]
+    n_servers = problem.n_servers
+    l_out = np.full(n_servers, -np.inf)
+    l_in = np.full(n_servers, -np.inf)
+    mask = np.ones(problem.n_clients, dtype=bool)
+    mask[client] = False
+    idx = np.flatnonzero(mask)
+    np.maximum.at(l_out, server_of[idx], cs[idx, server_of[idx]])
+    np.maximum.at(l_in, server_of[idx], sc[server_of[idx], idx])
+    best_in = (ss + l_in[None, :]).max(axis=1)
+    best_out = (l_out[:, None] + ss).max(axis=0)
+    l_candidates = np.maximum(cs[client, :] + best_in, best_out + sc[:, client])
+    l_candidates = np.maximum(l_candidates, cs[client, :] + sc[:, client])
+    return int(np.argmin(l_candidates)), float(l_candidates.min())
+
+
+@pytest.fixture(scope="module")
+def instance():
+    matrix = small_world_latencies(20, seed=SEED)
+    servers = random_placement(matrix, 4, seed=SEED)
+    problem = ClientAssignmentProblem(matrix, servers)
+    return problem, nearest_server(problem)
+
+
+class TestConcurrentModificationHazard:
+    def test_individual_moves_promise_improvement(self, instance):
+        problem, assignment = instance
+        d = max_interaction_path_length(assignment)
+        involved = set(clients_on_longest_paths(assignment).tolist())
+        assert CLIENT_A in involved and CLIENT_B in involved
+        for client in (CLIENT_A, CLIENT_B):
+            target, promised = _dga_move_estimate(
+                problem, assignment.server_of, client
+            )
+            assert promised < d  # the move looks strictly improving
+            assert target != assignment.server_of_client(client)
+
+    def test_simultaneous_moves_increase_d(self, instance):
+        problem, assignment = instance
+        d = max_interaction_path_length(assignment)
+        original = assignment.server_of
+        # Both moves computed against the SAME starting state (no
+        # concurrency control)...
+        targets = {
+            client: _dga_move_estimate(problem, original, client)[0]
+            for client in (CLIENT_A, CLIENT_B)
+        }
+        # ...then applied together.
+        server_of = original.copy()
+        for client, target in targets.items():
+            server_of[client] = target
+        d_after = max_interaction_path_length(Assignment(problem, server_of))
+        assert d_after > d + 1e-9  # the hazard: D got worse
+
+    def test_sequential_moves_never_increase_d(self, instance):
+        problem, assignment = instance
+        d = max_interaction_path_length(assignment)
+        server_of = assignment.server_of.copy()
+        # Apply the same two moves one at a time, re-evaluating between.
+        for client in (CLIENT_A, CLIENT_B):
+            target, promised = _dga_move_estimate(problem, server_of, client)
+            current = max_interaction_path_length(
+                Assignment(problem, server_of)
+            )
+            if promised < current:  # the protocol's guard
+                server_of[client] = target
+            after = max_interaction_path_length(Assignment(problem, server_of))
+            assert after <= current + 1e-9
+        assert max_interaction_path_length(
+            Assignment(problem, server_of)
+        ) <= d + 1e-9
+
+    def test_full_dga_on_hazard_instance_is_monotone(self, instance):
+        problem, _assignment = instance
+        result = distributed_greedy_detailed(problem)
+        trace = result.trace
+        assert all(b <= a + 1e-9 for a, b in zip(trace, trace[1:]))

@@ -1,0 +1,125 @@
+"""Tests for Greedy Assignment (Fig. 6 pseudocode)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import greedy, nearest_server
+from repro.core import (
+    Assignment,
+    ClientAssignmentProblem,
+    max_interaction_path_length,
+    solve_branch_and_bound,
+)
+from repro.net.latency import LatencyMatrix
+from repro.placement import random_placement
+
+
+class TestBasics:
+    def test_every_client_assigned(self, small_problem):
+        a = greedy(small_problem)
+        assert np.all(a.server_of >= 0)
+        assert np.all(a.server_of < small_problem.n_servers)
+
+    def test_deterministic(self, small_problem):
+        assert greedy(small_problem) == greedy(small_problem)
+
+    def test_single_server(self, small_matrix):
+        problem = ClientAssignmentProblem(small_matrix, servers=[3])
+        a = greedy(problem)
+        assert np.all(a.server_of == 0)
+
+    def test_single_client(self, small_matrix):
+        problem = ClientAssignmentProblem(small_matrix, servers=[0, 5], clients=[9])
+        a = greedy(problem)
+        # A single client should take its nearest server (cost
+        # minimization degenerates to the round trip).
+        assert a.server_of_client(0) == int(
+            np.argmin(problem.client_server[0])
+        )
+
+
+class TestQuality:
+    def test_beats_nearest_on_average(self, medium_matrix):
+        wins = 0
+        total = 0
+        for seed in range(10):
+            servers = random_placement(medium_matrix, 10, seed=seed)
+            problem = ClientAssignmentProblem(medium_matrix, servers)
+            d_ga = max_interaction_path_length(greedy(problem))
+            d_nsa = max_interaction_path_length(nearest_server(problem))
+            total += 1
+            if d_ga <= d_nsa + 1e-9:
+                wins += 1
+        assert wins >= 8  # greedy dominates in the vast majority of runs
+
+    def test_near_optimal_on_tiny_instances(self):
+        ratios = []
+        for seed in range(6):
+            matrix = LatencyMatrix.random_metric(12, seed=seed)
+            rng = np.random.default_rng(seed)
+            nodes = rng.permutation(12)
+            problem = ClientAssignmentProblem(
+                matrix, nodes[:3], clients=nodes[3:9]
+            )
+            opt = solve_branch_and_bound(problem).objective
+            ga = max_interaction_path_length(greedy(problem))
+            assert ga >= opt - 1e-9
+            ratios.append(ga / opt)
+        assert np.mean(ratios) <= 1.3
+
+
+class TestBatchSemantics:
+    def test_first_batch_closure(self):
+        # Construct an instance where the first greedy pick is clear and
+        # the batch must include all closer clients.
+        d = np.array(
+            [
+                #  s     c1    c2    c3
+                [0.0, 1.0, 2.0, 3.0],
+                [1.0, 0.0, 1.5, 2.5],
+                [2.0, 1.5, 0.0, 1.8],
+                [3.0, 2.5, 1.8, 0.0],
+            ]
+        )
+        problem = ClientAssignmentProblem(
+            LatencyMatrix(d), servers=[0], clients=[1, 2, 3]
+        )
+        a = greedy(problem)
+        assert np.all(a.server_of == 0)
+
+    def test_terminates_on_equidistant_clients(self):
+        # Many clients at identical distances exercise the Δn ties.
+        d = np.full((6, 6), 4.0)
+        np.fill_diagonal(d, 0.0)
+        problem = ClientAssignmentProblem(
+            LatencyMatrix(d), servers=[0, 1], clients=[2, 3, 4, 5]
+        )
+        a = greedy(problem)
+        assert np.all(a.server_of >= 0)
+
+
+class TestCapacitated:
+    def test_respects_capacities(self, capacitated_problem):
+        a = greedy(capacitated_problem)
+        assert a.respects_capacities()
+
+    def test_tight_fit(self, small_matrix):
+        problem = ClientAssignmentProblem(
+            small_matrix, servers=[0, 10, 20, 30], capacities=10
+        )
+        a = greedy(problem)
+        assert a.respects_capacities()
+        assert a.loads().sum() == problem.n_clients
+
+    def test_loose_capacity_matches_uncapacitated(self, small_problem):
+        loose = small_problem.with_capacity(small_problem.n_clients)
+        assert np.array_equal(
+            greedy(small_problem).server_of, greedy(loose).server_of
+        )
+
+    def test_capacity_never_helps(self, small_problem):
+        free = max_interaction_path_length(greedy(small_problem))
+        capped = max_interaction_path_length(
+            greedy(small_problem.with_capacity(9))
+        )
+        assert capped >= free - 1e-9

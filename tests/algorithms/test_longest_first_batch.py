@@ -1,0 +1,91 @@
+"""Tests for Longest-First-Batch Assignment."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import longest_first_batch, nearest_server
+from repro.core import ClientAssignmentProblem, max_interaction_path_length
+from repro.net.latency import LatencyMatrix
+
+
+class TestUncapacitated:
+    def test_never_worse_than_nearest(self, small_problem):
+        # Paper §IV-B: LFB's D cannot exceed NSA's.
+        d_lfb = max_interaction_path_length(longest_first_batch(small_problem))
+        d_nsa = max_interaction_path_length(nearest_server(small_problem))
+        assert d_lfb <= d_nsa + 1e-9
+
+    def test_never_worse_many_seeds(self, medium_matrix):
+        from repro.placement import random_placement
+
+        for seed in range(8):
+            servers = random_placement(medium_matrix, 8, seed=seed)
+            problem = ClientAssignmentProblem(medium_matrix, servers)
+            d_lfb = max_interaction_path_length(longest_first_batch(problem))
+            d_nsa = max_interaction_path_length(nearest_server(problem))
+            assert d_lfb <= d_nsa + 1e-9
+
+    def test_batch_closure_invariant(self, small_problem):
+        # If client c is assigned to s and some other client c' has
+        # d(c', s) <= d(c, s), then c' is assigned to a server at most
+        # that far — specifically LFB assigns it to s unless it was
+        # already batched earlier (to a server even closer in the
+        # longest-first order). The checkable invariant: any client not
+        # on its nearest server is never the farthest client of its
+        # server.
+        a = longest_first_batch(small_problem)
+        cs = small_problem.client_server
+        nearest = np.argmin(cs, axis=1)
+        farthest = a.farthest_client_distance()
+        for c in range(small_problem.n_clients):
+            s = a.server_of_client(c)
+            if s != nearest[c]:
+                assert cs[c, s] <= farthest[s] + 1e-12
+
+    def test_every_client_assigned(self, small_problem):
+        a = longest_first_batch(small_problem)
+        assert a.server_of.shape == (small_problem.n_clients,)
+        assert np.all(a.server_of >= 0)
+
+    def test_farthest_client_on_nearest_server(self, small_problem):
+        # The client driving the first batch is assigned to its nearest
+        # server.
+        a = longest_first_batch(small_problem)
+        cs = small_problem.client_server
+        nearest = np.argmin(cs, axis=1)
+        nearest_dist = cs[np.arange(small_problem.n_clients), nearest]
+        worst = int(np.argmax(nearest_dist))
+        assert a.server_of_client(worst) == nearest[worst]
+
+    def test_deterministic(self, small_problem):
+        assert longest_first_batch(small_problem) == longest_first_batch(
+            small_problem
+        )
+
+
+class TestCapacitated:
+    def test_respects_capacities(self, capacitated_problem):
+        a = longest_first_batch(capacitated_problem)
+        assert a.respects_capacities()
+
+    def test_tight_capacity(self, small_matrix):
+        problem = ClientAssignmentProblem(
+            small_matrix, servers=[0, 10, 20, 30], capacities=10
+        )
+        a = longest_first_batch(problem)
+        assert a.respects_capacities()
+        np.testing.assert_array_equal(np.sort(a.loads()), [10, 10, 10, 10])
+
+    def test_loose_capacity_matches_uncapacitated(self, small_problem):
+        loose = small_problem.with_capacity(small_problem.n_clients)
+        assert np.array_equal(
+            longest_first_batch(small_problem).server_of,
+            longest_first_batch(loose).server_of,
+        )
+
+    def test_uneven_capacities(self, small_matrix):
+        problem = ClientAssignmentProblem(
+            small_matrix, servers=[0, 10, 20], capacities=[5, 5, 30]
+        )
+        a = longest_first_batch(problem)
+        assert a.respects_capacities()

@@ -1,0 +1,85 @@
+"""Tests for Nearest-Server Assignment (uncapacitated + capacitated)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import nearest_server
+from repro.core import ClientAssignmentProblem
+from repro.net.latency import LatencyMatrix
+
+
+class TestUncapacitated:
+    def test_each_client_gets_nearest(self, small_problem):
+        a = nearest_server(small_problem)
+        cs = small_problem.client_server
+        np.testing.assert_array_equal(a.server_of, np.argmin(cs, axis=1))
+
+    def test_deterministic(self, small_problem):
+        assert nearest_server(small_problem) == nearest_server(small_problem)
+
+    def test_tie_breaks_to_lowest_index(self):
+        d = np.array(
+            [
+                [0.0, 5.0, 5.0, 1.0],
+                [5.0, 0.0, 2.0, 9.0],
+                [5.0, 2.0, 0.0, 9.0],
+                [1.0, 9.0, 9.0, 0.0],
+            ]
+        )
+        problem = ClientAssignmentProblem(
+            LatencyMatrix(d), servers=[1, 2], clients=[0]
+        )
+        a = nearest_server(problem)
+        assert a.server_of_client(0) == 0
+
+    def test_client_at_server_node(self, small_matrix):
+        servers = np.array([0, 7])
+        problem = ClientAssignmentProblem(small_matrix, servers, clients=[0])
+        a = nearest_server(problem)
+        assert a.server_of_client(0) == 0
+        assert a.client_distances()[0] == 0.0
+
+
+class TestCapacitated:
+    def test_respects_capacities(self, capacitated_problem):
+        a = nearest_server(capacitated_problem)
+        assert a.respects_capacities()
+
+    def test_overflow_goes_to_next_nearest(self):
+        # Three clients, two servers with capacity 1 and 2; all clients
+        # nearest to server 0.
+        d = np.array(
+            [
+                [0.0, 1.0, 5.0, 1.1, 1.2],
+                [1.0, 0.0, 5.0, 2.0, 2.0],
+                [5.0, 5.0, 0.0, 4.0, 4.0],
+                [1.1, 2.0, 4.0, 0.0, 1.0],
+                [1.2, 2.0, 4.0, 1.0, 0.0],
+            ]
+        )
+        problem = ClientAssignmentProblem(
+            LatencyMatrix(d), servers=[0, 2], clients=[1, 3, 4], capacities=[1, 2]
+        )
+        a = nearest_server(problem)
+        # Client 1 (processed first) takes server 0; the rest overflow
+        # to server 2.
+        assert a.server_of_client(0) == 0
+        assert a.server_of_client(1) == 1
+        assert a.server_of_client(2) == 1
+        assert a.respects_capacities()
+
+    def test_exact_fit(self, small_matrix):
+        # Capacity exactly |C| / |S|.
+        problem = ClientAssignmentProblem(
+            small_matrix, servers=[0, 10, 20, 30], capacities=10
+        )
+        a = nearest_server(problem)
+        assert a.respects_capacities()
+        assert a.loads().sum() == problem.n_clients
+
+    def test_uncapacitated_matches_when_loose(self, small_problem):
+        loose = small_problem.with_capacity(small_problem.n_clients)
+        assert np.array_equal(
+            nearest_server(small_problem).server_of,
+            nearest_server(loose).server_of,
+        )

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Fixtures produce *small* instances so the full suite stays fast; the
+benchmark harness covers realistic scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Assignment, ClientAssignmentProblem
+from repro.datasets.synthetic import small_world_latencies
+from repro.net.latency import LatencyMatrix
+from repro.placement import random_placement
+
+
+@pytest.fixture
+def tiny_matrix() -> LatencyMatrix:
+    """A fixed 5-node symmetric matrix with easily hand-checked values."""
+    d = np.array(
+        [
+            [0.0, 2.0, 4.0, 6.0, 8.0],
+            [2.0, 0.0, 3.0, 5.0, 7.0],
+            [4.0, 3.0, 0.0, 2.0, 5.0],
+            [6.0, 5.0, 2.0, 0.0, 3.0],
+            [8.0, 7.0, 5.0, 3.0, 0.0],
+        ]
+    )
+    return LatencyMatrix(d)
+
+
+@pytest.fixture
+def small_matrix() -> LatencyMatrix:
+    """A 40-node synthetic matrix (non-metric, symmetric)."""
+    return small_world_latencies(40, seed=7)
+
+
+@pytest.fixture
+def medium_matrix() -> LatencyMatrix:
+    """A 100-node synthetic matrix for slightly larger scenarios."""
+    return small_world_latencies(100, seed=13)
+
+
+@pytest.fixture
+def small_problem(small_matrix: LatencyMatrix) -> ClientAssignmentProblem:
+    """40 clients over 5 random servers."""
+    servers = random_placement(small_matrix, 5, seed=3)
+    return ClientAssignmentProblem(small_matrix, servers)
+
+
+@pytest.fixture
+def capacitated_problem(small_matrix: LatencyMatrix) -> ClientAssignmentProblem:
+    """40 clients over 5 servers with capacity 12 each."""
+    servers = random_placement(small_matrix, 5, seed=3)
+    return ClientAssignmentProblem(small_matrix, servers, capacities=12)
+
+
+@pytest.fixture
+def tiny_problem(tiny_matrix: LatencyMatrix) -> ClientAssignmentProblem:
+    """5 nodes: servers at {1, 3}, clients everywhere."""
+    return ClientAssignmentProblem(tiny_matrix, servers=[1, 3])
+
+
+def make_assignment(problem: ClientAssignmentProblem, mapping) -> Assignment:
+    """Helper used across test modules."""
+    return Assignment(problem, np.asarray(mapping, dtype=np.int64))

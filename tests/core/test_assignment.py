@@ -1,0 +1,107 @@
+"""Tests for repro.core.assignment (Assignment)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Assignment, ClientAssignmentProblem
+from repro.errors import InvalidAssignmentError
+
+
+class TestValidation:
+    def test_valid_assignment(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        assert a.server_of_client(0) == 0
+        assert a.server_of_client(4) == 1
+
+    def test_wrong_length_rejected(self, tiny_problem):
+        with pytest.raises(InvalidAssignmentError):
+            Assignment(tiny_problem, [0, 0, 1])
+
+    def test_out_of_range_server_rejected(self, tiny_problem):
+        with pytest.raises(InvalidAssignmentError):
+            Assignment(tiny_problem, [0, 0, 1, 1, 2])
+        with pytest.raises(InvalidAssignmentError):
+            Assignment(tiny_problem, [0, 0, 1, 1, -1])
+
+    def test_capacity_violation_rejected(self, tiny_matrix):
+        problem = ClientAssignmentProblem(tiny_matrix, servers=[1, 3], capacities=3)
+        with pytest.raises(InvalidAssignmentError):
+            Assignment(problem, [0, 0, 0, 0, 1])
+
+    def test_capacity_respected_accepted(self, tiny_matrix):
+        problem = ClientAssignmentProblem(tiny_matrix, servers=[1, 3], capacities=3)
+        a = Assignment(problem, [0, 0, 0, 1, 1])
+        assert a.respects_capacities()
+
+
+class TestImmutability:
+    def test_array_read_only(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        with pytest.raises(ValueError):
+            a.server_of[0] = 1
+
+    def test_attributes_frozen(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        with pytest.raises(AttributeError):
+            a.extra = 1
+
+    def test_defensive_copy_of_input(self, tiny_problem):
+        arr = np.zeros(5, dtype=np.int64)
+        a = Assignment(tiny_problem, arr)
+        arr[0] = 1
+        assert a.server_of_client(0) == 0
+
+
+class TestDerived:
+    def test_loads(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        np.testing.assert_array_equal(a.loads(), [2, 3])
+
+    def test_used_servers(self, tiny_problem):
+        a = Assignment(tiny_problem, [1, 1, 1, 1, 1])
+        np.testing.assert_array_equal(a.used_servers(), [1])
+
+    def test_farthest_client_distance(self, tiny_problem):
+        # Servers are global nodes 1 and 3.
+        a = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        l = a.farthest_client_distance()
+        cs = tiny_problem.client_server
+        assert l[0] == max(cs[0, 0], cs[1, 0])
+        assert l[1] == max(cs[2, 1], cs[3, 1], cs[4, 1])
+
+    def test_unused_server_has_neg_inf(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 0, 0, 0, 0])
+        l = a.farthest_client_distance()
+        assert l[1] == -np.inf
+
+    def test_client_distances(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 1, 0, 1, 0])
+        dists = a.client_distances()
+        cs = tiny_problem.client_server
+        expected = [cs[0, 0], cs[1, 1], cs[2, 0], cs[3, 1], cs[4, 0]]
+        np.testing.assert_allclose(dists, expected)
+
+    def test_global_server_of_and_mapping(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        np.testing.assert_array_equal(a.global_server_of(), [1, 1, 3, 3, 3])
+        mapping = a.as_mapping()
+        assert mapping[0] == 1
+        assert mapping[4] == 3
+
+    def test_replace(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        b = a.replace(0, 1)
+        assert b.server_of_client(0) == 1
+        assert a.server_of_client(0) == 0
+
+    def test_equality_and_hash(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        b = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        c = Assignment(tiny_problem, [1, 0, 1, 1, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 0, 0, 0, 0])
+        assert "1/2 servers" in repr(a)

@@ -1,0 +1,141 @@
+"""Tests for DeploymentPlan (assignment + offsets serialization)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms import greedy
+from repro.core import (
+    Assignment,
+    ClientAssignmentProblem,
+    DeploymentPlan,
+    OffsetSchedule,
+    max_interaction_path_length,
+)
+from repro.datasets.synthetic import small_world_latencies
+from repro.errors import DatasetError, InvalidAssignmentError
+from repro.net.latency import LatencyMatrix
+from repro.placement import random_placement
+
+
+@pytest.fixture(scope="module")
+def solved():
+    matrix = small_world_latencies(30, seed=60)
+    problem = ClientAssignmentProblem(matrix, random_placement(matrix, 4, seed=1))
+    return matrix, greedy(problem)
+
+
+class TestConstruction:
+    def test_from_assignment_minimal_lag(self, solved):
+        matrix, assignment = solved
+        plan = DeploymentPlan.from_assignment(assignment)
+        assert plan.delta == pytest.approx(
+            max_interaction_path_length(assignment)
+        )
+        assert plan.n_nodes == matrix.n_nodes
+        assert len(plan.client_assignments) == assignment.problem.n_clients
+        assert set(plan.server_offsets) == set(
+            int(s) for s in assignment.problem.servers
+        )
+
+    def test_from_schedule_with_slack(self, solved):
+        _matrix, assignment = solved
+        d = max_interaction_path_length(assignment)
+        plan = DeploymentPlan.from_schedule(OffsetSchedule(assignment, delta=2 * d))
+        assert plan.delta == pytest.approx(2 * d)
+
+    def test_offsets_match_schedule(self, solved):
+        _matrix, assignment = solved
+        schedule = OffsetSchedule(assignment)
+        plan = DeploymentPlan.from_schedule(schedule)
+        for node, offset in zip(
+            assignment.problem.servers, schedule.server_offsets
+        ):
+            assert plan.server_offsets[int(node)] == pytest.approx(float(offset))
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path, solved):
+        _matrix, assignment = solved
+        plan = DeploymentPlan.from_assignment(assignment)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = DeploymentPlan.load(path)
+        assert loaded == plan
+
+    def test_file_is_plain_json(self, tmp_path, solved):
+        _matrix, assignment = solved
+        path = tmp_path / "plan.json"
+        DeploymentPlan.from_assignment(assignment).save(path)
+        data = json.loads(path.read_text())
+        assert data["kind"] == "deployment-plan"
+        assert "delta_ms" in data
+
+    def test_to_assignment_round_trip(self, solved):
+        matrix, assignment = solved
+        plan = DeploymentPlan.from_assignment(assignment)
+        rebuilt = plan.to_assignment(matrix)
+        assert rebuilt.as_mapping() == assignment.as_mapping()
+        assert max_interaction_path_length(rebuilt) == pytest.approx(
+            max_interaction_path_length(assignment)
+        )
+
+
+class TestValidation:
+    def test_wrong_matrix_size_rejected(self, solved):
+        _matrix, assignment = solved
+        plan = DeploymentPlan.from_assignment(assignment)
+        other = small_world_latencies(10, seed=0)
+        with pytest.raises(InvalidAssignmentError):
+            plan.to_assignment(other)
+
+    def test_unknown_server_rejected(self, solved):
+        matrix, assignment = solved
+        plan = DeploymentPlan.from_assignment(assignment)
+        broken = DeploymentPlan(
+            delta=plan.delta,
+            server_offsets=plan.server_offsets,
+            client_assignments={**plan.client_assignments, 0: 9999},
+            n_nodes=plan.n_nodes,
+        )
+        with pytest.raises(InvalidAssignmentError):
+            broken.to_assignment(matrix)
+
+    def test_validate_against_same_matrix(self, solved):
+        matrix, assignment = solved
+        plan = DeploymentPlan.from_assignment(assignment)
+        assert plan.validate_against(matrix)
+
+    def test_validate_detects_latency_growth(self, solved):
+        matrix, assignment = solved
+        plan = DeploymentPlan.from_assignment(assignment)
+        inflated = LatencyMatrix(matrix.values * 2.0)
+        assert not plan.validate_against(inflated)
+
+    def test_validate_accepts_latency_shrink(self, solved):
+        matrix, assignment = solved
+        plan = DeploymentPlan.from_assignment(assignment)
+        shrunk = LatencyMatrix(matrix.values * 0.5)
+        assert plan.validate_against(shrunk)
+
+
+class TestSchemaErrors:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            [],
+            {"schema_version": 99, "kind": "deployment-plan"},
+            {"schema_version": 1, "kind": "other"},
+            {"schema_version": 1, "kind": "deployment-plan"},  # missing keys
+        ],
+    )
+    def test_malformed_rejected(self, data):
+        with pytest.raises(DatasetError):
+            DeploymentPlan.from_jsonable(data)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("nope{")
+        with pytest.raises(DatasetError):
+            DeploymentPlan.load(path)

@@ -1,0 +1,118 @@
+"""Tests for repro.core.exact (brute force, branch and bound)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import greedy, nearest_server
+from repro.core import (
+    ClientAssignmentProblem,
+    max_interaction_path_length,
+    solve_branch_and_bound,
+    solve_bruteforce,
+)
+from repro.errors import InvalidProblemError
+from repro.net.latency import LatencyMatrix
+
+
+def small_instance(n_nodes, n_servers, n_clients, seed):
+    matrix = LatencyMatrix.random_metric(n_nodes, seed=seed)
+    rng = np.random.default_rng(seed)
+    nodes = rng.permutation(n_nodes)
+    servers = nodes[:n_servers]
+    clients = nodes[n_servers : n_servers + n_clients]
+    return ClientAssignmentProblem(matrix, servers, clients)
+
+
+class TestBruteforce:
+    def test_objective_is_achieved(self):
+        problem = small_instance(10, 3, 5, seed=0)
+        result = solve_bruteforce(problem)
+        assert max_interaction_path_length(result.assignment) == pytest.approx(
+            result.objective
+        )
+
+    def test_space_limit_enforced(self):
+        problem = small_instance(30, 4, 20, seed=1)
+        with pytest.raises(InvalidProblemError):
+            solve_bruteforce(problem)
+
+    def test_respects_capacities(self):
+        problem = small_instance(10, 3, 6, seed=2).with_capacity(2)
+        result = solve_bruteforce(problem)
+        assert result.assignment.respects_capacities()
+
+    def test_capacity_never_improves_optimum(self):
+        problem = small_instance(10, 3, 6, seed=3)
+        free = solve_bruteforce(problem).objective
+        capped = solve_bruteforce(problem.with_capacity(2)).objective
+        assert capped >= free - 1e-9
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bruteforce(self, seed):
+        problem = small_instance(12, 3, 6, seed=seed)
+        bf = solve_bruteforce(problem)
+        bb = solve_branch_and_bound(problem)
+        assert bb.objective == pytest.approx(bf.objective)
+        assert max_interaction_path_length(bb.assignment) == pytest.approx(
+            bb.objective
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_bruteforce_capacitated(self, seed):
+        problem = small_instance(12, 3, 6, seed=seed).with_capacity(3)
+        bf = solve_bruteforce(problem)
+        bb = solve_branch_and_bound(problem)
+        assert bb.objective == pytest.approx(bf.objective)
+        assert bb.assignment.respects_capacities()
+
+    def test_explores_fewer_nodes_than_bruteforce(self):
+        problem = small_instance(14, 4, 7, seed=9)
+        bf = solve_bruteforce(problem)
+        bb = solve_branch_and_bound(problem)
+        assert bb.nodes_explored < bf.nodes_explored
+
+    def test_asymmetric_instance(self):
+        rng = np.random.default_rng(11)
+        d = rng.uniform(1.0, 20.0, size=(9, 9))
+        np.fill_diagonal(d, 0.0)
+        problem = ClientAssignmentProblem(
+            LatencyMatrix(d), servers=[0, 4], clients=[1, 2, 3, 5, 6]
+        )
+        bf = solve_bruteforce(problem)
+        bb = solve_branch_and_bound(problem)
+        assert bb.objective == pytest.approx(bf.objective)
+
+    def test_warm_start_prunes(self):
+        problem = small_instance(12, 3, 7, seed=4)
+        heuristic_d = max_interaction_path_length(greedy(problem))
+        cold = solve_branch_and_bound(problem)
+        warm = solve_branch_and_bound(
+            problem, initial_upper_bound=heuristic_d + 1e-6
+        )
+        assert warm.objective == pytest.approx(cold.objective)
+        assert warm.nodes_explored <= cold.nodes_explored
+
+    def test_max_nodes_guard(self):
+        problem = small_instance(14, 4, 8, seed=5)
+        with pytest.raises(InvalidProblemError):
+            solve_branch_and_bound(problem, max_nodes=3)
+
+
+class TestHeuristicCalibration:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_heuristics_never_beat_optimum(self, seed):
+        problem = small_instance(12, 3, 6, seed=seed)
+        opt = solve_branch_and_bound(problem).objective
+        for fn in (nearest_server, greedy):
+            assert max_interaction_path_length(fn(problem)) >= opt - 1e-9
+
+    def test_greedy_often_near_optimal_small(self):
+        ratios = []
+        for seed in range(8):
+            problem = small_instance(12, 3, 6, seed=100 + seed)
+            opt = solve_branch_and_bound(problem).objective
+            ga = max_interaction_path_length(greedy(problem))
+            ratios.append(ga / opt)
+        assert np.mean(ratios) < 1.25

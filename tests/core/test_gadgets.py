@@ -1,0 +1,86 @@
+"""The paper's worked examples (Figs. 4 and 5) as executable tests."""
+
+import pytest
+
+from repro.algorithms import longest_first_batch, nearest_server
+from repro.core import (
+    ClientAssignmentProblem,
+    max_interaction_path_length,
+    solve_bruteforce,
+)
+from repro.net.topology import approx_ratio_gadget, lfb_gadget
+
+
+class TestFig4ApproximationRatio:
+    """NSA's ratio-3 tightness: D_NSA = 6a - 4eps vs optimal 2a."""
+
+    @pytest.mark.parametrize("a,eps", [(10.0, 1.0), (100.0, 0.5), (7.0, 3.0)])
+    def test_nsa_and_optimal_values(self, a, eps):
+        g = approx_ratio_gadget(a, eps)
+        problem = ClientAssignmentProblem(g.matrix, g.servers, g.clients)
+        nsa_d = max_interaction_path_length(nearest_server(problem))
+        assert nsa_d == pytest.approx(6 * a - 4 * eps)
+        opt = solve_bruteforce(problem).objective
+        assert opt == pytest.approx(2 * a)
+
+    def test_ratio_approaches_three(self):
+        ratios = []
+        for eps in (1.0, 0.1, 0.01):
+            g = approx_ratio_gadget(10.0, eps)
+            problem = ClientAssignmentProblem(g.matrix, g.servers, g.clients)
+            nsa_d = max_interaction_path_length(nearest_server(problem))
+            opt = solve_bruteforce(problem).objective
+            ratios.append(nsa_d / opt)
+        assert ratios == sorted(ratios)  # increasing toward 3
+        assert ratios[-1] == pytest.approx(3.0, abs=0.01)
+        assert all(r < 3.0 for r in ratios)  # never exceeds the bound
+
+    def test_lfb_matches_nsa_on_fig4(self):
+        # The gadget is also tight for LFB (paper §IV-B): both clients
+        # are assigned to their nearest servers.
+        g = approx_ratio_gadget(10.0, 1.0)
+        problem = ClientAssignmentProblem(g.matrix, g.servers, g.clients)
+        assert max_interaction_path_length(
+            longest_first_batch(problem)
+        ) == pytest.approx(max_interaction_path_length(nearest_server(problem)))
+
+
+class TestFig5LfbBeatsNsa:
+    """LFB batches both clients onto s1 and beats NSA.
+
+    Note: the paper's prose reports D_LFB = 9 by considering only the
+    c1-c2 path; the paper's own formulation (inequality (3) with
+    c_i = c_j) also counts the self-interaction round trip
+    2 d(c1, s1) = 10. We implement the formulation, so D_LFB = 10 —
+    still strictly better than NSA's 12. Recorded in EXPERIMENTS.md.
+    """
+
+    def test_nsa_d(self):
+        g = lfb_gadget()
+        problem = ClientAssignmentProblem(g.matrix, g.servers, g.clients)
+        assert max_interaction_path_length(nearest_server(problem)) == pytest.approx(
+            12.0
+        )
+
+    def test_lfb_batches_onto_s1(self):
+        g = lfb_gadget()
+        problem = ClientAssignmentProblem(g.matrix, g.servers, g.clients)
+        lfb = longest_first_batch(problem)
+        # Both clients on server s1 (local index 0).
+        assert list(lfb.server_of) == [0, 0]
+        assert max_interaction_path_length(lfb) == pytest.approx(10.0)
+
+    def test_lfb_beats_nsa(self):
+        g = lfb_gadget()
+        problem = ClientAssignmentProblem(g.matrix, g.servers, g.clients)
+        assert max_interaction_path_length(
+            longest_first_batch(problem)
+        ) < max_interaction_path_length(nearest_server(problem))
+
+    def test_lfb_is_optimal_here(self):
+        g = lfb_gadget()
+        problem = ClientAssignmentProblem(g.matrix, g.servers, g.clients)
+        opt = solve_bruteforce(problem).objective
+        assert max_interaction_path_length(
+            longest_first_batch(problem)
+        ) == pytest.approx(opt)

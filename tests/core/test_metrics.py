@@ -1,0 +1,216 @@
+"""Tests for repro.core.metrics (interaction paths, D, etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Assignment,
+    ClientAssignmentProblem,
+    argmax_interaction_path,
+    average_interaction_path_length,
+    clients_on_longest_paths,
+    interaction_path,
+    interaction_path_length,
+    max_interaction_path_length,
+    max_interaction_path_length_bruteforce,
+    normalized_interactivity,
+)
+from repro.net.latency import LatencyMatrix
+from repro.placement import random_placement
+
+
+class TestInteractionPathLength:
+    def test_hand_computed(self, tiny_problem):
+        # Clients 0..4; servers: local 0 -> node 1, local 1 -> node 3.
+        a = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        m = tiny_problem.matrix
+        expected = m.distance(0, 1) + m.distance(1, 3) + m.distance(3, 4)
+        assert interaction_path_length(a, 0, 4) == pytest.approx(expected)
+
+    def test_self_path_is_round_trip(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        m = tiny_problem.matrix
+        assert interaction_path_length(a, 0, 0) == pytest.approx(
+            2 * m.distance(0, 1)
+        )
+
+    def test_same_server_skips_interserver_leg(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        m = tiny_problem.matrix
+        assert interaction_path_length(a, 0, 1) == pytest.approx(
+            m.distance(0, 1) + m.distance(1, 1)
+        )
+
+    def test_path_object_global_ids(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        path = interaction_path(a, 0, 4)
+        assert path.client_a == 0
+        assert path.server_a == 1
+        assert path.server_b == 3
+        assert path.client_b == 4
+        assert path.hops() == (0, 1, 3, 4)
+
+    def test_path_hops_collapse_same_server(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        path = interaction_path(a, 0, 1)
+        assert path.hops() == (0, 1, 1)
+
+
+class TestMaxInteractionPathLength:
+    def test_matches_bruteforce_random(self, small_problem):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            arr = rng.integers(0, small_problem.n_servers, small_problem.n_clients)
+            a = Assignment(small_problem, arr)
+            fast = max_interaction_path_length(a)
+            slow = max_interaction_path_length_bruteforce(a)
+            assert fast == pytest.approx(slow)
+
+    def test_matches_bruteforce_asymmetric(self):
+        rng = np.random.default_rng(1)
+        d = rng.uniform(1.0, 50.0, size=(12, 12))
+        np.fill_diagonal(d, 0.0)
+        matrix = LatencyMatrix(d)  # asymmetric
+        problem = ClientAssignmentProblem(matrix, servers=[0, 5, 9])
+        for _ in range(10):
+            arr = rng.integers(0, 3, 12)
+            a = Assignment(problem, arr)
+            assert max_interaction_path_length(a) == pytest.approx(
+                max_interaction_path_length_bruteforce(a)
+            )
+
+    def test_single_client(self, tiny_matrix):
+        problem = ClientAssignmentProblem(tiny_matrix, servers=[1], clients=[4])
+        a = Assignment(problem, [0])
+        assert max_interaction_path_length(a) == pytest.approx(
+            2 * tiny_matrix.distance(4, 1)
+        )
+
+    def test_all_same_node(self, tiny_matrix):
+        # Client co-located with its server: D = 0 round trip not
+        # possible since off-diagonal is positive, but client==server
+        # node gives d = 0.
+        problem = ClientAssignmentProblem(tiny_matrix, servers=[1], clients=[1])
+        a = Assignment(problem, [0])
+        assert max_interaction_path_length(a) == 0.0
+
+
+class TestArgmax:
+    def test_argmax_achieves_max(self, small_problem):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            arr = rng.integers(0, small_problem.n_servers, small_problem.n_clients)
+            a = Assignment(small_problem, arr)
+            path = argmax_interaction_path(a)
+            assert path.length == pytest.approx(max_interaction_path_length(a))
+
+
+class TestClientsOnLongestPaths:
+    def test_witnesses_are_involved(self, small_problem):
+        rng = np.random.default_rng(3)
+        arr = rng.integers(0, small_problem.n_servers, small_problem.n_clients)
+        a = Assignment(small_problem, arr)
+        d_max = max_interaction_path_length(a)
+        involved = clients_on_longest_paths(a)
+        assert involved.size >= 1
+        # Every reported client must participate in a path of length D.
+        for c in involved:
+            lengths = [
+                max(
+                    interaction_path_length(a, int(c), other),
+                    interaction_path_length(a, other, int(c)),
+                )
+                for other in range(small_problem.n_clients)
+            ]
+            assert max(lengths) == pytest.approx(d_max)
+
+    def test_non_witnesses_are_not_involved(self, small_problem):
+        rng = np.random.default_rng(4)
+        arr = rng.integers(0, small_problem.n_servers, small_problem.n_clients)
+        a = Assignment(small_problem, arr)
+        d_max = max_interaction_path_length(a)
+        involved = set(clients_on_longest_paths(a).tolist())
+        for c in range(small_problem.n_clients):
+            if c in involved:
+                continue
+            lengths = [
+                max(
+                    interaction_path_length(a, c, other),
+                    interaction_path_length(a, other, c),
+                )
+                for other in range(small_problem.n_clients)
+            ]
+            assert max(lengths) < d_max - 1e-12
+
+
+class TestAverage:
+    def test_matches_bruteforce(self, small_problem):
+        rng = np.random.default_rng(5)
+        arr = rng.integers(0, small_problem.n_servers, small_problem.n_clients)
+        a = Assignment(small_problem, arr)
+        n = small_problem.n_clients
+        total = sum(
+            interaction_path_length(a, i, j) for i in range(n) for j in range(n)
+        )
+        assert average_interaction_path_length(a) == pytest.approx(total / n**2)
+
+    def test_average_below_max(self, small_problem):
+        rng = np.random.default_rng(6)
+        arr = rng.integers(0, small_problem.n_servers, small_problem.n_clients)
+        a = Assignment(small_problem, arr)
+        assert average_interaction_path_length(a) <= max_interaction_path_length(a)
+
+
+class TestNormalized:
+    def test_normalization(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        d = max_interaction_path_length(a)
+        assert normalized_interactivity(a, d) == pytest.approx(1.0)
+        assert normalized_interactivity(a, d / 2) == pytest.approx(2.0)
+
+    def test_nonpositive_bound_rejected(self, tiny_problem):
+        a = Assignment(tiny_problem, [0, 0, 1, 1, 1])
+        with pytest.raises(ValueError):
+            normalized_interactivity(a, 0.0)
+
+
+class TestPerClientInteractivity:
+    def test_matches_bruteforce(self, small_problem):
+        from repro.core.metrics import per_client_interactivity
+
+        rng = np.random.default_rng(7)
+        arr = rng.integers(0, small_problem.n_servers, small_problem.n_clients)
+        a = Assignment(small_problem, arr)
+        fast = per_client_interactivity(a)
+        n = small_problem.n_clients
+        for c in range(n):
+            slow = max(
+                max(
+                    interaction_path_length(a, c, other),
+                    interaction_path_length(a, other, c),
+                )
+                for other in range(n)
+            )
+            assert fast[c] == pytest.approx(slow)
+
+    def test_max_equals_d(self, small_problem):
+        from repro.core.metrics import per_client_interactivity
+
+        rng = np.random.default_rng(8)
+        arr = rng.integers(0, small_problem.n_servers, small_problem.n_clients)
+        a = Assignment(small_problem, arr)
+        assert per_client_interactivity(a).max() == pytest.approx(
+            max_interaction_path_length(a)
+        )
+
+    def test_argmax_clients_match_longest_path_set(self, small_problem):
+        from repro.core.metrics import per_client_interactivity
+
+        rng = np.random.default_rng(9)
+        arr = rng.integers(0, small_problem.n_servers, small_problem.n_clients)
+        a = Assignment(small_problem, arr)
+        values = per_client_interactivity(a)
+        d = max_interaction_path_length(a)
+        from_values = set(np.flatnonzero(values >= d - 1e-9).tolist())
+        from_paths = set(clients_on_longest_paths(a).tolist())
+        assert from_values == from_paths

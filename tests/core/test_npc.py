@@ -1,0 +1,178 @@
+"""Tests for repro.core.npc (Theorem 1's set-cover reduction)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Assignment,
+    REDUCTION_BOUND,
+    SetCoverInstance,
+    assignment_from_cover,
+    cover_from_assignment,
+    max_interaction_path_length,
+    reduce_set_cover_to_cap,
+    solve_gadget_bruteforce,
+    verify_reduction_roundtrip,
+)
+
+
+@pytest.fixture
+def paper_instance():
+    """The instance of the paper's Fig. 3: P = {p1..p4}, Q1={p1},
+    Q2={p2}, Q3={p3,p4}."""
+    return SetCoverInstance.from_lists(4, [[0], [1], [2, 3]])
+
+
+class TestSetCoverInstance:
+    def test_valid_instance(self, paper_instance):
+        assert paper_instance.universe == 4
+        assert paper_instance.n_subsets == 3
+
+    def test_rejects_uncovered_elements(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance.from_lists(3, [[0], [1]])
+
+    def test_rejects_empty_subset(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance.from_lists(2, [[0, 1], []])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance.from_lists(2, [[0, 5]])
+
+    def test_rejects_empty_universe(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance.from_lists(0, [[0]])
+
+    def test_is_cover(self, paper_instance):
+        assert paper_instance.is_cover([0, 1, 2])
+        assert not paper_instance.is_cover([0, 1])
+
+    def test_minimum_cover_bruteforce(self, paper_instance):
+        cover = paper_instance.minimum_cover_bruteforce()
+        assert len(cover) == 3  # all three subsets are needed
+        assert paper_instance.is_cover(cover)
+
+    def test_greedy_cover_is_cover(self, paper_instance):
+        cover = paper_instance.greedy_cover()
+        assert paper_instance.is_cover(cover)
+
+    def test_greedy_cover_on_overlapping(self):
+        instance = SetCoverInstance.from_lists(
+            4, [[0, 1, 2], [2, 3], [0], [3]]
+        )
+        cover = instance.greedy_cover()
+        assert instance.is_cover(cover)
+        assert len(cover) == 2
+
+
+class TestGadgetConstruction:
+    def test_layout_counts(self, paper_instance):
+        problem, layout = reduce_set_cover_to_cap(paper_instance, k=3)
+        assert layout.n_clients == 4
+        assert layout.m == 3
+        assert layout.n_servers == 9
+        assert problem.n_servers == 9
+        assert problem.n_clients == 4
+
+    def test_server_node_numbering(self, paper_instance):
+        _problem, layout = reduce_set_cover_to_cap(paper_instance, k=2)
+        assert layout.server_node(0, 0) == 4
+        assert layout.server_node(1, 2) == 4 + 3 + 2
+        assert layout.decode_server(layout.server_local_index(1, 2)) == (1, 2)
+
+    def test_server_node_bounds(self, paper_instance):
+        _problem, layout = reduce_set_cover_to_cap(paper_instance, k=2)
+        with pytest.raises(IndexError):
+            layout.server_node(2, 0)
+        with pytest.raises(IndexError):
+            layout.server_node(0, 3)
+
+    def test_budget_bounds(self, paper_instance):
+        with pytest.raises(ValueError):
+            reduce_set_cover_to_cap(paper_instance, k=0)
+        with pytest.raises(ValueError):
+            reduce_set_cover_to_cap(paper_instance, k=4)
+
+    def test_gadget_distances(self, paper_instance):
+        problem, layout = reduce_set_cover_to_cap(paper_instance, k=2)
+        m = problem.matrix
+        # Client 0 (element p1) is linked to subset-0 servers in both groups.
+        assert m.distance(0, layout.server_node(0, 0)) == 1.0
+        assert m.distance(0, layout.server_node(1, 0)) == 1.0
+        # Client 0 is NOT linked to subset-1 servers: shortest path is 2
+        # (via an inter-group server link or another client's server).
+        assert m.distance(0, layout.server_node(0, 1)) == 2.0
+        # Servers in different groups are directly linked.
+        assert (
+            m.distance(layout.server_node(0, 0), layout.server_node(1, 2)) == 1.0
+        )
+        # Servers in the same group are at distance 2 (via another group).
+        assert (
+            m.distance(layout.server_node(0, 0), layout.server_node(0, 1)) == 2.0
+        )
+
+
+class TestWitnessConversion:
+    def test_forward_witness_achieves_bound(self, paper_instance):
+        problem, layout = reduce_set_cover_to_cap(paper_instance, k=3)
+        cover = (0, 1, 2)
+        assignment = assignment_from_cover(problem, layout, cover)
+        assert max_interaction_path_length(assignment) <= REDUCTION_BOUND + 1e-9
+
+    def test_forward_witness_rejects_oversized_cover(self, paper_instance):
+        problem, layout = reduce_set_cover_to_cap(paper_instance, k=2)
+        with pytest.raises(ValueError):
+            assignment_from_cover(problem, layout, (0, 1, 2))
+
+    def test_forward_witness_rejects_non_cover(self, paper_instance):
+        problem, layout = reduce_set_cover_to_cap(paper_instance, k=3)
+        with pytest.raises(ValueError):
+            assignment_from_cover(problem, layout, (0, 1))
+
+    def test_backward_witness(self, paper_instance):
+        problem, layout = reduce_set_cover_to_cap(paper_instance, k=3)
+        witness = solve_gadget_bruteforce(problem)
+        assert witness is not None
+        cover = cover_from_assignment(layout, witness)
+        assert len(cover) <= 3
+        assert paper_instance.is_cover(cover)
+
+
+class TestTheoremBothDirections:
+    def test_paper_instance_roundtrips(self, paper_instance):
+        assert verify_reduction_roundtrip(paper_instance, 3)
+
+    def test_no_small_cover_means_no_assignment(self, paper_instance):
+        # The minimum cover has size 3; with K = 2 no assignment with
+        # D <= 3 can exist.
+        problem, _layout = reduce_set_cover_to_cap(paper_instance, k=2)
+        assert solve_gadget_bruteforce(problem) is None
+        assert verify_reduction_roundtrip(paper_instance, 2)
+
+    def test_exhaustive_small_family(self):
+        # All set-cover instances with 3 elements and subsets drawn from
+        # a fixed pool, budgets 2..3.
+        pool = [
+            frozenset(s)
+            for s in ([0], [1], [2], [0, 1], [1, 2], [0, 2], [0, 1, 2])
+        ]
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            size = int(rng.integers(2, 5))
+            subsets = [pool[i] for i in rng.choice(len(pool), size, replace=False)]
+            if len(frozenset().union(*subsets)) != 3:
+                continue
+            instance = SetCoverInstance(3, tuple(subsets))
+            for k in (2, min(3, instance.n_subsets)):
+                if k < 1 or k > instance.n_subsets:
+                    continue
+                assert verify_reduction_roundtrip(instance, k), (
+                    f"roundtrip failed for {subsets} k={k}"
+                )
+
+    def test_singleton_universe(self):
+        instance = SetCoverInstance.from_lists(1, [[0], [0]])
+        assert verify_reduction_roundtrip(instance, 2)

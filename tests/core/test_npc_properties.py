@@ -1,0 +1,85 @@
+"""Property-based tests of the Theorem 1 reduction on random instances."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    REDUCTION_BOUND,
+    SetCoverInstance,
+    assignment_from_cover,
+    cover_from_assignment,
+    max_interaction_path_length,
+    reduce_set_cover_to_cap,
+    solve_gadget_bruteforce,
+    verify_reduction_roundtrip,
+)
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def set_cover_instances(draw):
+    """Random coverable instances with <= 4 elements and <= 4 subsets."""
+    universe = draw(st.integers(min_value=1, max_value=4))
+    n_subsets = draw(st.integers(min_value=1, max_value=4))
+    subsets = []
+    for _ in range(n_subsets):
+        members = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=universe - 1),
+                min_size=1,
+                max_size=universe,
+            )
+        )
+        subsets.append(frozenset(members))
+    # Guarantee coverage by adding the full set if needed.
+    covered = frozenset().union(*subsets)
+    if len(covered) != universe:
+        subsets.append(frozenset(range(universe)))
+    return SetCoverInstance(universe, tuple(subsets))
+
+
+class TestReductionProperties:
+    @SETTINGS
+    @given(set_cover_instances(), st.integers(min_value=2, max_value=3))
+    def test_roundtrip_iff(self, instance, k):
+        k = min(k, instance.n_subsets)
+        if k < 1:
+            return
+        assert verify_reduction_roundtrip(instance, k)
+
+    @SETTINGS
+    @given(set_cover_instances())
+    def test_greedy_cover_maps_to_valid_assignment(self, instance):
+        cover = instance.greedy_cover()
+        k = len(cover)
+        problem, layout = reduce_set_cover_to_cap(instance, k)
+        assignment = assignment_from_cover(problem, layout, cover)
+        assert max_interaction_path_length(assignment) <= REDUCTION_BOUND + 1e-9
+
+    @SETTINGS
+    @given(set_cover_instances())
+    def test_witness_extraction_is_cover(self, instance):
+        k = min(3, instance.n_subsets)
+        problem, layout = reduce_set_cover_to_cap(instance, k)
+        witness = solve_gadget_bruteforce(problem)
+        if witness is None:
+            return
+        cover = cover_from_assignment(layout, witness)
+        assert instance.is_cover(cover)
+        assert len(cover) <= k
+
+    @SETTINGS
+    @given(set_cover_instances())
+    def test_gadget_distances_bounded(self, instance):
+        # Every distance in the gadget is at most 3 hops (unit links,
+        # dense inter-group connectivity): shortest paths stay small.
+        k = min(2, instance.n_subsets)
+        problem, _layout = reduce_set_cover_to_cap(instance, k)
+        assert problem.matrix.max_latency() <= 4.0 + 1e-9

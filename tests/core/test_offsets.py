@@ -1,0 +1,115 @@
+"""Tests for repro.core.offsets (OffsetSchedule, constraints (i)/(ii))."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import greedy, nearest_server
+from repro.core import (
+    Assignment,
+    ClientAssignmentProblem,
+    OffsetSchedule,
+    max_interaction_path_length,
+)
+from repro.errors import InfeasibleScheduleError
+
+
+@pytest.fixture
+def assignment(small_problem):
+    return nearest_server(small_problem)
+
+
+class TestDeltaSelection:
+    def test_default_delta_is_d(self, assignment):
+        sched = OffsetSchedule(assignment)
+        assert sched.delta == pytest.approx(
+            max_interaction_path_length(assignment)
+        )
+        assert sched.min_achievable_delta == sched.delta
+
+    def test_larger_delta_accepted(self, assignment):
+        d = max_interaction_path_length(assignment)
+        sched = OffsetSchedule(assignment, delta=2 * d)
+        assert sched.delta == pytest.approx(2 * d)
+
+    def test_smaller_delta_rejected(self, assignment):
+        d = max_interaction_path_length(assignment)
+        with pytest.raises(InfeasibleScheduleError):
+            OffsetSchedule(assignment, delta=0.9 * d)
+
+
+class TestConstraints:
+    def test_minimal_schedule_feasible(self, assignment):
+        report = OffsetSchedule(assignment).check_constraints()
+        assert report.feasible
+        assert report.worst_slack_i <= 1e-9
+        assert report.worst_slack_ii <= 1e-9
+
+    def test_constraint_i_tight_somewhere(self, assignment):
+        # At delta = D, some (client, server) pair must be tight: the
+        # offsets are chosen so each server is as far ahead as possible.
+        report = OffsetSchedule(assignment).check_constraints()
+        assert report.worst_slack_i == pytest.approx(0.0, abs=1e-9)
+
+    def test_feasible_for_many_assignments(self, small_problem):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            arr = rng.integers(0, small_problem.n_servers, small_problem.n_clients)
+            a = Assignment(small_problem, arr)
+            assert OffsetSchedule(a).check_constraints().feasible
+
+    def test_feasible_with_slack_delta(self, assignment):
+        d = max_interaction_path_length(assignment)
+        report = OffsetSchedule(assignment, delta=1.5 * d).check_constraints()
+        assert report.feasible
+
+
+class TestOffsets:
+    def test_client_offsets_zero(self, assignment):
+        sched = OffsetSchedule(assignment)
+        assert np.all(sched.client_offsets() == 0.0)
+
+    def test_server_offsets_match_paper_formula(self, assignment):
+        # Delta_{s,c} = D - max_{c'} (d(c', s_A(c')) + d(s_A(c'), s)).
+        problem = assignment.problem
+        sched = OffsetSchedule(assignment)
+        d_max = sched.delta
+        server_of = assignment.server_of
+        idx = np.arange(problem.n_clients)
+        reach = (
+            problem.client_server[idx, server_of][:, None]
+            + problem.server_server[server_of, :]
+        )
+        expected = d_max - reach.max(axis=0)
+        np.testing.assert_allclose(sched.server_offsets, expected)
+
+    def test_servers_run_ahead_of_clients(self, assignment):
+        # Every server offset must be nonnegative: a server cannot lag
+        # its own clients or updates would always be late.
+        sched = OffsetSchedule(assignment)
+        assert np.all(sched.server_offsets >= -1e-9)
+
+    def test_wall_clock_view_nonnegative(self, assignment):
+        assert np.all(OffsetSchedule(assignment).wall_clock_view() >= -1e-9)
+
+
+class TestInteractionTimes:
+    def test_all_equal_delta(self, assignment):
+        sched = OffsetSchedule(assignment)
+        times = sched.interaction_times()
+        assert times.shape == (
+            assignment.problem.n_clients,
+            assignment.problem.n_clients,
+        )
+        assert np.all(times == sched.delta)
+
+    def test_average_equals_delta(self, assignment):
+        # §II-C: the average interaction time equals the lag delta.
+        sched = OffsetSchedule(assignment)
+        assert sched.interaction_times().mean() == pytest.approx(sched.delta)
+
+
+class TestOptimalAssignmentDelta:
+    def test_greedy_delta_below_nearest(self, small_problem):
+        d_nsa = OffsetSchedule(nearest_server(small_problem)).delta
+        d_ga = OffsetSchedule(greedy(small_problem)).delta
+        assert d_ga <= d_nsa + 1e-9

@@ -1,0 +1,112 @@
+"""Tests for repro.core.problem (ClientAssignmentProblem)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClientAssignmentProblem
+from repro.errors import CapacityError, InvalidProblemError
+
+
+class TestConstruction:
+    def test_defaults_all_nodes_clients(self, tiny_matrix):
+        problem = ClientAssignmentProblem(tiny_matrix, servers=[1, 3])
+        assert problem.n_clients == 5
+        assert problem.n_servers == 2
+        np.testing.assert_array_equal(problem.clients, np.arange(5))
+
+    def test_explicit_clients(self, tiny_matrix):
+        problem = ClientAssignmentProblem(tiny_matrix, servers=[1], clients=[0, 4])
+        assert problem.n_clients == 2
+        np.testing.assert_array_equal(problem.clients, [0, 4])
+
+    def test_empty_servers_rejected(self, tiny_matrix):
+        with pytest.raises(InvalidProblemError):
+            ClientAssignmentProblem(tiny_matrix, servers=[])
+
+    def test_empty_clients_rejected(self, tiny_matrix):
+        with pytest.raises(InvalidProblemError):
+            ClientAssignmentProblem(tiny_matrix, servers=[0], clients=[])
+
+    def test_duplicate_servers_rejected(self, tiny_matrix):
+        with pytest.raises(InvalidProblemError):
+            ClientAssignmentProblem(tiny_matrix, servers=[1, 1])
+
+    def test_duplicate_clients_rejected(self, tiny_matrix):
+        with pytest.raises(InvalidProblemError):
+            ClientAssignmentProblem(tiny_matrix, servers=[0], clients=[2, 2])
+
+    def test_out_of_range_rejected(self, tiny_matrix):
+        with pytest.raises(InvalidProblemError):
+            ClientAssignmentProblem(tiny_matrix, servers=[9])
+        with pytest.raises(InvalidProblemError):
+            ClientAssignmentProblem(tiny_matrix, servers=[0], clients=[-1])
+
+    def test_node_can_be_both_server_and_client(self, tiny_matrix):
+        problem = ClientAssignmentProblem(tiny_matrix, servers=[2], clients=[2, 3])
+        assert problem.n_clients == 2
+
+    def test_repr(self, tiny_problem):
+        assert "|C|=5" in repr(tiny_problem)
+        assert "uncapacitated" in repr(tiny_problem)
+
+
+class TestDistanceViews:
+    def test_client_server_slice(self, tiny_matrix):
+        problem = ClientAssignmentProblem(tiny_matrix, servers=[1, 3])
+        assert problem.client_server.shape == (5, 2)
+        assert problem.client_server[0, 0] == tiny_matrix.distance(0, 1)
+        assert problem.client_server[4, 1] == tiny_matrix.distance(4, 3)
+
+    def test_server_server_slice(self, tiny_matrix):
+        problem = ClientAssignmentProblem(tiny_matrix, servers=[1, 3])
+        assert problem.server_server.shape == (2, 2)
+        assert problem.server_server[0, 1] == tiny_matrix.distance(1, 3)
+
+    def test_views_are_read_only(self, tiny_problem):
+        with pytest.raises(ValueError):
+            tiny_problem.client_server[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            tiny_problem.server_server[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            tiny_problem.servers[0] = 0
+
+
+class TestCapacities:
+    def test_scalar_capacity_broadcast(self, tiny_matrix):
+        problem = ClientAssignmentProblem(
+            tiny_matrix, servers=[1, 3], capacities=3
+        )
+        np.testing.assert_array_equal(problem.capacities, [3, 3])
+        assert problem.is_capacitated
+
+    def test_vector_capacity(self, tiny_matrix):
+        problem = ClientAssignmentProblem(
+            tiny_matrix, servers=[1, 3], capacities=[2, 3]
+        )
+        np.testing.assert_array_equal(problem.capacities, [2, 3])
+
+    def test_wrong_length_rejected(self, tiny_matrix):
+        with pytest.raises(InvalidProblemError):
+            ClientAssignmentProblem(tiny_matrix, servers=[1, 3], capacities=[2])
+
+    def test_negative_rejected(self, tiny_matrix):
+        with pytest.raises(InvalidProblemError):
+            ClientAssignmentProblem(tiny_matrix, servers=[1, 3], capacities=[-1, 9])
+
+    def test_insufficient_total_rejected(self, tiny_matrix):
+        with pytest.raises(CapacityError):
+            ClientAssignmentProblem(tiny_matrix, servers=[1, 3], capacities=2)
+
+    def test_uncapacitated_copy(self, tiny_matrix):
+        problem = ClientAssignmentProblem(tiny_matrix, servers=[1, 3], capacities=3)
+        free = problem.uncapacitated()
+        assert not free.is_capacitated
+        np.testing.assert_array_equal(free.servers, problem.servers)
+
+    def test_uncapacitated_is_identity_when_free(self, tiny_problem):
+        assert tiny_problem.uncapacitated() is tiny_problem
+
+    def test_with_capacity(self, tiny_problem):
+        capped = tiny_problem.with_capacity(4)
+        assert capped.is_capacitated
+        assert not tiny_problem.is_capacitated

@@ -1,0 +1,90 @@
+"""Tests for repro.datasets.cleaning (drop_incomplete_nodes)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cleaning import drop_incomplete_nodes
+from repro.errors import DatasetError
+
+
+def full_matrix(n, value=10.0):
+    d = np.full((n, n), value)
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+class TestCleanInput:
+    def test_complete_matrix_untouched(self):
+        raw = full_matrix(5)
+        cleaned, report = drop_incomplete_nodes(raw)
+        assert cleaned.n_nodes == 5
+        assert report.n_before == 5
+        assert report.n_after == 5
+        assert report.dropped == ()
+        assert report.missing_entries == 0
+
+
+class TestMissingHandling:
+    def test_single_bad_node_dropped(self):
+        raw = full_matrix(6)
+        raw[2, 4] = np.nan
+        raw[4, 2] = np.nan
+        raw[2, 5] = np.nan
+        raw[5, 2] = np.nan
+        cleaned, report = drop_incomplete_nodes(raw)
+        # Node 2 participates in 4 missing entries; dropping it clears all.
+        assert report.dropped == (2,)
+        assert cleaned.n_nodes == 5
+        assert report.missing_entries == 4
+
+    def test_negative_sentinel_treated_as_missing(self):
+        raw = full_matrix(4)
+        raw[1, 3] = -1.0
+        cleaned, report = drop_incomplete_nodes(raw)
+        assert cleaned.n_nodes == 3
+        assert len(report.dropped) == 1
+
+    def test_zero_off_diagonal_treated_as_missing(self):
+        raw = full_matrix(4)
+        raw[0, 1] = 0.0
+        cleaned, _report = drop_incomplete_nodes(raw)
+        assert cleaned.n_nodes == 3
+
+    def test_sentinels_kept_when_disabled(self):
+        raw = full_matrix(4)
+        raw[1, 3] = np.nan
+        raw[0, 2] = -1.0  # would be missing with the default flag
+        with pytest.raises(Exception):
+            # -1 is an invalid latency, so validation must fail if we
+            # keep it.
+            drop_incomplete_nodes(raw, treat_nonpositive_as_missing=False)
+
+    def test_greedy_peeling_prefers_worst_node(self):
+        # Node 0 is missing against everyone; nodes 1..4 only against 0.
+        raw = full_matrix(5)
+        raw[0, 1:] = np.nan
+        raw[1:, 0] = np.nan
+        cleaned, report = drop_incomplete_nodes(raw)
+        assert report.dropped == (0,)
+        assert cleaned.n_nodes == 4
+
+    def test_report_kept_alias(self):
+        raw = full_matrix(3)
+        _cleaned, report = drop_incomplete_nodes(raw)
+        assert report.kept == report.n_after
+
+
+class TestErrors:
+    def test_non_square_rejected(self):
+        with pytest.raises(DatasetError):
+            drop_incomplete_nodes(np.zeros((2, 3)))
+
+    def test_all_missing_peels_to_single_node(self):
+        # A single node is vacuously complete, so peeling always
+        # terminates with at least one node left.
+        raw = np.full((3, 3), np.nan)
+        np.fill_diagonal(raw, 0.0)
+        cleaned, report = drop_incomplete_nodes(raw)
+        assert cleaned.n_nodes == 1
+        assert report.n_after == 1
+        assert len(report.dropped) == 2

@@ -1,0 +1,91 @@
+"""Tests for repro.datasets.io (matrix readers/writers)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import (
+    load_matrix_auto,
+    read_matrix_npy,
+    read_matrix_text,
+    write_matrix_npy,
+    write_matrix_text,
+)
+from repro.errors import DatasetError
+
+
+@pytest.fixture
+def matrix():
+    d = np.array([[0.0, 1.5, 2.25], [1.5, 0.0, 3.0], [2.25, 3.0, 0.0]])
+    return d
+
+
+class TestTextFormat:
+    def test_round_trip(self, tmp_path, matrix):
+        path = tmp_path / "m.txt"
+        write_matrix_text(path, matrix)
+        out = read_matrix_text(path)
+        np.testing.assert_allclose(out, matrix, atol=1e-3)
+
+    def test_nan_round_trips_via_sentinel(self, tmp_path, matrix):
+        matrix[0, 2] = np.nan
+        path = tmp_path / "m.txt"
+        write_matrix_text(path, matrix)
+        text = path.read_text()
+        assert "-1" in text
+        out = read_matrix_text(path)
+        assert np.isnan(out[0, 2])
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "m.txt"
+        path.write_text("# header\n\n0 1\n1 0\n")
+        out = read_matrix_text(path)
+        assert out.shape == (2, 2)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "m.txt"
+        path.write_text("0 1\n1\n")
+        with pytest.raises(DatasetError):
+            read_matrix_text(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "m.txt"
+        path.write_text("0 x\n1 0\n")
+        with pytest.raises(DatasetError):
+            read_matrix_text(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "m.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(DatasetError):
+            read_matrix_text(path)
+
+    def test_non_square_rejected(self, tmp_path):
+        path = tmp_path / "m.txt"
+        path.write_text("0 1 2\n1 0 2\n")
+        with pytest.raises(DatasetError):
+            read_matrix_text(path)
+
+
+class TestNpyFormat:
+    def test_round_trip(self, tmp_path, matrix):
+        path = tmp_path / "m.npy"
+        write_matrix_npy(path, matrix)
+        np.testing.assert_array_equal(read_matrix_npy(path), matrix)
+
+    def test_non_square_rejected(self, tmp_path):
+        path = tmp_path / "m.npy"
+        np.save(path, np.zeros((2, 3)))
+        with pytest.raises(DatasetError):
+            read_matrix_npy(path)
+
+
+class TestAuto:
+    def test_dispatch_npy(self, tmp_path, matrix):
+        path = tmp_path / "m.npy"
+        write_matrix_npy(path, matrix)
+        np.testing.assert_array_equal(load_matrix_auto(path), matrix)
+
+    def test_dispatch_text(self, tmp_path, matrix):
+        path = tmp_path / "m.dat"
+        write_matrix_text(path, matrix)
+        np.testing.assert_allclose(load_matrix_auto(path), matrix, atol=1e-3)

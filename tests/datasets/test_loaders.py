@@ -1,0 +1,55 @@
+"""Tests for the Meridian / MIT King loaders (real file formats)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_meridian_file, load_mit_king_file
+from repro.datasets.io import write_matrix_text
+
+
+def make_raw(n, seed, missing_pairs=()):
+    rng = np.random.default_rng(seed)
+    d = rng.uniform(5.0, 200.0, size=(n, n))
+    d = (d + d.T) / 2
+    np.fill_diagonal(d, 0.0)
+    for u, v in missing_pairs:
+        d[u, v] = np.nan
+        d[v, u] = np.nan
+    return d
+
+
+class TestMeridianLoader:
+    def test_loads_and_scales_microseconds(self, tmp_path):
+        raw = make_raw(5, seed=0) * 1000.0  # store as microseconds
+        path = tmp_path / "meridian_matrix.txt"
+        write_matrix_text(path, raw)
+        matrix, report = load_meridian_file(path)  # default unit 1e-3
+        assert matrix.n_nodes == 5
+        assert report.n_before == 5
+        # Values back in milliseconds.
+        assert matrix.values.max() < 1000.0
+
+    def test_cleaning_applied(self, tmp_path):
+        raw = make_raw(6, seed=1, missing_pairs=[(0, 3), (0, 4)]) * 1000.0
+        path = tmp_path / "meridian_matrix.txt"
+        write_matrix_text(path, raw)
+        matrix, report = load_meridian_file(path)
+        assert matrix.n_nodes == 5
+        assert 0 in report.dropped
+
+
+class TestMitLoader:
+    def test_loads_milliseconds(self, tmp_path):
+        raw = make_raw(4, seed=2)
+        path = tmp_path / "king.txt"
+        write_matrix_text(path, raw)
+        matrix, report = load_mit_king_file(path)
+        assert matrix.n_nodes == 4
+        np.testing.assert_allclose(matrix.values, raw, atol=1e-3)
+
+    def test_unit_scale(self, tmp_path):
+        raw = make_raw(4, seed=3) * 1000.0
+        path = tmp_path / "king.txt"
+        write_matrix_text(path, raw)
+        matrix, _ = load_mit_king_file(path, unit_scale=1e-3)
+        assert matrix.values.max() < 1000.0

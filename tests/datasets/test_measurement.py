@@ -1,0 +1,109 @@
+"""Tests for the King measurement-campaign simulator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    MeasurementCampaign,
+    drop_incomplete_nodes,
+    measurement_error_report,
+    simulate_king_measurements,
+)
+from repro.net.jitter import LogNormalJitter, NoJitter
+from repro.net.latency import LatencyMatrix
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return LatencyMatrix.random_metric(30, seed=6, scale=100.0)
+
+
+class TestCampaignValidation:
+    def test_defaults_valid(self):
+        MeasurementCampaign()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"probes_per_pair": 0},
+            {"estimate_percentile": 150.0},
+            {"pair_loss_rate": 1.0},
+            {"node_loss_rate": -0.1},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            MeasurementCampaign(**kwargs)
+
+
+class TestMeasurement:
+    def test_noiseless_campaign_reproduces_truth(self, truth):
+        campaign = MeasurementCampaign(jitter=NoJitter(), probes_per_pair=1)
+        raw = simulate_king_measurements(truth, campaign, seed=0)
+        np.testing.assert_allclose(raw, truth.values)
+
+    def test_symmetric_output(self, truth):
+        raw = simulate_king_measurements(truth, seed=1)
+        np.testing.assert_allclose(raw, raw.T, equal_nan=True)
+
+    def test_deterministic_per_seed(self, truth):
+        a = simulate_king_measurements(truth, seed=2)
+        b = simulate_king_measurements(truth, seed=2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_jitter_biases_high_percentile_up(self, truth):
+        median_campaign = MeasurementCampaign(
+            jitter=LogNormalJitter(0.3), estimate_percentile=50.0
+        )
+        p90_campaign = MeasurementCampaign(
+            jitter=LogNormalJitter(0.3), estimate_percentile=90.0
+        )
+        med = simulate_king_measurements(truth, median_campaign, seed=3)
+        p90 = simulate_king_measurements(truth, p90_campaign, seed=3)
+        off = ~np.eye(truth.n_nodes, dtype=bool)
+        assert p90[off].mean() > med[off].mean()
+
+    def test_more_probes_reduce_median_error(self, truth):
+        few = MeasurementCampaign(
+            jitter=LogNormalJitter(0.4), probes_per_pair=1
+        )
+        many = MeasurementCampaign(
+            jitter=LogNormalJitter(0.4), probes_per_pair=15
+        )
+        err_few, _ = measurement_error_report(
+            truth, simulate_king_measurements(truth, few, seed=4)
+        )
+        err_many, _ = measurement_error_report(
+            truth, simulate_king_measurements(truth, many, seed=4)
+        )
+        assert err_many < err_few
+
+
+class TestLosses:
+    def test_pair_loss_leaves_nans(self, truth):
+        campaign = MeasurementCampaign(pair_loss_rate=0.1)
+        raw = simulate_king_measurements(truth, campaign, seed=5)
+        frac = np.isnan(raw[~np.eye(truth.n_nodes, dtype=bool)]).mean()
+        assert 0.02 < frac < 0.3
+
+    def test_node_loss_kills_whole_rows(self, truth):
+        campaign = MeasurementCampaign(node_loss_rate=0.2)
+        raw = simulate_king_measurements(truth, campaign, seed=6)
+        dead_rows = [
+            u
+            for u in range(truth.n_nodes)
+            if np.isnan(np.delete(raw[u], u)).all()
+        ]
+        assert dead_rows  # some nodes completely unmeasured
+
+    def test_pipeline_to_cleaning(self, truth):
+        campaign = MeasurementCampaign(node_loss_rate=0.15, pair_loss_rate=0.01)
+        raw = simulate_king_measurements(truth, campaign, seed=7)
+        cleaned, report = drop_incomplete_nodes(raw)
+        assert report.n_after < truth.n_nodes
+        assert np.isfinite(cleaned.values).all()
+
+    def test_error_report_requires_measurements(self, truth):
+        raw = np.full((truth.n_nodes, truth.n_nodes), np.nan)
+        with pytest.raises(ValueError):
+            measurement_error_report(truth, raw)

@@ -1,0 +1,126 @@
+"""Property-based tests for the dataset substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DeploymentPlan
+from repro.datasets.cleaning import drop_incomplete_nodes
+from repro.datasets.io import (
+    read_matrix_npy,
+    read_matrix_text,
+    write_matrix_npy,
+    write_matrix_text,
+)
+from repro.net.latency import LatencyMatrix
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+
+
+@st.composite
+def raw_matrices(draw, max_nodes=12):
+    """Random measurement matrices with some missing entries."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    missing_rate = draw(st.floats(min_value=0.0, max_value=0.4))
+    rng = np.random.default_rng(seed)
+    d = rng.uniform(1.0, 100.0, size=(n, n))
+    d = (d + d.T) / 2.0
+    np.fill_diagonal(d, 0.0)
+    mask = rng.uniform(size=(n, n)) < missing_rate
+    mask = mask | mask.T
+    np.fill_diagonal(mask, False)
+    d = np.where(mask, np.nan, d)
+    return d
+
+
+class TestCleaningProperties:
+    @SETTINGS
+    @given(raw_matrices())
+    def test_output_is_complete_and_valid(self, raw):
+        cleaned, report = drop_incomplete_nodes(raw)
+        assert np.isfinite(cleaned.values).all()
+        assert report.n_after == cleaned.n_nodes
+        assert report.n_after + len(report.dropped) == report.n_before
+
+    @SETTINGS
+    @given(raw_matrices())
+    def test_idempotent(self, raw):
+        cleaned, _ = drop_incomplete_nodes(raw)
+        again, report = drop_incomplete_nodes(cleaned.values)
+        assert report.dropped == ()
+        assert again == cleaned
+
+    @SETTINGS
+    @given(raw_matrices())
+    def test_kept_entries_preserved(self, raw):
+        cleaned, report = drop_incomplete_nodes(raw)
+        kept = [
+            u for u in range(raw.shape[0]) if u not in set(report.dropped)
+        ]
+        for i, u in enumerate(kept):
+            for j, v in enumerate(kept):
+                if i != j:
+                    assert cleaned.values[i, j] == raw[u, v]
+
+
+class TestIoProperties:
+    @SETTINGS
+    @given(raw=raw_matrices(), fmt=st.sampled_from(["text", "npy"]))
+    def test_round_trip(self, tmp_path_factory, raw, fmt):
+        tmp = tmp_path_factory.mktemp("io")
+        if fmt == "npy":
+            path = tmp / "m.npy"
+            write_matrix_npy(path, raw)
+            out = read_matrix_npy(path)
+            np.testing.assert_array_equal(out, raw)
+        else:
+            path = tmp / "m.txt"
+            write_matrix_text(path, raw, fmt="%.9f")
+            out = read_matrix_text(path)
+            np.testing.assert_allclose(out, raw, atol=1e-8)
+
+
+@st.composite
+def solved_instances(draw):
+    from repro.algorithms import nearest_server
+    from repro.core import ClientAssignmentProblem
+
+    n = draw(st.integers(min_value=4, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    d = rng.uniform(1.0, 50.0, size=(n, n))
+    d = (d + d.T) / 2.0
+    np.fill_diagonal(d, 0.0)
+    matrix = LatencyMatrix(d)
+    k = draw(st.integers(min_value=1, max_value=max(1, n // 2)))
+    servers = rng.choice(n, size=k, replace=False)
+    problem = ClientAssignmentProblem(matrix, servers)
+    return matrix, nearest_server(problem)
+
+
+class TestDeploymentProperties:
+    @SETTINGS
+    @given(solved_instances())
+    def test_jsonable_round_trip(self, solved):
+        _matrix, assignment = solved
+        plan = DeploymentPlan.from_assignment(assignment)
+        again = DeploymentPlan.from_jsonable(plan.to_jsonable())
+        assert again == plan
+
+    @SETTINGS
+    @given(solved_instances())
+    def test_rebuilt_assignment_matches(self, solved):
+        matrix, assignment = solved
+        plan = DeploymentPlan.from_assignment(assignment)
+        rebuilt = plan.to_assignment(matrix)
+        assert rebuilt.as_mapping() == assignment.as_mapping()
+        assert plan.validate_against(matrix)

@@ -1,0 +1,65 @@
+"""Realism checks: the synthetic data must reproduce the statistical
+properties of King-measured Internet latencies that the paper's results
+depend on (DESIGN.md §5 substitution argument)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthesize_meridian_like, synthesize_mit_like
+
+
+@pytest.fixture(scope="module")
+def meridian():
+    return synthesize_meridian_like(300, seed=0)
+
+
+@pytest.fixture(scope="module")
+def mit():
+    return synthesize_mit_like(300, seed=0)
+
+
+class TestMeridianLike:
+    def test_triangle_violations_exist(self, meridian):
+        # The paper (footnote 2) relies on real data violating the
+        # triangle inequality; a few percent of triples should violate.
+        report = meridian.triangle_inequality_report(max_triples=100_000)
+        assert 0.005 < report.violation_rate < 0.25
+
+    def test_heavy_right_tail(self, meridian):
+        # p99 well above the median — the hallmark of wide-area RTTs.
+        assert meridian.latency_percentile(99) > 2.0 * meridian.latency_percentile(50)
+
+    def test_plausible_magnitudes(self, meridian):
+        # Median tens-to-low-hundreds of ms, max below ~2 s.
+        assert 10.0 < meridian.latency_percentile(50) < 400.0
+        assert meridian.max_latency() < 2000.0
+
+    def test_clustering_low_percentile_small(self, meridian):
+        # Intra-cluster pairs make the 10th percentile much smaller than
+        # the median.
+        assert meridian.latency_percentile(10) < 0.6 * meridian.latency_percentile(50)
+
+    def test_symmetric(self, meridian):
+        # King halves round trips, so published matrices are symmetric.
+        assert meridian.is_symmetric()
+
+
+class TestMitLike:
+    def test_triangle_violations_exist(self, mit):
+        report = mit.triangle_inequality_report(max_triples=100_000)
+        assert 0.002 < report.violation_rate < 0.25
+
+    def test_heavy_tail_and_magnitudes(self, mit):
+        assert mit.latency_percentile(99) > 1.8 * mit.latency_percentile(50)
+        assert 10.0 < mit.latency_percentile(50) < 400.0
+
+    def test_differs_from_meridian(self, meridian, mit):
+        assert meridian != mit
+
+
+class TestDefaultSizes:
+    def test_full_scale_constants(self):
+        from repro.datasets import MERIDIAN_NODE_COUNT, MIT_KING_NODE_COUNT
+
+        assert MERIDIAN_NODE_COUNT == 1796
+        assert MIT_KING_NODE_COUNT == 1024

@@ -1,0 +1,86 @@
+"""Tests for repro.datasets.synthetic (InternetLatencyModel)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import InternetLatencyModel, small_world_latencies
+
+
+class TestModelValidation:
+    def test_defaults_are_valid(self):
+        model = InternetLatencyModel(n_nodes=50)
+        assert model.n_nodes == 50
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            InternetLatencyModel(n_nodes=1)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("cluster_spread", 0.0),
+            ("geo_scale", -1.0),
+            ("min_latency", 0.0),
+            ("noise_sigma", -0.1),
+            ("access_delay_mean", -1.0),
+            ("spike_fraction", 1.0),
+            ("missing_fraction", -0.2),
+        ],
+    )
+    def test_rejects_bad_parameters(self, field, value):
+        with pytest.raises(ValueError):
+            InternetLatencyModel(n_nodes=10, **{field: value})
+
+
+class TestGeneration:
+    def test_shape_and_diagonal(self):
+        m = InternetLatencyModel(n_nodes=60).generate(seed=0)
+        assert m.n_nodes == 60
+        assert np.all(np.diag(m.values) == 0.0)
+
+    def test_deterministic_per_seed(self):
+        model = InternetLatencyModel(n_nodes=40)
+        assert model.generate(seed=5) == model.generate(seed=5)
+
+    def test_different_seeds_differ(self):
+        model = InternetLatencyModel(n_nodes=40)
+        assert model.generate(seed=5) != model.generate(seed=6)
+
+    def test_symmetric_by_default(self):
+        m = InternetLatencyModel(n_nodes=30).generate(seed=1)
+        assert m.is_symmetric()
+
+    def test_asymmetric_mode(self):
+        model = InternetLatencyModel(
+            n_nodes=30, symmetric=False, asymmetry_sigma=0.05
+        )
+        m = model.generate(seed=1)
+        assert not m.is_symmetric()
+
+    def test_min_latency_respected(self):
+        model = InternetLatencyModel(n_nodes=30, min_latency=3.0)
+        m = model.generate(seed=2)
+        off = m.values[~np.eye(30, dtype=bool)]
+        assert off.min() >= 3.0
+
+    def test_missing_fraction_shrinks_matrix(self):
+        model = InternetLatencyModel(n_nodes=80, missing_fraction=0.02)
+        raw = model.generate_raw(seed=3)
+        assert np.isnan(raw).any()
+        cleaned = model.generate(seed=3)
+        assert cleaned.n_nodes < 80
+        assert np.isfinite(cleaned.values).all()
+
+    def test_no_missing_keeps_all_nodes(self):
+        model = InternetLatencyModel(n_nodes=50)
+        assert model.generate(seed=0).n_nodes == 50
+
+
+class TestSmallWorld:
+    def test_basic_properties(self):
+        m = small_world_latencies(25, seed=0)
+        assert m.n_nodes == 25
+        assert m.is_symmetric()
+
+    def test_seeded(self):
+        assert small_world_latencies(20, seed=4) == small_world_latencies(20, seed=4)

@@ -1,0 +1,127 @@
+"""Tests for the ablation studies (small scale)."""
+
+import pytest
+
+from repro.datasets import synthesize_meridian_like
+from repro.experiments.ablations import (
+    AblationResult,
+    ablation_dga_initial,
+    ablation_estimated_latencies,
+    ablation_greedy_cost,
+    ablation_placement_strategies,
+    ablation_triangle_violations,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return synthesize_meridian_like(90, seed=2)
+
+
+class TestResultObject:
+    def test_render_and_column(self):
+        result = AblationResult(
+            title="t", headers=("a", "b"), rows=((1, 2.0), (3, 4.0))
+        )
+        text = result.render()
+        assert "t" in text and "a" in text
+        assert result.column("b") == [2.0, 4.0]
+
+    def test_unknown_column(self):
+        result = AblationResult(title="t", headers=("a",), rows=((1,),))
+        with pytest.raises(ValueError):
+            result.column("zzz")
+
+
+class TestDgaInitial:
+    def test_rows_and_reproducibility(self, matrix):
+        r1 = ablation_dga_initial(matrix, n_servers=8, n_runs=2, seed=0)
+        r2 = ablation_dga_initial(matrix, n_servers=8, n_runs=2, seed=0)
+        assert r1.rows == r2.rows
+        assert len(r1.rows) == 4
+        # All final norms are >= 1 (normalized against the bound).
+        for value in r1.column("final norm (mean)"):
+            assert value >= 1.0 - 1e-9
+
+    def test_random_start_needs_more_moves(self, matrix):
+        result = ablation_dga_initial(matrix, n_servers=8, n_runs=3, seed=1)
+        by_name = {row[0]: row for row in result.rows}
+        assert by_name["random"][3] > by_name["nearest-server"][3]
+
+
+class TestGreedyCost:
+    def test_two_variants(self, matrix):
+        result = ablation_greedy_cost(matrix, n_servers=8, n_runs=3, seed=0)
+        names = result.column("variant")
+        assert names == ["greedy", "greedy-absolute"]
+        for value in result.column("norm (mean)"):
+            assert value >= 1.0 - 1e-9
+
+
+class TestTriangle:
+    def test_violation_rate_grows_with_spikes(self):
+        result = ablation_triangle_violations(
+            n_nodes=60,
+            n_servers=6,
+            spike_fractions=(0.0, 0.15),
+            n_runs=2,
+            seed=0,
+        )
+        rates = result.column("violation rate")
+        assert rates[1] > rates[0]
+
+    def test_nsa_gap_grows_with_violations(self):
+        result = ablation_triangle_violations(
+            n_nodes=60,
+            n_servers=6,
+            spike_fractions=(0.0, 0.2),
+            n_runs=3,
+            seed=1,
+        )
+        gaps = result.column("NSA/DGA")
+        assert gaps[-1] > gaps[0]
+
+
+class TestEstimatedLatencies:
+    def test_penalties_at_least_reported(self, matrix):
+        result = ablation_estimated_latencies(
+            matrix, n_servers=8, embedding_rounds=10, seed=0
+        )
+        assert len(result.rows) == 3
+        # Estimated-latency assignments are evaluated on the true
+        # matrix; they can never beat the lower bound.
+        for value in result.column("estimated norm"):
+            assert value >= 1.0 - 1e-9
+
+
+class TestPlacementStrategies:
+    def test_all_strategies_present(self, matrix):
+        result = ablation_placement_strategies(
+            matrix, n_servers=8, n_runs=2, seed=0
+        )
+        names = set(result.column("placement"))
+        assert {
+            "random",
+            "best-of-16-random",
+            "k-center-a",
+            "k-center-b",
+            "k-median",
+            "medoids",
+        } == names
+
+
+class TestMeasurementError:
+    def test_penalty_shrinks_with_probes(self, matrix):
+        from repro.experiments.ablations import ablation_measurement_error
+
+        result = ablation_measurement_error(
+            matrix, n_servers=8, probes_sweep=(1, 10), seed=0
+        )
+        errors = result.column("median rel. error")
+        # Truth row has zero error; more probes give lower error.
+        assert errors[0] == 0.0
+        assert errors[2] < errors[1]
+        # Normalized interactivity is never below the truth baseline by
+        # more than noise.
+        norms = result.column("norm")
+        assert all(n >= 1.0 - 1e-9 for n in norms)

@@ -1,0 +1,72 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.experiments.ascii_charts import (
+    bar_chart,
+    multi_series_chart,
+    render_series_summary,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_extremes_use_extreme_blocks(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBarChart:
+    def test_rows_and_scaling(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+    def test_unit_suffix(self):
+        assert "ms" in bar_chart(["x"], [3.0], unit="ms")
+
+
+class TestMultiSeries:
+    def test_structure(self):
+        chart = multi_series_chart(
+            [10, 20, 30], {"a": [1, 2, 3], "b": [3, 2, 1]}, height=5
+        )
+        lines = chart.splitlines()
+        assert len(lines) == 5 + 3  # grid + axis + x labels + legend
+        assert "a" in lines[-1] and "b" in lines[-1]
+
+    def test_mismatched_series_length(self):
+        with pytest.raises(ValueError):
+            multi_series_chart([1, 2], {"a": [1.0]})
+
+    def test_empty_series(self):
+        assert multi_series_chart([1], {}) == ""
+
+
+class TestSeriesSummary:
+    def test_contains_all_series(self):
+        text = render_series_summary(
+            "Title", [1, 2], {"nsa": [1.5, 2.0], "dga": [1.2, 1.3]}
+        )
+        assert "Title" in text
+        assert "nsa" in text and "dga" in text
+        assert "[1.200 .. 1.300]" in text

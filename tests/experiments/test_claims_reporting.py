@@ -1,0 +1,98 @@
+"""Tests for the claims checks and text reporting."""
+
+import pytest
+
+from repro.experiments import (
+    dataset_for,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    profile,
+    render_claims,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+    run_all_claims,
+)
+from repro.experiments.reporting import format_table
+
+QUICK = profile("quick")
+
+
+@pytest.fixture(scope="module")
+def figures():
+    matrix = dataset_for(QUICK)
+    return {
+        "matrix": matrix,
+        "fig7": fig7(QUICK, "random", matrix=matrix),
+        "fig8": fig8(QUICK, matrix=matrix),
+        "fig9": fig9(QUICK, matrix=matrix),
+        "fig10": fig10(QUICK, "random", matrix=matrix),
+    }
+
+
+class TestClaims:
+    def test_all_claims_hold_at_quick_scale(self, figures):
+        claims = run_all_claims(
+            figures["fig7"],
+            figures["fig8"],
+            figures["fig9"],
+            figures["fig10"],
+            n_clients=figures["matrix"].n_nodes,
+        )
+        failing = [c for c in claims if not c.holds]
+        assert not failing, f"claims failed: {[c.claim for c in failing]}"
+
+    def test_claim_count_and_order(self, figures):
+        claims = run_all_claims(
+            figures["fig7"],
+            figures["fig8"],
+            figures["fig9"],
+            figures["fig10"],
+            n_clients=figures["matrix"].n_nodes,
+        )
+        assert len(claims) == 6
+        assert "outperform" in claims[0].claim
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "2.500" in table
+
+    def test_render_fig7(self, figures):
+        text = render_fig7(figures["fig7"])
+        assert "Fig.7" in text
+        assert "servers" in text
+        assert "nearest-server" in text
+
+    def test_render_fig8(self, figures):
+        text = render_fig8(figures["fig8"])
+        assert "Fig.8" in text
+        assert "P(>2)" in text
+
+    def test_render_fig9(self, figures):
+        text = render_fig9(figures["fig9"])
+        assert "Fig.9" in text
+        assert "k-center-a" in text
+
+    def test_render_fig10(self, figures):
+        text = render_fig10(figures["fig10"])
+        assert "Fig.10" in text
+        assert "capacity" in text
+
+    def test_render_claims(self, figures):
+        claims = run_all_claims(
+            figures["fig7"],
+            figures["fig8"],
+            figures["fig9"],
+            figures["fig10"],
+            n_clients=figures["matrix"].n_nodes,
+        )
+        text = render_claims(claims)
+        assert "PASS" in text

@@ -1,0 +1,77 @@
+"""Tests for experiment profiles."""
+
+import pytest
+
+from repro.experiments.config import (
+    PROFILES,
+    ExperimentProfile,
+    profile,
+    profile_from_env,
+)
+
+
+class TestProfiles:
+    def test_builtin_profiles_exist(self):
+        assert {"quick", "default", "paper"} <= set(PROFILES)
+
+    def test_paper_profile_matches_paper_parameters(self):
+        p = profile("paper")
+        assert p.n_nodes == 1796
+        assert p.n_random_runs == 1000
+        assert p.server_counts == tuple(range(20, 101, 10))
+        assert p.fixed_servers == 80
+        assert p.capacities == (25, 50, 100, 150, 200, 250)
+
+    def test_unknown_profile_lists_options(self):
+        with pytest.raises(KeyError, match="available"):
+            profile("huge")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "default")
+        assert profile_from_env("quick").name == "default"
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert profile_from_env("quick").name == "quick"
+
+
+class TestValidation:
+    def test_rejects_more_servers_than_nodes(self):
+        with pytest.raises(ValueError):
+            ExperimentProfile(
+                name="bad",
+                n_nodes=10,
+                n_random_runs=1,
+                server_counts=(20,),
+                fixed_servers=5,
+                fig8_runs=1,
+                capacities=(25,),
+            )
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            ExperimentProfile(
+                name="bad",
+                n_nodes=50,
+                n_random_runs=1,
+                server_counts=(5,),
+                fixed_servers=5,
+                fig8_runs=1,
+                capacities=(25,),
+                dataset="planetlab",
+            )
+
+
+class TestScaledCapacities:
+    def test_paper_scale_identity(self):
+        p = profile("paper")
+        assert p.scaled_capacities() == p.capacities
+
+    def test_small_scale_preserves_pressure(self):
+        p = profile("quick")
+        scaled = p.scaled_capacities()
+        assert len(scaled) == len(p.capacities)
+        # The tightest capacity must still admit a feasible assignment.
+        assert scaled[0] * p.fixed_servers >= p.n_nodes
+        # Relative pressure preserved: ratio of extremes roughly 10x.
+        assert scaled[-1] / scaled[0] == pytest.approx(250 / 25, rel=0.45)

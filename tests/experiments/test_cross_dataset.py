@@ -1,0 +1,65 @@
+"""Tests for the cross-dataset 'similar results' comparison."""
+
+import pytest
+
+from repro.analysis.stats import spearman_rank_correlation
+from repro.experiments.cross_dataset import (
+    CrossDatasetResult,
+    compare_datasets,
+    render_cross_dataset,
+)
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert spearman_rank_correlation([1, 2, 3], [5, 6, 9]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert spearman_rank_correlation([1, 2, 3], [9, 6, 5]) == pytest.approx(-1.0)
+
+    def test_ties_handled(self):
+        value = spearman_rank_correlation([1, 2, 2, 3], [1, 2, 2, 3])
+        assert value == pytest.approx(1.0)
+
+    def test_constant_series(self):
+        assert spearman_rank_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1], [1])
+
+
+class TestCompareDatasets:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return compare_datasets(
+            n_nodes=100, server_counts=(10, 20), n_runs=3, seed=0
+        )
+
+    def test_structure(self, result):
+        assert set(result.series) == {"meridian", "mit"}
+        for per in result.series.values():
+            for values in per.values():
+                assert len(values) == 2
+        assert -1.0 <= result.rank_correlation <= 1.0
+
+    def test_datasets_similar(self, result):
+        # The operationalized form of the paper's remark.
+        assert result.similar(min_correlation=0.6, max_level_gap=0.4)
+
+    def test_level_ratios_near_one(self, result):
+        for ratio in result.level_ratios.values():
+            assert 0.5 < ratio < 2.0
+
+    def test_render(self, result):
+        text = render_cross_dataset(result)
+        assert "rank correlation" in text
+        assert "meridian" in text and "mit" in text
+
+    def test_reproducible(self):
+        a = compare_datasets(n_nodes=80, server_counts=(8,), n_runs=2, seed=1)
+        b = compare_datasets(n_nodes=80, server_counts=(8,), n_runs=2, seed=1)
+        assert a.rank_correlation == b.rank_correlation
+        assert a.level_ratios == b.level_ratios

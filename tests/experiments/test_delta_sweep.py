@@ -1,0 +1,89 @@
+"""Tests for the δ-feasibility knee experiment."""
+
+import pytest
+
+from repro.algorithms import greedy, nearest_server
+from repro.core import ClientAssignmentProblem, OffsetSchedule
+from repro.datasets.synthetic import small_world_latencies
+from repro.errors import InfeasibleScheduleError
+from repro.experiments.delta_sweep import delta_sweep, render_delta_sweep
+from repro.placement import random_placement
+
+
+@pytest.fixture(scope="module")
+def assignment():
+    matrix = small_world_latencies(25, seed=14)
+    problem = ClientAssignmentProblem(matrix, random_placement(matrix, 3, seed=0))
+    return greedy(problem)
+
+
+class TestKnee:
+    @pytest.fixture(scope="class")
+    def points(self, assignment):
+        return delta_sweep(assignment, seed=0)
+
+    def test_zero_lateness_at_and_above_d(self, points):
+        for p in points:
+            if p.delta_ratio >= 1.0:
+                assert p.late_messages == 0
+                assert p.constraints_feasible
+
+    def test_positive_lateness_below_d(self, points):
+        below = [p for p in points if p.delta_ratio < 1.0]
+        assert below
+        for p in below:
+            assert p.late_messages > 0
+            assert not p.constraints_feasible
+
+    def test_lateness_monotone_in_delta(self, points):
+        rates = [p.late_rate for p in points]
+        assert all(b <= a + 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_render(self, points):
+        text = render_delta_sweep(points)
+        assert "delta/D" in text
+        assert "knee" in text
+
+
+class TestOptions:
+    def test_empty_ratios_rejected(self, assignment):
+        with pytest.raises(ValueError):
+            delta_sweep(assignment, ratios=())
+
+    def test_custom_operations(self, assignment):
+        from repro.sim.workload import uniform_workload
+
+        ops = uniform_workload(
+            assignment.problem.n_clients, ops_per_client=1, seed=1
+        )
+        points = delta_sweep(assignment, ratios=(1.0,), operations=ops)
+        assert points[0].late_messages == 0
+
+    def test_works_for_any_algorithm(self):
+        matrix = small_world_latencies(20, seed=15)
+        problem = ClientAssignmentProblem(
+            matrix, random_placement(matrix, 3, seed=1)
+        )
+        points = delta_sweep(nearest_server(problem), ratios=(0.9, 1.0), seed=2)
+        assert points[0].late_messages > 0
+        assert points[1].late_messages == 0
+
+
+class TestNonStrictSchedule:
+    def test_strict_default_rejects(self, assignment):
+        from repro.core import max_interaction_path_length
+
+        d = max_interaction_path_length(assignment)
+        with pytest.raises(InfeasibleScheduleError):
+            OffsetSchedule(assignment, delta=0.5 * d)
+
+    def test_non_strict_reports_infeasible(self, assignment):
+        from repro.core import max_interaction_path_length
+
+        d = max_interaction_path_length(assignment)
+        schedule = OffsetSchedule(assignment, delta=0.5 * d, strict=False)
+        assert not schedule.check_constraints().feasible
+
+    def test_nonpositive_delta_always_rejected(self, assignment):
+        with pytest.raises(InfeasibleScheduleError):
+            OffsetSchedule(assignment, delta=0.0, strict=False)

@@ -1,0 +1,109 @@
+"""Tests for the figure generators (quick profile)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    dataset_for,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    profile,
+)
+
+QUICK = profile("quick")
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return dataset_for(QUICK)
+
+
+@pytest.fixture(scope="module")
+def fig7_random(matrix):
+    return fig7(QUICK, "random", matrix=matrix)
+
+
+class TestFig7:
+    def test_axis_matches_profile(self, fig7_random):
+        assert fig7_random.server_counts == list(QUICK.server_counts)
+
+    def test_all_algorithms_present(self, fig7_random):
+        for name in (
+            "nearest-server",
+            "longest-first-batch",
+            "greedy",
+            "distributed-greedy",
+        ):
+            series = fig7_random.series(name)
+            assert len(series) == len(QUICK.server_counts)
+            assert all(v >= 1.0 - 1e-9 for v in series)
+
+    def test_ordering_shape(self, fig7_random):
+        # Who wins: greedy algorithms beat NSA on average.
+        nsa = np.mean(fig7_random.series("nearest-server"))
+        dga = np.mean(fig7_random.series("distributed-greedy"))
+        assert dga < nsa
+
+    def test_kcenter_panels(self, matrix):
+        series = fig7(QUICK, "k-center-a", matrix=matrix)
+        assert series.placement == "k-center-a"
+        assert all(p.n_runs == 1 for p in series.points)
+
+
+class TestFig8:
+    def test_sample_counts(self, matrix):
+        series = fig8(QUICK, matrix=matrix)
+        for values in series.samples.values():
+            assert len(values) == QUICK.fig8_runs
+
+    def test_cdf_shape(self, matrix):
+        series = fig8(QUICK, matrix=matrix)
+        x, f = series.cdf("nearest-server")
+        assert np.all(np.diff(x) >= 0)
+        assert f[-1] == pytest.approx(1.0)
+
+    def test_fraction_above(self, matrix):
+        series = fig8(QUICK, matrix=matrix)
+        assert 0.0 <= series.fraction_above("greedy", 2.0) <= 1.0
+        assert series.fraction_above("greedy", 0.0) == 1.0
+
+
+class TestFig9:
+    def test_traces_for_all_placements(self, matrix):
+        traces = fig9(QUICK, matrix=matrix)
+        assert [t.placement for t in traces] == [
+            "random",
+            "k-center-a",
+            "k-center-b",
+        ]
+        for t in traces:
+            assert t.normalized_trace[0] >= t.normalized_trace[-1] - 1e-9
+            assert t.n_modifications == len(t.normalized_trace) - 1
+
+    def test_improvement_fraction(self, matrix):
+        traces = fig9(QUICK, matrix=matrix)
+        for t in traces:
+            assert t.improvement_fraction_at(0) == pytest.approx(0.0, abs=1e-9)
+            assert t.improvement_fraction_at(10**6) == pytest.approx(1.0)
+
+
+class TestFig10:
+    def test_capacity_axis_scaled(self, matrix):
+        series = fig10(QUICK, "random", matrix=matrix)
+        assert series.capacities == list(QUICK.scaled_capacities())
+
+    def test_looser_capacity_never_hurts_much(self, matrix):
+        # The loosest capacity should be no worse than the tightest for
+        # the paper's algorithms (averaged).
+        series = fig10(QUICK, "random", matrix=matrix)
+        for name in series.points[0].mean:
+            vals = series.series(name)
+            assert vals[-1] <= vals[0] + 0.25
+
+    def test_capacitated_loads_feasible_by_construction(self, matrix):
+        # fig10 uses Assignment validation internally; reaching here
+        # without InvalidAssignmentError is the check. Assert shape.
+        series = fig10(QUICK, "random", matrix=matrix)
+        assert len(series.points) == len(QUICK.capacities)

@@ -1,0 +1,70 @@
+"""Tests for the LaTeX table renderers."""
+
+import pytest
+
+from repro.experiments import dataset_for, fig7, fig8, fig9, fig10, profile
+from repro.experiments.latex import (
+    latex_fig7,
+    latex_fig8,
+    latex_fig9,
+    latex_fig10,
+    latex_table,
+)
+
+QUICK = profile("quick")
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return dataset_for(QUICK)
+
+
+class TestLatexTable:
+    def test_structure(self):
+        out = latex_table(
+            ["a", "b"], [[1, 2.5]], caption="Cap", label="tab:x"
+        )
+        assert r"\begin{table}" in out
+        assert r"\toprule" in out
+        assert r"\caption{Cap}" in out
+        assert r"\label{tab:x}" in out
+        assert "2.500" in out
+
+    def test_escaping(self):
+        out = latex_table(["a_b", "c%d"], [["x&y", 1]])
+        assert r"a\_b" in out
+        assert r"c\%d" in out
+        assert r"x\&y" in out
+
+    def test_no_caption_no_label(self):
+        out = latex_table(["a"], [[1]])
+        assert r"\caption" not in out
+        assert r"\label" not in out
+
+
+class TestFigureRenderers:
+    def test_fig7(self, matrix):
+        out = latex_fig7(fig7(QUICK, "random", matrix=matrix))
+        assert "Servers" in out
+        assert "nearest-server" in out
+        assert r"\bottomrule" in out
+
+    def test_fig8(self, matrix):
+        out = latex_fig8(fig8(QUICK, matrix=matrix))
+        assert "$P(>2)$" in out
+        assert r"\%" in out
+
+    def test_fig9(self, matrix):
+        out = latex_fig9(fig9(QUICK, matrix=matrix))
+        assert "Placement" in out
+        assert "k-center-a" in out
+
+    def test_fig10(self, matrix):
+        out = latex_fig10(fig10(QUICK, "random", matrix=matrix))
+        assert "Capacity" in out
+
+    def test_custom_caption_override(self, matrix):
+        out = latex_fig7(
+            fig7(QUICK, "random", matrix=matrix), caption="Mine", label="tab:f7"
+        )
+        assert r"\caption{Mine}" in out

@@ -1,0 +1,73 @@
+"""Tests for the full-evaluation orchestrator."""
+
+import pytest
+
+from repro.experiments import (
+    EvaluationBundle,
+    load_result,
+    profile,
+    run_full_evaluation,
+)
+
+QUICK = profile("quick")
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    out = tmp_path_factory.mktemp("report")
+    return run_full_evaluation(QUICK, out_dir=out, include_ablations=True), out
+
+
+class TestBundle:
+    def test_all_sections_present(self, bundle):
+        result, _out = bundle
+        assert set(result.fig7_panels) == {"random", "k-center-a", "k-center-b"}
+        assert set(result.fig10_panels) == {"random", "k-center-a", "k-center-b"}
+        assert len(result.fig9_traces) == 3
+        assert len(result.claims) == 6
+        assert len(result.ablations) == 3
+
+    def test_claims_hold(self, bundle):
+        result, _out = bundle
+        assert result.all_claims_hold
+
+    def test_render_contains_everything(self, bundle):
+        result, _out = bundle
+        text = result.render()
+        for marker in ("Fig.7", "Fig.8", "Fig.9", "Fig.10", "Paper claims", "Ablation"):
+            assert marker in text
+
+    def test_files_written(self, bundle):
+        _result, out = bundle
+        expected = {
+            "fig7_random.json",
+            "fig7_k-center-a.json",
+            "fig7_k-center-b.json",
+            "fig8.json",
+            "fig9.json",
+            "fig10_random.json",
+            "fig10_k-center-a.json",
+            "fig10_k-center-b.json",
+            "report.txt",
+        }
+        assert expected <= {p.name for p in out.iterdir()}
+
+    def test_written_series_load_back(self, bundle):
+        result, out = bundle
+        loaded = load_result(out / "fig7_random.json")
+        assert loaded.server_counts == result.fig7_panels["random"].server_counts
+
+    def test_progress_callback_invoked(self):
+        messages = []
+        run_full_evaluation(QUICK, progress=messages.append)
+        assert any("fig 7" in m for m in messages)
+        assert any("claims" in m for m in messages)
+
+
+class TestRenderWithoutAblations:
+    def test_minimal_bundle_renders(self):
+        bundle = run_full_evaluation(QUICK)
+        text = bundle.render()
+        assert "Ablation" not in text
+        assert "Paper claims" in text
+        assert "(trend over" in text  # sparkline summary present

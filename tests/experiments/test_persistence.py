@@ -1,0 +1,104 @@
+"""Tests for JSON persistence of figure results."""
+
+import json
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.experiments import (
+    dataset_for,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    load_result,
+    profile,
+    save_result,
+)
+from repro.experiments.figures import Fig7Series, Fig8Series, Fig9Trace, Fig10Series
+from repro.experiments.persistence import from_jsonable, to_jsonable
+
+QUICK = profile("quick")
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return dataset_for(QUICK)
+
+
+class TestRoundTrips:
+    def test_fig7(self, tmp_path, matrix):
+        series = fig7(QUICK, "random", matrix=matrix)
+        path = tmp_path / "f7.json"
+        save_result(path, series)
+        loaded = load_result(path)
+        assert isinstance(loaded, Fig7Series)
+        assert loaded.placement == series.placement
+        assert loaded.server_counts == series.server_counts
+        for name in series.points[0].mean:
+            assert loaded.series(name) == pytest.approx(series.series(name))
+
+    def test_fig8(self, tmp_path, matrix):
+        series = fig8(QUICK, matrix=matrix)
+        path = tmp_path / "f8.json"
+        save_result(path, series)
+        loaded = load_result(path)
+        assert isinstance(loaded, Fig8Series)
+        assert loaded.n_servers == series.n_servers
+        assert loaded.samples == {
+            k: pytest.approx(v) for k, v in series.samples.items()
+        }
+
+    def test_fig9(self, tmp_path, matrix):
+        traces = fig9(QUICK, matrix=matrix)
+        path = tmp_path / "f9.json"
+        save_result(path, traces)
+        loaded = load_result(path)
+        assert isinstance(loaded, list)
+        assert all(isinstance(t, Fig9Trace) for t in loaded)
+        assert [t.placement for t in loaded] == [t.placement for t in traces]
+        assert loaded[0].normalized_trace == pytest.approx(
+            traces[0].normalized_trace
+        )
+
+    def test_fig10(self, tmp_path, matrix):
+        series = fig10(QUICK, "random", matrix=matrix)
+        path = tmp_path / "f10.json"
+        save_result(path, series)
+        loaded = load_result(path)
+        assert isinstance(loaded, Fig10Series)
+        assert loaded.capacities == series.capacities
+
+
+class TestErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(DatasetError):
+            from_jsonable({"schema_version": 1, "kind": "fig99"})
+
+    def test_wrong_schema_version(self):
+        with pytest.raises(DatasetError):
+            from_jsonable({"schema_version": 999, "kind": "fig7"})
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{ not json")
+        with pytest.raises(DatasetError):
+            load_result(path)
+
+    def test_non_object_top_level(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(DatasetError):
+            load_result(path)
+
+    def test_files_are_human_readable(self, tmp_path, matrix):
+        series = fig7(QUICK, "random", matrix=matrix)
+        path = tmp_path / "f7.json"
+        save_result(path, series)
+        data = json.loads(path.read_text())
+        assert data["kind"] == "fig7"
+        assert data["schema_version"] == 1

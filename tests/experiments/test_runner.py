@@ -1,0 +1,90 @@
+"""Tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import interaction_lower_bound
+from repro.datasets.synthetic import small_world_latencies
+from repro.experiments.runner import (
+    PLACEMENT_NAMES,
+    evaluate_instance,
+    run_placement_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return small_world_latencies(60, seed=40)
+
+
+class TestEvaluateInstance:
+    def test_scores_all_algorithms(self, small_problem):
+        result = evaluate_instance(
+            small_problem, ["nearest-server", "greedy"], seed=0
+        )
+        assert {s.algorithm for s in result.scores} == {
+            "nearest-server",
+            "greedy",
+        }
+        for score in result.scores:
+            assert score.max_path_length >= result.lower_bound - 1e-9
+            assert score.normalized >= 1.0 - 1e-9
+            assert score.seconds >= 0.0
+
+    def test_lower_bound_reused(self, small_problem):
+        lb = interaction_lower_bound(small_problem)
+        result = evaluate_instance(
+            small_problem, ["nearest-server"], lower_bound=lb
+        )
+        assert result.lower_bound == lb
+
+    def test_normalized_mapping(self, small_problem):
+        result = evaluate_instance(small_problem, ["greedy"])
+        assert set(result.normalized()) == {"greedy"}
+
+
+class TestSweep:
+    def test_random_placement_runs_n_times(self, matrix):
+        point, results = run_placement_sweep(
+            matrix, "random", 6, ["nearest-server"], n_runs=4, seed=0
+        )
+        assert point.n_runs == 4
+        assert len(results) == 4
+        assert point.x == 6
+        assert point.std["nearest-server"] >= 0.0
+
+    def test_deterministic_placements_run_once(self, matrix):
+        for name in ("k-center-a", "k-center-b"):
+            point, results = run_placement_sweep(
+                matrix, name, 6, ["nearest-server"], n_runs=10, seed=0
+            )
+            assert point.n_runs == 1
+            assert len(results) == 1
+
+    def test_reproducible(self, matrix):
+        a, _ = run_placement_sweep(
+            matrix, "random", 5, ["greedy"], n_runs=3, seed=7
+        )
+        b, _ = run_placement_sweep(
+            matrix, "random", 5, ["greedy"], n_runs=3, seed=7
+        )
+        assert a.mean == b.mean
+
+    def test_capacity_coordinate(self, matrix):
+        point, _ = run_placement_sweep(
+            matrix,
+            "random",
+            6,
+            ["nearest-server"],
+            n_runs=2,
+            seed=0,
+            capacity=15,
+        )
+        assert point.x == 15
+
+    def test_unknown_placement(self, matrix):
+        with pytest.raises(KeyError):
+            run_placement_sweep(matrix, "grid", 5, ["greedy"], n_runs=1, seed=0)
+
+    def test_placement_names_exposed(self):
+        assert PLACEMENT_NAMES == ("random", "k-center-a", "k-center-b")

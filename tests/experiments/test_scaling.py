@@ -1,0 +1,38 @@
+"""Tests for the scale sweep."""
+
+import pytest
+
+from repro.experiments.scaling import ScalePoint, render_scale_sweep, scale_sweep
+
+
+class TestScaleSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return scale_sweep(sizes=(60, 120), n_runs=2, seed=0)
+
+    def test_point_structure(self, points):
+        assert [p.n_nodes for p in points] == [60, 120]
+        for point in points:
+            assert point.n_servers == max(2, round(0.2 * point.n_nodes))
+            assert set(point.normalized) == {
+                "nearest-server",
+                "greedy",
+                "distributed-greedy",
+            }
+            for value in point.normalized.values():
+                assert value >= 1.0 - 1e-9
+            assert point.nsa_over_dga >= 1.0 - 1e-9
+
+    def test_render(self, points):
+        text = render_scale_sweep(points)
+        assert "Scale sweep" in text
+        assert "NSA/DGA gap" in text
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            scale_sweep(sizes=(50,), server_fraction=0.0)
+
+    def test_reproducible(self):
+        a = scale_sweep(sizes=(60,), n_runs=2, seed=3)
+        b = scale_sweep(sizes=(60,), n_runs=2, seed=3)
+        assert a[0].normalized == b[0].normalized

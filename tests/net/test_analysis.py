@@ -1,0 +1,97 @@
+"""Tests for repro.net.analysis (asymmetry, clustering, stretch)."""
+
+import numpy as np
+import pytest
+
+from repro.net.analysis import (
+    asymmetry_report,
+    cluster_nodes,
+    cluster_quality,
+    stretch_report,
+)
+from repro.net.latency import LatencyMatrix
+from repro.net.topology import clustered_euclidean_matrix
+
+
+class TestAsymmetry:
+    def test_symmetric_matrix_scores_zero(self, tiny_matrix):
+        report = asymmetry_report(tiny_matrix)
+        assert report.mean_relative_asymmetry == 0.0
+        assert report.fraction_above_10pct == 0.0
+
+    def test_asymmetric_detected(self):
+        d = np.array([[0.0, 10.0], [20.0, 0.0]])
+        report = asymmetry_report(LatencyMatrix(d))
+        assert report.max_relative_asymmetry == pytest.approx(0.5)
+        assert report.fraction_above_10pct == 1.0
+
+
+class TestStretch:
+    def test_metric_matrix_unstretched(self):
+        matrix = LatencyMatrix.random_metric(15, seed=0)
+        report = stretch_report(matrix)
+        assert report.mean_stretch == pytest.approx(1.0)
+        assert report.fraction_stretched == 0.0
+
+    def test_detour_detected(self):
+        d = np.array(
+            [[0.0, 1.0, 10.0], [1.0, 0.0, 1.0], [10.0, 1.0, 0.0]]
+        )
+        report = stretch_report(LatencyMatrix(d))
+        assert report.max_stretch == pytest.approx(5.0)  # 10 vs closure 2
+        assert report.fraction_stretched > 0.0
+
+    def test_meridian_like_has_stretch(self):
+        from repro.datasets import synthesize_meridian_like
+
+        matrix = synthesize_meridian_like(80, seed=0)
+        report = stretch_report(matrix)
+        assert report.fraction_stretched > 0.05
+        assert report.mean_stretch > 1.0
+
+
+class TestClustering:
+    @pytest.fixture(scope="class")
+    def clustered(self):
+        return clustered_euclidean_matrix(
+            60, n_clusters=3, cluster_spread=0.02, seed=1
+        )
+
+    def test_labels_shape_and_range(self, clustered):
+        labels, medoids = cluster_nodes(clustered, 3, seed=0)
+        assert labels.shape == (60,)
+        assert set(np.unique(labels)) <= {0, 1, 2}
+        assert medoids.shape == (3,)
+
+    def test_recovers_planted_clusters(self, clustered):
+        labels, _ = cluster_nodes(clustered, 3, seed=0)
+        score = cluster_quality(clustered, labels)
+        assert score > 0.5  # tight, well-separated planted clusters
+
+    def test_wrong_k_worse_quality(self, clustered):
+        labels3, _ = cluster_nodes(clustered, 3, seed=0)
+        labels8, _ = cluster_nodes(clustered, 8, seed=0)
+        assert cluster_quality(clustered, labels3) > cluster_quality(
+            clustered, labels8
+        )
+
+    def test_k_validation(self, clustered):
+        with pytest.raises(ValueError):
+            cluster_nodes(clustered, 0)
+        with pytest.raises(ValueError):
+            cluster_nodes(clustered, 61)
+
+    def test_deterministic(self, clustered):
+        a, am = cluster_nodes(clustered, 3, seed=5)
+        b, bm = cluster_nodes(clustered, 3, seed=5)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(am, bm)
+
+    def test_quality_label_shape_checked(self, clustered):
+        with pytest.raises(ValueError):
+            cluster_quality(clustered, np.zeros(5, dtype=int))
+
+    def test_k_equals_one(self, clustered):
+        labels, medoids = cluster_nodes(clustered, 1, seed=0)
+        assert np.all(labels == 0)
+        assert medoids.shape == (1,)

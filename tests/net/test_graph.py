@@ -1,0 +1,111 @@
+"""Tests for repro.net.graph (NetworkGraph)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.net.graph import NetworkGraph
+
+
+class TestConstruction:
+    def test_needs_positive_node_count(self):
+        with pytest.raises(GraphError):
+            NetworkGraph(0)
+
+    def test_add_link_undirected(self):
+        g = NetworkGraph(3)
+        g.add_link(0, 1, 2.5)
+        assert g.has_link(0, 1)
+        assert g.has_link(1, 0)
+        assert g.link_latency(1, 0) == 2.5
+        assert g.n_links == 1
+
+    def test_add_link_directed(self):
+        g = NetworkGraph(3, directed=True)
+        g.add_link(0, 1, 2.5)
+        assert g.has_link(0, 1)
+        assert not g.has_link(1, 0)
+        assert g.n_links == 1
+
+    def test_re_add_keeps_smaller_latency(self):
+        g = NetworkGraph(2)
+        g.add_link(0, 1, 5.0)
+        g.add_link(0, 1, 3.0)
+        assert g.link_latency(0, 1) == 3.0
+        g.add_link(0, 1, 9.0)
+        assert g.link_latency(0, 1) == 3.0
+
+    def test_rejects_self_loop(self):
+        g = NetworkGraph(2)
+        with pytest.raises(GraphError):
+            g.add_link(1, 1, 1.0)
+
+    def test_rejects_nonpositive_latency(self):
+        g = NetworkGraph(2)
+        with pytest.raises(GraphError):
+            g.add_link(0, 1, 0.0)
+
+    def test_rejects_out_of_range_node(self):
+        g = NetworkGraph(2)
+        with pytest.raises(GraphError):
+            g.add_link(0, 5, 1.0)
+
+    def test_from_links(self):
+        g = NetworkGraph.from_links(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        assert g.n_links == 2
+
+    def test_missing_link_latency_raises(self):
+        g = NetworkGraph(3)
+        with pytest.raises(GraphError):
+            g.link_latency(0, 2)
+
+    def test_neighbors_returns_copy(self):
+        g = NetworkGraph.from_links(3, [(0, 1, 1.0)])
+        nbrs = g.neighbors(0)
+        nbrs[2] = 99.0
+        assert not g.has_link(0, 2)
+
+
+class TestRouting:
+    def test_to_latency_matrix_line(self):
+        g = NetworkGraph.from_links(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        m = g.to_latency_matrix()
+        assert m.distance(0, 2) == pytest.approx(3.0)
+        assert m.distance(2, 0) == pytest.approx(3.0)
+
+    def test_routing_picks_shortest(self):
+        g = NetworkGraph.from_links(
+            3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)]
+        )
+        m = g.to_latency_matrix()
+        assert m.distance(0, 2) == pytest.approx(2.0)
+
+    def test_disconnected_graph_rejected(self):
+        g = NetworkGraph(3)
+        g.add_link(0, 1, 1.0)
+        with pytest.raises(GraphError):
+            g.to_latency_matrix()
+
+    def test_is_connected(self):
+        g = NetworkGraph.from_links(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        assert g.is_connected()
+        g2 = NetworkGraph(3)
+        g2.add_link(0, 1, 1.0)
+        assert not g2.is_connected()
+
+    def test_shortest_distances_from(self):
+        g = NetworkGraph.from_links(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        dist = g.shortest_distances_from(0)
+        assert list(dist) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_matrix_satisfies_triangle_inequality(self):
+        # Shortest-path closure of any graph is metric.
+        rng = np.random.default_rng(0)
+        g = NetworkGraph(10)
+        for u in range(9):
+            g.add_link(u, u + 1, float(rng.uniform(1, 4)))
+        for _ in range(10):
+            u, v = rng.integers(0, 10, size=2)
+            if u != v:
+                g.add_link(int(u), int(v), float(rng.uniform(1, 4)))
+        assert g.to_latency_matrix().satisfies_triangle_inequality()

@@ -1,0 +1,127 @@
+"""Tests for repro.net.jitter (jitter models, percentile matrices)."""
+
+import numpy as np
+import pytest
+
+from repro.net.jitter import (
+    GammaJitter,
+    LogNormalJitter,
+    NoJitter,
+    ShiftedExponentialJitter,
+    percentile_matrix,
+)
+
+MODELS = [
+    NoJitter(),
+    LogNormalJitter(0.2),
+    GammaJitter(20.0),
+    ShiftedExponentialJitter(0.1),
+]
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+class TestCommonContract:
+    def test_factors_positive(self, model):
+        rng = np.random.default_rng(0)
+        factors = model.sample_factor(rng, size=1000)
+        assert factors.shape == (1000,)
+        assert np.all(factors > 0)
+
+    def test_percentile_monotone(self, model):
+        qs = [10, 50, 90, 99]
+        values = [model.factor_percentile(q) for q in qs]
+        assert values == sorted(values)
+
+    def test_percentile_range_check(self, model):
+        with pytest.raises(ValueError):
+            model.factor_percentile(-1)
+        with pytest.raises(ValueError):
+            model.factor_percentile(101)
+
+    def test_empirical_percentile_matches_analytic(self, model):
+        rng = np.random.default_rng(1)
+        samples = model.sample_factor(rng, size=200_000)
+        for q in (50, 90, 99):
+            analytic = model.factor_percentile(q)
+            empirical = np.percentile(samples, q)
+            assert empirical == pytest.approx(analytic, rel=0.05)
+
+    def test_sample_scales_base(self, model):
+        rng = np.random.default_rng(2)
+        base = np.array([10.0, 100.0])
+        out = model.sample(base, rng)
+        assert out.shape == base.shape
+        assert np.all(out > 0)
+
+
+class TestNoJitter:
+    def test_always_one(self):
+        rng = np.random.default_rng(0)
+        assert np.all(NoJitter().sample_factor(rng, size=10) == 1.0)
+        assert NoJitter().factor_percentile(99.9) == 1.0
+
+
+class TestLogNormal:
+    def test_median_is_one(self):
+        assert LogNormalJitter(0.4).factor_percentile(50) == pytest.approx(1.0)
+
+    def test_zero_sigma_degenerates(self):
+        m = LogNormalJitter(0.0)
+        assert m.factor_percentile(90) == 1.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalJitter(-0.1)
+
+
+class TestGamma:
+    def test_unit_mean(self):
+        rng = np.random.default_rng(3)
+        samples = GammaJitter(10.0).sample_factor(rng, size=100_000)
+        assert samples.mean() == pytest.approx(1.0, rel=0.02)
+
+    def test_nonpositive_shape_rejected(self):
+        with pytest.raises(ValueError):
+            GammaJitter(0.0)
+
+
+class TestShiftedExponential:
+    def test_minimum_is_one(self):
+        rng = np.random.default_rng(4)
+        samples = ShiftedExponentialJitter(0.5).sample_factor(rng, size=1000)
+        assert np.all(samples >= 1.0)
+
+    def test_closed_form_percentile(self):
+        m = ShiftedExponentialJitter(0.2)
+        # P(1 + 0.2 Exp(1) <= x) = 1 - exp(-(x-1)/0.2)
+        assert m.factor_percentile(90) == pytest.approx(
+            1.0 - 0.2 * np.log(0.1)
+        )
+
+    def test_100th_percentile_unbounded(self):
+        with pytest.raises(ValueError):
+            ShiftedExponentialJitter(0.2).factor_percentile(100)
+
+    def test_zero_extra_degenerates(self):
+        assert ShiftedExponentialJitter(0.0).factor_percentile(99) == 1.0
+
+    def test_negative_extra_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftedExponentialJitter(-0.5)
+
+
+class TestPercentileMatrix:
+    def test_scales_off_diagonal_only(self):
+        base = np.array([[0.0, 10.0], [20.0, 0.0]])
+        out = percentile_matrix(base, LogNormalJitter(0.3), q=90)
+        factor = LogNormalJitter(0.3).factor_percentile(90)
+        assert out[0, 1] == pytest.approx(10.0 * factor)
+        assert out[1, 0] == pytest.approx(20.0 * factor)
+        assert out[0, 0] == 0.0
+
+    def test_higher_percentile_never_smaller(self):
+        base = np.full((3, 3), 10.0)
+        np.fill_diagonal(base, 0.0)
+        m90 = percentile_matrix(base, GammaJitter(8.0), q=90)
+        m99 = percentile_matrix(base, GammaJitter(8.0), q=99)
+        assert np.all(m99 >= m90)

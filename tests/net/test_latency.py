@@ -1,0 +1,209 @@
+"""Tests for repro.net.latency (LatencyMatrix)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidLatencyMatrixError
+from repro.net.latency import LatencyMatrix, describe
+
+
+def square(values):
+    return np.asarray(values, dtype=float)
+
+
+class TestValidation:
+    def test_accepts_valid_matrix(self):
+        m = LatencyMatrix(square([[0, 1], [2, 0]]))
+        assert m.n_nodes == 2
+
+    def test_rejects_non_square(self):
+        with pytest.raises(InvalidLatencyMatrixError):
+            LatencyMatrix(np.zeros((2, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidLatencyMatrixError):
+            LatencyMatrix(np.zeros((0, 0)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidLatencyMatrixError):
+            LatencyMatrix(square([[0, np.nan], [1, 0]]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidLatencyMatrixError):
+            LatencyMatrix(square([[0, np.inf], [1, 0]]))
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(InvalidLatencyMatrixError):
+            LatencyMatrix(square([[1, 1], [1, 0]]))
+
+    def test_rejects_zero_off_diagonal(self):
+        with pytest.raises(InvalidLatencyMatrixError):
+            LatencyMatrix(square([[0, 0], [1, 0]]))
+
+    def test_rejects_negative_off_diagonal(self):
+        with pytest.raises(InvalidLatencyMatrixError):
+            LatencyMatrix(square([[0, -1], [1, 0]]))
+
+    def test_single_node_matrix_is_valid(self):
+        m = LatencyMatrix(np.zeros((1, 1)))
+        assert m.n_nodes == 1
+        assert m.mean_latency() == 0.0
+
+
+class TestImmutability:
+    def test_values_are_read_only(self):
+        m = LatencyMatrix(square([[0, 1], [1, 0]]))
+        with pytest.raises(ValueError):
+            m.values[0, 1] = 5.0
+
+    def test_attributes_cannot_be_set(self):
+        m = LatencyMatrix(square([[0, 1], [1, 0]]))
+        with pytest.raises(AttributeError):
+            m.n = 3
+
+    def test_input_copy_is_defensive(self):
+        raw = square([[0, 1], [1, 0]])
+        m = LatencyMatrix(raw)
+        raw[0, 1] = 99.0
+        assert m.distance(0, 1) == 1.0
+
+
+class TestAccessors:
+    def test_distance_and_getitem(self, tiny_matrix):
+        assert tiny_matrix.distance(0, 1) == 2.0
+        assert tiny_matrix[0, 1] == 2.0
+        assert len(tiny_matrix) == 5
+
+    def test_min_mean_max(self, tiny_matrix):
+        assert tiny_matrix.min_latency() == 2.0
+        assert tiny_matrix.max_latency() == 8.0
+        off = tiny_matrix.values[~np.eye(5, dtype=bool)]
+        assert tiny_matrix.mean_latency() == pytest.approx(off.mean())
+
+    def test_percentile(self, tiny_matrix):
+        assert tiny_matrix.latency_percentile(0) == 2.0
+        assert tiny_matrix.latency_percentile(100) == 8.0
+
+    def test_submatrix(self, tiny_matrix):
+        sub = tiny_matrix.submatrix([0, 2, 4])
+        assert sub.n_nodes == 3
+        assert sub.distance(0, 1) == tiny_matrix.distance(0, 2)
+        assert sub.distance(1, 2) == tiny_matrix.distance(2, 4)
+
+    def test_submatrix_empty_rejected(self, tiny_matrix):
+        with pytest.raises(InvalidLatencyMatrixError):
+            tiny_matrix.submatrix([])
+
+    def test_equality_and_hash(self, tiny_matrix):
+        clone = LatencyMatrix(tiny_matrix.values)
+        assert clone == tiny_matrix
+        assert hash(clone) == hash(tiny_matrix)
+        other = tiny_matrix.submatrix([0, 1, 2])
+        assert other != tiny_matrix
+
+    def test_repr_mentions_size(self, tiny_matrix):
+        assert "n=5" in repr(tiny_matrix)
+
+
+class TestConstructors:
+    def test_from_coordinates_metric(self):
+        coords = np.array([[0.0, 0.0], [3.0, 4.0], [6.0, 8.0]])
+        m = LatencyMatrix.from_coordinates(coords)
+        assert m.distance(0, 1) == pytest.approx(5.0)
+        assert m.distance(0, 2) == pytest.approx(10.0)
+        assert m.satisfies_triangle_inequality()
+
+    def test_from_coordinates_scale(self):
+        coords = np.array([[0.0], [1.0]])
+        m = LatencyMatrix.from_coordinates(coords, scale=50.0)
+        assert m.distance(0, 1) == pytest.approx(50.0)
+
+    def test_from_coordinates_min_latency_floor(self):
+        coords = np.array([[0.0], [1e-12]])
+        m = LatencyMatrix.from_coordinates(coords, min_latency=0.5)
+        assert m.distance(0, 1) == 0.5
+
+    def test_from_coordinates_rejects_1d(self):
+        with pytest.raises(ValueError):
+            LatencyMatrix.from_coordinates(np.array([1.0, 2.0]))
+
+    def test_random_metric_is_metric_and_seeded(self):
+        a = LatencyMatrix.random_metric(12, seed=5)
+        b = LatencyMatrix.random_metric(12, seed=5)
+        assert a == b
+        assert a.satisfies_triangle_inequality()
+
+
+class TestSymmetry:
+    def test_symmetric_detection(self, tiny_matrix):
+        assert tiny_matrix.is_symmetric()
+
+    def test_asymmetric_detection_and_symmetrize(self):
+        m = LatencyMatrix(square([[0, 1], [3, 0]]))
+        assert not m.is_symmetric()
+        sym = m.symmetrized()
+        assert sym.is_symmetric()
+        assert sym.distance(0, 1) == pytest.approx(2.0)
+
+
+class TestTriangleInequality:
+    def test_metric_matrix_has_no_violations(self):
+        m = LatencyMatrix.random_metric(15, seed=1)
+        report = m.triangle_inequality_report()
+        assert report.violations == 0
+        assert report.violation_rate == 0.0
+        assert m.satisfies_triangle_inequality()
+
+    def test_violation_detected(self):
+        # d(0,2) = 10 but the detour via 1 costs 2.
+        d = square([[0, 1, 10], [1, 0, 1], [10, 1, 0]])
+        m = LatencyMatrix(d)
+        report = m.triangle_inequality_report()
+        assert report.violations > 0
+        assert report.max_severity == pytest.approx((10 - 2) / 10)
+        assert not m.satisfies_triangle_inequality()
+
+    def test_sampled_report_is_reproducible(self):
+        m = LatencyMatrix.random_metric(40, seed=2)
+        # Force sampling by a tiny cap.
+        r1 = m.triangle_inequality_report(max_triples=500, seed=9)
+        r2 = m.triangle_inequality_report(max_triples=500, seed=9)
+        assert r1 == r2
+
+    def test_report_on_tiny_matrix(self):
+        m = LatencyMatrix(square([[0, 1], [1, 0]]))
+        report = m.triangle_inequality_report()
+        assert report.triples_examined == 0
+        assert report.violation_rate == 0.0
+
+    def test_metric_closure_removes_violations(self):
+        d = square([[0, 1, 10], [1, 0, 1], [10, 1, 0]])
+        closed = LatencyMatrix(d).metric_closure()
+        assert closed.distance(0, 2) == pytest.approx(2.0)
+        assert closed.satisfies_triangle_inequality()
+
+    def test_metric_closure_identity_on_metric(self):
+        m = LatencyMatrix.random_metric(10, seed=3)
+        assert m.metric_closure() == m
+
+
+class TestSlices:
+    def test_client_server_distances(self, tiny_matrix):
+        cs = tiny_matrix.client_server_distances(
+            np.array([0, 4]), np.array([1, 3])
+        )
+        assert cs.shape == (2, 2)
+        assert cs[0, 0] == tiny_matrix.distance(0, 1)
+        assert cs[1, 1] == tiny_matrix.distance(4, 3)
+
+    def test_server_server_distances(self, tiny_matrix):
+        ss = tiny_matrix.server_server_distances(np.array([1, 3]))
+        assert ss.shape == (2, 2)
+        assert ss[0, 1] == tiny_matrix.distance(1, 3)
+        assert ss[0, 0] == 0.0
+
+
+def test_describe_mentions_key_stats(tiny_matrix):
+    text = describe(tiny_matrix)
+    assert "5 nodes" in text
+    assert "symmetric=True" in text

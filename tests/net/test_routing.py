@@ -1,0 +1,108 @@
+"""Tests for repro.net.routing (Dijkstra, Floyd-Warshall)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.net.routing import (
+    all_pairs_shortest_paths,
+    dijkstra,
+    floyd_warshall,
+    reconstruct_path,
+    shortest_path_tree,
+)
+
+
+def line_adjacency(n, w=1.0):
+    adj = [[] for _ in range(n)]
+    for u in range(n - 1):
+        adj[u].append((u + 1, w))
+        adj[u + 1].append((u, w))
+    return adj
+
+
+class TestDijkstra:
+    def test_line_distances(self):
+        dist = dijkstra(line_adjacency(5), 0)
+        assert list(dist) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_unreachable_is_inf(self):
+        adj = [[(1, 1.0)], [(0, 1.0)], []]
+        dist = dijkstra(adj, 0)
+        assert dist[2] == np.inf
+
+    def test_prefers_shorter_indirect_path(self):
+        # 0->2 direct costs 10; via 1 costs 3.
+        adj = [[(1, 1.0), (2, 10.0)], [(2, 2.0)], []]
+        dist = dijkstra(adj, 0)
+        assert dist[2] == pytest.approx(3.0)
+
+    def test_source_out_of_range(self):
+        with pytest.raises(GraphError):
+            dijkstra(line_adjacency(3), 7)
+
+    def test_nonpositive_weight_rejected(self):
+        adj = [[(1, 0.0)], []]
+        with pytest.raises(GraphError):
+            dijkstra(adj, 0)
+
+    def test_early_exit_target_settles_target(self):
+        dist = dijkstra(line_adjacency(6), 0, target=2)
+        assert dist[2] == 2.0
+
+
+class TestFloydWarshall:
+    def test_matches_dijkstra_on_random_graph(self):
+        rng = np.random.default_rng(4)
+        n = 12
+        weights = np.full((n, n), np.inf)
+        np.fill_diagonal(weights, 0.0)
+        adj = [[] for _ in range(n)]
+        for _ in range(40):
+            u, v = rng.integers(0, n, size=2)
+            if u == v:
+                continue
+            w = float(rng.uniform(0.5, 5.0))
+            weights[u, v] = min(weights[u, v], w)
+            adj[u].append((v, w))
+        fw = floyd_warshall(weights)
+        for u in range(n):
+            np.testing.assert_allclose(fw[u], dijkstra(adj, u))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(GraphError):
+            floyd_warshall(np.zeros((2, 3)))
+
+
+class TestAllPairs:
+    def test_dense_and_sparse_paths_agree(self):
+        adj = line_adjacency(8)
+        sparse = all_pairs_shortest_paths(adj, dense_threshold=0.99)
+        dense = all_pairs_shortest_paths(adj, dense_threshold=0.0)
+        np.testing.assert_allclose(sparse, dense)
+
+    def test_empty_graph(self):
+        out = all_pairs_shortest_paths([])
+        assert out.shape == (0, 0)
+
+    def test_line_matrix_values(self):
+        out = all_pairs_shortest_paths(line_adjacency(4))
+        assert out[0, 3] == 3.0
+        assert out[3, 0] == 3.0
+
+
+class TestPathReconstruction:
+    def test_tree_and_path(self):
+        dist, pred = shortest_path_tree(line_adjacency(5), 0)
+        assert dist[4] == 4.0
+        assert reconstruct_path(pred, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_trivial_path(self):
+        _dist, pred = shortest_path_tree(line_adjacency(3), 1)
+        assert reconstruct_path(pred, 1, 1) == [1]
+
+    def test_no_path_raises(self):
+        adj = [[], []]
+        _dist, pred = shortest_path_tree(adj, 0)
+        with pytest.raises(GraphError):
+            reconstruct_path(pred, 0, 1)

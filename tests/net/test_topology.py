@@ -1,0 +1,126 @@
+"""Tests for repro.net.topology (generators and paper gadgets)."""
+
+import numpy as np
+import pytest
+
+from repro.net.topology import (
+    approx_ratio_gadget,
+    clustered_euclidean_matrix,
+    clustered_points,
+    grid_graph,
+    lfb_gadget,
+    line_graph,
+    ring_graph,
+    star_graph,
+    waxman_graph,
+)
+
+
+class TestGadgets:
+    def test_fig4_distances(self):
+        g = approx_ratio_gadget(a=10.0, epsilon=1.0)
+        m = g.matrix
+        c1, c2 = g.clients
+        s, s1, s2 = g.servers
+        assert m.distance(c1, s) == 10.0
+        assert m.distance(c1, s1) == 9.0
+        # Shortest path c1 -> s2 goes via s and c2.
+        assert m.distance(c1, s2) == pytest.approx(10 + 10 + 9)
+
+    def test_fig4_requires_valid_epsilon(self):
+        with pytest.raises(ValueError):
+            approx_ratio_gadget(a=1.0, epsilon=1.0)
+        with pytest.raises(ValueError):
+            approx_ratio_gadget(a=1.0, epsilon=0.0)
+
+    def test_fig5_distances(self):
+        g = lfb_gadget()
+        m = g.matrix
+        c1, c2 = g.clients
+        s1, s2 = g.servers
+        assert m.distance(c1, s1) == 5.0
+        assert m.distance(c2, s1) == 4.0
+        assert m.distance(c2, s2) == 3.0
+        assert m.distance(s1, s2) == 4.0
+        # c1's distance to s2 routes via c2 or s1; min(7+3, 5+4, 4+4+...)=9
+        assert m.distance(c1, s2) == pytest.approx(9.0)
+
+
+class TestStructuredGraphs:
+    def test_star(self):
+        m = star_graph(4, spoke_latency=2.0).to_latency_matrix()
+        assert m.distance(1, 2) == pytest.approx(4.0)
+        assert m.distance(0, 3) == pytest.approx(2.0)
+
+    def test_ring(self):
+        m = ring_graph(6).to_latency_matrix()
+        assert m.distance(0, 3) == pytest.approx(3.0)
+        assert m.distance(0, 5) == pytest.approx(1.0)
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring_graph(2)
+
+    def test_line(self):
+        m = line_graph(4, link_latency=2.0).to_latency_matrix()
+        assert m.distance(0, 3) == pytest.approx(6.0)
+
+    def test_line_too_small(self):
+        with pytest.raises(ValueError):
+            line_graph(1)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        m = g.to_latency_matrix()
+        # Manhattan distance on unit grid.
+        assert m.distance(0, 11) == pytest.approx(2 + 3)
+
+    def test_grid_invalid(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+
+class TestWaxman:
+    def test_connected_and_seeded(self):
+        g1 = waxman_graph(30, seed=5)
+        g2 = waxman_graph(30, seed=5)
+        assert g1.is_connected()
+        m1 = g1.to_latency_matrix()
+        m2 = g2.to_latency_matrix()
+        assert m1 == m2
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            waxman_graph(1)
+
+
+class TestClusteredPoints:
+    def test_count_and_dim(self):
+        pts = clustered_points(57, n_clusters=4, dim=3, seed=0)
+        assert pts.shape == (57, 3)
+
+    def test_seeded_reproducible(self):
+        a = clustered_points(30, seed=1)
+        b = clustered_points(30, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_clusters_capped_at_n(self):
+        pts = clustered_points(3, n_clusters=10, seed=0)
+        assert pts.shape[0] == 3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            clustered_points(0)
+        with pytest.raises(ValueError):
+            clustered_points(5, n_clusters=0)
+
+    def test_clustering_structure(self):
+        # Intra-cluster distances should be much smaller than the global
+        # spread: the distance histogram must be strongly bimodal-ish,
+        # which we proxy by median << max.
+        m = clustered_euclidean_matrix(100, n_clusters=4, seed=3)
+        assert m.latency_percentile(50) < 0.6 * m.max_latency()
+
+    def test_matrix_is_metric(self):
+        m = clustered_euclidean_matrix(40, seed=2)
+        assert m.satisfies_triangle_inequality()

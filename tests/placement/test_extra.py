@@ -1,0 +1,82 @@
+"""Tests for the additional placement strategies."""
+
+import numpy as np
+import pytest
+
+from repro.net.latency import LatencyMatrix
+from repro.placement import coverage_radius, random_placement
+from repro.placement.extra import (
+    best_of_random_placement,
+    k_median_placement,
+    medoid_placement,
+)
+
+STRATEGIES = [k_median_placement, best_of_random_placement, medoid_placement]
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return LatencyMatrix.random_metric(40, seed=8)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.__name__)
+class TestContract:
+    def test_k_distinct_sorted(self, strategy, matrix):
+        servers = strategy(matrix, 6, seed=0)
+        assert servers.shape == (6,)
+        assert np.unique(servers).size == 6
+        assert np.all(np.diff(servers) > 0)
+
+    def test_deterministic_per_seed(self, strategy, matrix):
+        np.testing.assert_array_equal(
+            strategy(matrix, 5, seed=2), strategy(matrix, 5, seed=2)
+        )
+
+    def test_invalid_k(self, strategy, matrix):
+        with pytest.raises(ValueError):
+            strategy(matrix, 0, seed=0)
+
+
+class TestKMedian:
+    def test_minimizes_total_distance_vs_random(self, matrix):
+        def total_dist(centers):
+            return matrix.values[:, centers].min(axis=1).sum()
+
+        km = k_median_placement(matrix, 5, seed=0)
+        random_totals = [
+            total_dist(random_placement(matrix, 5, seed=s)) for s in range(10)
+        ]
+        assert total_dist(km) < np.mean(random_totals)
+
+
+class TestBestOfRandom:
+    def test_beats_single_random_draw(self, matrix):
+        best = best_of_random_placement(matrix, 5, seed=0, draws=16)
+        singles = [
+            coverage_radius(matrix, random_placement(matrix, 5, seed=s))
+            for s in range(10)
+        ]
+        assert coverage_radius(matrix, best) <= np.mean(singles)
+
+    def test_invalid_draws(self, matrix):
+        with pytest.raises(ValueError):
+            best_of_random_placement(matrix, 5, draws=0)
+
+
+class TestMedoids:
+    def test_picks_most_central(self, matrix):
+        servers = medoid_placement(matrix, 3)
+        totals = matrix.values.sum(axis=0) + matrix.values.sum(axis=1)
+        expected = np.sort(np.argsort(totals, kind="stable")[:3])
+        np.testing.assert_array_equal(servers, expected)
+
+    def test_clustered_failure_mode(self):
+        # Two tight clusters far apart: medoids all land in the bigger
+        # one, giving a coverage radius near the inter-cluster distance.
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.5, size=(15, 2))
+        b = rng.normal(100.0, 0.5, size=(5, 2))
+        matrix = LatencyMatrix.from_coordinates(np.vstack([a, b]))
+        servers = medoid_placement(matrix, 3)
+        assert np.all(servers < 15)  # all in the big cluster
+        assert coverage_radius(matrix, servers) > 50.0

@@ -1,0 +1,107 @@
+"""Tests for joint server selection + assignment."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.core import ClientAssignmentProblem, max_interaction_path_length
+from repro.datasets.synthetic import small_world_latencies
+from repro.errors import InvalidProblemError
+from repro.placement import (
+    joint_selection_exhaustive,
+    joint_selection_greedy,
+    kcenter_b,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return small_world_latencies(25, seed=12)
+
+
+class TestGreedySelection:
+    def test_result_consistency(self, matrix):
+        result = joint_selection_greedy(matrix, 4, seed=0)
+        assert result.servers.shape == (4,)
+        assert np.unique(result.servers).size == 4
+        # Reported objective matches re-evaluating the assignment.
+        assert result.objective == pytest.approx(
+            max_interaction_path_length(result.assignment)
+        )
+        np.testing.assert_array_equal(
+            result.assignment.problem.servers, result.servers
+        )
+
+    def test_monotone_in_k(self, matrix):
+        objectives = [
+            joint_selection_greedy(matrix, k, seed=0).objective
+            for k in (1, 2, 4)
+        ]
+        # Forward selection extends the previous set, so D is
+        # non-increasing in k.
+        assert all(b <= a + 1e-9 for a, b in zip(objectives, objectives[1:]))
+
+    def test_restricted_candidates(self, matrix):
+        candidates = [0, 3, 7, 11, 19]
+        result = joint_selection_greedy(
+            matrix, 3, candidates=candidates, seed=0
+        )
+        assert set(result.servers.tolist()) <= set(candidates)
+
+    def test_invalid_k(self, matrix):
+        with pytest.raises(ValueError):
+            joint_selection_greedy(matrix, 0)
+        with pytest.raises(ValueError):
+            joint_selection_greedy(matrix, 3, candidates=[1, 2])
+
+    def test_evaluation_count(self, matrix):
+        candidates = list(range(10))
+        result = joint_selection_greedy(matrix, 2, candidates=candidates)
+        assert result.evaluations == 10 + 9
+
+
+class TestExhaustiveSelection:
+    def test_beats_or_matches_greedy(self, matrix):
+        candidates = list(range(8))
+        greedy_result = joint_selection_greedy(
+            matrix, 3, candidates=candidates, seed=0
+        )
+        exact_result = joint_selection_exhaustive(
+            matrix, 3, candidates=candidates, seed=0
+        )
+        assert exact_result.objective <= greedy_result.objective + 1e-9
+
+    def test_subset_guard(self, matrix):
+        with pytest.raises(InvalidProblemError):
+            joint_selection_exhaustive(matrix, 10, max_subsets=5)
+
+    def test_single_server(self, matrix):
+        result = joint_selection_exhaustive(
+            matrix, 1, candidates=list(range(6))
+        )
+        # With one server, the best site minimizes the two largest legs;
+        # compare against direct enumeration.
+        best = np.inf
+        for s in range(6):
+            problem = ClientAssignmentProblem(matrix, [s])
+            a = get_algorithm("greedy")(problem)
+            best = min(best, max_interaction_path_length(a))
+        assert result.objective == pytest.approx(best)
+
+
+class TestJointVsDecoupled:
+    def test_joint_no_worse_than_decoupled_on_average(self):
+        wins = 0
+        trials = 4
+        for seed in range(trials):
+            matrix = small_world_latencies(30, seed=100 + seed)
+            k = 4
+            joint = joint_selection_greedy(matrix, k, algorithm="greedy", seed=0)
+            servers = kcenter_b(matrix, k, seed=0)
+            problem = ClientAssignmentProblem(matrix, servers)
+            decoupled = max_interaction_path_length(
+                get_algorithm("greedy")(problem)
+            )
+            if joint.objective <= decoupled + 1e-9:
+                wins += 1
+        assert wins >= trials - 1

@@ -1,0 +1,115 @@
+"""Tests for repro.placement (random, K-center-A, K-center-B)."""
+
+import numpy as np
+import pytest
+
+from repro.net.latency import LatencyMatrix
+from repro.placement import (
+    coverage_radius,
+    gonzalez_kcenter,
+    greedy_kcenter,
+    kcenter_a,
+    kcenter_b,
+    random_placement,
+)
+
+STRATEGIES = [random_placement, gonzalez_kcenter, greedy_kcenter]
+
+
+@pytest.fixture
+def matrix():
+    return LatencyMatrix.random_metric(50, seed=0)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.__name__)
+class TestCommonContract:
+    def test_returns_k_distinct_sorted_nodes(self, strategy, matrix):
+        servers = strategy(matrix, 7, seed=1)
+        assert servers.shape == (7,)
+        assert np.unique(servers).size == 7
+        assert np.all(np.diff(servers) > 0)
+        assert servers.min() >= 0 and servers.max() < matrix.n_nodes
+
+    def test_deterministic_per_seed(self, strategy, matrix):
+        a = strategy(matrix, 5, seed=3)
+        b = strategy(matrix, 5, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_k_equals_n(self, strategy, matrix):
+        servers = strategy(matrix, matrix.n_nodes, seed=0)
+        np.testing.assert_array_equal(servers, np.arange(matrix.n_nodes))
+
+    def test_k_one(self, strategy, matrix):
+        servers = strategy(matrix, 1, seed=0)
+        assert servers.shape == (1,)
+
+    def test_invalid_k_rejected(self, strategy, matrix):
+        with pytest.raises(ValueError):
+            strategy(matrix, 0, seed=0)
+        with pytest.raises(ValueError):
+            strategy(matrix, matrix.n_nodes + 1, seed=0)
+
+
+class TestCoverageRadius:
+    def test_single_center(self, matrix):
+        radius = coverage_radius(matrix, np.array([0]))
+        assert radius == pytest.approx(matrix.values[:, 0].max())
+
+    def test_all_centers_zero(self, matrix):
+        radius = coverage_radius(matrix, np.arange(matrix.n_nodes))
+        assert radius == 0.0
+
+    def test_empty_centers_rejected(self, matrix):
+        with pytest.raises(ValueError):
+            coverage_radius(matrix, np.array([], dtype=int))
+
+    def test_monotone_in_center_set(self, matrix):
+        small = coverage_radius(matrix, np.array([0, 1]))
+        large = coverage_radius(matrix, np.array([0, 1, 2, 3]))
+        assert large <= small
+
+
+class TestKCenterQuality:
+    def test_kcenter_beats_random_on_average(self, matrix):
+        k = 6
+        random_radii = [
+            coverage_radius(matrix, random_placement(matrix, k, seed=s))
+            for s in range(20)
+        ]
+        a = coverage_radius(matrix, kcenter_a(matrix, k, seed=0))
+        b = coverage_radius(matrix, kcenter_b(matrix, k, seed=0))
+        assert a < np.mean(random_radii)
+        assert b < np.mean(random_radii)
+
+    def test_gonzalez_two_approximation_on_metric(self):
+        # On a metric space, Gonzalez's radius is at most 2x optimal.
+        # Brute-force the optimum on a small instance.
+        import itertools
+
+        matrix = LatencyMatrix.random_metric(12, seed=4)
+        k = 3
+        best = np.inf
+        for combo in itertools.combinations(range(12), k):
+            best = min(best, coverage_radius(matrix, np.array(combo)))
+        achieved = coverage_radius(matrix, gonzalez_kcenter(matrix, k, seed=0))
+        assert achieved <= 2.0 * best + 1e-9
+
+    def test_greedy_improves_or_matches_gonzalez_often(self, matrix):
+        # Not a theorem — but B should at least be competitive on average.
+        ks = [3, 5, 8]
+        a_radii = [coverage_radius(matrix, kcenter_a(matrix, k, seed=1)) for k in ks]
+        b_radii = [coverage_radius(matrix, kcenter_b(matrix, k, seed=1)) for k in ks]
+        assert np.mean(b_radii) <= np.mean(a_radii) * 1.2
+
+    def test_radius_decreases_with_k(self, matrix):
+        radii = [
+            coverage_radius(matrix, kcenter_b(matrix, k, seed=0))
+            for k in (2, 4, 8, 16)
+        ]
+        assert all(r2 <= r1 + 1e-9 for r1, r2 in zip(radii, radii[1:]))
+
+
+class TestAliases:
+    def test_paper_names(self):
+        assert kcenter_a is gonzalez_kcenter
+        assert kcenter_b is greedy_kcenter

@@ -1,0 +1,80 @@
+"""Bucket synchronization (Gautier et al. [12]) vs the paper's
+constant-lag criterion."""
+
+import pytest
+
+from repro.algorithms import greedy
+from repro.core import (
+    ClientAssignmentProblem,
+    OffsetSchedule,
+    max_interaction_path_length,
+)
+from repro.datasets.synthetic import small_world_latencies
+from repro.errors import SimulationError
+from repro.placement import random_placement
+from repro.sim import DIASimulation, poisson_workload, simulate_assignment
+
+
+@pytest.fixture(scope="module")
+def setup():
+    matrix = small_world_latencies(25, seed=9)
+    problem = ClientAssignmentProblem(matrix, random_placement(matrix, 3, seed=0))
+    assignment = greedy(problem)
+    schedule = OffsetSchedule(assignment)
+    ops = poisson_workload(problem.n_clients, rate=0.02, horizon=400, seed=1)
+    return assignment, schedule, ops
+
+
+class TestBucketMode:
+    def test_order_preserved_but_lag_varies(self, setup):
+        _assignment, schedule, ops = setup
+        report = simulate_assignment(schedule, ops, bucket_size=50.0)
+        assert report.order_preserved
+        assert not report.constant_lag
+        assert not report.fair  # the paper's criterion is strict
+
+    def test_no_lateness(self, setup):
+        # Bucket quantization only delays executions, so no message
+        # misses its (later) deadline.
+        _assignment, schedule, ops = setup
+        report = simulate_assignment(schedule, ops, bucket_size=50.0)
+        assert report.late_server_arrivals == 0
+        assert report.late_client_updates == 0
+
+    def test_consistency_holds(self, setup):
+        # Every server quantizes identically, so logs still match.
+        _assignment, schedule, ops = setup
+        report = simulate_assignment(schedule, ops, bucket_size=50.0)
+        assert report.servers_consistent
+
+    def test_interaction_times_bounded_by_bucket(self, setup):
+        assignment, schedule, ops = setup
+        d = max_interaction_path_length(assignment)
+        for bucket in (10.0, 100.0):
+            report = simulate_assignment(schedule, ops, bucket_size=bucket)
+            assert report.min_interaction_time >= d - 1e-9
+            assert report.max_interaction_time <= d + bucket + 1e-9
+
+    def test_interaction_spread_grows_with_bucket(self, setup):
+        _assignment, schedule, ops = setup
+        spreads = []
+        for bucket in (10.0, 50.0, 200.0):
+            report = simulate_assignment(schedule, ops, bucket_size=bucket)
+            spreads.append(
+                report.max_interaction_time - report.min_interaction_time
+            )
+        assert spreads == sorted(spreads)
+
+    def test_constant_lag_mode_unchanged(self, setup):
+        _assignment, schedule, ops = setup
+        report = simulate_assignment(schedule, ops)  # no bucket
+        assert report.fair
+        assert report.constant_lag
+        assert report.order_preserved
+
+    def test_invalid_bucket_rejected(self, setup):
+        _assignment, schedule, _ops = setup
+        with pytest.raises(SimulationError):
+            DIASimulation(schedule, bucket_size=0.0)
+        with pytest.raises(SimulationError):
+            DIASimulation(schedule, bucket_size=-5.0)

@@ -1,0 +1,116 @@
+"""Tests for the discrete-event engine and clocks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clocks import SimulationClock
+from repro.sim.engine import EventEngine
+
+
+class TestEventEngine:
+    def test_events_fire_in_time_order(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(3.0, "c", lambda t, p: fired.append((t, p)))
+        engine.schedule(1.0, "a", lambda t, p: fired.append((t, p)))
+        engine.schedule(2.0, "b", lambda t, p: fired.append((t, p)))
+        engine.run()
+        assert fired == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+    def test_ties_fire_in_scheduling_order(self):
+        engine = EventEngine()
+        fired = []
+        for name in "xyz":
+            engine.schedule(5.0, name, lambda t, p: fired.append(p))
+        engine.run()
+        assert fired == ["x", "y", "z"]
+
+    def test_handlers_can_schedule_more(self):
+        engine = EventEngine()
+        fired = []
+
+        def chain(t, p):
+            fired.append(p)
+            if p < 3:
+                engine.schedule(t + 1.0, p + 1, chain)
+
+        engine.schedule(0.0, 0, chain)
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+        assert engine.now == 3.0
+
+    def test_until_stops_early(self):
+        engine = EventEngine()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, t, lambda tt, p: fired.append(p))
+        engine.run(until=2.0)
+        assert fired == [1.0, 2.0]
+        assert engine.pending == 1
+
+    def test_scheduling_into_past_rejected(self):
+        engine = EventEngine()
+
+        def bad(t, p):
+            engine.schedule(t - 1.0, None, lambda *a: None)
+
+        engine.schedule(5.0, None, bad)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_max_events_guard(self):
+        engine = EventEngine()
+
+        def forever(t, p):
+            engine.schedule(t + 1.0, None, forever)
+
+        engine.schedule(0.0, None, forever)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=50)
+
+    def test_events_processed_counter(self):
+        engine = EventEngine()
+        for t in range(5):
+            engine.schedule(float(t), None, lambda *a: None)
+        engine.run()
+        assert engine.events_processed == 5
+
+
+class TestSimulationClock:
+    def test_round_trip(self):
+        clock = SimulationClock(10.0)
+        assert clock.sim_time(5.0) == 15.0
+        assert clock.wall_time(15.0) == 5.0
+
+    def test_zero_offset(self):
+        clock = SimulationClock()
+        assert clock.sim_time(7.5) == 7.5
+
+    def test_negative_offset(self):
+        clock = SimulationClock(-3.0)
+        assert clock.sim_time(10.0) == 7.0
+
+    def test_repr(self):
+        assert "+2.000" in repr(SimulationClock(2.0))
+
+
+class TestEngineResume:
+    def test_run_until_then_resume(self):
+        engine = EventEngine()
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            engine.schedule(t, t, lambda tt, p: fired.append(p))
+        engine.run(until=2.0)
+        assert fired == [1.0, 2.0]
+        engine.run()  # resume drains the rest
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+        assert engine.pending == 0
+
+    def test_schedule_after_partial_run(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(1.0, "a", lambda t, p: fired.append(p))
+        engine.run()
+        engine.schedule(5.0, "b", lambda t, p: fired.append(p))
+        engine.run()
+        assert fired == ["a", "b"]

@@ -1,0 +1,147 @@
+"""Tests for server processing delays (repro.sim.processing + DIA)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import greedy
+from repro.core import ClientAssignmentProblem, OffsetSchedule
+from repro.datasets.synthetic import small_world_latencies
+from repro.placement import random_placement
+from repro.sim import (
+    ProcessingModel,
+    ServerQueue,
+    poisson_workload,
+    simulate_assignment,
+    uniform_workload,
+)
+
+
+class TestProcessingModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessingModel(-1.0)
+        with pytest.raises(ValueError):
+            ProcessingModel(1.0, load_factor=-0.5)
+
+    def test_effective_service_time(self):
+        model = ProcessingModel(2.0, load_factor=0.1)
+        assert model.effective_service_time(0) == pytest.approx(2.0)
+        assert model.effective_service_time(10) == pytest.approx(4.0)
+
+    def test_zero_service_time_allowed(self):
+        assert ProcessingModel(0.0).effective_service_time(5) == 0.0
+
+
+class TestServerQueue:
+    def test_idle_server_completes_after_service(self):
+        q = ServerQueue(2)
+        assert q.submit(0, 10.0, 3.0) == pytest.approx(13.0)
+        assert q.max_backlog == 0.0
+
+    def test_busy_server_queues(self):
+        q = ServerQueue(1)
+        q.submit(0, 0.0, 5.0)
+        completion = q.submit(0, 1.0, 5.0)
+        assert completion == pytest.approx(10.0)
+        assert q.max_backlog == pytest.approx(4.0)
+
+    def test_servers_independent(self):
+        q = ServerQueue(2)
+        q.submit(0, 0.0, 100.0)
+        assert q.submit(1, 0.0, 1.0) == pytest.approx(1.0)
+
+    def test_job_counters(self):
+        q = ServerQueue(2)
+        q.submit(0, 0.0, 1.0)
+        q.submit(0, 0.0, 1.0)
+        q.submit(1, 0.0, 1.0)
+        assert q.jobs_processed(0) == 2
+        assert q.jobs_processed() == 3
+
+
+@pytest.fixture(scope="module")
+def solved():
+    matrix = small_world_latencies(24, seed=50)
+    problem = ClientAssignmentProblem(matrix, random_placement(matrix, 3, seed=0))
+    return problem, greedy(problem)
+
+
+class TestSimulationWithProcessing:
+    def test_zero_service_time_unchanged(self, solved):
+        problem, assignment = solved
+        schedule = OffsetSchedule(assignment)
+        ops = uniform_workload(problem.n_clients, ops_per_client=2, seed=0)
+        base = simulate_assignment(schedule, ops)
+        with_proc = simulate_assignment(
+            schedule, ops, processing=ProcessingModel(0.0)
+        )
+        assert with_proc.healthy == base.healthy
+        assert with_proc.max_interaction_time == pytest.approx(
+            base.max_interaction_time
+        )
+
+    def test_processing_delays_updates(self, solved):
+        # Service time with zero slack in the schedule must make some
+        # updates late.
+        problem, assignment = solved
+        schedule = OffsetSchedule(assignment)
+        ops = uniform_workload(problem.n_clients, ops_per_client=2, seed=1)
+        report = simulate_assignment(
+            schedule,
+            ops,
+            processing=ProcessingModel(5.0),
+            allow_late=True,
+        )
+        assert report.late_client_updates > 0
+        assert report.max_interaction_time > report.delta
+
+    def test_backlog_reported(self, solved):
+        problem, assignment = solved
+        schedule = OffsetSchedule(assignment)
+        # Many near-simultaneous ops -> FIFO backlog builds.
+        ops = poisson_workload(problem.n_clients, rate=0.5, horizon=20.0, seed=2)
+        report = simulate_assignment(
+            schedule,
+            ops,
+            processing=ProcessingModel(3.0),
+            allow_late=True,
+        )
+        assert report.max_processing_backlog > 0.0
+
+    def test_slack_delta_absorbs_processing(self, solved):
+        # Provisioning headroom in delta hides a small service time.
+        problem, assignment = solved
+        from repro.core import max_interaction_path_length
+
+        d = max_interaction_path_length(assignment)
+        schedule = OffsetSchedule(assignment, delta=d + 100.0)
+        ops = uniform_workload(problem.n_clients, ops_per_client=1, seed=3)
+        report = simulate_assignment(
+            schedule,
+            ops,
+            processing=ProcessingModel(2.0),
+            allow_late=True,
+        )
+        assert report.late_client_updates == 0
+
+    def test_overload_worse_than_balanced(self, solved):
+        """§IV-E's rationale: a server with far more clients builds a
+        larger backlog under load-dependent service times."""
+        problem, _ = solved
+        from repro.core import Assignment
+
+        n = problem.n_clients
+        # Everyone on server 0 vs spread across 3 servers.
+        lopsided = Assignment(problem, np.zeros(n, dtype=np.int64))
+        spread = Assignment(problem, np.arange(n) % 3)
+        ops = poisson_workload(n, rate=0.2, horizon=50.0, seed=4)
+        model = ProcessingModel(1.0, load_factor=0.2)
+        reports = {}
+        for name, a in (("lopsided", lopsided), ("spread", spread)):
+            reports[name] = simulate_assignment(
+                OffsetSchedule(a), ops, processing=model, allow_late=True
+            )
+        assert (
+            reports["lopsided"].max_processing_backlog
+            > reports["spread"].max_processing_backlog
+        )

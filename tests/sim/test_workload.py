@@ -1,0 +1,140 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.sim.workload import (
+    adversarial_pair_workload,
+    lockstep_workload,
+    poisson_workload,
+    uniform_workload,
+)
+
+
+def assert_seq_matches_issuance_order(ops):
+    keyed = [(op.issue_sim_time, op.client) for op in ops]
+    assert keyed == sorted(keyed)
+    assert [op.seq for op in ops] == list(range(len(ops)))
+
+
+class TestPoisson:
+    def test_basic_properties(self):
+        ops = poisson_workload(5, rate=0.5, horizon=50.0, seed=0)
+        assert all(0 <= op.issue_sim_time < 50.0 for op in ops)
+        assert all(0 <= op.client < 5 for op in ops)
+        assert_seq_matches_issuance_order(ops)
+
+    def test_rate_scales_volume(self):
+        low = poisson_workload(10, rate=0.1, horizon=100.0, seed=1)
+        high = poisson_workload(10, rate=1.0, horizon=100.0, seed=1)
+        assert len(high) > len(low)
+
+    def test_seeded(self):
+        a = poisson_workload(4, rate=0.3, horizon=30.0, seed=2)
+        b = poisson_workload(4, rate=0.3, horizon=30.0, seed=2)
+        assert a == b
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            poisson_workload(3, rate=0.0)
+        with pytest.raises(ValueError):
+            poisson_workload(3, horizon=-1.0)
+
+
+class TestUniform:
+    def test_count(self):
+        ops = uniform_workload(6, ops_per_client=3, seed=0)
+        assert len(ops) == 18
+        counts = np.bincount([op.client for op in ops], minlength=6)
+        assert np.all(counts == 3)
+        assert_seq_matches_issuance_order(ops)
+
+    def test_zero_ops(self):
+        assert uniform_workload(3, ops_per_client=0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_workload(3, ops_per_client=-1)
+
+
+class TestLockstep:
+    def test_simultaneous_rounds(self):
+        ops = lockstep_workload(4, rounds=3, interval=10.0)
+        assert len(ops) == 12
+        times = sorted({op.issue_sim_time for op in ops})
+        assert times == [0.0, 10.0, 20.0]
+        assert_seq_matches_issuance_order(ops)
+
+    def test_tie_break_by_client(self):
+        ops = lockstep_workload(3, rounds=1)
+        assert [op.client for op in ops[:3]] == [0, 1, 2]
+
+
+class TestAdversarialPair:
+    def test_gap_order(self):
+        ops = adversarial_pair_workload(2, 7, gap=0.5, rounds=2, interval=10.0)
+        assert len(ops) == 4
+        assert ops[0].client == 2 and ops[1].client == 7
+        assert ops[1].issue_sim_time - ops[0].issue_sim_time == pytest.approx(0.5)
+        assert_seq_matches_issuance_order(ops)
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            adversarial_pair_workload(0, 1, gap=0.0)
+
+
+class TestFlashCrowd:
+    def test_burst_density(self):
+        from repro.sim.workload import flash_crowd_workload
+
+        ops = flash_crowd_workload(
+            20,
+            base_rate=0.1,
+            burst_rate=5.0,
+            burst_start=40.0,
+            burst_duration=10.0,
+            horizon=100.0,
+            seed=0,
+        )
+        in_burst = sum(1 for op in ops if 40.0 <= op.issue_sim_time < 50.0)
+        outside = len(ops) - in_burst
+        # The 10-time-unit burst should out-produce the other 90 units.
+        assert in_burst > outside
+        assert_seq_matches_issuance_order(ops)
+
+    def test_invalid_params(self):
+        from repro.sim.workload import flash_crowd_workload
+
+        with pytest.raises(ValueError):
+            flash_crowd_workload(3, base_rate=0.0)
+        with pytest.raises(ValueError):
+            flash_crowd_workload(3, burst_start=200.0, horizon=100.0)
+        with pytest.raises(ValueError):
+            flash_crowd_workload(3, burst_duration=0.0)
+
+
+class TestDiurnal:
+    def test_peak_trough_density(self):
+        from repro.sim.workload import diurnal_workload
+
+        ops = diurnal_workload(
+            30,
+            peak_rate=2.0,
+            trough_rate=0.1,
+            period=100.0,
+            horizon=100.0,
+            seed=1,
+        )
+        # Peak is around t=25 (sin max), trough around t=75.
+        peak_window = sum(1 for op in ops if 10 <= op.issue_sim_time < 40)
+        trough_window = sum(1 for op in ops if 60 <= op.issue_sim_time < 90)
+        assert peak_window > 2 * trough_window
+        assert_seq_matches_issuance_order(ops)
+
+    def test_invalid_params(self):
+        from repro.sim.workload import diurnal_workload
+
+        with pytest.raises(ValueError):
+            diurnal_workload(3, peak_rate=0.1, trough_rate=0.5)
+        with pytest.raises(ValueError):
+            diurnal_workload(3, period=-1.0)

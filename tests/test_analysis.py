@@ -1,0 +1,95 @@
+"""Tests for repro.analysis.stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bootstrap_mean_ci,
+    empirical_cdf,
+    mean_confidence_interval,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.n == 5
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.median == pytest.approx(3.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+
+    def test_singleton(self):
+        stats = summarize([7.0])
+        assert stats.std == 0.0
+        assert stats.p90 == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestMeanCI:
+    def test_contains_mean(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10.0, 2.0, size=200)
+        low, high = mean_confidence_interval(sample)
+        assert low < sample.mean() < high
+
+    def test_width_shrinks_with_n(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(0, 1, size=20)
+        large = rng.normal(0, 1, size=2000)
+        w_small = np.diff(mean_confidence_interval(small))[0]
+        w_large = np.diff(mean_confidence_interval(large))[0]
+        assert w_large < w_small
+
+    def test_coverage_simulation(self):
+        # ~95% of intervals should contain the true mean.
+        rng = np.random.default_rng(2)
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.normal(5.0, 1.0, size=50)
+            low, high = mean_confidence_interval(sample, confidence=0.95)
+            hits += low <= 5.0 <= high
+        assert hits / trials > 0.88
+
+    def test_singleton_degenerate(self):
+        assert mean_confidence_interval([3.0]) == (3.0, 3.0)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], confidence=0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+
+class TestBootstrap:
+    def test_contains_mean(self):
+        rng = np.random.default_rng(3)
+        sample = rng.lognormal(0.0, 0.5, size=100)  # skewed
+        low, high = bootstrap_mean_ci(sample, seed=0)
+        assert low < sample.mean() < high
+
+    def test_deterministic_per_seed(self):
+        sample = [1.0, 2.0, 5.0, 9.0]
+        assert bootstrap_mean_ci(sample, seed=4) == bootstrap_mean_ci(sample, seed=4)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.0)
+
+
+class TestEmpiricalCdf:
+    def test_shape_and_range(self):
+        x, f = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(x, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(f, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])

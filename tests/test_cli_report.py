@@ -1,0 +1,27 @@
+"""CLI `report` subcommand (full-evaluation orchestration)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestReportCommand:
+    def test_quick_report_to_directory(self, capsys, tmp_path):
+        out_dir = tmp_path / "results"
+        code = main(["report", "--profile", "quick", "--out", str(out_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[report]" in out
+        assert "Paper claims" in out
+        assert (out_dir / "report.txt").exists()
+        assert (out_dir / "fig8.json").exists()
+
+    def test_report_without_directory(self, capsys):
+        code = main(["report", "--profile", "quick"])
+        assert code == 0
+        assert "Fig.10" in capsys.readouterr().out
+
+    def test_report_with_ablations(self, capsys):
+        code = main(["report", "--profile", "quick", "--ablations"])
+        assert code == 0
+        assert "Ablation" in capsys.readouterr().out

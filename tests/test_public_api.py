@@ -1,0 +1,76 @@
+"""The package's public API surface must stay importable and documented."""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.net",
+    "repro.datasets",
+    "repro.placement",
+    "repro.core",
+    "repro.algorithms",
+    "repro.sim",
+    "repro.experiments",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_imports(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} must have a module docstring"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES[:-1])
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_quickstart_from_docstring():
+    """The README/docstring quickstart must actually run."""
+    from repro import (
+        ClientAssignmentProblem,
+        interaction_lower_bound,
+        max_interaction_path_length,
+    )
+    from repro.algorithms import distributed_greedy
+    from repro.datasets import synthesize_meridian_like
+    from repro.placement import kcenter_a
+
+    matrix = synthesize_meridian_like(80, seed=0)
+    servers = kcenter_a(matrix, 8, seed=0)
+    problem = ClientAssignmentProblem(matrix, servers)
+    assignment = distributed_greedy(problem)
+    d = max_interaction_path_length(assignment)
+    ratio = d / interaction_lower_bound(problem)
+    assert 1.0 - 1e-9 <= ratio < 3.0
+
+
+def test_public_exceptions_hierarchy():
+    from repro import errors
+
+    for name in (
+        "InvalidLatencyMatrixError",
+        "InvalidProblemError",
+        "InvalidAssignmentError",
+        "CapacityError",
+        "InfeasibleScheduleError",
+        "DatasetError",
+        "GraphError",
+        "SimulationError",
+        "ConsistencyViolation",
+        "FairnessViolation",
+    ):
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError)
+        assert exc.__doc__

@@ -1,0 +1,63 @@
+"""Tests for repro.types (index coercion, InteractionPath)."""
+
+import numpy as np
+import pytest
+
+from repro.types import InteractionPath, as_index_array
+
+
+class TestAsIndexArray:
+    def test_list_coerced(self):
+        arr = as_index_array([1, 2, 3])
+        assert arr.dtype == np.int64
+        np.testing.assert_array_equal(arr, [1, 2, 3])
+
+    def test_defensive_copy(self):
+        src = np.array([1, 2, 3], dtype=np.int64)
+        arr = as_index_array(src)
+        src[0] = 99
+        assert arr[0] == 1
+
+    def test_integral_floats_accepted(self):
+        arr = as_index_array(np.array([1.0, 2.0]))
+        assert arr.dtype == np.int64
+
+    def test_fractional_floats_rejected(self):
+        with pytest.raises(ValueError, match="integers"):
+            as_index_array(np.array([1.5, 2.0]))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            as_index_array(np.zeros((2, 2), dtype=int))
+
+    def test_empty_accepted(self):
+        assert as_index_array([]).shape == (0,)
+
+    def test_name_in_error(self):
+        with pytest.raises(ValueError, match="servers"):
+            as_index_array(np.zeros((2, 2), dtype=int), name="servers")
+
+
+class TestInteractionPath:
+    def test_hops_distinct_servers(self):
+        path = InteractionPath(
+            client_a=1, server_a=10, server_b=11, client_b=2, length=30.0
+        )
+        assert path.hops() == (1, 10, 11, 2)
+
+    def test_hops_shared_server(self):
+        path = InteractionPath(
+            client_a=1, server_a=10, server_b=10, client_b=2, length=12.0
+        )
+        assert path.hops() == (1, 10, 2)
+
+    def test_self_path_hops(self):
+        path = InteractionPath(
+            client_a=1, server_a=10, server_b=10, client_b=1, length=8.0
+        )
+        assert path.hops() == (1, 10, 1)
+
+    def test_frozen(self):
+        path = InteractionPath(1, 10, 11, 2, 30.0)
+        with pytest.raises(AttributeError):
+            path.length = 99.0
