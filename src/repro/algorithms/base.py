@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.assignment import Assignment
 from repro.core.problem import ClientAssignmentProblem
+from repro.errors import InvalidParameterError
 
 #: Uniform algorithm signature.
 AlgorithmFn = Callable[..., Assignment]
@@ -31,7 +32,9 @@ def register(name: str) -> Callable[[AlgorithmFn], AlgorithmFn]:
 
     def decorator(fn: AlgorithmFn) -> AlgorithmFn:
         if name in _REGISTRY:
-            raise ValueError(f"algorithm name {name!r} already registered")
+            raise InvalidParameterError(
+                f"algorithm name {name!r} already registered"
+            )
         _REGISTRY[name] = fn
         return fn
 

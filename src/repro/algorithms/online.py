@@ -31,7 +31,12 @@ import numpy as np
 from repro.core.assignment import Assignment
 from repro.core.metrics import max_interaction_path_length
 from repro.core.problem import ClientAssignmentProblem
-from repro.errors import CapacityError, InvalidAssignmentError
+from repro.errors import (
+    CapacityError,
+    FailoverError,
+    InvalidAssignmentError,
+    InvalidParameterError,
+)
 from repro.net.latency import LatencyMatrix
 from repro.types import IndexArrayLike, as_index_array
 from repro.utils.rng import SeedLike, ensure_rng
@@ -68,11 +73,11 @@ class OnlineAssignmentManager:
         self._matrix = matrix
         self._servers = as_index_array(servers, "servers")
         if self._servers.size == 0:
-            raise ValueError("need at least one server")
+            raise InvalidParameterError("need at least one server")
         if capacity is not None and capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
+            raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
         if join_policy not in ("greedy", "nearest"):
-            raise ValueError(
+            raise InvalidParameterError(
                 f"join_policy must be 'greedy' or 'nearest', got {join_policy!r}"
             )
         self._capacity = capacity
@@ -82,12 +87,30 @@ class OnlineAssignmentManager:
         self._assigned: Dict[int, int] = {}
         #: per-server member node sets
         self._members: List[Set[int]] = [set() for _ in range(self._servers.size)]
+        #: per-server liveness; crashed servers are excluded from every
+        #: placement decision until reactivated
+        self._active = np.ones(self._servers.size, dtype=bool)
 
     # ------------------------------------------------------------------
     @property
     def n_servers(self) -> int:
         """Number of servers."""
         return int(self._servers.size)
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Uniform per-server client capacity (None = unlimited)."""
+        return self._capacity
+
+    @property
+    def server_nodes(self) -> np.ndarray:
+        """Node indices of the servers (copy)."""
+        return self._servers.copy()
+
+    @property
+    def matrix(self) -> LatencyMatrix:
+        """The latency matrix the manager operates on."""
+        return self._matrix
 
     @property
     def n_clients(self) -> int:
@@ -106,6 +129,125 @@ class OnlineAssignmentManager:
     def loads(self) -> np.ndarray:
         """Per-server client counts."""
         return np.array([len(m) for m in self._members], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Server liveness (fail-stop crash / recovery support)
+    # ------------------------------------------------------------------
+    @property
+    def n_active_servers(self) -> int:
+        """Number of servers currently up."""
+        return int(self._active.sum())
+
+    def is_active(self, server: int) -> bool:
+        """Whether local server ``server`` is up."""
+        self._check_server_index(server)
+        return bool(self._active[server])
+
+    def members_of(self, server: int) -> Tuple[int, ...]:
+        """Client nodes currently assigned to a server (sorted)."""
+        self._check_server_index(server)
+        return tuple(sorted(self._members[server]))
+
+    def _check_server_index(self, server: int) -> None:
+        if not 0 <= server < self.n_servers:
+            raise InvalidParameterError(
+                f"server index {server} out of range [0, {self.n_servers})"
+            )
+
+    def deactivate_server(self, server: int) -> Tuple[int, ...]:
+        """Mark a server as crashed (fail-stop).
+
+        The server is excluded from every subsequent placement decision
+        (joins, evacuations, rebalances) until
+        :meth:`reactivate_server`. Its members are **not** moved — call
+        :meth:`evacuate` to reassign them. Returns the stranded client
+        nodes so the caller can drive the evacuation. Idempotent.
+        """
+        self._check_server_index(server)
+        self._active[server] = False
+        return tuple(sorted(self._members[server]))
+
+    def reactivate_server(self, server: int) -> None:
+        """Mark a previously crashed server as up again. Idempotent.
+
+        The recovered server starts empty; run :meth:`rebalance` to move
+        clients back onto it where that shortens interaction paths.
+        """
+        self._check_server_index(server)
+        self._active[server] = True
+
+    def move(self, client_node: int, server: int) -> None:
+        """Reassign a connected client to a specific active server."""
+        if client_node not in self._assigned:
+            raise InvalidAssignmentError(f"client {client_node} is not connected")
+        self._check_server_index(server)
+        if not self._active[server]:
+            raise FailoverError(f"cannot move client onto down server {server}")
+        if (
+            self._capacity is not None
+            and self._assigned[client_node] != server
+            and len(self._members[server]) >= self._capacity
+        ):
+            raise CapacityError(f"server {server} is at capacity")
+        old = self._assigned[client_node]
+        if old != server:
+            self._members[old].discard(client_node)
+            self._members[server].add(client_node)
+            self._assigned[client_node] = server
+
+    def evacuate(self, server: int) -> List[Tuple[int, int]]:
+        """Reassign every client of ``server`` onto the active servers.
+
+        Capacity-aware and greedy: clients are drained farthest-first
+        (largest round trip to their dead server first) and each is
+        placed by the same ``L(s')`` move-cost rule as a join. The whole
+        evacuation is feasibility-checked up front so a failed
+        evacuation never leaves the manager half-moved; insufficient
+        surviving capacity raises :class:`~repro.errors.FailoverError`.
+
+        Returns the ``(client_node, new_server)`` moves made.
+        """
+        self._check_server_index(server)
+        stranded = self._members[server]
+        if not stranded:
+            return []
+        if self._active[server]:
+            raise FailoverError(
+                f"server {server} is still active; deactivate it before "
+                f"evacuating (or use move() to drain it)"
+            )
+        if not self._active.any():
+            raise FailoverError("every server is down; nowhere to evacuate to")
+        if self._capacity is not None:
+            loads = self.loads()
+            free = int(
+                (self._capacity - loads[self._active]).clip(min=0).sum()
+            )
+            if free < len(stranded):
+                raise FailoverError(
+                    f"cannot evacuate server {server}: {len(stranded)} "
+                    f"client(s) stranded but only {free} free slot(s) on "
+                    f"surviving servers"
+                )
+        d = self._matrix.values
+        node = self._servers[server]
+        order = sorted(
+            stranded,
+            key=lambda c: (-max(d[c, node], d[node, c]), c),
+        )
+        moves: List[Tuple[int, int]] = []
+        for client in order:
+            costs = self._candidate_costs(client, exclude_self=True)
+            best = int(np.argmin(costs))
+            if not np.isfinite(costs[best]):
+                # Unreachable given the up-front feasibility check, but
+                # fail loudly rather than corrupt state.
+                raise FailoverError(
+                    f"no feasible server for evacuated client {client}"
+                )
+            self.move(client, best)
+            moves.append((client, best))
+        return moves
 
     # ------------------------------------------------------------------
     def _l_vector(self, *, exclude: Optional[int] = None) -> np.ndarray:
@@ -149,7 +291,7 @@ class OnlineAssignmentManager:
             if exclude_self and client_node in self._assigned:
                 loads[self._assigned[client_node]] -= 1
             costs = np.where(loads >= self._capacity, np.inf, costs)
-        return costs
+        return np.where(self._active, costs, np.inf)
 
     # ------------------------------------------------------------------
     def join(self, client_node: int) -> int:
@@ -167,11 +309,12 @@ class OnlineAssignmentManager:
             costs = self._matrix.values[client_node, self._servers].astype(float)
             if self._capacity is not None:
                 costs = np.where(self.loads() >= self._capacity, np.inf, costs)
+            costs = np.where(self._active, costs, np.inf)
         else:
             costs = self._candidate_costs(client_node, exclude_self=False)
         best = int(np.argmin(costs))
         if not np.isfinite(costs[best]):
-            raise CapacityError("all servers are at capacity")
+            raise CapacityError("all active servers are at capacity")
         self._assigned[client_node] = best
         self._members[best].add(client_node)
         return best
@@ -196,13 +339,38 @@ class OnlineAssignmentManager:
     def _run_dga(self, max_moves: int) -> int:
         from repro.algorithms.distributed_greedy import distributed_greedy_detailed
 
-        problem, assignment, nodes = self.snapshot()
+        # Repair runs over the *active* servers only, so a bounded
+        # rebalance can never move a client onto a crashed server.
+        active = np.flatnonzero(self._active)
+        stranded = [
+            node
+            for node, s in self._assigned.items()
+            if not self._active[s]
+        ]
+        if stranded:
+            raise FailoverError(
+                f"{len(stranded)} client(s) still assigned to down "
+                f"server(s); evacuate before rebalancing"
+            )
+        nodes = tuple(sorted(self._assigned))
+        problem = ClientAssignmentProblem(
+            self._matrix,
+            self._servers[active],
+            clients=list(nodes),
+            capacities=self._capacity,
+        )
+        to_sub = {int(s): i for i, s in enumerate(active)}
+        server_of = np.array(
+            [to_sub[self._assigned[n]] for n in nodes], dtype=np.int64
+        )
         result = distributed_greedy_detailed(
-            problem, initial=assignment, max_modifications=max_moves
+            problem,
+            initial=Assignment(problem, server_of),
+            max_modifications=max_moves,
         )
         # Fold the improved assignment back into the live state.
         for local_idx, node in enumerate(nodes):
-            new_server = int(result.assignment.server_of[local_idx])
+            new_server = int(active[result.assignment.server_of[local_idx]])
             old_server = self._assigned[node]
             if new_server != old_server:
                 self._members[old_server].discard(node)
@@ -290,7 +458,7 @@ def simulate_churn(
     "nearest" = deployed-system default).
     """
     if not 0.0 < join_probability < 1.0:
-        raise ValueError("join_probability must be in (0, 1)")
+        raise InvalidParameterError("join_probability must be in (0, 1)")
     rng = ensure_rng(seed)
     manager = OnlineAssignmentManager(
         matrix, servers, capacity=capacity, join_policy=join_policy

@@ -7,6 +7,7 @@ Subcommands:
 - ``fig``      — regenerate a paper figure's data series as a table.
 - ``claims``   — run the §V claims checklist.
 - ``simulate`` — run the DIA event simulation for a solved assignment.
+- ``faults``   — fault-injection churn: crashes, failover, recovery.
 """
 
 from __future__ import annotations
@@ -123,6 +124,29 @@ def _build_parser() -> argparse.ArgumentParser:
     p_churn.add_argument("--events", type=int, default=300)
     p_churn.add_argument("--rebalance-every", type=int, default=20)
     p_churn.add_argument("--seed", type=int, default=0)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="fault-injection churn: server crashes, failover, recovery",
+    )
+    p_faults.add_argument("--nodes", type=int, default=200)
+    p_faults.add_argument("--servers", type=int, default=16)
+    p_faults.add_argument("--events", type=int, default=300)
+    p_faults.add_argument(
+        "--mttf", type=float, default=120.0,
+        help="mean time to failure per server (in churn-event ticks)",
+    )
+    p_faults.add_argument(
+        "--mttr", type=float, default=40.0,
+        help="mean time to recovery (in churn-event ticks)",
+    )
+    p_faults.add_argument("--capacity", type=int, default=None)
+    p_faults.add_argument("--rebalance-every", type=int, default=None)
+    p_faults.add_argument(
+        "--readmit-moves", type=int, default=8,
+        help="Distributed-Greedy move budget on each server recovery",
+    )
+    p_faults.add_argument("--seed", type=int, default=0)
 
     p_sim = sub.add_parser("simulate", help="run the DIA event simulation")
     p_sim.add_argument("--nodes", type=int, default=120)
@@ -417,6 +441,60 @@ def _cmd_churn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import FaultSchedule, simulate_churn_with_faults
+    from repro.placement import kcenter_b
+
+    matrix = _make_matrix("meridian", args.nodes, args.seed)
+    servers = kcenter_b(matrix, args.servers, seed=args.seed)
+    # Keep a strict majority of servers up so evacuation always has a
+    # target; the failover controller sheds only on capacity pressure.
+    schedule = FaultSchedule.generate(
+        args.servers,
+        float(args.events),
+        mttf=args.mttf,
+        mttr=args.mttr,
+        seed=args.seed,
+        max_concurrent_down=max(1, args.servers // 2),
+    )
+    n_crashes = len(schedule.down_intervals)
+    print(
+        f"{args.events} churn events, {args.servers} servers, "
+        f"{n_crashes} crash(es) (MTTF {args.mttf:g}, MTTR {args.mttr:g})"
+    )
+    for label, policy in (("nearest joins", "nearest"), ("greedy joins", "greedy")):
+        result = simulate_churn_with_faults(
+            matrix,
+            servers,
+            schedule,
+            n_events=args.events,
+            join_policy=policy,
+            rebalance_every=args.rebalance_every,
+            capacity=args.capacity,
+            readmit_moves=args.readmit_moves,
+            seed=args.seed,
+        )
+        print(
+            f"{label:<14} mean D = {result.mean_d():8.1f} ms, "
+            f"peak D = {result.peak_d():8.1f} ms, "
+            f"final D = {result.final_d():8.1f} ms, "
+            f"shed clients = {result.total_shed()}"
+        )
+        for cycle in result.cycles():
+            recovered = (
+                "not recovered"
+                if cycle.recovery_ratio is None
+                else f"recovered to {cycle.recovery_ratio:.2f}x pre-fault"
+            )
+            print(
+                f"    server {cycle.server:>2} down at t={cycle.crash_time:7.1f}: "
+                f"{cycle.n_evacuated} evacuated, {cycle.n_shed} shed, "
+                f"degraded {cycle.inflation:.2f}x, {recovered} "
+                f"({cycle.rebalance_moves} readmit moves)"
+            )
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.algorithms import get_algorithm
     from repro.core import (
@@ -480,6 +558,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "ablate": _cmd_ablate,
         "churn": _cmd_churn,
+        "faults": _cmd_faults,
         "simulate": _cmd_simulate,
     }
     return handlers[args.command](args)

@@ -39,8 +39,32 @@ class InvalidAssignmentError(ReproError):
     """
 
 
+class InvalidParameterError(ReproError, ValueError):
+    """A function or constructor argument is out of its valid domain.
+
+    Also derives from :class:`ValueError` so callers that predate the
+    package hierarchy (``except ValueError``) keep working.
+    """
+
+
 class CapacityError(ReproError):
     """Total server capacity is insufficient for the client population."""
+
+
+class FaultScheduleError(ReproError):
+    """A fault schedule is malformed.
+
+    Examples: overlapping crash intervals for one server, a recovery
+    before its crash, or a latency spike with a nonpositive window.
+    """
+
+
+class FailoverError(ReproError):
+    """The failover controller could not repair the system.
+
+    Raised when a crash leaves surviving capacity insufficient for the
+    evacuated clients, or when every server is down simultaneously.
+    """
 
 
 class InfeasibleScheduleError(ReproError):

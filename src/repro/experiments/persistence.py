@@ -132,10 +132,30 @@ def from_jsonable(data: Dict[str, Any]) -> FigureResult:
 
 
 def save_result(path: PathLike, result: FigureResult) -> None:
-    """Write a figure result to ``path`` as JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(to_jsonable(result), handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Write a figure result to ``path`` as JSON, atomically.
+
+    The JSON is written to a ``.tmp`` sibling and moved into place with
+    :func:`os.replace`, so a crash or interrupt mid-write can never
+    leave a truncated file at ``path`` — the previous contents (or the
+    absence of the file) survive instead. Results take hours to produce
+    at paper scale; silently corrupting one on an unlucky Ctrl-C is the
+    one failure mode persistence exists to prevent.
+    """
+    payload = to_jsonable(result)
+    tmp_path = os.fspath(path) + ".tmp"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_result(path: PathLike) -> FigureResult:

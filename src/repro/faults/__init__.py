@@ -1,0 +1,67 @@
+"""Fault injection and failover for the client assignment system.
+
+The paper's §VI argues that client assignment — unlike server placement
+— "can be adjusted promptly to adapt to system dynamics". This package
+makes the claim testable under *hostile* dynamics rather than benign
+churn: fail-stop server crashes, lossy and bursty links, and latency
+spikes, all deterministic under a seed.
+
+- :mod:`repro.faults.models` — the fault primitives: crash/recovery
+  interval generators (explicit timeline or MTTF/MTTR), message-loss
+  models (i.i.d. and Gilbert–Elliott burst loss, with duplication), and
+  windowed latency spikes, composable with
+  :class:`~repro.net.jitter.JitterModel`.
+- :mod:`repro.faults.schedule` — :class:`FaultSchedule`, the seedable
+  composition the simulator and the failover controller both consume.
+- :mod:`repro.faults.failover` — :class:`FailoverController`: evacuates
+  a crashed server's clients capacity-aware using the same ``L(s')``
+  move-cost machinery as joins, tracks the degraded D, and re-admits
+  recovered servers via bounded Distributed-Greedy moves.
+- :mod:`repro.faults.experiment` — a churn driver that interleaves
+  crash/recover cycles with joins and leaves and records the full
+  D-over-time recovery timeline (``dia-cap faults``,
+  ``benchmarks/bench_faults.py``).
+"""
+
+from repro.faults.models import (
+    DownInterval,
+    GilbertElliottLoss,
+    IIDLoss,
+    LatencySpike,
+    LossModel,
+    MessageFate,
+    NoLoss,
+    exponential_crash_schedule,
+)
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.faults.failover import (
+    CrashRecord,
+    FailoverController,
+    RecoveryRecord,
+)
+from repro.faults.experiment import (
+    CrashCycle,
+    FaultChurnResult,
+    FaultTracePoint,
+    simulate_churn_with_faults,
+)
+
+__all__ = [
+    "MessageFate",
+    "LossModel",
+    "NoLoss",
+    "IIDLoss",
+    "GilbertElliottLoss",
+    "LatencySpike",
+    "DownInterval",
+    "exponential_crash_schedule",
+    "FaultEvent",
+    "FaultSchedule",
+    "FailoverController",
+    "CrashRecord",
+    "RecoveryRecord",
+    "FaultTracePoint",
+    "CrashCycle",
+    "FaultChurnResult",
+    "simulate_churn_with_faults",
+]

@@ -1,0 +1,288 @@
+"""Fault primitives: crashes, message loss, latency spikes.
+
+Three orthogonal fault classes, each deterministic under a seed:
+
+- **Server crashes** — fail-stop :class:`DownInterval` timelines, either
+  written explicitly or drawn from exponential MTTF/MTTR distributions
+  (:func:`exponential_crash_schedule`).
+- **Message faults** — per-message drop/duplicate decisions from a
+  :class:`LossModel`: i.i.d. (:class:`IIDLoss`) or bursty two-state
+  Gilbert–Elliott (:class:`GilbertElliottLoss`), the standard model for
+  correlated Internet packet loss.
+- **Latency spikes** — :class:`LatencySpike` multiplies the latency of
+  matching links during a wall-clock window, composing multiplicatively
+  with any :class:`~repro.net.jitter.JitterModel` the simulation
+  already applies.
+
+:class:`~repro.faults.schedule.FaultSchedule` composes the three.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import FaultScheduleError, InvalidParameterError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class MessageFate:
+    """What the network does to one message (string constants)."""
+
+    DELIVER = "deliver"
+    DROP = "drop"
+    DUPLICATE = "duplicate"
+
+
+# ----------------------------------------------------------------------
+# Message loss
+# ----------------------------------------------------------------------
+class LossModel(abc.ABC):
+    """Per-message fate decision, possibly stateful (burst models)."""
+
+    @abc.abstractmethod
+    def classify(self, rng: np.random.Generator) -> str:
+        """Draw the fate of the next message (a :class:`MessageFate`)."""
+
+    def reset(self) -> None:
+        """Return any internal state to its initial value.
+
+        Called once per simulation run so the same model object replays
+        identically; stateless models inherit this no-op.
+        """
+
+
+class NoLoss(LossModel):
+    """Every message is delivered exactly once."""
+
+    def classify(self, rng: np.random.Generator) -> str:
+        return MessageFate.DELIVER
+
+    def __repr__(self) -> str:
+        return "NoLoss()"
+
+
+class IIDLoss(LossModel):
+    """Independent per-message loss (and optional duplication).
+
+    Each message is dropped with probability ``p_drop`` and, if not
+    dropped, duplicated with probability ``p_duplicate``.
+    """
+
+    def __init__(self, p_drop: float, p_duplicate: float = 0.0) -> None:
+        for name, p in (("p_drop", p_drop), ("p_duplicate", p_duplicate)):
+            if not 0.0 <= p <= 1.0:
+                raise InvalidParameterError(
+                    f"{name} must be in [0, 1], got {p}"
+                )
+        self.p_drop = float(p_drop)
+        self.p_duplicate = float(p_duplicate)
+
+    def classify(self, rng: np.random.Generator) -> str:
+        u = rng.uniform()
+        if u < self.p_drop:
+            return MessageFate.DROP
+        if u < self.p_drop + (1.0 - self.p_drop) * self.p_duplicate:
+            return MessageFate.DUPLICATE
+        return MessageFate.DELIVER
+
+    def __repr__(self) -> str:
+        return f"IIDLoss(p_drop={self.p_drop}, p_duplicate={self.p_duplicate})"
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state Markov (Gilbert–Elliott) burst loss.
+
+    The channel alternates between a *good* and a *bad* state with
+    per-message transition probabilities ``p_good_to_bad`` and
+    ``p_bad_to_good``; each state drops messages i.i.d. at its own rate.
+    With ``loss_bad`` near 1 and a small ``p_bad_to_good`` this produces
+    the correlated loss bursts that make naive retry/percentile planning
+    fail, which i.i.d. models cannot express.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.01,
+        p_bad_to_good: float = 0.2,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.8,
+    ) -> None:
+        for name, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise InvalidParameterError(
+                    f"{name} must be in [0, 1], got {p}"
+                )
+        self.p_good_to_bad = float(p_good_to_bad)
+        self.p_bad_to_good = float(p_bad_to_good)
+        self.loss_good = float(loss_good)
+        self.loss_bad = float(loss_bad)
+        self._bad = False
+
+    def reset(self) -> None:
+        self._bad = False
+
+    def classify(self, rng: np.random.Generator) -> str:
+        flip = self.p_bad_to_good if self._bad else self.p_good_to_bad
+        if rng.uniform() < flip:
+            self._bad = not self._bad
+        loss = self.loss_bad if self._bad else self.loss_good
+        if rng.uniform() < loss:
+            return MessageFate.DROP
+        return MessageFate.DELIVER
+
+    def steady_state_loss(self) -> float:
+        """Long-run loss rate implied by the chain parameters."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom == 0.0:
+            return self.loss_good
+        p_bad = self.p_good_to_bad / denom
+        return (1.0 - p_bad) * self.loss_good + p_bad * self.loss_bad
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliottLoss(p_good_to_bad={self.p_good_to_bad}, "
+            f"p_bad_to_good={self.p_bad_to_good}, "
+            f"loss_good={self.loss_good}, loss_bad={self.loss_bad})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Latency spikes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LatencySpike:
+    """A windowed multiplicative latency degradation.
+
+    During ``[start, start + duration)`` every message on a matching
+    link is slowed by ``factor``. ``src``/``dst`` are node indices;
+    ``None`` matches every node on that side, so ``LatencySpike(10, 5,
+    3.0)`` is a global 3× slowdown and ``LatencySpike(10, 5, 3.0,
+    src=7)`` degrades only node 7's outgoing links.
+    """
+
+    start: float
+    duration: float
+    factor: float
+    src: Optional[int] = None
+    dst: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise FaultScheduleError(
+                f"spike duration must be positive, got {self.duration}"
+            )
+        if self.factor <= 0:
+            raise FaultScheduleError(
+                f"spike factor must be positive, got {self.factor}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def applies(self, src_node: int, dst_node: int, wall: float) -> bool:
+        """Whether this spike affects a message on (src, dst) at ``wall``."""
+        if not self.start <= wall < self.end:
+            return False
+        if self.src is not None and self.src != src_node:
+            return False
+        if self.dst is not None and self.dst != dst_node:
+            return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# Server crash timelines
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DownInterval:
+    """One fail-stop outage of one server.
+
+    ``server`` is the *local* server index (position in the manager's
+    server list, matching :class:`~repro.algorithms.online.
+    OnlineAssignmentManager`). ``end`` may be ``inf`` for a crash with
+    no recovery.
+    """
+
+    server: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.server < 0:
+            raise FaultScheduleError(
+                f"server index must be nonnegative, got {self.server}"
+            )
+        if not self.end > self.start:
+            raise FaultScheduleError(
+                f"outage must end after it starts, got "
+                f"[{self.start}, {self.end})"
+            )
+
+    def covers(self, wall: float) -> bool:
+        return self.start <= wall < self.end
+
+
+def exponential_crash_schedule(
+    n_servers: int,
+    horizon: float,
+    *,
+    mttf: float,
+    mttr: float,
+    seed: SeedLike = 0,
+    max_concurrent_down: Optional[int] = None,
+) -> List[DownInterval]:
+    """Draw per-server crash/recover timelines from MTTF/MTTR.
+
+    Each server alternates up-time ``~ Exp(mean=mttf)`` and down-time
+    ``~ Exp(mean=mttr)`` independently, truncated to ``[0, horizon)``.
+    Deterministic under ``seed``. ``max_concurrent_down`` caps how many
+    servers may be down at once (extra crashes are skipped, keeping at
+    least ``n_servers - max_concurrent_down`` servers up at all times) —
+    set it when the consumer must always have somewhere to evacuate to.
+    """
+    if n_servers < 1:
+        raise InvalidParameterError(
+            f"n_servers must be >= 1, got {n_servers}"
+        )
+    if horizon <= 0:
+        raise InvalidParameterError(f"horizon must be positive, got {horizon}")
+    if mttf <= 0 or mttr <= 0:
+        raise InvalidParameterError(
+            f"mttf and mttr must be positive, got mttf={mttf}, mttr={mttr}"
+        )
+    if max_concurrent_down is not None and max_concurrent_down < 1:
+        raise InvalidParameterError(
+            f"max_concurrent_down must be >= 1, got {max_concurrent_down}"
+        )
+    rng = ensure_rng(seed)
+    raw: List[DownInterval] = []
+    for server in range(n_servers):
+        t = float(rng.exponential(mttf))
+        while t < horizon:
+            down = float(rng.exponential(mttr))
+            raw.append(
+                DownInterval(server, t, min(t + down, horizon))
+            )
+            t += down + float(rng.exponential(mttf))
+    if max_concurrent_down is None:
+        return sorted(raw, key=lambda iv: (iv.start, iv.server))
+    # Enforce the concurrency cap by admitting crashes in start order
+    # and skipping any that would exceed it.
+    admitted: List[DownInterval] = []
+    for iv in sorted(raw, key=lambda iv: (iv.start, iv.server)):
+        active = sum(
+            1 for other in admitted if other.covers(iv.start)
+        )
+        if active < max_concurrent_down:
+            admitted.append(iv)
+    return admitted

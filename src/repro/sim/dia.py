@@ -31,12 +31,20 @@ What the simulation certifies (and the tests assert):
 5. Under jitter, lateness appears at a rate controlled by the planning
    percentile (§II-E); late executions are repaired timewarp-style
    (re-execution in corrected order) and counted.
+
+With a :class:`~repro.faults.schedule.FaultSchedule` attached, the
+network additionally **drops**, **duplicates** and **delays** messages:
+drops are counted (a dropped operation leaves a hole in the affected
+server's log, surfacing as inconsistency); duplicates are suppressed by
+per-receiver delivery dedup, so at-least-once delivery stays safe; spike
+delays produce late arrivals classified and repaired exactly like
+jitter lateness (timewarp-style, consistent with §II-E).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -46,6 +54,8 @@ from repro.errors import (
     FairnessViolation,
     SimulationError,
 )
+from repro.faults.models import MessageFate
+from repro.faults.schedule import FaultSchedule
 from repro.net.jitter import JitterModel, NoJitter
 from repro.sim.clocks import SimulationClock
 from repro.sim.engine import EventEngine
@@ -73,6 +83,8 @@ class _ServerState:
     #: Number of timewarp-style repairs (re-orderings after a late
     #: arrival executed out of order).
     repairs: int = 0
+    #: Sequence numbers already delivered here (duplicate suppression).
+    seen: Set[int] = field(default_factory=set)
 
 
 @dataclass
@@ -84,6 +96,8 @@ class _ClientState:
     presented: Dict[int, float] = field(default_factory=dict)
     #: Updates that arrived after the presentation point.
     late_updates: List[Tuple[Operation, float]] = field(default_factory=list)
+    #: Sequence numbers already delivered here (duplicate suppression).
+    seen: Set[int] = field(default_factory=set)
 
 
 @dataclass(frozen=True)
@@ -122,6 +136,14 @@ class DIASimulationReport:
     #: operation — the paper's strict fairness criterion; bucket
     #: synchronization trades it away.
     constant_lag: bool = True
+    #: Messages the (faulty) network dropped; each dropped operation
+    #: message leaves a hole in one server's log.
+    dropped_messages: int = 0
+    #: Messages the network duplicated in flight.
+    duplicated_messages: int = 0
+    #: Redundant deliveries suppressed by receiver-side dedup (every
+    #: duplicated message whose both copies arrived contributes one).
+    duplicate_deliveries: int = 0
 
     @property
     def healthy(self) -> bool:
@@ -178,6 +200,14 @@ class DIASimulation:
         ``True`` lateness is recorded, the operation is executed/presented
         late, out-of-order executions are repaired timewarp-style, and
         counts appear in the report (the §II-E jitter study).
+    faults:
+        Optional :class:`~repro.faults.schedule.FaultSchedule`: messages
+        are dropped/duplicated per its loss model and delayed by its
+        latency spikes (multiplying the jitter factor). Duplicates are
+        absorbed by receiver-side dedup; drops are counted and surface
+        as log inconsistency. Spike-delayed messages go through the
+        same lateness classification and timewarp repair as jitter —
+        run with ``allow_late=True`` to collect them.
     """
 
     def __init__(
@@ -190,6 +220,7 @@ class DIASimulation:
         base_matrix: Optional[np.ndarray] = None,
         processing: Optional[ProcessingModel] = None,
         bucket_size: Optional[float] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self._schedule = schedule
         self._assignment = schedule.assignment
@@ -197,6 +228,12 @@ class DIASimulation:
         self._jitter = jitter if jitter is not None else NoJitter()
         self._rng = ensure_rng(seed)
         self._allow_late = allow_late
+        self._faults = faults
+        if faults is not None:
+            faults.reset()
+        self._n_dropped = 0
+        self._n_duplicated = 0
+        self._n_dup_delivered = 0
         self._processing = processing
         self._queues = ServerQueue(schedule.assignment.problem.n_servers)
         if bucket_size is not None and bucket_size <= 0:
@@ -238,10 +275,35 @@ class DIASimulation:
     # ------------------------------------------------------------------
     # Latency sampling
     # ------------------------------------------------------------------
-    def _latency(self, src_node: int, dst_node: int) -> float:
+    def _latency(self, src_node: int, dst_node: int, wall: float) -> float:
         base = self._base[src_node, dst_node]
         factor = float(self._jitter.sample_factor(self._rng, size=1)[0])
+        if self._faults is not None:
+            factor *= self._faults.latency_factor(src_node, dst_node, wall)
         return base * factor
+
+    def _transmit(self, wall: float, src_node: int, dst_node: int, message, handler) -> None:
+        """Send one protocol message through the (possibly faulty) network.
+
+        Consults the fault schedule for the message's fate: dropped
+        messages are counted and never delivered; duplicated messages
+        are delivered twice with independently sampled latencies
+        (receiver-side dedup keeps the protocol idempotent).
+        """
+        self._n_messages += 1
+        fate = MessageFate.DELIVER
+        if self._faults is not None:
+            fate = self._faults.message_fate(self._rng)
+        if fate == MessageFate.DROP:
+            self._n_dropped += 1
+            return
+        copies = 1
+        if fate == MessageFate.DUPLICATE:
+            self._n_duplicated += 1
+            copies = 2
+        for _ in range(copies):
+            latency = self._latency(src_node, dst_node, wall)
+            self._engine.schedule(wall + latency, message, handler)
 
     def _client_node(self, client: int) -> int:
         return int(self._problem.clients[client])
@@ -255,10 +317,10 @@ class DIASimulation:
     def _issue(self, wall: float, operation: Operation) -> None:
         client = operation.client
         home = self._assignment.server_of_client(client)
-        latency = self._latency(self._client_node(client), self._server_node(home))
-        self._n_messages += 1
-        self._engine.schedule(
-            wall + latency,
+        self._transmit(
+            wall,
+            self._client_node(client),
+            self._server_node(home),
             OperationMessage(operation, home, first_leg=True),
             self._receive_operation,
         )
@@ -266,20 +328,28 @@ class DIASimulation:
     def _receive_operation(self, wall: float, message: OperationMessage) -> None:
         server = message.dest_server
         operation = message.operation
+        state = self._servers[server]
+        # Duplicate suppression: each server legitimately receives each
+        # operation exactly once (first leg at the home server, one
+        # forwarded copy elsewhere), so a repeat seq here can only be a
+        # network duplicate — absorbing it keeps delivery idempotent.
+        if operation.seq in state.seen:
+            self._n_dup_delivered += 1
+            return
+        state.seen.add(operation.seq)
         if message.first_leg:
             # Forward to every other server.
             src = self._server_node(server)
             for other in range(self._problem.n_servers):
                 if other == server:
                     continue
-                latency = self._latency(src, self._server_node(other))
-                self._n_messages += 1
-                self._engine.schedule(
-                    wall + latency,
+                self._transmit(
+                    wall,
+                    src,
+                    self._server_node(other),
                     OperationMessage(operation, other, first_leg=False),
                     self._receive_operation,
                 )
-        state = self._servers[server]
         exec_sim = self._intended_exec_sim(operation)
         exec_wall = state.clock.wall_time(exec_sim)
         if wall <= exec_wall + _TOL:
@@ -359,10 +429,10 @@ class DIASimulation:
         src = self._server_node(server)
         for client in self._clients_of[server]:
             client = int(client)
-            latency = self._latency(src, self._client_node(client))
-            self._n_messages += 1
-            self._engine.schedule(
-                send_wall + latency,
+            self._transmit(
+                send_wall,
+                src,
+                self._client_node(client),
                 StateUpdateMessage(operation, server, client, exec_sim),
                 self._receive_update,
             )
@@ -370,6 +440,10 @@ class DIASimulation:
     def _receive_update(self, wall: float, message: StateUpdateMessage) -> None:
         client = self._clients[message.dest_client]
         operation = message.operation
+        if operation.seq in client.seen:
+            self._n_dup_delivered += 1
+            return
+        client.seen.add(operation.seq)
         # Clients present the effect when their clocks reach the
         # execution simulation time (== issuance + delta under the
         # constant-lag criterion; the next bucket boundary under bucket
@@ -425,6 +499,9 @@ class DIASimulation:
             max_processing_backlog=self._queues.max_backlog,
             order_preserved=order_preserved,
             constant_lag=constant_lag,
+            dropped_messages=self._n_dropped,
+            duplicated_messages=self._n_duplicated,
+            duplicate_deliveries=self._n_dup_delivered,
         )
 
     def _check_server_consistency(self) -> bool:
@@ -470,6 +547,7 @@ def simulate_assignment(
     base_matrix: Optional[np.ndarray] = None,
     processing: Optional[ProcessingModel] = None,
     bucket_size: Optional[float] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> DIASimulationReport:
     """One-call convenience wrapper around :class:`DIASimulation`."""
     sim = DIASimulation(
@@ -480,6 +558,7 @@ def simulate_assignment(
         base_matrix=base_matrix,
         processing=processing,
         bucket_size=bucket_size,
+        faults=faults,
     )
     return sim.run(operations)
 

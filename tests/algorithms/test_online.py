@@ -183,3 +183,53 @@ class TestChurnSimulation:
             matrix, servers, n_events=50, capacity=12, seed=3
         )
         assert result.trace
+
+
+class TestChurnEdgeCases:
+    def _fill(self, manager, *, n=20, capacity=None):
+        server_set = set(int(s) for s in manager.server_nodes)
+        nodes = [
+            u for u in range(manager.matrix.n_nodes) if u not in server_set
+        ][:n]
+        for node in nodes:
+            manager.join(node)
+        return nodes
+
+    def test_server_emptied_then_repopulated(self, manager):
+        self._fill(manager)
+        target = int(np.argmax(manager.loads()))
+        members = manager.members_of(target)
+        assert members, "expected the busiest server to have members"
+        for client in members:
+            manager.leave(client)
+        assert manager.loads()[target] == 0
+        assert manager.verify()
+        # The emptied server must still be a live join target and the
+        # returning clients must land somewhere valid.
+        for client in members:
+            s = manager.join(client)
+            assert 0 <= s < manager.n_servers
+        assert manager.n_clients == 20
+        assert manager.verify()
+
+    def test_join_at_full_capacity_leaves_state_unchanged(
+        self, matrix, servers
+    ):
+        manager = OnlineAssignmentManager(matrix, servers, capacity=4)
+        self._fill(manager, n=20)  # 5 servers * 4 slots: completely full
+        assert int(manager.loads().sum()) == 20
+        before = {c: manager.server_of(c) for c in manager.clients}
+        d_before = manager.current_d()
+        with pytest.raises(CapacityError):
+            manager.join(49)
+        assert {c: manager.server_of(c) for c in manager.clients} == before
+        assert manager.current_d() == pytest.approx(d_before)
+        assert manager.n_clients == 20
+
+    def test_rebalance_zero_moves_is_noop(self, manager):
+        self._fill(manager)
+        before = {c: manager.server_of(c) for c in manager.clients}
+        d_before = manager.current_d()
+        assert manager.rebalance(max_moves=0) == 0
+        assert {c: manager.server_of(c) for c in manager.clients} == before
+        assert manager.current_d() == pytest.approx(d_before)

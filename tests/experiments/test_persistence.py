@@ -102,3 +102,40 @@ class TestErrors:
         data = json.loads(path.read_text())
         assert data["kind"] == "fig7"
         assert data["schema_version"] == 1
+
+
+class TestAtomicity:
+    def test_no_tmp_file_left_behind(self, tmp_path, matrix):
+        series = fig7(QUICK, "random", matrix=matrix)
+        path = tmp_path / "f7.json"
+        save_result(path, series)
+        assert path.exists()
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_failed_write_preserves_previous_file(self, tmp_path, matrix):
+        series = fig7(QUICK, "random", matrix=matrix)
+        path = tmp_path / "f7.json"
+        save_result(path, series)
+        original = path.read_text()
+        # A non-serializable result fails inside to_jsonable, before any
+        # write; a partial dump must never clobber the good file either
+        # way, and no .tmp sibling may survive the failure.
+        with pytest.raises(TypeError):
+            save_result(path, object())
+        assert path.read_text() == original
+        assert not (tmp_path / "f7.json.tmp").exists()
+
+    def test_missing_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"kind": "fig7", "points": []}))
+        with pytest.raises(DatasetError, match="schema version"):
+            load_result(path)
+
+    def test_truncated_file_rejected_with_clear_message(self, tmp_path, matrix):
+        series = fig7(QUICK, "random", matrix=matrix)
+        path = tmp_path / "f7.json"
+        save_result(path, series)
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])
+        with pytest.raises(DatasetError, match="invalid JSON"):
+            load_result(path)

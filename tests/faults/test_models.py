@@ -1,0 +1,170 @@
+"""Tests for the fault primitives (loss, spikes, crash timelines)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultScheduleError, InvalidParameterError
+from repro.faults import (
+    DownInterval,
+    GilbertElliottLoss,
+    IIDLoss,
+    LatencySpike,
+    MessageFate,
+    NoLoss,
+    exponential_crash_schedule,
+)
+
+
+class TestNoLoss:
+    def test_always_delivers(self):
+        rng = np.random.default_rng(0)
+        model = NoLoss()
+        assert all(
+            model.classify(rng) == MessageFate.DELIVER for _ in range(100)
+        )
+
+
+class TestIIDLoss:
+    def test_rates_match(self):
+        rng = np.random.default_rng(1)
+        model = IIDLoss(0.2, 0.1)
+        fates = [model.classify(rng) for _ in range(20000)]
+        drop_rate = fates.count(MessageFate.DROP) / len(fates)
+        dup_rate = fates.count(MessageFate.DUPLICATE) / len(fates)
+        assert drop_rate == pytest.approx(0.2, abs=0.02)
+        assert dup_rate == pytest.approx(0.8 * 0.1, abs=0.02)
+
+    def test_zero_is_lossless(self):
+        rng = np.random.default_rng(2)
+        model = IIDLoss(0.0)
+        assert all(
+            model.classify(rng) == MessageFate.DELIVER for _ in range(200)
+        )
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_invalid_probability(self, bad):
+        with pytest.raises(InvalidParameterError):
+            IIDLoss(bad)
+        with pytest.raises(ValueError):  # backwards-compatible base
+            IIDLoss(0.1, bad)
+
+
+class TestGilbertElliott:
+    def test_steady_state_loss_matches_empirical(self):
+        model = GilbertElliottLoss(0.05, 0.25, loss_good=0.01, loss_bad=0.6)
+        rng = np.random.default_rng(3)
+        fates = [model.classify(rng) for _ in range(50000)]
+        empirical = fates.count(MessageFate.DROP) / len(fates)
+        assert empirical == pytest.approx(model.steady_state_loss(), abs=0.02)
+
+    def test_burstiness(self):
+        """Losses cluster: P(drop | previous drop) >> marginal drop rate."""
+        model = GilbertElliottLoss(0.01, 0.1, loss_good=0.0, loss_bad=0.9)
+        rng = np.random.default_rng(4)
+        drops = [
+            model.classify(rng) == MessageFate.DROP for _ in range(50000)
+        ]
+        marginal = np.mean(drops)
+        after_drop = [b for a, b in zip(drops, drops[1:]) if a]
+        assert np.mean(after_drop) > 3 * marginal
+
+    def test_reset_replays_identically(self):
+        model = GilbertElliottLoss(0.2, 0.2, loss_good=0.1, loss_bad=0.9)
+        rng = np.random.default_rng(7)
+        seq_a = [model.classify(rng) for _ in range(500)]
+        model.reset()
+        rng = np.random.default_rng(7)
+        seq_b = [model.classify(rng) for _ in range(500)]
+        assert seq_a == seq_b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            GilbertElliottLoss(p_good_to_bad=1.2)
+
+
+class TestLatencySpike:
+    def test_applies_window_and_links(self):
+        spike = LatencySpike(10.0, 5.0, 3.0, src=2)
+        assert spike.applies(2, 7, 12.0)
+        assert not spike.applies(3, 7, 12.0)  # wrong src
+        assert not spike.applies(2, 7, 9.9)  # before window
+        assert not spike.applies(2, 7, 15.0)  # end-exclusive
+
+    def test_global_spike(self):
+        spike = LatencySpike(0.0, 1.0, 2.0)
+        assert spike.applies(0, 1, 0.5)
+        assert spike.applies(9, 3, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(FaultScheduleError):
+            LatencySpike(0.0, 0.0, 2.0)
+        with pytest.raises(FaultScheduleError):
+            LatencySpike(0.0, 1.0, -1.0)
+
+
+class TestDownInterval:
+    def test_covers(self):
+        iv = DownInterval(0, 5.0, 9.0)
+        assert iv.covers(5.0)
+        assert iv.covers(8.9)
+        assert not iv.covers(9.0)
+        assert not iv.covers(4.9)
+
+    def test_validation(self):
+        with pytest.raises(FaultScheduleError):
+            DownInterval(0, 5.0, 5.0)
+        with pytest.raises(FaultScheduleError):
+            DownInterval(-1, 0.0, 1.0)
+
+    def test_never_recovering(self):
+        iv = DownInterval(1, 3.0, float("inf"))
+        assert iv.covers(1e12)
+
+
+class TestExponentialCrashSchedule:
+    def test_deterministic(self):
+        a = exponential_crash_schedule(8, 500.0, mttf=100, mttr=20, seed=42)
+        b = exponential_crash_schedule(8, 500.0, mttf=100, mttr=20, seed=42)
+        assert a == b
+
+    def test_intervals_within_horizon(self):
+        ivs = exponential_crash_schedule(5, 300.0, mttf=50, mttr=30, seed=0)
+        assert ivs, "expected some crashes at this MTTF"
+        for iv in ivs:
+            assert 0.0 <= iv.start < 300.0
+            assert iv.end <= 300.0
+            assert 0 <= iv.server < 5
+
+    def test_per_server_intervals_disjoint(self):
+        ivs = exponential_crash_schedule(4, 1000.0, mttf=40, mttr=40, seed=1)
+        for server in range(4):
+            own = sorted(
+                (iv for iv in ivs if iv.server == server),
+                key=lambda iv: iv.start,
+            )
+            for a, b in zip(own, own[1:]):
+                assert b.start >= a.end
+
+    def test_max_concurrent_down_respected(self):
+        ivs = exponential_crash_schedule(
+            10, 1000.0, mttf=30, mttr=100, seed=2, max_concurrent_down=3
+        )
+        edges = sorted(
+            [(iv.start, 1) for iv in ivs] + [(iv.end, -1) for iv in ivs]
+        )
+        down = 0
+        for _t, delta in edges:
+            down += delta
+            assert down <= 3
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            exponential_crash_schedule(0, 10.0, mttf=1, mttr=1)
+        with pytest.raises(InvalidParameterError):
+            exponential_crash_schedule(2, 10.0, mttf=0, mttr=1)
+        with pytest.raises(InvalidParameterError):
+            exponential_crash_schedule(2, -1.0, mttf=1, mttr=1)
+        with pytest.raises(InvalidParameterError):
+            exponential_crash_schedule(
+                2, 10.0, mttf=1, mttr=1, max_concurrent_down=0
+            )

@@ -1,0 +1,117 @@
+"""Tests for FaultSchedule composition and queries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultScheduleError
+from repro.faults import (
+    DownInterval,
+    FaultSchedule,
+    GilbertElliottLoss,
+    IIDLoss,
+    LatencySpike,
+    MessageFate,
+)
+
+
+class TestCrashTimeline:
+    def test_is_down(self):
+        sched = FaultSchedule([DownInterval(1, 10.0, 20.0)])
+        assert not sched.is_down(1, 9.9)
+        assert sched.is_down(1, 10.0)
+        assert sched.is_down(1, 19.9)
+        assert not sched.is_down(1, 20.0)
+        assert not sched.is_down(0, 15.0)
+
+    def test_servers_down(self):
+        sched = FaultSchedule(
+            [DownInterval(2, 0.0, 5.0), DownInterval(0, 3.0, 8.0)]
+        )
+        assert sched.servers_down(4.0) == (0, 2)
+        assert sched.servers_down(6.0) == (0,)
+        assert sched.servers_down(9.0) == ()
+
+    def test_overlap_rejected(self):
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule(
+                [DownInterval(0, 0.0, 10.0), DownInterval(0, 5.0, 15.0)]
+            )
+
+    def test_same_server_adjacent_ok(self):
+        sched = FaultSchedule(
+            [DownInterval(0, 0.0, 5.0), DownInterval(0, 5.0, 10.0)]
+        )
+        assert len(sched.down_intervals) == 2
+
+    def test_events_ordered_recover_first_on_tie(self):
+        sched = FaultSchedule(
+            [DownInterval(0, 0.0, 5.0), DownInterval(1, 5.0, 9.0)]
+        )
+        events = sched.events()
+        kinds = [(e.time, e.kind, e.server) for e in events]
+        assert kinds == [
+            (0.0, "crash", 0),
+            (5.0, "recover", 0),
+            (5.0, "crash", 1),
+            (9.0, "recover", 1),
+        ]
+
+    def test_infinite_outage_has_no_recover_event(self):
+        sched = FaultSchedule([DownInterval(0, 1.0, float("inf"))])
+        kinds = [e.kind for e in sched.events()]
+        assert kinds == ["crash"]
+
+
+class TestSpikes:
+    def test_latency_factor_composes(self):
+        sched = FaultSchedule(
+            spikes=[
+                LatencySpike(0.0, 10.0, 2.0),
+                LatencySpike(5.0, 10.0, 3.0, src=1),
+            ]
+        )
+        assert sched.latency_factor(1, 2, 7.0) == pytest.approx(6.0)
+        assert sched.latency_factor(0, 2, 7.0) == pytest.approx(2.0)
+        assert sched.latency_factor(1, 2, 12.0) == pytest.approx(3.0)
+        assert sched.latency_factor(1, 2, 20.0) == pytest.approx(1.0)
+
+
+class TestLoss:
+    def test_default_no_loss(self):
+        sched = FaultSchedule()
+        rng = np.random.default_rng(0)
+        assert all(
+            sched.message_fate(rng) == MessageFate.DELIVER for _ in range(50)
+        )
+
+    def test_delegates_to_model(self):
+        sched = FaultSchedule(loss=IIDLoss(1.0))
+        rng = np.random.default_rng(0)
+        assert sched.message_fate(rng) == MessageFate.DROP
+
+    def test_reset_restores_burst_state(self):
+        loss = GilbertElliottLoss(0.5, 0.01, loss_good=0.0, loss_bad=1.0)
+        sched = FaultSchedule(loss=loss)
+        rng = np.random.default_rng(1)
+        seq_a = [sched.message_fate(rng) for _ in range(200)]
+        sched.reset()
+        rng = np.random.default_rng(1)
+        seq_b = [sched.message_fate(rng) for _ in range(200)]
+        assert seq_a == seq_b
+
+
+class TestGenerate:
+    def test_deterministic_and_bounded(self):
+        a = FaultSchedule.generate(
+            6, 400.0, mttf=80, mttr=30, seed=9, max_concurrent_down=2
+        )
+        b = FaultSchedule.generate(
+            6, 400.0, mttf=80, mttr=30, seed=9, max_concurrent_down=2
+        )
+        assert a.down_intervals == b.down_intervals
+        for t in np.linspace(0, 399, 250):
+            assert len(a.servers_down(float(t))) <= 2
+
+    def test_repr(self):
+        sched = FaultSchedule.generate(3, 100.0, mttf=50, mttr=10, seed=0)
+        assert "outage" in repr(sched)

@@ -1,0 +1,97 @@
+"""DIA simulation under message faults: drops, duplicates, spikes."""
+
+import pytest
+
+from repro.algorithms import greedy
+from repro.core import ClientAssignmentProblem, OffsetSchedule
+from repro.datasets.synthetic import small_world_latencies
+from repro.faults import FaultSchedule, IIDLoss, LatencySpike
+from repro.placement import random_placement
+from repro.sim import poisson_workload, simulate_assignment
+
+
+@pytest.fixture(scope="module")
+def solved():
+    matrix = small_world_latencies(30, seed=20)
+    problem = ClientAssignmentProblem(
+        matrix, random_placement(matrix, 4, seed=1)
+    )
+    assignment = greedy(problem)
+    return problem, assignment
+
+
+@pytest.fixture(scope="module")
+def schedule(solved):
+    _problem, assignment = solved
+    return OffsetSchedule(assignment)
+
+
+@pytest.fixture(scope="module")
+def ops(solved):
+    problem, _assignment = solved
+    return poisson_workload(problem.n_clients, rate=0.02, horizon=300, seed=0)
+
+
+class TestBaseline:
+    def test_no_faults_keyword_changes_nothing(self, schedule, ops):
+        plain = simulate_assignment(schedule, ops)
+        explicit = simulate_assignment(schedule, ops, faults=FaultSchedule())
+        assert plain.healthy and explicit.healthy
+        assert plain.n_messages == explicit.n_messages
+        assert explicit.dropped_messages == 0
+        assert explicit.duplicated_messages == 0
+        assert explicit.duplicate_deliveries == 0
+
+
+class TestDuplication:
+    def test_duplicates_are_suppressed(self, schedule, ops):
+        faults = FaultSchedule(loss=IIDLoss(0.0, p_duplicate=0.3))
+        report = simulate_assignment(schedule, ops, seed=0, faults=faults)
+        # At-least-once delivery is made idempotent by receiver-side
+        # dedup, so duplication alone never breaks the §II guarantees.
+        assert report.healthy
+        assert report.servers_consistent
+        assert report.duplicated_messages > 0
+        assert report.duplicate_deliveries == report.duplicated_messages
+        assert report.dropped_messages == 0
+
+
+class TestLoss:
+    def test_drops_are_counted_and_break_consistency(self, schedule, ops):
+        faults = FaultSchedule(loss=IIDLoss(0.10))
+        report = simulate_assignment(schedule, ops, seed=0, faults=faults)
+        assert report.dropped_messages > 0
+        # A dropped operation leaves a hole in some server's log.
+        assert not report.servers_consistent
+        assert not report.healthy
+
+    def test_deterministic_under_seed(self, schedule, ops):
+        faults = FaultSchedule(loss=IIDLoss(0.05, p_duplicate=0.05))
+        a = simulate_assignment(schedule, ops, seed=7, faults=faults)
+        b = simulate_assignment(schedule, ops, seed=7, faults=faults)
+        assert a.dropped_messages == b.dropped_messages
+        assert a.duplicated_messages == b.duplicated_messages
+        assert a.n_messages == b.n_messages
+        assert a.servers_consistent == b.servers_consistent
+
+
+class TestLatencySpikes:
+    def test_spike_causes_late_arrivals_and_repairs(self, schedule, ops):
+        faults = FaultSchedule(
+            spikes=[LatencySpike(0.0, 1e9, 4.0)]  # 4x latency everywhere
+        )
+        report = simulate_assignment(
+            schedule, ops, allow_late=True, faults=faults
+        )
+        assert report.late_server_arrivals > 0
+        assert report.repairs > 0
+        assert not report.healthy
+
+    def test_spike_outside_window_is_harmless(self, schedule, ops):
+        last_issue = max(op.issue_sim_time for op in ops)
+        faults = FaultSchedule(
+            spikes=[LatencySpike(last_issue + 1e6, 10.0, 5.0)]
+        )
+        report = simulate_assignment(schedule, ops, faults=faults)
+        assert report.healthy
+        assert report.late_server_arrivals == 0

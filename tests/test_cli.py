@@ -232,3 +232,29 @@ class TestAnalyze:
         capsys.readouterr()
         assert main(["analyze", "--load", str(path), "--clusters", "3"]) == 0
         assert "asymmetry" in capsys.readouterr().out
+
+
+class TestFaults:
+    def test_fault_injection_run(self, capsys):
+        code = main(
+            [
+                "faults",
+                "--nodes",
+                "80",
+                "--servers",
+                "6",
+                "--events",
+                "80",
+                "--mttf",
+                "40",
+                "--mttr",
+                "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crash(es)" in out
+        assert "nearest joins" in out
+        assert "greedy joins" in out
+        assert "mean D" in out
+        assert "evacuated" in out
