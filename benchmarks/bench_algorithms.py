@@ -7,8 +7,8 @@ performance regressions in the vectorized implementations.
 
 import pytest
 
-from repro.algorithms import get_algorithm
-from repro.core import ClientAssignmentProblem, max_interaction_path_length
+from repro.algorithms import run_algorithm
+from repro.core import ClientAssignmentProblem
 from repro.placement import random_placement
 
 ALGORITHMS = [
@@ -35,15 +35,13 @@ def capacitated_instance(bench_matrix):
 
 @pytest.mark.parametrize("name", ALGORITHMS)
 def test_algorithm_runtime(benchmark, instance, name):
-    fn = get_algorithm(name)
-    assignment = benchmark(fn, instance, seed=0)
-    assert max_interaction_path_length(assignment) > 0
+    result = benchmark(run_algorithm, name, instance, seed=0)
+    assert result.d > 0
 
 
 @pytest.mark.parametrize(
     "name", ["nearest-server", "longest-first-batch", "greedy", "distributed-greedy"]
 )
 def test_capacitated_algorithm_runtime(benchmark, capacitated_instance, name):
-    fn = get_algorithm(name)
-    assignment = benchmark(fn, capacitated_instance, seed=0)
-    assert assignment.respects_capacities()
+    result = benchmark(run_algorithm, name, capacitated_instance, seed=0)
+    assert result.assignment.respects_capacities()

@@ -16,8 +16,11 @@ Extra baselines and ablations: ``best-single-server``, ``random``,
 
 All entry points share the signature ``fn(problem, *, seed=None) ->
 Assignment`` and automatically run their capacitated variants (§IV-E)
-when the problem carries capacities. Use
-:func:`~repro.algorithms.base.get_algorithm` for name-based lookup.
+when the problem carries capacities. Prefer
+:func:`~repro.algorithms.base.run_algorithm`, which dispatches by name
+and returns a unified :class:`~repro.core.results.AssignmentResult`;
+:func:`~repro.algorithms.base.get_algorithm` remains for raw name-based
+lookup.
 """
 
 from repro.algorithms.base import (
@@ -25,6 +28,8 @@ from repro.algorithms.base import (
     get_algorithm,
     paper_algorithm_names,
     register,
+    register_detailed,
+    run_algorithm,
 )
 from repro.algorithms.baselines import best_single_server, random_assignment
 from repro.algorithms.distributed_greedy import (
@@ -59,7 +64,9 @@ __all__ = [
     "random_assignment",
     "hill_climbing",
     "simulated_annealing",
+    "run_algorithm",
     "get_algorithm",
+    "register_detailed",
     "algorithm_names",
     "paper_algorithm_names",
     "register",

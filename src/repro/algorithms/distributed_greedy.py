@@ -27,6 +27,16 @@ modification** — exactly the series plotted in the paper's Fig. 9 — and
 counts the protocol messages exchanged (broadcasts and unicast replies)
 as a deployment-cost diagnostic.
 
+The per-candidate reply ``L(s')`` is served by
+:class:`~repro.core.incremental.IncrementalObjective` in O(|S|) on warm
+caches (the engine maintains each server's ``l(s)`` and the best
+completions with their runner-ups, so excluding the candidate's home
+server is O(1) per destination) instead of rebuilding both ``l``
+vectors over all |C| clients per candidate. ``evaluator="recompute"``
+retains the O(|C| + |S|^2)-per-candidate path for equivalence testing
+and benchmarking; both produce the same replies and hence the same
+modification trace.
+
 Capacitated variant (§IV-E): clients may move only to unsaturated
 servers, and the initial assignment is capacitated Nearest-Server.
 """
@@ -38,14 +48,19 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.algorithms.base import register
+from repro.algorithms.base import register, register_detailed
 from repro.algorithms.nearest import nearest_server
 from repro.core.assignment import Assignment
+from repro.core.incremental import (
+    IncrementalObjective,
+    record_candidate_evaluations,
+)
 from repro.core.metrics import (
     clients_on_longest_paths,
     max_interaction_path_length,
 )
 from repro.core.problem import ClientAssignmentProblem
+from repro.errors import InvalidParameterError
 from repro.utils.rng import SeedLike
 
 
@@ -77,12 +92,41 @@ class DistributedGreedyResult:
         return self.trace[-1]
 
 
+def _candidate_lengths_recompute(
+    problem: ClientAssignmentProblem, server_of: np.ndarray, c: int
+) -> np.ndarray:
+    """The pre-engine reply computation: rebuild both ``l`` vectors over
+    all clients with ``c`` excluded, then score every destination."""
+    cs = problem.client_server
+    ss = problem.server_server
+    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]
+    n_servers = problem.n_servers
+    l_out = np.full(n_servers, -np.inf)
+    l_in = np.full(n_servers, -np.inf)
+    mask = np.ones(problem.n_clients, dtype=bool)
+    mask[c] = False
+    idx = np.flatnonzero(mask)
+    np.maximum.at(l_out, server_of[idx], cs[idx, server_of[idx]])
+    np.maximum.at(l_in, server_of[idx], sc[server_of[idx], idx])
+    with np.errstate(invalid="ignore"):
+        best_in = np.where(
+            np.isfinite(l_in).any(), (ss + l_in[None, :]).max(axis=1), -np.inf
+        )
+        best_out = np.where(
+            np.isfinite(l_out).any(), (l_out[:, None] + ss).max(axis=0), -np.inf
+        )
+    l_candidates = np.maximum(cs[c, :] + best_in, best_out + sc[:, c])
+    return np.maximum(l_candidates, cs[c, :] + sc[:, c])
+
+
+@register_detailed("distributed-greedy")
 def distributed_greedy_detailed(
     problem: ClientAssignmentProblem,
     *,
     seed: SeedLike = None,
     initial: Optional[Assignment] = None,
     max_modifications: Optional[int] = None,
+    evaluator: str = "incremental",
 ) -> DistributedGreedyResult:
     """Run Distributed-Greedy and return the full result object.
 
@@ -99,26 +143,39 @@ def distributed_greedy_detailed(
     max_modifications:
         Safety budget; defaults to ``10 * |C|``. The paper observes
         convergence within a few tens of modifications.
+    evaluator:
+        ``"incremental"`` (default) serves ``L(s')`` replies from the
+        incremental engine; ``"recompute"`` uses the from-scratch
+        per-candidate path. Same trace either way.
     """
+    if evaluator not in ("incremental", "recompute"):
+        raise InvalidParameterError(
+            f"evaluator must be 'incremental' or 'recompute', got {evaluator!r}"
+        )
     if initial is None:
         initial = nearest_server(problem)
     if max_modifications is None:
         max_modifications = 10 * problem.n_clients
 
-    cs = problem.client_server
-    ss = problem.server_server
-    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]
     n_servers = problem.n_servers
+    incremental = evaluator == "incremental"
 
     server_of = initial.server_of.copy()
     loads = np.bincount(server_of, minlength=n_servers)
     capacities = problem.capacities
+    engine = (
+        IncrementalObjective(problem, server_of, history=False)
+        if incremental
+        else None
+    )
 
     def current_assignment() -> Assignment:
         return Assignment(problem, server_of, validate=False)
 
-    assignment = current_assignment()
-    d_current = max_interaction_path_length(assignment)
+    if incremental:
+        d_current = engine.d()
+    else:
+        d_current = max_interaction_path_length(current_assignment())
     trace: List[float] = [d_current]
     n_messages = 0
     # Initial protocol round: every server broadcasts its inter-server
@@ -127,45 +184,31 @@ def distributed_greedy_detailed(
     converged = False
 
     while len(trace) - 1 < max_modifications:
-        assignment = current_assignment()
-        d_current = max_interaction_path_length(assignment)
-        candidates = clients_on_longest_paths(assignment)
+        candidates = clients_on_longest_paths(current_assignment())
         moved = False
         for c in candidates:
             c = int(c)
             home = int(server_of[c])
-            # l(s) excluding c from its home server (both directions).
-            l_out = np.full(n_servers, -np.inf)
-            l_in = np.full(n_servers, -np.inf)
-            mask = np.ones(problem.n_clients, dtype=bool)
-            mask[c] = False
-            members = server_of[mask]
-            idx = np.flatnonzero(mask)
-            np.maximum.at(l_out, members, cs[idx, server_of[idx]])
-            np.maximum.at(l_in, members, sc[server_of[idx], idx])
 
             # Broadcast of c's identity and l(home) minus c.
             n_messages += n_servers - 1
 
-            # L(s') for every server s' (vectorized over s' and s'').
-            # Outgoing paths from c: d(c,s') + max_{s''}(d(s',s'') + l_in[s''])
-            # Incoming paths to c:  max_{s''}(l_out[s''] + d(s'',s')) + d(s',c)
-            # Round trip of c:      d(c,s') + d(s',c)
-            with np.errstate(invalid="ignore"):
-                best_in = np.where(
-                    np.isfinite(l_in).any(), (ss + l_in[None, :]).max(axis=1), -np.inf
+            # L(s') for every server s' (the replies).
+            if incremental:
+                l_candidates, _d_rest = engine.candidate_paths(c)
+            else:
+                record_candidate_evaluations(n_servers)
+                l_candidates = _candidate_lengths_recompute(
+                    problem, server_of, c
                 )
-                best_out = np.where(
-                    np.isfinite(l_out).any(), (l_out[:, None] + ss).max(axis=0), -np.inf
-                )
-            l_candidates = np.maximum(cs[c, :] + best_in, best_out + sc[:, c])
-            l_candidates = np.maximum(l_candidates, cs[c, :] + sc[:, c])
 
             # Replies from the other servers.
             n_messages += n_servers - 1
 
             if capacities is not None:
-                saturated = (loads >= capacities) & (np.arange(n_servers) != home)
+                saturated = (loads >= capacities) & (
+                    np.arange(n_servers) != home
+                )
                 l_candidates = np.where(saturated, np.inf, l_candidates)
 
             best_server = int(np.argmin(l_candidates))
@@ -175,8 +218,13 @@ def distributed_greedy_detailed(
                 server_of[c] = best_server
                 # The new server broadcasts its updated l(s).
                 n_messages += n_servers - 1
-                assignment = current_assignment()
-                d_current = max_interaction_path_length(assignment)
+                if incremental:
+                    engine.apply(c, best_server)
+                    d_current = engine.d()
+                else:
+                    d_current = max_interaction_path_length(
+                        current_assignment()
+                    )
                 trace.append(d_current)
                 moved = True
                 break  # re-derive the longest paths after each move
@@ -201,6 +249,7 @@ def distributed_greedy(
     seed: SeedLike = None,
     initial: Optional[Assignment] = None,
     max_modifications: Optional[int] = None,
+    evaluator: str = "incremental",
 ) -> Assignment:
     """Registry entry point returning only the final assignment."""
     return distributed_greedy_detailed(
@@ -208,4 +257,5 @@ def distributed_greedy(
         seed=seed,
         initial=initial,
         max_modifications=max_modifications,
+        evaluator=evaluator,
     ).assignment

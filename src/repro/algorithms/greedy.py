@@ -25,6 +25,12 @@ Implementation notes
   orders (the pseudocode's ``index[s, c]``), refreshed per iteration via
   a masked cumulative sum — the same O(|S| |C|) stage-3 recount as the
   paper's pseudocode.
+- Assignment state and the ``m(s)`` reductions live in an
+  :class:`~repro.core.incremental.IncrementalObjective`: batches commit
+  via ``assign_many`` and the per-server farthest legs / best
+  completions are read back from the engine's caches, so Greedy shares
+  the maintenance (and candidate-evaluation accounting) substrate of
+  the local-search family.
 - Asymmetric matrices: the round-trip term uses ``d(c,s) + d(s,c)`` and
   ``m(s)`` uses the proper directional legs, reducing exactly to the
   pseudocode on symmetric inputs.
@@ -43,6 +49,10 @@ import numpy as np
 
 from repro.algorithms.base import register, round_trip_distances
 from repro.core.assignment import Assignment
+from repro.core.incremental import (
+    IncrementalObjective,
+    record_candidate_evaluations,
+)
 from repro.core.problem import ClientAssignmentProblem
 from repro.utils.rng import SeedLike
 
@@ -80,7 +90,6 @@ def greedy(
     rows = np.arange(n_servers)[:, None]
     pos[rows, order] = np.arange(n_clients)[None, :]
 
-    server_of = np.full(n_clients, -1, dtype=np.int64)
     unassigned = np.ones(n_clients, dtype=bool)
     remaining = (
         problem.capacities.copy().astype(np.int64)
@@ -88,28 +97,25 @@ def greedy(
         else None
     )
 
-    # Incremental per-server farthest assigned-client legs.
-    l_out = np.full(n_servers, -np.inf)  # max d(b, s_A(b))
-    l_in = np.full(n_servers, -np.inf)  # max d(s_A(b), b)
+    # Assignment state + per-server farthest-leg maintenance.
+    engine = IncrementalObjective(problem, history=False)
     max_len = 0.0
 
     while unassigned.any():
         # m terms shared per server (line 11 of the pseudocode):
         #   m_in[s]  = max_b d(s, s_A(b)) + d(s_A(b), b)   (outgoing paths)
         #   m_out[s] = max_b d(b, s_A(b)) + d(s_A(b), s)   (incoming paths)
-        any_assigned = np.isfinite(l_out).any()
+        # served from the engine's cached best-completion reductions.
+        any_assigned = engine.n_assigned > 0
         if any_assigned:
-            m_in = (ss + l_in[None, :]).max(axis=1)  # (S,)
-            m_out = (l_out[:, None] + ss).max(axis=0)  # (S,)
-        else:
-            m_in = np.full(n_servers, -np.inf)
-            m_out = np.full(n_servers, -np.inf)
+            m_in, m_out = engine.server_reductions()
 
         # Candidate path length for every (s, c) pair (lines 13-14).
         cand = np.maximum(rt.T, max_len)  # round trip & current max
         if any_assigned:
             cand = np.maximum(cand, cs.T + m_in[:, None])
             cand = np.maximum(cand, m_out[:, None] + sc)
+        record_candidate_evaluations(cand.size)
         delta_l = cand - max_len  # >= 0
 
         # Δn: rank of each client among unassigned clients of each server.
@@ -146,15 +152,13 @@ def greedy(
             else:
                 batch = np.array([c_star], dtype=np.int64)
 
-        server_of[batch] = s_star
+        engine.assign_many(batch, s_star)
         unassigned[batch] = False
         if remaining is not None:
             remaining[s_star] -= batch.size
-        l_out[s_star] = max(l_out[s_star], float(cs[batch, s_star].max()))
-        l_in[s_star] = max(l_in[s_star], float(sc[s_star, batch].max()))
         max_len = float(cand[s_star, c_star])
 
-    return Assignment(problem, server_of)
+    return engine.assignment()
 
 
 @register("greedy-absolute")

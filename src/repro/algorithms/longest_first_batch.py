@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.algorithms.base import register
 from repro.core.assignment import Assignment
+from repro.core.incremental import IncrementalObjective
 from repro.core.problem import ClientAssignmentProblem
 from repro.utils.rng import SeedLike
 
@@ -44,11 +45,14 @@ def longest_first_batch(
     """Run Longest-First-Batch Assignment.
 
     ``seed`` is accepted for interface uniformity and ignored — the
-    algorithm is deterministic.
+    algorithm is deterministic. Batches commit through an
+    :class:`~repro.core.incremental.IncrementalObjective`, so the
+    partial assignment's objective stays queryable throughout the
+    construction at no extra asymptotic cost.
     """
     cs = problem.client_server
     n_clients = problem.n_clients
-    server_of = np.full(n_clients, -1, dtype=np.int64)
+    engine = IncrementalObjective(problem, history=False)
     unassigned = np.ones(n_clients, dtype=bool)
 
     if not problem.is_capacitated:
@@ -60,10 +64,10 @@ def longest_first_batch(
             if not unassigned[c]:
                 continue
             s = int(nearest[c])
-            batch = unassigned & (cs[:, s] <= nearest_dist[c])
-            server_of[batch] = s
+            batch = np.flatnonzero(unassigned & (cs[:, s] <= nearest_dist[c]))
+            engine.assign_many(batch, s)
             unassigned[batch] = False
-        return Assignment(problem, server_of)
+        return engine.assignment()
 
     remaining = problem.capacities.copy().astype(np.int64)
     while unassigned.any():
@@ -98,9 +102,9 @@ def longest_first_batch(
                 else:
                     batch = np.array([c], dtype=np.int64)
                 resort_needed = True
-            server_of[batch] = s
+            engine.assign_many(batch, s)
             unassigned[batch] = False
             remaining[s] -= batch.size
             if resort_needed:
                 break
-    return Assignment(problem, server_of)
+    return engine.assignment()

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.algorithms.base import register
 from repro.core.assignment import Assignment
+from repro.core.incremental import record_candidate_evaluations
 from repro.core.problem import ClientAssignmentProblem
 from repro.errors import CapacityError
 from repro.utils.rng import SeedLike
@@ -36,6 +37,7 @@ def nearest_server(
     behaviour of ``argmin``).
     """
     cs = problem.client_server
+    record_candidate_evaluations(cs.size)
     if not problem.is_capacitated:
         return Assignment(problem, np.argmin(cs, axis=1))
 

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.assignment import Assignment
+from repro.core.incremental import IncrementalObjective
 from repro.core.metrics import max_interaction_path_length
 from repro.core.problem import ClientAssignmentProblem
 from repro.errors import (
@@ -57,9 +58,14 @@ class OnlineAssignmentManager:
     Notes
     -----
     Clients are identified by their **node index** in the matrix. The
-    manager keeps per-server farthest-client summaries (the ``l(s)`` of
-    the paper's §IV-D) incrementally, so joins are O(|S|^2 + members of
-    one server) and the current D is always available in O(|S|^2).
+    manager's state lives in an
+    :class:`~repro.core.incremental.IncrementalObjective` over the full
+    node universe (partial assignment: unconnected nodes are simply
+    unassigned), which keeps the per-server farthest-client summaries
+    (the ``l(s)`` of the paper's §IV-D, split by direction) and the
+    best-completion reductions cached. Joins and move-cost queries are
+    O(|S|) on warm caches and the current D is always available from the
+    engine's cache — independent of the number of connected clients.
     """
 
     def __init__(
@@ -82,7 +88,6 @@ class OnlineAssignmentManager:
             )
         self._capacity = capacity
         self._join_policy = join_policy
-        self._ss = matrix.values[np.ix_(self._servers, self._servers)]
         #: node -> local server index
         self._assigned: Dict[int, int] = {}
         #: per-server member node sets
@@ -90,6 +95,12 @@ class OnlineAssignmentManager:
         #: per-server liveness; crashed servers are excluded from every
         #: placement decision until reactivated
         self._active = np.ones(self._servers.size, dtype=bool)
+        # Incremental objective over the full node universe; connected
+        # clients are assigned, everything else stays unassigned. The
+        # manager's uniform capacity and liveness masks are applied at
+        # decision time, so the engine's problem carries no capacities.
+        self._universe = ClientAssignmentProblem(matrix, self._servers)
+        self._engine = IncrementalObjective(self._universe, history=False)
 
     # ------------------------------------------------------------------
     @property
@@ -194,6 +205,7 @@ class OnlineAssignmentManager:
             self._members[old].discard(client_node)
             self._members[server].add(client_node)
             self._assigned[client_node] = server
+            self._engine.apply(client_node, server)
 
     def evacuate(self, server: int) -> List[Tuple[int, int]]:
         """Reassign every client of ``server`` onto the active servers.
@@ -250,45 +262,27 @@ class OnlineAssignmentManager:
         return moves
 
     # ------------------------------------------------------------------
-    def _l_vector(self, *, exclude: Optional[int] = None) -> np.ndarray:
-        """Per-server farthest member distance (both directions folded:
-        symmetric matrices only need one; we take the max of both)."""
-        l = np.full(self.n_servers, -np.inf)
-        d = self._matrix.values
-        for s, members in enumerate(self._members):
-            node = self._servers[s]
-            for c in members:
-                if c == exclude:
-                    continue
-                val = max(d[c, node], d[node, c])
-                if val > l[s]:
-                    l[s] = val
-        return l
-
     def current_d(self) -> float:
         """The maximum interaction path length of the current state.
 
+        Served from the incremental engine's cache (exact, directional).
         Returns 0.0 with no clients connected.
         """
-        if not self._assigned:
-            return 0.0
-        l = self._l_vector()
-        used = np.flatnonzero(np.isfinite(l))
-        sub = l[used][:, None] + self._ss[np.ix_(used, used)] + l[used][None, :]
-        return float(sub.max())
+        return self._engine.d()
 
     def _candidate_costs(self, client_node: int, *, exclude_self: bool) -> np.ndarray:
-        """L(s') for assigning ``client_node`` to each server."""
-        d = self._matrix.values
-        l = self._l_vector(exclude=client_node if exclude_self else None)
-        to_servers = d[client_node, self._servers]
-        from_servers = d[self._servers, client_node]
-        with np.errstate(invalid="ignore"):
-            best = (self._ss + l[None, :]).max(axis=1)
-        costs = np.maximum(to_servers + best, to_servers + from_servers)
+        """L(s') for assigning ``client_node`` to each server.
+
+        Served by the incremental engine in O(|S|) on warm caches. A
+        connected client's own contribution is always excluded by the
+        engine (``exclude_self`` is only meaningful for connected
+        clients; joins pass ``False`` for documentation value).
+        """
+        del exclude_self  # the engine excludes a connected client itself
+        costs, _d_rest = self._engine.candidate_paths(client_node)
         if self._capacity is not None:
-            loads = self.loads()
-            if exclude_self and client_node in self._assigned:
+            loads = self._engine.loads
+            if client_node in self._assigned:
                 loads[self._assigned[client_node]] -= 1
             costs = np.where(loads >= self._capacity, np.inf, costs)
         return np.where(self._active, costs, np.inf)
@@ -317,6 +311,7 @@ class OnlineAssignmentManager:
             raise CapacityError("all active servers are at capacity")
         self._assigned[client_node] = best
         self._members[best].add(client_node)
+        self._engine.apply(client_node, best)
         return best
 
     def leave(self, client_node: int) -> None:
@@ -328,6 +323,7 @@ class OnlineAssignmentManager:
                 f"client {client_node} is not connected"
             ) from None
         self._members[server].discard(client_node)
+        self._engine.unassign(client_node)
 
     def rebalance(self, *, max_moves: int = 16) -> int:
         """Run bounded Distributed-Greedy repair; returns moves made."""
@@ -368,7 +364,9 @@ class OnlineAssignmentManager:
             initial=Assignment(problem, server_of),
             max_modifications=max_moves,
         )
-        # Fold the improved assignment back into the live state.
+        # Fold the improved assignment back into the live state. Applied
+        # directly (not via move()) because the final assignment honors
+        # capacities even where individual steps would transiently not.
         for local_idx, node in enumerate(nodes):
             new_server = int(active[result.assignment.server_of[local_idx]])
             old_server = self._assigned[node]
@@ -376,6 +374,7 @@ class OnlineAssignmentManager:
                 self._members[old_server].discard(node)
                 self._members[new_server].add(node)
                 self._assigned[node] = new_server
+                self._engine.apply(node, new_server)
         return result.n_modifications
 
     # ------------------------------------------------------------------

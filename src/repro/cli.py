@@ -234,26 +234,23 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    from repro.algorithms import get_algorithm
-    from repro.core import (
-        ClientAssignmentProblem,
-        interaction_lower_bound,
-        max_interaction_path_length,
-    )
+    from repro.algorithms import run_algorithm
+    from repro.core import ClientAssignmentProblem, interaction_lower_bound
     from repro.experiments.runner import PLACEMENTS
-    from repro.utils.timing import Stopwatch
 
     matrix = _make_matrix(args.kind, args.nodes, args.seed)
     servers = PLACEMENTS[args.placement](matrix, args.servers, seed=args.seed)
     problem = ClientAssignmentProblem(matrix, servers, capacities=args.capacity)
-    algorithm = get_algorithm(args.algorithm)
-    with Stopwatch() as sw:
-        assignment = algorithm(problem, seed=args.seed)
-    d = max_interaction_path_length(assignment)
+    result = run_algorithm(args.algorithm, problem, seed=args.seed)
+    assignment = result.assignment
+    d = result.d
     lb = interaction_lower_bound(problem.uncapacitated())
     loads = assignment.loads()
     print(f"instance: {problem}")
-    print(f"algorithm: {args.algorithm} ({sw.elapsed*1000:.1f} ms)")
+    print(
+        f"algorithm: {args.algorithm} ({result.elapsed_seconds*1000:.1f} ms, "
+        f"{result.n_evaluations} candidate evaluations)"
+    )
     print(f"max interaction path length D = {d:.2f} ms")
     print(f"lower bound = {lb:.2f} ms, normalized interactivity = {d/lb:.3f}")
     print(
@@ -496,12 +493,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.algorithms import get_algorithm
-    from repro.core import (
-        ClientAssignmentProblem,
-        OffsetSchedule,
-        max_interaction_path_length,
-    )
+    from repro.algorithms import run_algorithm
+    from repro.core import ClientAssignmentProblem, OffsetSchedule
     from repro.net.jitter import LogNormalJitter, NoJitter
     from repro.placement import random_placement
     from repro.sim import poisson_workload, simulate_assignment
@@ -510,7 +503,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     matrix = _make_matrix("meridian", args.nodes, args.seed)
     servers = random_placement(matrix, args.servers, seed=args.seed)
     problem = ClientAssignmentProblem(matrix, servers)
-    assignment = get_algorithm(args.algorithm)(problem, seed=args.seed)
+    result = run_algorithm(args.algorithm, problem, seed=args.seed)
+    assignment = result.assignment
     jitter = LogNormalJitter(args.jitter_sigma) if args.jitter_sigma > 0 else NoJitter()
     if args.percentile is not None and args.jitter_sigma > 0:
         schedule = percentile_schedule(assignment, jitter, args.percentile)
@@ -527,7 +521,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         allow_late=args.jitter_sigma > 0,
         base_matrix=matrix.values,
     )
-    d = max_interaction_path_length(assignment)
+    d = result.d
     print(f"assignment D = {d:.2f} ms, planned lag delta = {schedule.delta:.2f} ms")
     print(
         f"operations: {report.n_operations}, messages: {report.n_messages}, "

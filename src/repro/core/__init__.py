@@ -7,6 +7,12 @@ This package implements the paper's primary contribution:
   and decision variable;
 - :mod:`repro.core.metrics` — interaction path lengths and the objective
   D (§II-A, §II-D);
+- :mod:`repro.core.incremental` — incremental maintenance of D under
+  single-client moves, the candidate-evaluation hot path shared by every
+  heuristic;
+- :mod:`repro.core.results` — the unified
+  :class:`~repro.core.results.AssignmentResult` record returned by
+  :func:`repro.algorithms.base.run_algorithm`;
 - :mod:`repro.core.offsets` — the simulation-time offset schedule
   achieving δ = D (§II-C);
 - :mod:`repro.core.lower_bound` — the super-optimal lower bound used for
@@ -19,6 +25,13 @@ This package implements the paper's primary contribution:
 from repro.core.assignment import Assignment
 from repro.core.deployment import DeploymentPlan
 from repro.core.exact import ExactResult, solve_branch_and_bound, solve_bruteforce
+from repro.core.incremental import (
+    DEFAULT_TOP_K,
+    EvaluationCounter,
+    IncrementalObjective,
+    count_evaluations,
+    record_candidate_evaluations,
+)
 from repro.core.lower_bound import (
     interaction_lower_bound,
     interaction_lower_bound_bruteforce,
@@ -47,10 +60,17 @@ from repro.core.npc import (
 )
 from repro.core.offsets import ConstraintReport, OffsetSchedule
 from repro.core.problem import ClientAssignmentProblem
+from repro.core.results import AssignmentResult
 
 __all__ = [
     "ClientAssignmentProblem",
     "Assignment",
+    "AssignmentResult",
+    "IncrementalObjective",
+    "EvaluationCounter",
+    "count_evaluations",
+    "record_candidate_evaluations",
+    "DEFAULT_TOP_K",
     "interaction_path_length",
     "interaction_path",
     "max_interaction_path_length",

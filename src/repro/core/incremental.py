@@ -1,0 +1,792 @@
+"""Incremental maintenance of the objective D under single-client moves.
+
+Every heuristic in the package evaluates candidate moves of the form
+"relocate client ``c`` to server ``s``". Recomputing the maximum
+interaction path length from scratch per candidate costs O(|C| + |S|^2);
+:class:`IncrementalObjective` brings the amortized per-candidate cost
+down to O(|S|) by maintaining, per server and per direction, the top-k
+farthest assigned clients plus cached server-level reductions:
+
+- ``l_out[s] = max_c d(c, s)`` and ``l_in[s] = max_c d(s, c)`` over the
+  clients assigned to ``s`` (the paper's ``l(s)``, split by direction
+  for asymmetric matrices), each backed by a small sorted top-k list so
+  removing a client rarely needs a full member scan;
+- per-server best completions ``best_in[s'] = max_s (d(s', s) + l_in[s])``
+  and ``best_out[s'] = max_s (l_out[s] + d(s, s'))`` with their top-2
+  contributors, so excluding one server's column costs O(1) per row.
+
+With those caches a :meth:`batch_delta_D` call scores *all* |S|
+candidate destinations of one client in a handful of O(|S|) vectorized
+passes, :meth:`apply` commits a move with O(k) heap work plus one
+O(|S|^2) objective refresh (performed lazily), and :meth:`undo` restores
+the previous state exactly. Top-k lists are rebuilt lazily from the
+ground-truth assignment when removals drain them.
+
+The maxima the engine maintains are exact (maxima of the same floating
+point numbers the from-scratch pass would inspect), so its cached D is
+bit-identical to :func:`repro.core.metrics.max_interaction_path_length`
+on the same assignment. Candidate scores can differ from a from-scratch
+recomputation by a few ULPs because additions associate differently;
+every consumer in the package compares with tolerances far above that.
+
+The engine also supports *partial* assignments (``server_of[i] == -1``
+means client ``i`` is currently unassigned) so constructive algorithms
+(Greedy, Longest-First-Batch) and the online manager (joins/leaves) run
+on the same substrate as the local-search family.
+"""
+
+from __future__ import annotations
+
+import bisect
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.problem import ClientAssignmentProblem
+from repro.errors import InvalidAssignmentError, InvalidParameterError
+from repro.types import IndexArrayLike
+
+#: Clients retained per server and direction before lazy rebuilds kick in.
+DEFAULT_TOP_K = 8
+
+_UNASSIGNED = -1
+
+
+# ----------------------------------------------------------------------
+# Candidate-evaluation accounting
+# ----------------------------------------------------------------------
+class EvaluationCounter:
+    """Counts candidate (client, server) objective evaluations."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+
+_COUNTER_STACK: List[EvaluationCounter] = []
+
+
+@contextmanager
+def count_evaluations() -> Iterator[EvaluationCounter]:
+    """Context manager collecting candidate-evaluation counts.
+
+    Every :class:`IncrementalObjective` delta query (and every algorithm
+    that scores candidates without going through an engine, via
+    :func:`record_candidate_evaluations`) adds to all active counters,
+    so nesting works: an outer experiment harness sees the sum of its
+    inner runs.
+    """
+    counter = EvaluationCounter()
+    _COUNTER_STACK.append(counter)
+    try:
+        yield counter
+    finally:
+        _COUNTER_STACK.remove(counter)
+
+
+def record_candidate_evaluations(n: int) -> None:
+    """Credit ``n`` candidate evaluations to all active counters.
+
+    Algorithms whose candidate scoring is a bespoke vectorized pass
+    (e.g. Greedy's full (|S|, |C|) cost matrix) call this so
+    :func:`~repro.algorithms.base.run_algorithm` still reports a faithful
+    evaluation count.
+    """
+    for counter in _COUNTER_STACK:
+        counter.count += n
+
+
+class _TopList:
+    """Sorted (descending) list of up to ``k`` (distance, client) pairs.
+
+    Invariant: every member *not* in the list has distance <= ``bound``,
+    the largest distance ever skipped or evicted since the last rebuild.
+    The head is therefore the true per-server maximum whenever
+    ``head() >= bound``; when churn pushes the usable entries below the
+    watermark the owner rebuilds the list from ground truth. (Tracking
+    the watermark — rather than only handling the fully-drained case —
+    matters because after a partial drain ``add`` may insert values
+    *below* distances that were skipped while the list was full.)
+    """
+
+    __slots__ = ("k", "neg_dists", "clients", "bound")
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        # Stored ascending by -distance so bisect keeps descending order.
+        self.neg_dists: List[float] = []
+        self.clients: List[int] = []
+        #: Upper bound on the distance of any unlisted member.
+        self.bound: float = -np.inf
+
+    def head(self) -> float:
+        return -self.neg_dists[0]
+
+    def second(self) -> float:
+        return -self.neg_dists[1]
+
+    def __len__(self) -> int:
+        return len(self.neg_dists)
+
+    def add(self, dist: float, client: int) -> None:
+        if len(self.neg_dists) >= self.k and -dist >= self.neg_dists[-1]:
+            self.bound = max(self.bound, dist)
+            return  # not among the retained top-k
+        pos = bisect.bisect_left(self.neg_dists, -dist)
+        self.neg_dists.insert(pos, -dist)
+        self.clients.insert(pos, client)
+        if len(self.neg_dists) > self.k:
+            self.bound = max(self.bound, -self.neg_dists.pop())
+            self.clients.pop()
+
+    def discard(self, client: int) -> None:
+        try:
+            pos = self.clients.index(client)
+        except ValueError:
+            return  # unlisted member: cannot have been the maximum
+        self.neg_dists.pop(pos)
+        self.clients.pop(pos)
+
+    def rebuild(self, dists: np.ndarray, clients: np.ndarray) -> None:
+        if dists.size > self.k:
+            part = np.argpartition(-dists, self.k - 1)
+            keep = part[: self.k]
+            self.bound = float(dists[part[self.k :]].max())
+        else:
+            keep = np.arange(dists.size)
+            self.bound = -np.inf
+        order = keep[np.argsort(-dists[keep], kind="stable")]
+        self.neg_dists = [-float(d) for d in dists[order]]
+        self.clients = [int(c) for c in clients[order]]
+
+    def snapshot(self) -> Tuple[List[float], List[int], float]:
+        return list(self.neg_dists), list(self.clients), self.bound
+
+    def restore(self, state: Tuple[List[float], List[int], float]) -> None:
+        self.neg_dists, self.clients = list(state[0]), list(state[1])
+        self.bound = state[2]
+
+
+class _MoveContext:
+    """Per-client cache of the quantities every destination shares."""
+
+    __slots__ = ("client", "home", "l_out_home", "l_in_home", "d_rest", "paths")
+
+    def __init__(
+        self,
+        client: int,
+        home: int,
+        l_out_home: float,
+        l_in_home: float,
+        d_rest: float,
+        paths: np.ndarray,
+    ) -> None:
+        self.client = client
+        self.home = home
+        self.l_out_home = l_out_home
+        self.l_in_home = l_in_home
+        self.d_rest = d_rest
+        self.paths = paths
+
+
+class IncrementalObjective:
+    """Incrementally maintained maximum interaction path length.
+
+    Parameters
+    ----------
+    problem:
+        The instance. Capacities (when present) are consulted by
+        :meth:`batch_delta_D`'s feasibility masking but never enforced on
+        :meth:`apply` — algorithms own their feasibility logic, exactly
+        as they did against the from-scratch metric.
+    server_of:
+        Initial assignment; length ``|C|`` with ``-1`` marking
+        unassigned clients. ``None`` starts fully unassigned.
+    k:
+        Per-server, per-direction top-k retention (default
+        ``DEFAULT_TOP_K``). Larger values trade memory for fewer lazy
+        rebuilds under heavy churn.
+    history:
+        When True (default), :meth:`apply` / :meth:`assign` /
+        :meth:`unassign` push undo records so :meth:`undo` can roll the
+        state back. Long-running consumers (the online manager) disable
+        it to bound memory.
+    """
+
+    def __init__(
+        self,
+        problem: ClientAssignmentProblem,
+        server_of: Optional[IndexArrayLike] = None,
+        *,
+        k: int = DEFAULT_TOP_K,
+        history: bool = True,
+    ) -> None:
+        if k < 2:
+            raise InvalidParameterError(f"top-k retention must be >= 2, got {k}")
+        self._problem = problem
+        self._cs = problem.client_server  # (C, S)
+        self._ss = problem.server_server  # (S, S)
+        self._sc = problem.matrix.values[
+            np.ix_(problem.servers, problem.clients)
+        ]  # (S, C)
+        self._k = int(k)
+        self._history = bool(history)
+        n_clients, n_servers = problem.n_clients, problem.n_servers
+
+        if server_of is None:
+            arr = np.full(n_clients, _UNASSIGNED, dtype=np.int64)
+        else:
+            arr = np.asarray(server_of, dtype=np.int64).copy()
+            if arr.shape != (n_clients,):
+                raise InvalidAssignmentError(
+                    f"server_of must have length |C|={n_clients}, "
+                    f"got shape {arr.shape}"
+                )
+            if arr.size and (arr.min() < _UNASSIGNED or arr.max() >= n_servers):
+                raise InvalidAssignmentError(
+                    f"server_of entries must be -1 or in [0, {n_servers})"
+                )
+        self._server_of = arr
+        assigned = arr >= 0
+        self._n_assigned = int(assigned.sum())
+        self._loads = np.bincount(arr[assigned], minlength=n_servers).astype(
+            np.int64
+        )
+
+        self._top_out: List[_TopList] = [_TopList(self._k) for _ in range(n_servers)]
+        self._top_in: List[_TopList] = [_TopList(self._k) for _ in range(n_servers)]
+        self._l_out = np.full(n_servers, -np.inf)
+        self._l_in = np.full(n_servers, -np.inf)
+        for s in np.flatnonzero(self._loads > 0):
+            self._rebuild_server(int(s))
+
+        # Lazily (re)built caches.
+        self._d: Optional[float] = None
+        self._reductions: Optional[Tuple[np.ndarray, ...]] = None
+        self._ctx: Optional[_MoveContext] = None
+        self._undo_stack: List[tuple] = []
+        self._n_evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Read-only state
+    # ------------------------------------------------------------------
+    @property
+    def problem(self) -> ClientAssignmentProblem:
+        """The problem instance."""
+        return self._problem
+
+    @property
+    def server_of(self) -> np.ndarray:
+        """Current mapping (length ``|C|``, ``-1`` = unassigned). Copy."""
+        return self._server_of.copy()
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Per-server assigned-client counts. Copy."""
+        return self._loads.copy()
+
+    @property
+    def n_assigned(self) -> int:
+        """Number of currently assigned clients."""
+        return self._n_assigned
+
+    @property
+    def n_evaluations(self) -> int:
+        """Candidate (client, server) evaluations served by this engine."""
+        return self._n_evaluations
+
+    def l_vectors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(l_out, l_in)`` per-server farthest-client legs (copies).
+
+        Unused servers hold ``-inf``, matching
+        :func:`repro.core.metrics._directional_farthest`.
+        """
+        return self._l_out.copy(), self._l_in.copy()
+
+    def assignment(self, *, validate: bool = True) -> Assignment:
+        """Freeze the current (complete) state into an Assignment.
+
+        Raises :class:`~repro.errors.InvalidAssignmentError` when any
+        client is still unassigned.
+        """
+        if self._n_assigned != self._problem.n_clients:
+            raise InvalidAssignmentError(
+                f"{self._problem.n_clients - self._n_assigned} client(s) "
+                f"still unassigned"
+            )
+        return Assignment(self._problem, self._server_of, validate=validate)
+
+    # ------------------------------------------------------------------
+    # Top-k list maintenance
+    # ------------------------------------------------------------------
+    def _members(self, server: int) -> np.ndarray:
+        return np.flatnonzero(self._server_of == server)
+
+    def _rebuild_server(self, server: int) -> None:
+        members = self._members(server)
+        if members.size == 0:
+            self._top_out[server] = _TopList(self._k)
+            self._top_in[server] = _TopList(self._k)
+            self._l_out[server] = -np.inf
+            self._l_in[server] = -np.inf
+            return
+        out = self._cs[members, server]
+        inn = self._sc[server, members]
+        self._top_out[server].rebuild(out, members)
+        self._top_in[server].rebuild(inn, members)
+        self._l_out[server] = self._top_out[server].head()
+        self._l_in[server] = self._top_in[server].head()
+
+    def _ensure_head(self, server: int) -> None:
+        """Rebuild a server whose top-k heads are no longer trustworthy.
+
+        A head below the eviction watermark means some unlisted member
+        may exceed every listed one; rebuild from ground truth.
+        """
+        if self._loads[server] <= 0:
+            return
+        for top in (self._top_out[server], self._top_in[server]):
+            if len(top) == 0 or top.head() < top.bound:
+                self._rebuild_server(server)
+                return
+
+    def _l_excluding(self, server: int, client: int) -> Tuple[float, float]:
+        """``(l_out, l_in)`` of ``server`` with ``client`` removed."""
+        if self._loads[server] <= 1:
+            # client is (at most) the only member.
+            return -np.inf, -np.inf
+        self._ensure_head(server)
+        values = []
+        for top, dists in (
+            (self._top_out[server], self._cs[:, server]),
+            (self._top_in[server], self._sc[server, :]),
+        ):
+            if top.clients[0] != client:
+                values.append(top.head())
+            elif len(top) >= 2 and top.second() >= top.bound:
+                values.append(top.second())
+            else:
+                # The list held only the departing maximum: scan the
+                # remaining members (rare; amortized by the k retention).
+                members = self._members(server)
+                members = members[members != client]
+                values.append(float(dists[members].max()))
+        return values[0], values[1]
+
+    # ------------------------------------------------------------------
+    # Cached server-level reductions
+    # ------------------------------------------------------------------
+    def _server_reduction_cache(self) -> Tuple[np.ndarray, ...]:
+        """Top-2 contributions of ``best_in`` / ``best_out`` per server.
+
+        ``best_in[s'] = max_s d(s', s) + l_in[s]`` (the best completion
+        of an outgoing path arriving at ``s'``'s candidate client) and
+        ``best_out[s'] = max_s l_out[s] + d(s, s')``; retaining the top-2
+        terms with their argmax lets a delta query exclude one server's
+        contribution in O(1) per row.
+        """
+        if self._reductions is None:
+            n_servers = self._problem.n_servers
+            if self._n_assigned == 0:
+                neg = np.full(n_servers, -np.inf)
+                none = np.full(n_servers, -1, dtype=np.int64)
+                self._reductions = (neg, neg, none, neg, neg, none)
+                return self._reductions
+            in_terms = self._ss + self._l_in[None, :]  # (S, S): term[s', s]
+            out_terms = self._l_out[:, None] + self._ss  # (S, S): term[s, s']
+            order_in = np.argsort(in_terms, axis=1, kind="stable")
+            arg1_in = order_in[:, -1]
+            rows = np.arange(n_servers)
+            best1_in = in_terms[rows, arg1_in]
+            if n_servers >= 2:
+                best2_in = in_terms[rows, order_in[:, -2]]
+            else:
+                best2_in = np.full(n_servers, -np.inf)
+            order_out = np.argsort(out_terms, axis=0, kind="stable")
+            arg1_out = order_out[-1, :]
+            best1_out = out_terms[arg1_out, rows]
+            if n_servers >= 2:
+                best2_out = out_terms[order_out[-2, :], rows]
+            else:
+                best2_out = np.full(n_servers, -np.inf)
+            self._reductions = (
+                best1_in,
+                best2_in,
+                arg1_in,
+                best1_out,
+                best2_out,
+                arg1_out,
+            )
+        return self._reductions
+
+    def server_reductions(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(best_in, best_out)`` completions over the full assignment.
+
+        ``best_in[s']`` is the longest continuation ``d(s', s) + l_in(s)``
+        of a path leaving a client at ``s'``; ``best_out[s']`` the longest
+        prefix ``l_out(s) + d(s, s')`` of a path arriving at ``s'``.
+        Greedy's ``m`` terms (Fig. 6, line 11) are exactly these. Copies.
+        """
+        cache = self._server_reduction_cache()
+        return cache[0].copy(), cache[3].copy()
+
+    # ------------------------------------------------------------------
+    # Objective queries
+    # ------------------------------------------------------------------
+    def d(self) -> float:
+        """Current maximum interaction path length (0.0 when empty).
+
+        Served from cache; recomputed in O(|S_used|^2) from the cached
+        ``l`` vectors after a committed change, with the same reduction
+        (and the same floating point evaluation order) as
+        :func:`repro.core.metrics.max_interaction_path_length`.
+        """
+        if self._n_assigned == 0:
+            return 0.0
+        if self._d is None:
+            used = np.flatnonzero(np.isfinite(self._l_out))
+            ss = self._ss[np.ix_(used, used)]
+            totals = self._l_out[used][:, None] + ss + self._l_in[used][None, :]
+            self._d = float(totals.max())
+        return self._d
+
+    def _context(self, client: int) -> _MoveContext:
+        """The per-client quantities shared by every destination."""
+        ctx = self._ctx
+        if ctx is not None and ctx.client == client:
+            return ctx
+        home = int(self._server_of[client])
+        (
+            best1_in,
+            best2_in,
+            arg1_in,
+            best1_out,
+            best2_out,
+            arg1_out,
+        ) = self._server_reduction_cache()
+        if home >= 0:
+            l_out_home, l_in_home = self._l_excluding(home, client)
+            # best_in with server ``home``'s column replaced by its
+            # client-excluded value: top-2 makes the exclusion O(1)/row.
+            best_in = np.where(arg1_in == home, best2_in, best1_in)
+            np.maximum(best_in, self._ss[:, home] + l_in_home, out=best_in)
+            best_out = np.where(arg1_out == home, best2_out, best1_out)
+            np.maximum(best_out, l_out_home + self._ss[home, :], out=best_out)
+            l_out_rest = self._l_out.copy()
+            l_in_rest = self._l_in.copy()
+            l_out_rest[home] = l_out_home
+            l_in_rest[home] = l_in_home
+            with np.errstate(invalid="ignore"):
+                d_rest = float(np.max(l_out_rest + best_in))
+        else:
+            l_out_home = l_in_home = -np.inf
+            best_in = best1_in
+            best_out = best1_out
+            if self._n_assigned:
+                with np.errstate(invalid="ignore"):
+                    d_rest = float(np.max(self._l_out + best_in))
+            else:
+                d_rest = -np.inf
+        # Candidate path length through the client at each destination:
+        # its outgoing leg + the best continuation, the best prefix + its
+        # incoming leg, and its own round trip (the self-pair).
+        out_leg = self._cs[client, :]
+        in_leg = self._sc[:, client]
+        paths = np.maximum(out_leg + best_in, best_out + in_leg)
+        np.maximum(paths, out_leg + in_leg, out=paths)
+        ctx = _MoveContext(client, home, l_out_home, l_in_home, d_rest, paths)
+        self._ctx = ctx
+        return ctx
+
+    def candidate_paths(self, client: int) -> Tuple[np.ndarray, float]:
+        """``(L, d_rest)`` for relocating ``client`` anywhere.
+
+        ``L[s']`` is the longest interaction path *through the client* if
+        it were (re)assigned to ``s'`` — Distributed-Greedy's reply
+        ``L(s')`` (§IV-D step 2) — and ``d_rest`` the objective of the
+        assignment with the client removed. The post-move objective is
+        ``max(d_rest, L[s'])``. O(|S|) on warm caches.
+        """
+        ctx = self._context(client)
+        n = self._problem.n_servers
+        self._n_evaluations += n
+        record_candidate_evaluations(n)
+        return ctx.paths.copy(), ctx.d_rest
+
+    def delta_D(self, client: int, new_server: int) -> float:
+        """The objective after moving ``client`` to ``new_server``.
+
+        Exact (up to floating point association) — not a bound. O(|S|)
+        on warm caches, O(|S|^2) when a committed change invalidated
+        them; scoring several destinations of one client amortizes to
+        O(1) each via the shared per-client context.
+        """
+        ctx = self._context(client)
+        self._n_evaluations += 1
+        record_candidate_evaluations(1)
+        return max(ctx.d_rest, float(ctx.paths[new_server]))
+
+    def batch_delta_D(
+        self,
+        client: int,
+        candidate_servers: Optional[IndexArrayLike] = None,
+        *,
+        respect_capacities: bool = True,
+    ) -> np.ndarray:
+        """Post-move objectives for every candidate destination at once.
+
+        Returns ``out[j] = D after moving client to candidate j``
+        (``candidate_servers=None`` scores all |S| destinations, in
+        server order). With ``respect_capacities`` (default) saturated
+        servers of a capacitated problem score ``inf`` — except the
+        client's current server, which is always feasible.
+        """
+        ctx = self._context(client)
+        paths = ctx.paths
+        if candidate_servers is None:
+            cand = None
+            scores = np.maximum(paths, ctx.d_rest)
+        else:
+            cand = np.asarray(candidate_servers, dtype=np.int64)
+            scores = np.maximum(paths[cand], ctx.d_rest)
+        n = int(scores.size)
+        self._n_evaluations += n
+        record_candidate_evaluations(n)
+        if respect_capacities and self._problem.is_capacitated:
+            capacities = self._problem.capacities
+            saturated = self._loads >= capacities
+            if ctx.home >= 0:
+                saturated[ctx.home] = False
+            mask = saturated if cand is None else saturated[cand]
+            scores = np.where(mask, np.inf, scores)
+        return scores
+
+    # ------------------------------------------------------------------
+    # Commits
+    # ------------------------------------------------------------------
+    def _touch(self) -> None:
+        self._d = None
+        self._reductions = None
+        self._ctx = None
+
+    def _push_undo(self, client: int, old_server: int, new_server: int) -> None:
+        if not self._history:
+            return
+        record = (client, old_server, new_server, self._d)
+        snapshots = []
+        for s in (old_server, new_server):
+            if s >= 0:
+                snapshots.append(
+                    (
+                        s,
+                        self._top_out[s].snapshot(),
+                        self._top_in[s].snapshot(),
+                        float(self._l_out[s]),
+                        float(self._l_in[s]),
+                    )
+                )
+        self._undo_stack.append((record, snapshots))
+
+    def _detach(self, client: int, server: int) -> None:
+        self._top_out[server].discard(client)
+        self._top_in[server].discard(client)
+        self._loads[server] -= 1
+        if self._loads[server] == 0:
+            self._l_out[server] = -np.inf
+            self._l_in[server] = -np.inf
+        else:
+            self._ensure_head(server)
+            self._l_out[server] = self._top_out[server].head()
+            self._l_in[server] = self._top_in[server].head()
+
+    def _attach(self, client: int, server: int) -> None:
+        out = float(self._cs[client, server])
+        inn = float(self._sc[server, client])
+        self._top_out[server].add(out, client)
+        self._top_in[server].add(inn, client)
+        self._loads[server] += 1
+        self._l_out[server] = max(self._l_out[server], out)
+        self._l_in[server] = max(self._l_in[server], inn)
+
+    def apply(self, client: int, new_server: int) -> None:
+        """Commit ``client -> new_server`` (assigning if unassigned).
+
+        O(k) list maintenance; the cached objective and reductions are
+        invalidated and rebuilt lazily on the next query.
+        """
+        if not 0 <= new_server < self._problem.n_servers:
+            raise InvalidAssignmentError(
+                f"server index {new_server} out of range "
+                f"[0, {self._problem.n_servers})"
+            )
+        if not 0 <= client < self._problem.n_clients:
+            raise InvalidAssignmentError(
+                f"client index {client} out of range "
+                f"[0, {self._problem.n_clients})"
+            )
+        old_server = int(self._server_of[client])
+        self._push_undo(client, old_server, new_server)
+        if old_server == new_server:
+            return  # no-op move; the undo record keeps apply/undo paired
+        # Update the mapping *before* detaching: a lazy rebuild inside
+        # _detach derives membership from server_of and must not see the
+        # departing client.
+        self._server_of[client] = new_server
+        if old_server >= 0:
+            self._detach(client, old_server)
+        else:
+            self._n_assigned += 1
+        self._attach(client, new_server)
+        self._touch()
+
+    def assign(self, client: int, server: int) -> None:
+        """Alias of :meth:`apply` for initially-unassigned clients."""
+        self.apply(client, server)
+
+    def assign_many(self, clients: IndexArrayLike, server: int) -> None:
+        """Commit a batch of clients onto one server (one undo record).
+
+        The Longest-First-Batch closure and Greedy's batch selection
+        assign whole groups at once; batching the commit keeps the list
+        maintenance a single merge instead of ``len(clients)`` inserts.
+        """
+        batch = np.asarray(clients, dtype=np.int64)
+        if batch.size == 0:
+            return
+        if not 0 <= server < self._problem.n_servers:
+            raise InvalidAssignmentError(
+                f"server index {server} out of range "
+                f"[0, {self._problem.n_servers})"
+            )
+        homes = self._server_of[batch]
+        if np.any(homes >= 0):
+            raise InvalidAssignmentError(
+                "assign_many only accepts currently-unassigned clients"
+            )
+        if self._history:
+            self._undo_stack.append(
+                (
+                    ("batch", batch.copy(), server, self._d),
+                    [
+                        (
+                            server,
+                            self._top_out[server].snapshot(),
+                            self._top_in[server].snapshot(),
+                            float(self._l_out[server]),
+                            float(self._l_in[server]),
+                        )
+                    ],
+                )
+            )
+        self._server_of[batch] = server
+        self._loads[server] += batch.size
+        self._n_assigned += int(batch.size)
+        out = self._cs[batch, server]
+        inn = self._sc[server, batch]
+        # Merge the batch into the retained top-k lists.
+        top_out, top_in = self._top_out[server], self._top_in[server]
+        if batch.size > self._k:
+            keep = np.argpartition(-out, self._k - 1)[: self._k]
+            for i in keep:
+                top_out.add(float(out[i]), int(batch[i]))
+            keep = np.argpartition(-inn, self._k - 1)[: self._k]
+            for i in keep:
+                top_in.add(float(inn[i]), int(batch[i]))
+        else:
+            for i in range(batch.size):
+                top_out.add(float(out[i]), int(batch[i]))
+                top_in.add(float(inn[i]), int(batch[i]))
+        self._l_out[server] = max(self._l_out[server], float(out.max()))
+        self._l_in[server] = max(self._l_in[server], float(inn.max()))
+        self._touch()
+
+    def unassign(self, client: int) -> None:
+        """Remove ``client`` from the assignment (online ``leave``)."""
+        if not 0 <= client < self._problem.n_clients:
+            raise InvalidAssignmentError(
+                f"client index {client} out of range "
+                f"[0, {self._problem.n_clients})"
+            )
+        server = int(self._server_of[client])
+        if server < 0:
+            raise InvalidAssignmentError(f"client {client} is not assigned")
+        self._push_undo(client, server, _UNASSIGNED)
+        # Mapping first, for the same reason as in apply(): rebuilds
+        # inside _detach read membership from server_of.
+        self._server_of[client] = _UNASSIGNED
+        self._detach(client, server)
+        self._n_assigned -= 1
+        self._touch()
+
+    def undo(self) -> None:
+        """Revert the most recent commit exactly.
+
+        Raises :class:`~repro.errors.InvalidParameterError` when there is
+        nothing to undo (or history tracking is disabled).
+        """
+        if not self._undo_stack:
+            raise InvalidParameterError("nothing to undo")
+        record, snapshots = self._undo_stack.pop()
+        if record[0] == "batch":
+            _, batch, server, old_d = record
+            self._server_of[batch] = _UNASSIGNED
+            self._loads[server] -= batch.size
+            self._n_assigned -= int(batch.size)
+        else:
+            client, old_server, new_server, old_d = record
+            if new_server >= 0:
+                self._loads[new_server] -= 1
+            else:
+                self._n_assigned += 1
+            if old_server >= 0:
+                self._loads[old_server] += 1
+            else:
+                self._n_assigned -= 1
+            self._server_of[client] = old_server
+        for server, out_state, in_state, l_out, l_in in snapshots:
+            self._top_out[server].restore(out_state)
+            self._top_in[server].restore(in_state)
+            self._l_out[server] = l_out
+            self._l_in[server] = l_in
+        self._touch()
+        self._d = old_d
+
+    # ------------------------------------------------------------------
+    def verify(self, *, rtol: float = 1e-9) -> bool:
+        """Check the cached state against a from-scratch recomputation."""
+        server_of = self._server_of
+        assigned = server_of >= 0
+        loads = np.bincount(
+            server_of[assigned], minlength=self._problem.n_servers
+        )
+        if not np.array_equal(loads, self._loads):
+            return False
+        idx = np.flatnonzero(assigned)
+        l_out = np.full(self._problem.n_servers, -np.inf)
+        l_in = np.full(self._problem.n_servers, -np.inf)
+        if idx.size:
+            np.maximum.at(l_out, server_of[idx], self._cs[idx, server_of[idx]])
+            np.maximum.at(l_in, server_of[idx], self._sc[server_of[idx], idx])
+        if not (
+            np.allclose(l_out, self._l_out, rtol=rtol, equal_nan=True)
+            and np.allclose(l_in, self._l_in, rtol=rtol, equal_nan=True)
+        ):
+            return False
+        if idx.size == 0:
+            return self.d() == 0.0
+        used = np.flatnonzero(np.isfinite(l_out))
+        ss = self._ss[np.ix_(used, used)]
+        exact = float(
+            (l_out[used][:, None] + ss + l_in[used][None, :]).max()
+        )
+        return bool(np.isclose(exact, self.d(), rtol=rtol))
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalObjective({self._n_assigned}/"
+            f"{self._problem.n_clients} clients assigned, "
+            f"k={self._k}, D={self.d():.3f})"
+        )

@@ -1,0 +1,74 @@
+"""Unified result object for algorithm runs.
+
+Historically each entry point hand-rolled its own bookkeeping: the CLI
+timed runs with a Stopwatch and recomputed D, the experiment runner kept
+an ``AlgorithmScore``, Distributed-Greedy returned its own result class,
+and benchmarks did all three again. :class:`AssignmentResult` is the one
+record every run produces, and
+:func:`repro.algorithms.base.run_algorithm` is the one place that fills
+it in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.assignment import Assignment
+
+
+@dataclass(frozen=True)
+class AssignmentResult:
+    """Outcome of one algorithm run on one problem instance.
+
+    Attributes
+    ----------
+    assignment:
+        The produced client-to-server mapping.
+    d:
+        The maximum interaction path length of ``assignment`` (the
+        paper's objective D), computed once by the facade.
+    algorithm:
+        Registry name the run was dispatched under (e.g. ``"greedy"``).
+    seed:
+        The seed forwarded to the algorithm, or ``None``.
+    elapsed_seconds:
+        Wall-clock duration of the algorithm call itself (excludes the
+        facade's final D computation).
+    n_evaluations:
+        Candidate (client, server) objective evaluations performed, as
+        counted by :func:`repro.core.incremental.count_evaluations`.
+        ``0`` for algorithms that never score candidates against D
+        (e.g. nearest-server).
+    trace:
+        Optional modification trace for algorithms that expose one
+        (Distributed-Greedy's per-move D trajectory); ``None`` otherwise.
+    extras:
+        Algorithm-specific extras (message counts, convergence flags...).
+        Empty for most algorithms.
+    """
+
+    assignment: Assignment
+    d: float
+    algorithm: str
+    seed: Optional[int] = None
+    elapsed_seconds: float = 0.0
+    n_evaluations: int = 0
+    trace: Optional[Tuple[float, ...]] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def problem(self):
+        """The problem instance the assignment was produced for."""
+        return self.assignment.problem
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        parts = [
+            f"{self.algorithm}: D={self.d:.4f}",
+            f"{self.elapsed_seconds * 1e3:.1f} ms",
+            f"{self.n_evaluations} evaluations",
+        ]
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        return "  ".join(parts)

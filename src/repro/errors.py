@@ -47,6 +47,18 @@ class InvalidParameterError(ReproError, ValueError):
     """
 
 
+class UnknownAlgorithmError(ReproError, KeyError):
+    """An algorithm name is not present in the registry.
+
+    Also derives from :class:`KeyError` so callers that predate the
+    package hierarchy (``except KeyError``) keep working. The message
+    lists the registered names.
+    """
+
+    def __str__(self) -> str:  # KeyError wraps its arg in repr()
+        return self.args[0] if self.args else ""
+
+
 class CapacityError(ReproError):
     """Total server capacity is insufficient for the client population."""
 

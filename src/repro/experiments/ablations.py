@@ -32,6 +32,7 @@ from repro.algorithms import (
     longest_first_batch,
     nearest_server,
     random_assignment,
+    run_algorithm,
 )
 from repro.algorithms.baselines import best_single_server
 from repro.core import (
@@ -139,8 +140,8 @@ def ablation_greedy_cost(
         problem = ClientAssignmentProblem(matrix, servers)
         lb = interaction_lower_bound(problem)
         for name in variants:
-            assignment = get_algorithm(name)(problem, seed=run_seed)
-            samples[name].append(max_interaction_path_length(assignment) / lb)
+            result = run_algorithm(name, problem, seed=run_seed)
+            samples[name].append(result.d / lb)
     rows = [
         (name, float(np.mean(samples[name])), float(np.std(samples[name])))
         for name in variants

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, List, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple, Union
 
 from repro.errors import DatasetError
 from repro.experiments.figures import (
@@ -27,7 +28,36 @@ PathLike = Union[str, os.PathLike]
 #: Bump when the on-disk schema changes incompatibly.
 SCHEMA_VERSION = 1
 
-FigureResult = Union[Fig7Series, Fig8Series, List[Fig9Trace], Fig10Series]
+
+@dataclass(frozen=True)
+class BenchTable:
+    """A generic benchmark results table (kind ``"bench-table"``).
+
+    Benchmarks that are not one of the paper's figures (e.g.
+    ``benchmarks/bench_incremental.py``'s old-vs-new sweep) persist
+    their measurements through this shape so they share the standard
+    JSON envelope (schema version, atomic writes, loud version checks).
+    Cells must be JSON scalars.
+    """
+
+    #: Benchmark identifier, e.g. ``"bench_incremental"``.
+    name: str
+    #: Column headers, one per cell of each row.
+    columns: Tuple[str, ...]
+    #: Measurement rows; ``rows[i][j]`` belongs to ``columns[j]``.
+    rows: Tuple[Tuple[Any, ...], ...]
+    #: Free-form context (machine, sweep parameters, ...).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def column(self, name: str) -> Tuple[Any, ...]:
+        """All values of one column, in row order."""
+        j = self.columns.index(name)
+        return tuple(row[j] for row in self.rows)
+
+
+FigureResult = Union[
+    Fig7Series, Fig8Series, List[Fig9Trace], Fig10Series, BenchTable
+]
 
 
 def _point_to_dict(point: SweepPoint) -> Dict[str, Any]:
@@ -68,6 +98,14 @@ def to_jsonable(result: FigureResult) -> Dict[str, Any]:
             "placement": result.placement,
             "n_servers": result.n_servers,
             "points": [_point_to_dict(p) for p in result.points],
+        }
+    elif isinstance(result, BenchTable):
+        body = {
+            "kind": "bench-table",
+            "name": result.name,
+            "columns": list(result.columns),
+            "rows": [list(row) for row in result.rows],
+            "meta": dict(result.meta),
         }
     elif isinstance(result, list) and all(
         isinstance(t, Fig9Trace) for t in result
@@ -122,6 +160,13 @@ def from_jsonable(data: Dict[str, Any]) -> FigureResult:
             )
             for t in data["traces"]
         ]
+    if kind == "bench-table":
+        return BenchTable(
+            name=data["name"],
+            columns=tuple(data["columns"]),
+            rows=tuple(tuple(row) for row in data["rows"]),
+            meta=dict(data.get("meta", {})),
+        )
     if kind == "fig10":
         return Fig10Series(
             placement=data["placement"],

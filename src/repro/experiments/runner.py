@@ -15,16 +15,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.algorithms import get_algorithm
-from repro.core import (
-    ClientAssignmentProblem,
-    interaction_lower_bound,
-    max_interaction_path_length,
-)
+from repro.algorithms import run_algorithm
+from repro.core import ClientAssignmentProblem, interaction_lower_bound
 from repro.net.latency import LatencyMatrix
 from repro.placement import kcenter_a, kcenter_b, random_placement
 from repro.utils.rng import derive_seed
-from repro.utils.timing import Stopwatch
 
 #: Placement strategies by experiment name.
 PLACEMENTS = {
@@ -44,6 +39,8 @@ class AlgorithmScore:
     max_path_length: float
     normalized: float
     seconds: float
+    #: Candidate (client, server) objective evaluations performed.
+    n_evaluations: int = 0
 
 
 @dataclass(frozen=True)
@@ -74,16 +71,14 @@ def evaluate_instance(
         lower_bound = interaction_lower_bound(problem)
     scores: List[AlgorithmScore] = []
     for name in algorithms:
-        fn = get_algorithm(name)
-        with Stopwatch() as sw:
-            assignment = fn(problem, seed=seed)
-        d = max_interaction_path_length(assignment)
+        result = run_algorithm(name, problem, seed=seed)
         scores.append(
             AlgorithmScore(
                 algorithm=name,
-                max_path_length=d,
-                normalized=d / lower_bound,
-                seconds=sw.elapsed,
+                max_path_length=result.d,
+                normalized=result.d / lower_bound,
+                seconds=result.elapsed_seconds,
+                n_evaluations=result.n_evaluations,
             )
         )
     return InstanceResult(lower_bound=lower_bound, scores=tuple(scores))

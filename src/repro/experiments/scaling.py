@@ -24,12 +24,8 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.algorithms import get_algorithm
-from repro.core import (
-    ClientAssignmentProblem,
-    interaction_lower_bound,
-    max_interaction_path_length,
-)
+from repro.algorithms import run_algorithm
+from repro.core import ClientAssignmentProblem, interaction_lower_bound
 from repro.datasets import synthesize_meridian_like
 from repro.placement import random_placement
 from repro.utils.rng import derive_seed
@@ -77,8 +73,7 @@ def scale_sweep(
             lb = interaction_lower_bound(problem)
             ds = {}
             for name in algorithms:
-                assignment = get_algorithm(name)(problem, seed=run_seed)
-                ds[name] = max_interaction_path_length(assignment)
+                ds[name] = run_algorithm(name, problem, seed=run_seed).d
                 sums[name].append(ds[name] / lb)
             if "nearest-server" in ds and "distributed-greedy" in ds:
                 gaps.append(ds["nearest-server"] / ds["distributed-greedy"])

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.algorithms.online import OnlineAssignmentManager
+from repro.core.incremental import count_evaluations
 from repro.errors import FailoverError, InvalidParameterError
 from repro.faults.schedule import FaultEvent
 
@@ -44,6 +45,8 @@ class CrashRecord:
     d_before: float
     #: D after the evacuation (the degraded-mode value).
     d_degraded: float
+    #: Candidate (client, server) evaluations spent on the repair.
+    n_evaluations: int = 0
 
     @property
     def n_evacuated(self) -> int:
@@ -69,6 +72,8 @@ class RecoveryRecord:
     d_before: float
     #: D after reactivation + rebalance.
     d_after: float
+    #: Candidate (client, server) evaluations spent on the re-admission.
+    n_evaluations: int = 0
 
 
 class FailoverController:
@@ -136,15 +141,16 @@ class FailoverController:
         d_before = manager.current_d()
         stranded = manager.deactivate_server(server)
         shed: Tuple[int, ...] = ()
-        if stranded and self._shed_policy == "shed":
-            if manager.n_active_servers == 0:
-                # Total outage: nothing to evacuate to — disconnect all.
-                for client in stranded:
-                    manager.leave(client)
-                shed = stranded
-            else:
-                shed = self._shed_overflow(server, len(stranded))
-        moves = tuple(manager.evacuate(server))
+        with count_evaluations() as counter:
+            if stranded and self._shed_policy == "shed":
+                if manager.n_active_servers == 0:
+                    # Total outage: nothing to evacuate to — disconnect all.
+                    for client in stranded:
+                        manager.leave(client)
+                    shed = stranded
+                else:
+                    shed = self._shed_overflow(server, len(stranded))
+            moves = tuple(manager.evacuate(server))
         record = CrashRecord(
             time=time,
             server=server,
@@ -152,6 +158,7 @@ class FailoverController:
             shed=shed,
             d_before=d_before,
             d_degraded=manager.current_d(),
+            n_evaluations=counter.count,
         )
         self._crashes.append(record)
         return record
@@ -192,14 +199,16 @@ class FailoverController:
         d_before = manager.current_d()
         manager.reactivate_server(server)
         moves = 0
-        if self._readmit_moves > 0 and manager.n_clients > 0:
-            moves = manager.rebalance(max_moves=self._readmit_moves)
+        with count_evaluations() as counter:
+            if self._readmit_moves > 0 and manager.n_clients > 0:
+                moves = manager.rebalance(max_moves=self._readmit_moves)
         record = RecoveryRecord(
             time=time,
             server=server,
             rebalance_moves=moves,
             d_before=d_before,
             d_after=manager.current_d(),
+            n_evaluations=counter.count,
         )
         self._recoveries.append(record)
         return record

@@ -27,9 +27,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.algorithms import get_algorithm
+from repro.algorithms import run_algorithm
 from repro.core.assignment import Assignment
-from repro.core.metrics import max_interaction_path_length
 from repro.core.problem import ClientAssignmentProblem
 from repro.errors import InvalidProblemError
 from repro.net.latency import LatencyMatrix
@@ -56,8 +55,8 @@ def _evaluate(
     seed: SeedLike,
 ) -> Tuple[Assignment, float]:
     problem = ClientAssignmentProblem(matrix, servers, clients=clients)
-    assignment = get_algorithm(algorithm)(problem, seed=seed)
-    return assignment, max_interaction_path_length(assignment)
+    result = run_algorithm(algorithm, problem, seed=seed)
+    return result.assignment, result.d
 
 
 def joint_selection_greedy(

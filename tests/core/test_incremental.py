@@ -1,0 +1,227 @@
+"""Randomized property tests for the incremental objective engine.
+
+The engine's contract: after any interleaving of apply/assign/
+assign_many/unassign/undo operations, ``d()`` equals the from-scratch
+objective, and delta predictions equal the objective that committing
+the move would actually produce. The reference here is
+``max_interaction_path_length_bruteforce`` — the O(|C|^2) pair
+enumeration — so agreement is with the paper's definition, not with the
+same server-level reduction the engine uses internally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Assignment,
+    ClientAssignmentProblem,
+    DEFAULT_TOP_K,
+    IncrementalObjective,
+    count_evaluations,
+    max_interaction_path_length,
+    max_interaction_path_length_bruteforce,
+    record_candidate_evaluations,
+)
+from repro.errors import InvalidAssignmentError, InvalidParameterError
+from repro.net.latency import LatencyMatrix
+
+
+def _random_problem(rng, n, k, *, symmetric, capacities=None):
+    values = rng.uniform(1.0, 100.0, size=(n, n))
+    if symmetric:
+        values = (values + values.T) / 2.0
+    np.fill_diagonal(values, 0.0)
+    servers = np.sort(rng.choice(n, size=k, replace=False))
+    return ClientAssignmentProblem(
+        LatencyMatrix(values), servers, capacities=capacities
+    )
+
+
+def _reference_d(problem, server_of):
+    return max_interaction_path_length_bruteforce(
+        Assignment(problem, server_of.copy())
+    )
+
+
+@pytest.mark.parametrize("symmetric", [False, True], ids=["asymmetric", "symmetric"])
+@pytest.mark.parametrize("capacitated", [False, True], ids=["uncap", "cap"])
+def test_random_walk_matches_bruteforce(symmetric, capacitated):
+    """>= 1000 random apply/undo steps stay consistent with bruteforce.
+
+    Small k (top-3) forces frequent lazy heap rebuilds, exercising the
+    drain path rather than just the cached head.
+    """
+    rng = np.random.default_rng(20260806 + symmetric + 2 * capacitated)
+    n, k_servers = 18, 5
+    capacities = 6 if capacitated else None
+    problem = _random_problem(
+        rng, n, k_servers, symmetric=symmetric, capacities=capacities
+    )
+    if capacitated:
+        # Round-robin keeps the start capacity-feasible; the walk's
+        # guard preserves feasibility from there.
+        server_of = np.arange(n) % k_servers
+        rng.shuffle(server_of)
+    else:
+        server_of = rng.integers(0, k_servers, n)
+    engine = IncrementalObjective(problem, server_of, k=3)
+    shadow = server_of.copy()
+    undo_depth = 0
+    checked = 0
+
+    for step in range(1100):
+        roll = rng.random()
+        if roll < 0.6 or undo_depth == 0:
+            c = int(rng.integers(n))
+            s = int(rng.integers(k_servers))
+            if capacitated and s != shadow[c]:
+                loads = np.bincount(shadow, minlength=k_servers)
+                if loads[s] >= capacities:
+                    continue
+            predicted = engine.delta_D(c, s)
+            engine.apply(c, s)
+            shadow[c] = s
+            undo_depth += 1
+            assert engine.d() == pytest.approx(predicted, rel=1e-12)
+        else:
+            engine.undo()
+            undo_depth -= 1
+            # The shadow only tracks the head of the walk; resync from
+            # the engine (undo correctness is asserted via d() below).
+            shadow = engine.server_of.copy()
+        if step % 37 == 0:
+            assert engine.d() == pytest.approx(
+                _reference_d(problem, shadow), rel=1e-9
+            )
+            checked += 1
+    assert checked >= 25
+    assert engine.verify()
+    assert np.array_equal(engine.server_of, shadow)
+
+
+def test_batch_delta_matches_committed_objective():
+    """batch_delta_D[s] equals d() after actually moving there."""
+    rng = np.random.default_rng(7)
+    problem = _random_problem(rng, 16, 4, symmetric=False)
+    server_of = rng.integers(0, 4, 16)
+    engine = IncrementalObjective(problem, server_of)
+    for c in range(problem.n_clients):
+        scores = engine.batch_delta_D(c, respect_capacities=False)
+        assert scores.shape == (problem.n_servers,)
+        for s in range(problem.n_servers):
+            engine.apply(c, s)
+            assert engine.d() == pytest.approx(scores[s], rel=1e-12)
+            engine.undo()
+        assert engine.d() == pytest.approx(
+            _reference_d(problem, engine.server_of), rel=1e-9
+        )
+
+
+def test_batch_delta_respects_capacities():
+    rng = np.random.default_rng(11)
+    problem = _random_problem(rng, 12, 3, symmetric=False, capacities=4)
+    server_of = np.repeat(np.arange(3), 4)  # every server saturated
+    engine = IncrementalObjective(problem, server_of)
+    scores = engine.batch_delta_D(0)
+    home = int(engine.server_of[0])
+    for s in range(3):
+        if s == home:
+            assert np.isfinite(scores[s])
+        else:
+            assert np.isinf(scores[s])
+
+
+def test_partial_build_assign_many_unassign_undo():
+    rng = np.random.default_rng(23)
+    problem = _random_problem(rng, 15, 4, symmetric=False)
+    engine = IncrementalObjective(problem)
+    assert engine.n_assigned == 0
+    with pytest.raises(InvalidAssignmentError):
+        engine.assignment()
+
+    first = np.arange(0, 8)
+    engine.assign_many(first, 1)
+    assert engine.n_assigned == 8
+    for c in range(8, 15):
+        engine.assign(c, int(rng.integers(4)))
+    full_d = engine.d()
+    assert full_d == pytest.approx(
+        _reference_d(problem, engine.server_of), rel=1e-9
+    )
+
+    # assign_many is one undo record: a single undo removes the batch.
+    for _ in range(7):
+        engine.undo()
+    engine.undo()
+    assert engine.n_assigned == 0
+
+    # unassign shrinks the assigned set and d() tracks the remainder.
+    engine.assign_many(np.arange(15), 2)
+    engine.unassign(3)
+    assert engine.n_assigned == 14
+    remaining = np.delete(np.arange(15), 3)
+    sub = ClientAssignmentProblem(
+        problem.matrix, problem.servers, clients=problem.clients[remaining]
+    )
+    expected = max_interaction_path_length_bruteforce(
+        Assignment(sub, np.full(14, 2))
+    )
+    assert engine.d() == pytest.approx(expected, rel=1e-9)
+    engine.undo()  # restores client 3
+    engine.undo()  # removes the batch
+    assert engine.n_assigned == 0
+
+
+def test_d_bit_identical_to_metrics():
+    """engine.d() uses the same reduction as max_interaction_path_length."""
+    rng = np.random.default_rng(31)
+    problem = _random_problem(rng, 20, 5, symmetric=False)
+    server_of = rng.integers(0, 5, 20)
+    engine = IncrementalObjective(problem, server_of)
+    assert engine.d() == max_interaction_path_length(Assignment(problem, server_of))
+    for _ in range(50):
+        engine.apply(int(rng.integers(20)), int(rng.integers(5)))
+        assert engine.d() == max_interaction_path_length(
+            Assignment(problem, engine.server_of.copy())
+        )
+
+
+def test_evaluation_counting():
+    rng = np.random.default_rng(41)
+    problem = _random_problem(rng, 10, 4, symmetric=False)
+    engine = IncrementalObjective(problem, rng.integers(0, 4, 10))
+    with count_evaluations() as outer:
+        engine.batch_delta_D(0, respect_capacities=False)
+        with count_evaluations() as inner:
+            engine.delta_D(1, 2)
+            record_candidate_evaluations(5)
+        assert inner.count == 1 + 5
+    # Nested counts propagate to the enclosing counter.
+    assert outer.count == problem.n_servers + 1 + 5
+    assert engine.n_evaluations >= problem.n_servers + 1
+
+
+def test_parameter_and_state_errors():
+    rng = np.random.default_rng(53)
+    problem = _random_problem(rng, 8, 3, symmetric=False)
+    with pytest.raises(InvalidParameterError):
+        IncrementalObjective(problem, k=1)
+    engine = IncrementalObjective(problem, rng.integers(0, 3, 8))
+    with pytest.raises(InvalidParameterError):
+        engine.undo()
+    with pytest.raises(InvalidAssignmentError):
+        engine.apply(0, 99)
+    with pytest.raises(InvalidAssignmentError):
+        engine.apply(99, 0)
+    no_history = IncrementalObjective(
+        problem, rng.integers(0, 3, 8), history=False
+    )
+    no_history.apply(0, 1)
+    with pytest.raises(InvalidParameterError):
+        no_history.undo()
+
+
+def test_default_top_k_exported():
+    assert DEFAULT_TOP_K >= 2
