@@ -30,6 +30,22 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--version", action="version", version=__version__)
+
+    # Shared by every trial-sweeping subcommand (fig/claims/report/ablate):
+    # 0 = serial (deterministic default), -1 = one worker per CPU, N > 0 =
+    # that many worker processes. Results are identical for any value —
+    # see docs/parallel.md for the determinism contract.
+    workers = argparse.ArgumentParser(add_help=False)
+    workers.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "worker processes for trial execution "
+            "(0 = serial, -1 = all CPUs; results are identical)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_dataset = sub.add_parser("dataset", help="generate a synthetic latency matrix")
@@ -66,7 +82,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the assignment + clock offsets as a JSON deployment plan",
     )
 
-    p_fig = sub.add_parser("fig", help="regenerate a paper figure's data")
+    p_fig = sub.add_parser(
+        "fig", help="regenerate a paper figure's data", parents=[workers]
+    )
     p_fig.add_argument("figure", choices=("7", "8", "9", "10"))
     p_fig.add_argument(
         "--placement",
@@ -85,11 +103,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="render a previously saved series instead of recomputing",
     )
 
-    p_claims = sub.add_parser("claims", help="run the §V claims checklist")
+    p_claims = sub.add_parser(
+        "claims", help="run the §V claims checklist", parents=[workers]
+    )
     p_claims.add_argument("--profile", type=str, default="default")
 
     p_report = sub.add_parser(
-        "report", help="regenerate the full evaluation (all figures + claims)"
+        "report",
+        help="regenerate the full evaluation (all figures + claims)",
+        parents=[workers],
     )
     p_report.add_argument("--profile", type=str, default="default")
     p_report.add_argument(
@@ -99,7 +121,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ablations", action="store_true", help="include the ablation studies"
     )
 
-    p_ablate = sub.add_parser("ablate", help="run an ablation study")
+    p_ablate = sub.add_parser(
+        "ablate", help="run an ablation study", parents=[workers]
+    )
     p_ablate.add_argument(
         "study",
         choices=(
@@ -285,19 +309,22 @@ def _cmd_fig(args: argparse.Namespace) -> int:
 
     from repro.experiments import load_result, save_result
 
+    from repro.parallel import TrialPool
+
     renderers = {"7": render_fig7, "8": render_fig8, "9": render_fig9, "10": render_fig10}
     if args.load is not None:
         result = load_result(args.load)
     else:
         prof = profile(args.profile)
-        if args.figure == "7":
-            result = fig7(prof, args.placement)
-        elif args.figure == "8":
-            result = fig8(prof)
-        elif args.figure == "9":
-            result = fig9(prof)
-        else:
-            result = fig10(prof, args.placement)
+        with TrialPool(args.workers) as pool:
+            if args.figure == "7":
+                result = fig7(prof, args.placement, pool=pool)
+            elif args.figure == "8":
+                result = fig8(prof, pool=pool)
+            elif args.figure == "9":
+                result = fig9(prof, pool=pool)
+            else:
+                result = fig10(prof, args.placement, pool=pool)
     print(renderers[args.figure](result))
     if args.save is not None:
         save_result(args.save, result)
@@ -308,24 +335,16 @@ def _cmd_fig(args: argparse.Namespace) -> int:
 def _cmd_claims(args: argparse.Namespace) -> int:
     from repro.experiments import (
         dataset_for,
-        fig7,
-        fig8,
-        fig9,
-        fig10,
         profile,
         render_claims,
-        run_all_claims,
+        run_claims_for_profile,
     )
+    from repro.parallel import TrialPool
 
     prof = profile(args.profile)
     matrix = dataset_for(prof)
-    claims = run_all_claims(
-        fig7(prof, "random", matrix=matrix),
-        fig8(prof, matrix=matrix),
-        fig9(prof, matrix=matrix),
-        fig10(prof, "random", matrix=matrix),
-        n_clients=matrix.n_nodes,
-    )
+    with TrialPool(args.workers) as pool:
+        claims = run_claims_for_profile(prof, matrix=matrix, pool=pool)
     print(render_claims(claims))
     return 0 if all(c.holds for c in claims) else 1
 
@@ -338,6 +357,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         out_dir=args.out,
         include_ablations=args.ablations,
         progress=lambda msg: print(f"[report] {msg}"),
+        workers=args.workers,
     )
     print()
     print(bundle.render())
@@ -352,6 +372,7 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
         ablation_placement_strategies,
         ablation_triangle_violations,
     )
+    from repro.parallel import TrialPool
 
     if args.study == "triangle":
         result = ablation_triangle_violations(
@@ -363,13 +384,23 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
     else:
         matrix = _make_matrix("meridian", args.nodes, args.seed)
         if args.study == "dga-initial":
-            result = ablation_dga_initial(
-                matrix, n_servers=args.servers, n_runs=args.runs, seed=args.seed
-            )
+            with TrialPool(args.workers) as pool:
+                result = ablation_dga_initial(
+                    matrix,
+                    n_servers=args.servers,
+                    n_runs=args.runs,
+                    seed=args.seed,
+                    pool=pool,
+                )
         elif args.study == "greedy-cost":
-            result = ablation_greedy_cost(
-                matrix, n_servers=args.servers, n_runs=args.runs, seed=args.seed
-            )
+            with TrialPool(args.workers) as pool:
+                result = ablation_greedy_cost(
+                    matrix,
+                    n_servers=args.servers,
+                    n_runs=args.runs,
+                    seed=args.seed,
+                    pool=pool,
+                )
         elif args.study == "estimated-latencies":
             result = ablation_estimated_latencies(
                 matrix, n_servers=args.servers, seed=args.seed
@@ -381,9 +412,14 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
                 matrix, n_servers=args.servers, seed=args.seed
             )
         else:
-            result = ablation_placement_strategies(
-                matrix, n_servers=args.servers, n_runs=args.runs, seed=args.seed
-            )
+            with TrialPool(args.workers) as pool:
+                result = ablation_placement_strategies(
+                    matrix,
+                    n_servers=args.servers,
+                    n_runs=args.runs,
+                    seed=args.seed,
+                    pool=pool,
+                )
     print(result.render())
     return 0
 

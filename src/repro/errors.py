@@ -79,6 +79,16 @@ class FailoverError(ReproError):
     """
 
 
+class TrialExecutionError(ReproError):
+    """A parallel trial sweep could not produce a usable result.
+
+    Raised when every trial behind one aggregate (a sweep point, a
+    figure panel, an ablation row) failed — individual trial failures
+    are tolerated and reported, but an aggregate of zero successes
+    would silently fabricate data.
+    """
+
+
 class InfeasibleScheduleError(ReproError):
     """A requested lag ``delta`` is below the minimum achievable value D."""
 

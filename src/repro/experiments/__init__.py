@@ -26,6 +26,7 @@ from repro.experiments.claims import (
     check_greedy_near_optimal,
     check_nearest_server_worst,
     run_all_claims,
+    run_claims_for_profile,
 )
 from repro.experiments.config import (
     PROFILES,
@@ -74,9 +75,13 @@ from repro.experiments.runner import (
     PLACEMENTS,
     AlgorithmScore,
     InstanceResult,
+    PlacementTrial,
     SweepPoint,
+    aggregate_sweep,
     evaluate_instance,
+    placement_trials,
     run_placement_sweep,
+    run_placement_trial,
 )
 
 __all__ = [
@@ -94,8 +99,12 @@ __all__ = [
     "AlgorithmScore",
     "InstanceResult",
     "SweepPoint",
+    "PlacementTrial",
     "evaluate_instance",
+    "placement_trials",
+    "run_placement_trial",
     "run_placement_sweep",
+    "aggregate_sweep",
     "PLACEMENTS",
     "PLACEMENT_NAMES",
     "dataset_for",
@@ -109,6 +118,7 @@ __all__ = [
     "Fig10Series",
     "ClaimResult",
     "run_all_claims",
+    "run_claims_for_profile",
     "check_greedy_beats_simple",
     "check_greedy_near_optimal",
     "check_nearest_server_worst",

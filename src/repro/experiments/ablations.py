@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +45,8 @@ from repro.datasets.meridian import meridian_model
 from repro.experiments.reporting import format_table
 from repro.net.coordinates import embed_latencies
 from repro.net.latency import LatencyMatrix
+from repro.parallel import TrialPool, instance_cache
+from repro.parallel.pool import run_trials, successful_values
 from repro.placement import kcenter_a, kcenter_b, random_placement
 from repro.placement.extra import (
     best_of_random_placement,
@@ -75,33 +77,63 @@ class AblationResult:
 # ----------------------------------------------------------------------
 # 1. DGA initial assignment
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AblationRunTask:
+    """One run of a per-run ablation trial (picklable task)."""
+
+    n_servers: int
+    seed: Optional[int]
+    #: Strategy/variant name for per-variant trials; unused otherwise.
+    variant: Optional[str] = None
+
+
+_DGA_STARTERS = {
+    "nearest-server": lambda p, s: nearest_server(p),
+    "longest-first-batch": lambda p, s: longest_first_batch(p),
+    "random": lambda p, s: random_assignment(p, seed=s),
+    "best-single-server": lambda p, s: best_single_server(p),
+}
+
+
+def _dga_initial_trial(
+    matrix: LatencyMatrix, task: AblationRunTask
+) -> Dict[str, Tuple[float, int]]:
+    """One run: DGA from every starter on one random placement."""
+    cached = instance_cache().instance(
+        matrix, "random", task.n_servers, task.seed
+    )
+    problem, lb = cached.problem, cached.lower_bound
+    out: Dict[str, Tuple[float, int]] = {}
+    for name, make in _DGA_STARTERS.items():
+        result = distributed_greedy_detailed(
+            problem, initial=make(problem, task.seed)
+        )
+        out[name] = (result.final_d / lb, result.n_modifications)
+    return out
+
+
 def ablation_dga_initial(
     matrix: LatencyMatrix,
     *,
     n_servers: int = 40,
     n_runs: int = 10,
     seed: int = 0,
+    pool: Optional[TrialPool] = None,
 ) -> AblationResult:
     """Distributed-Greedy from different starting assignments."""
-    starters = {
-        "nearest-server": lambda p, s: nearest_server(p),
-        "longest-first-batch": lambda p, s: longest_first_batch(p),
-        "random": lambda p, s: random_assignment(p, seed=s),
-        "best-single-server": lambda p, s: best_single_server(p),
-    }
+    starters = _DGA_STARTERS
+    tasks = [
+        AblationRunTask(n_servers=n_servers, seed=derive_seed(seed, 31, run))
+        for run in range(n_runs)
+    ]
+    outcomes = run_trials(_dga_initial_trial, tasks, matrix=matrix, pool=pool)
+    runs = successful_values(outcomes, context="DGA-initial ablation")
     sums: Dict[str, List[float]] = {name: [] for name in starters}
     mods: Dict[str, List[int]] = {name: [] for name in starters}
-    for run in range(n_runs):
-        run_seed = derive_seed(seed, 31, run)
-        servers = random_placement(matrix, n_servers, seed=run_seed)
-        problem = ClientAssignmentProblem(matrix, servers)
-        lb = interaction_lower_bound(problem)
-        for name, make in starters.items():
-            result = distributed_greedy_detailed(
-                problem, initial=make(problem, run_seed)
-            )
-            sums[name].append(result.final_d / lb)
-            mods[name].append(result.n_modifications)
+    for per_run in runs:
+        for name, (norm, n_mods) in per_run.items():
+            sums[name].append(norm)
+            mods[name].append(n_mods)
     rows = [
         (
             name,
@@ -124,24 +156,43 @@ def ablation_dga_initial(
 # ----------------------------------------------------------------------
 # 2. Greedy cost metric
 # ----------------------------------------------------------------------
+_GREEDY_COST_VARIANTS = ("greedy", "greedy-absolute")
+
+
+def _greedy_cost_trial(
+    matrix: LatencyMatrix, task: AblationRunTask
+) -> Dict[str, float]:
+    """One run: both greedy cost variants on one random placement."""
+    cached = instance_cache().instance(
+        matrix, "random", task.n_servers, task.seed
+    )
+    return {
+        name: run_algorithm(name, cached.problem, seed=task.seed).d
+        / cached.lower_bound
+        for name in _GREEDY_COST_VARIANTS
+    }
+
+
 def ablation_greedy_cost(
     matrix: LatencyMatrix,
     *,
     n_servers: int = 40,
     n_runs: int = 10,
     seed: int = 0,
+    pool: Optional[TrialPool] = None,
 ) -> AblationResult:
     """Δl/Δn (paper) vs plain Δl pair selection in Greedy Assignment."""
-    variants = ("greedy", "greedy-absolute")
+    variants = _GREEDY_COST_VARIANTS
+    tasks = [
+        AblationRunTask(n_servers=n_servers, seed=derive_seed(seed, 32, run))
+        for run in range(n_runs)
+    ]
+    outcomes = run_trials(_greedy_cost_trial, tasks, matrix=matrix, pool=pool)
+    runs = successful_values(outcomes, context="greedy-cost ablation")
     samples: Dict[str, List[float]] = {v: [] for v in variants}
-    for run in range(n_runs):
-        run_seed = derive_seed(seed, 32, run)
-        servers = random_placement(matrix, n_servers, seed=run_seed)
-        problem = ClientAssignmentProblem(matrix, servers)
-        lb = interaction_lower_bound(problem)
-        for name in variants:
-            result = run_algorithm(name, problem, seed=run_seed)
-            samples[name].append(result.d / lb)
+    for per_run in runs:
+        for name, norm in per_run.items():
+            samples[name].append(norm)
     rows = [
         (name, float(np.mean(samples[name])), float(np.std(samples[name])))
         for name in variants
@@ -272,31 +323,67 @@ def ablation_estimated_latencies(
 # ----------------------------------------------------------------------
 # 5. Placement strategies
 # ----------------------------------------------------------------------
+_PLACEMENT_ABLATION_STRATEGIES = {
+    "random": random_placement,
+    "best-of-16-random": best_of_random_placement,
+    "k-center-a": kcenter_a,
+    "k-center-b": kcenter_b,
+    "k-median": k_median_placement,
+    "medoids": medoid_placement,
+}
+
+
+def _placement_strategy_trial(
+    matrix: LatencyMatrix, task: AblationRunTask
+) -> float:
+    """One run: DGA's normalized D under one placement strategy.
+
+    Strategies beyond the canonical registry (best-of-random, k-median,
+    medoids) are not instance-cache keys, so this trial builds its
+    problem directly.
+    """
+    place = _PLACEMENT_ABLATION_STRATEGIES[task.variant]
+    servers = place(matrix, task.n_servers, seed=task.seed)
+    problem = ClientAssignmentProblem(matrix, servers)
+    lb = interaction_lower_bound(problem)
+    return distributed_greedy_detailed(problem).final_d / lb
+
+
 def ablation_placement_strategies(
     matrix: LatencyMatrix,
     *,
     n_servers: int = 30,
     n_runs: int = 5,
     seed: int = 0,
+    pool: Optional[TrialPool] = None,
 ) -> AblationResult:
     """Interactivity of DGA under different server placements."""
-    strategies = {
-        "random": random_placement,
-        "best-of-16-random": best_of_random_placement,
-        "k-center-a": kcenter_a,
-        "k-center-b": kcenter_b,
-        "k-median": k_median_placement,
-        "medoids": medoid_placement,
-    }
+    strategies = _PLACEMENT_ABLATION_STRATEGIES
+    tasks = [
+        AblationRunTask(
+            n_servers=n_servers,
+            seed=derive_seed(seed, 35, run),
+            variant=name,
+        )
+        for name in strategies
+        for run in range(n_runs)
+    ]
+    outcomes = run_trials(
+        _placement_strategy_trial, tasks, matrix=matrix, pool=pool
+    )
+    norms_by_strategy: Dict[str, List[float]] = {name: [] for name in strategies}
+    for task, outcome in zip(tasks, outcomes):
+        if outcome.ok:
+            norms_by_strategy[task.variant].append(outcome.value)
     rows = []
-    for name, place in strategies.items():
-        norms = []
-        for run in range(n_runs):
-            run_seed = derive_seed(seed, 35, run)
-            servers = place(matrix, n_servers, seed=run_seed)
-            problem = ClientAssignmentProblem(matrix, servers)
-            lb = interaction_lower_bound(problem)
-            norms.append(distributed_greedy_detailed(problem).final_d / lb)
+    for name in strategies:
+        norms = norms_by_strategy[name]
+        if not norms:
+            from repro.errors import TrialExecutionError
+
+            raise TrialExecutionError(
+                f"all placement-ablation trials for {name!r} failed"
+            )
         rows.append((name, float(np.mean(norms)), float(np.std(norms))))
     return AblationResult(
         title=(

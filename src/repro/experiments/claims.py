@@ -192,3 +192,31 @@ def run_all_claims(
         check_dga_fast_convergence(fig9_traces, n_clients=n_clients),
         check_capacity_degradation(fig10_series),
     ]
+
+
+def run_claims_for_profile(
+    profile,
+    *,
+    matrix=None,
+    pool=None,
+) -> List[ClaimResult]:
+    """Generate the claim-bearing figure data and evaluate every claim.
+
+    Convenience wrapper for the CLI and tests: regenerates exactly the
+    panels the checklist reads (Fig. 7/10 ``random`` panels, Fig. 8,
+    Fig. 9), submitting all trials through ``pool`` when one is given.
+    ``profile`` is an
+    :class:`~repro.experiments.config.ExperimentProfile`; ``pool`` a
+    :class:`~repro.parallel.TrialPool`.
+    """
+    from repro.experiments.figures import dataset_for, fig7, fig8, fig9, fig10
+
+    if matrix is None:
+        matrix = dataset_for(profile)
+    return run_all_claims(
+        fig7(profile, "random", matrix=matrix, pool=pool),
+        fig8(profile, matrix=matrix, pool=pool),
+        fig9(profile, matrix=matrix, pool=pool),
+        fig10(profile, "random", matrix=matrix, pool=pool),
+        n_clients=matrix.n_nodes,
+    )

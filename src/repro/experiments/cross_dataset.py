@@ -15,13 +15,19 @@ MIT-King-like matrices and quantify similarity two ways —
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.stats import spearman_rank_correlation
 from repro.datasets import synthesize_meridian_like, synthesize_mit_like
-from repro.experiments.runner import run_placement_sweep
+from repro.experiments.runner import (
+    aggregate_sweep,
+    placement_trials,
+    run_placement_trial,
+)
+from repro.parallel import TrialPool
+from repro.parallel.pool import run_trials
 from repro.utils.rng import derive_seed
 
 
@@ -63,8 +69,13 @@ def compare_datasets(
     ),
     n_runs: int = 5,
     seed: int = 0,
+    pool: Optional[TrialPool] = None,
 ) -> CrossDatasetResult:
-    """Run the Fig. 7-style sweep on both data sets and compare."""
+    """Run the Fig. 7-style sweep on both data sets and compare.
+
+    Each data set's full (server-count x run) trial grid is submitted
+    as one batch, so a worker pool overlaps all of a matrix's trials.
+    """
     matrices = {
         "meridian": synthesize_meridian_like(n_nodes, seed=derive_seed(seed, 51)),
         "mit": synthesize_mit_like(n_nodes, seed=derive_seed(seed, 52)),
@@ -73,10 +84,17 @@ def compare_datasets(
         name: {a: [] for a in algorithms} for name in matrices
     }
     for name, matrix in matrices.items():
+        trials = []
         for k in server_counts:
-            point, _ = run_placement_sweep(
-                matrix, "random", k, algorithms, n_runs=n_runs, seed=seed
+            trials.extend(
+                placement_trials(
+                    "random", k, algorithms, n_runs=n_runs, seed=seed
+                )
             )
+        outcomes = run_trials(
+            run_placement_trial, trials, matrix=matrix, pool=pool
+        )
+        for point in aggregate_sweep(trials, outcomes, algorithms):
             for a in algorithms:
                 series[name][a].append(point.mean[a])
     flat_meridian = [

@@ -6,7 +6,12 @@ render them as text tables; plotting is deliberately out of scope (no
 matplotlib dependency).
 
 All functions take an :class:`~repro.experiments.config.ExperimentProfile`
-so the same code runs at test, laptop, or paper scale.
+so the same code runs at test, laptop, or paper scale, and an optional
+:class:`~repro.parallel.TrialPool` to fan the figure's trials out across
+worker processes. Each figure flattens its *entire* trial grid (all
+x-coordinates x all runs) into one batch before submission, so a pool
+with N workers stays busy even when individual coordinates have few
+runs. Results are bit-identical with and without a pool.
 """
 
 from __future__ import annotations
@@ -17,24 +22,26 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.algorithms import distributed_greedy_detailed, paper_algorithm_names
-from repro.core import (
-    ClientAssignmentProblem,
-    interaction_lower_bound,
-)
-from repro.datasets import synthesize_meridian_like, synthesize_mit_like
+from repro.errors import TrialExecutionError
 from repro.experiments.config import ExperimentProfile
 from repro.experiments.runner import (
     PLACEMENT_NAMES,
-    PLACEMENTS,
+    PlacementTrial,
     SweepPoint,
-    run_placement_sweep,
+    aggregate_sweep,
+    placement_trials,
+    run_placement_trial,
 )
 from repro.net.latency import LatencyMatrix
+from repro.parallel import TrialPool, instance_cache
+from repro.parallel.pool import run_trials
 from repro.utils.rng import derive_seed
 
 
 def dataset_for(profile: ExperimentProfile) -> LatencyMatrix:
     """The profile's synthetic latency matrix (deterministic per seed)."""
+    from repro.datasets import synthesize_meridian_like, synthesize_mit_like
+
     if profile.dataset == "mit":
         return synthesize_mit_like(profile.n_nodes, seed=profile.seed)
     return synthesize_meridian_like(profile.n_nodes, seed=profile.seed)
@@ -65,6 +72,7 @@ def fig7(
     *,
     algorithms: Optional[Sequence[str]] = None,
     matrix: Optional[LatencyMatrix] = None,
+    pool: Optional[TrialPool] = None,
 ) -> Fig7Series:
     """Fig. 7 panel: interactivity vs server count for one placement.
 
@@ -76,17 +84,19 @@ def fig7(
         algorithms = paper_algorithm_names()
     if matrix is None:
         matrix = dataset_for(profile)
-    points = []
+    trials: List[PlacementTrial] = []
     for k in profile.server_counts:
-        point, _results = run_placement_sweep(
-            matrix,
-            placement,
-            k,
-            algorithms,
-            n_runs=profile.n_random_runs,
-            seed=profile.seed,
+        trials.extend(
+            placement_trials(
+                placement,
+                k,
+                algorithms,
+                n_runs=profile.n_random_runs,
+                seed=profile.seed,
+            )
         )
-        points.append(point)
+    outcomes = run_trials(run_placement_trial, trials, matrix=matrix, pool=pool)
+    points = aggregate_sweep(trials, outcomes, algorithms)
     return Fig7Series(placement=placement, points=tuple(points))
 
 
@@ -117,25 +127,37 @@ def fig8(
     *,
     algorithms: Optional[Sequence[str]] = None,
     matrix: Optional[LatencyMatrix] = None,
+    pool: Optional[TrialPool] = None,
 ) -> Fig8Series:
     """Fig. 8: distribution of normalized interactivity over random runs."""
     if algorithms is None:
         algorithms = paper_algorithm_names()
     if matrix is None:
         matrix = dataset_for(profile)
-    samples: Dict[str, List[float]] = {name: [] for name in algorithms}
-    for run in range(profile.fig8_runs):
-        run_seed = derive_seed(profile.seed, 8, run)
-        servers = PLACEMENTS["random"](matrix, profile.fixed_servers, seed=run_seed)
-        problem = ClientAssignmentProblem(matrix, servers)
-        lb = interaction_lower_bound(problem)
-        from repro.experiments.runner import evaluate_instance
-
-        result = evaluate_instance(
-            problem, algorithms, seed=run_seed, lower_bound=lb
+    # Seeds follow the historical fig-8 stream (derive_seed(seed, 8, run))
+    # rather than placement_trials' generic stream, keeping samples
+    # byte-compatible with pre-parallel releases.
+    trials = [
+        PlacementTrial(
+            x=run,
+            placement="random",
+            n_servers=profile.fixed_servers,
+            algorithms=tuple(algorithms),
+            seed=derive_seed(profile.seed, 8, run),
         )
-        for name, value in result.normalized().items():
+        for run in range(profile.fig8_runs)
+    ]
+    outcomes = run_trials(run_placement_trial, trials, matrix=matrix, pool=pool)
+    samples: Dict[str, List[float]] = {name: [] for name in algorithms}
+    n_failed = 0
+    for outcome in outcomes:
+        if not outcome.ok:
+            n_failed += 1
+            continue
+        for name, value in outcome.value.normalized().items():
             samples[name].append(value)
+    if n_failed == len(outcomes):
+        raise TrialExecutionError(f"all {n_failed} fig-8 trials failed")
     return Fig8Series(
         n_servers=profile.fixed_servers,
         samples={name: tuple(vals) for name, vals in samples.items()},
@@ -170,30 +192,56 @@ class Fig9Trace:
         return (start - at) / total
 
 
+@dataclass(frozen=True)
+class Fig9Task:
+    """One DGA convergence-trace trial (one placement strategy)."""
+
+    placement: str
+    n_servers: int
+    seed: Optional[int]
+
+
+def run_fig9_trial(matrix: LatencyMatrix, task: Fig9Task) -> Fig9Trace:
+    """Worker-side Fig. 9 trial: one full DGA trace, normalized."""
+    cached = instance_cache().instance(
+        matrix, task.placement, task.n_servers, task.seed
+    )
+    result = distributed_greedy_detailed(cached.problem)
+    return Fig9Trace(
+        placement=task.placement,
+        n_servers=task.n_servers,
+        normalized_trace=tuple(t / cached.lower_bound for t in result.trace),
+        converged=result.converged,
+    )
+
+
 def fig9(
     profile: ExperimentProfile,
     *,
     placements: Sequence[str] = PLACEMENT_NAMES,
     matrix: Optional[LatencyMatrix] = None,
+    pool: Optional[TrialPool] = None,
 ) -> List[Fig9Trace]:
     """Fig. 9: DGA's D after each modification, per placement."""
     if matrix is None:
         matrix = dataset_for(profile)
-    traces: List[Fig9Trace] = []
-    for placement in placements:
-        run_seed = derive_seed(profile.seed, 9, PLACEMENT_NAMES.index(placement))
-        servers = PLACEMENTS[placement](matrix, profile.fixed_servers, seed=run_seed)
-        problem = ClientAssignmentProblem(matrix, servers)
-        lb = interaction_lower_bound(problem)
-        result = distributed_greedy_detailed(problem)
-        traces.append(
-            Fig9Trace(
-                placement=placement,
-                n_servers=profile.fixed_servers,
-                normalized_trace=tuple(t / lb for t in result.trace),
-                converged=result.converged,
-            )
+    tasks = [
+        Fig9Task(
+            placement=placement,
+            n_servers=profile.fixed_servers,
+            seed=derive_seed(profile.seed, 9, PLACEMENT_NAMES.index(placement)),
         )
+        for placement in placements
+    ]
+    outcomes = run_trials(run_fig9_trial, tasks, matrix=matrix, pool=pool)
+    traces: List[Fig9Trace] = []
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise TrialExecutionError(
+                f"fig-9 trace for placement "
+                f"{tasks[outcome.index].placement!r} failed: {outcome.error}"
+            )
+        traces.append(outcome.value)
     return traces
 
 
@@ -222,6 +270,7 @@ def fig10(
     *,
     algorithms: Optional[Sequence[str]] = None,
     matrix: Optional[LatencyMatrix] = None,
+    pool: Optional[TrialPool] = None,
 ) -> Fig10Series:
     """Fig. 10 panel: interactivity vs per-server capacity.
 
@@ -230,23 +279,29 @@ def fig10(
     :meth:`~repro.experiments.config.ExperimentProfile.scaled_capacities`)
     so that capacity pressure — the ratio to the balanced load
     ``|C| / |S|`` — matches the paper's.
+
+    Every capacity on the x-axis shares its run's server placement, so
+    the per-process instance cache builds each placement (and its lower
+    bound) once for the whole sweep instead of once per capacity.
     """
     if algorithms is None:
         algorithms = paper_algorithm_names()
     if matrix is None:
         matrix = dataset_for(profile)
-    points = []
+    trials: List[PlacementTrial] = []
     for capacity in profile.scaled_capacities():
-        point, _results = run_placement_sweep(
-            matrix,
-            placement,
-            profile.fixed_servers,
-            algorithms,
-            n_runs=profile.n_random_runs,
-            seed=profile.seed,
-            capacity=capacity,
+        trials.extend(
+            placement_trials(
+                placement,
+                profile.fixed_servers,
+                algorithms,
+                n_runs=profile.n_random_runs,
+                seed=profile.seed,
+                capacity=capacity,
+            )
         )
-        points.append(point)
+    outcomes = run_trials(run_placement_trial, trials, matrix=matrix, pool=pool)
+    points = aggregate_sweep(trials, outcomes, algorithms)
     return Fig10Series(
         placement=placement,
         n_servers=profile.fixed_servers,

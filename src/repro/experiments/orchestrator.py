@@ -50,6 +50,8 @@ from repro.experiments.reporting import (
     render_fig10,
 )
 from repro.experiments.runner import PLACEMENT_NAMES
+from repro.parallel import TrialPool
+from repro.parallel.pool import WorkersLike
 
 PathLike = Union[str, os.PathLike]
 
@@ -113,6 +115,8 @@ def run_full_evaluation(
     out_dir: Optional[PathLike] = None,
     include_ablations: bool = False,
     progress: Optional[callable] = None,
+    workers: WorkersLike = 0,
+    pool: Optional[TrialPool] = None,
 ) -> EvaluationBundle:
     """Regenerate every figure (and optionally the ablations).
 
@@ -128,47 +132,77 @@ def run_full_evaluation(
     progress:
         Optional ``callable(str)`` invoked before each stage — the CLI
         passes ``print``.
+    workers:
+        Trial-execution parallelism: ``0`` (default) runs serially,
+        ``-1`` uses every CPU, ``N > 0`` spawns ``N`` worker processes.
+        Results are bit-identical for every setting (see
+        ``docs/parallel.md``).
+    pool:
+        An existing :class:`~repro.parallel.TrialPool` to submit
+        through instead of creating one; ``workers`` is then ignored
+        and the caller keeps ownership (the pool is not closed here).
     """
     say = progress if progress is not None else (lambda _msg: None)
     say(f"generating {profile.dataset}-like matrix ({profile.n_nodes} nodes)")
     matrix = dataset_for(profile)
 
-    fig7_panels = {}
-    for placement in PLACEMENT_NAMES:
-        say(f"fig 7 ({placement})")
-        fig7_panels[placement] = fig7(profile, placement, matrix=matrix)
-    say("fig 8")
-    fig8_series = fig8(profile, matrix=matrix)
-    say("fig 9")
-    fig9_traces = fig9(profile, matrix=matrix)
-    fig10_panels = {}
-    for placement in PLACEMENT_NAMES:
-        say(f"fig 10 ({placement})")
-        fig10_panels[placement] = fig10(profile, placement, matrix=matrix)
+    owns_pool = pool is None
+    if owns_pool:
+        pool = TrialPool(workers)
+    try:
+        fig7_panels = {}
+        for placement in PLACEMENT_NAMES:
+            say(f"fig 7 ({placement})")
+            fig7_panels[placement] = fig7(
+                profile, placement, matrix=matrix, pool=pool
+            )
+        say("fig 8")
+        fig8_series = fig8(profile, matrix=matrix, pool=pool)
+        say("fig 9")
+        fig9_traces = fig9(profile, matrix=matrix, pool=pool)
+        fig10_panels = {}
+        for placement in PLACEMENT_NAMES:
+            say(f"fig 10 ({placement})")
+            fig10_panels[placement] = fig10(
+                profile, placement, matrix=matrix, pool=pool
+            )
 
-    say("claims")
-    claims = run_all_claims(
-        fig7_panels["random"],
-        fig8_series,
-        fig9_traces,
-        fig10_panels["random"],
-        n_clients=matrix.n_nodes,
-    )
+        say("claims")
+        claims = run_all_claims(
+            fig7_panels["random"],
+            fig8_series,
+            fig9_traces,
+            fig10_panels["random"],
+            n_clients=matrix.n_nodes,
+        )
 
-    ablations: List[AblationResult] = []
-    if include_ablations:
-        say("ablations")
-        ablations = [
-            ablation_dga_initial(
-                matrix, n_servers=min(30, profile.fixed_servers), seed=profile.seed
-            ),
-            ablation_greedy_cost(
-                matrix, n_servers=min(30, profile.fixed_servers), seed=profile.seed
-            ),
-            ablation_placement_strategies(
-                matrix, n_servers=min(25, profile.fixed_servers), seed=profile.seed
-            ),
-        ]
+        ablations: List[AblationResult] = []
+        if include_ablations:
+            say("ablations")
+            ablations = [
+                ablation_dga_initial(
+                    matrix,
+                    n_servers=min(30, profile.fixed_servers),
+                    seed=profile.seed,
+                    pool=pool,
+                ),
+                ablation_greedy_cost(
+                    matrix,
+                    n_servers=min(30, profile.fixed_servers),
+                    seed=profile.seed,
+                    pool=pool,
+                ),
+                ablation_placement_strategies(
+                    matrix,
+                    n_servers=min(25, profile.fixed_servers),
+                    seed=profile.seed,
+                    pool=pool,
+                ),
+            ]
+        say(pool.stats.describe())
+    finally:
+        if owns_pool:
+            pool.close()
 
     bundle = EvaluationBundle(
         profile=profile,

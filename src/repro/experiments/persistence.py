@@ -9,6 +9,7 @@ than misparsed).
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 from dataclasses import dataclass, field
@@ -176,18 +177,29 @@ def from_jsonable(data: Dict[str, Any]) -> FigureResult:
     raise DatasetError(f"unknown result kind {kind!r}")
 
 
+#: Per-process monotonic counter for temp-file uniqueness (two threads
+#: of one process writing the same target get distinct temp names too).
+_TMP_COUNTER = itertools.count()
+
+
 def save_result(path: PathLike, result: FigureResult) -> None:
     """Write a figure result to ``path`` as JSON, atomically.
 
-    The JSON is written to a ``.tmp`` sibling and moved into place with
-    :func:`os.replace`, so a crash or interrupt mid-write can never
-    leave a truncated file at ``path`` — the previous contents (or the
-    absence of the file) survive instead. Results take hours to produce
-    at paper scale; silently corrupting one on an unlucky Ctrl-C is the
-    one failure mode persistence exists to prevent.
+    The JSON is written to a temporary sibling and moved into place
+    with :func:`os.replace`, so a crash or interrupt mid-write can
+    never leave a truncated file at ``path`` — the previous contents
+    (or the absence of the file) survive instead. Results take hours to
+    produce at paper scale; silently corrupting one on an unlucky
+    Ctrl-C is the one failure mode persistence exists to prevent.
+
+    The temporary name embeds the writer's PID and a per-process
+    counter, so concurrent writers targeting the same path (parallel
+    sweeps persisting into a shared results directory) can never
+    collide on the staging file — last rename wins, and every rename
+    installs a complete, valid document.
     """
     payload = to_jsonable(result)
-    tmp_path = os.fspath(path) + ".tmp"
+    tmp_path = f"{os.fspath(path)}.{os.getpid()}-{next(_TMP_COUNTER)}.tmp"
     try:
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)

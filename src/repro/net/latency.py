@@ -137,6 +137,32 @@ class LatencyMatrix:
         return cls(d)
 
     @classmethod
+    def wrap_readonly(cls, values: np.ndarray) -> "LatencyMatrix":
+        """Zero-copy wrap of an existing read-only ``float64`` array.
+
+        The normal constructor defensively copies its input; this one
+        adopts ``values`` directly so a matrix backed by shared memory
+        (see :mod:`repro.parallel.shm`) is not duplicated into every
+        worker process. The array must already be ``float64``, C-ordered
+        and marked non-writeable; structural validation is skipped — the
+        publishing side validated the matrix once.
+        """
+        d = np.asarray(values)
+        if d.dtype != np.float64 or d.ndim != 2 or d.shape[0] != d.shape[1]:
+            raise InvalidLatencyMatrixError(
+                f"wrap_readonly needs a square float64 array, got "
+                f"dtype {d.dtype}, shape {d.shape}"
+            )
+        if d.flags.writeable:
+            raise InvalidLatencyMatrixError(
+                "wrap_readonly needs a non-writeable array "
+                "(call arr.setflags(write=False) first)"
+            )
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "_d", d)
+        return instance
+
+    @classmethod
     def random_metric(
         cls, n: int, *, seed: SeedLike = None, dim: int = 2, scale: float = 100.0
     ) -> "LatencyMatrix":

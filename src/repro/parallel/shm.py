@@ -1,0 +1,229 @@
+"""Zero-copy latency-matrix sharing for worker processes.
+
+A profile-scale latency matrix is ``n_nodes x n_nodes`` of ``float64``
+— ~25 MB at the paper's 1796 nodes. Pickling it into every trial task
+would dominate the cost of small trials and defeat the point of a
+process pool. Instead the parent publishes the matrix **once** into
+POSIX shared memory (:mod:`multiprocessing.shared_memory`) and ships
+only a tiny :class:`SharedMatrixHandle`; workers attach a read-only
+NumPy view and wrap it with
+:meth:`~repro.net.latency.LatencyMatrix.wrap_readonly` — no copy, no
+re-validation.
+
+Lifecycle contract
+------------------
+
+- :func:`publish_matrix` returns a :class:`PublishedMatrix` context
+  manager owning the segment. The **publisher** is responsible for
+  ``unlink()``; leaving the ``with`` block (or calling ``close()``)
+  always unlinks, even on ``KeyboardInterrupt``.
+- Workers attach via :func:`attach_matrix` and cache the attachment
+  per process (keyed by segment name), so a worker maps each segment
+  once no matter how many trials it runs.
+- When shared memory is unavailable (exotic platforms, permission-
+  restricted ``/dev/shm``), publishing transparently degrades to an
+  **inline** handle that carries the array bytes and is pickled per
+  task chunk — slower, never wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.net.latency import LatencyMatrix
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+
+@dataclass(frozen=True)
+class SharedMatrixHandle:
+    """A picklable descriptor of a published latency matrix.
+
+    Either ``shm_name`` is set (shared-memory mode) or ``inline`` holds
+    the raw array bytes (fallback mode). ``shape`` is always present so
+    attachment never trusts the segment size alone.
+    """
+
+    shape: Tuple[int, int]
+    shm_name: Optional[str] = None
+    inline: Optional[bytes] = field(default=None, repr=False)
+
+    @property
+    def is_shared(self) -> bool:
+        """Whether this handle points at a shared-memory segment."""
+        return self.shm_name is not None
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the published matrix in bytes."""
+        return int(np.prod(self.shape)) * 8
+
+
+class PublishedMatrix:
+    """A latency matrix published for worker consumption.
+
+    Context manager; owns the shared-memory segment (when one exists)
+    and guarantees ``close()``/``unlink()`` on exit. The original
+    :class:`~repro.net.latency.LatencyMatrix` is kept so in-process
+    (serial backend) consumers skip attachment entirely.
+    """
+
+    def __init__(
+        self,
+        matrix: LatencyMatrix,
+        handle: SharedMatrixHandle,
+        segment: Optional["_shared_memory.SharedMemory"],
+    ) -> None:
+        self.matrix = matrix
+        self.handle = handle
+        self._segment = segment
+        self._closed = False
+
+    def __enter__(self) -> "PublishedMatrix":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release and unlink the shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._segment is not None:
+            try:
+                self._segment.close()
+            finally:
+                try:
+                    self._segment.unlink()
+                except FileNotFoundError:  # already unlinked elsewhere
+                    pass
+
+    def __del__(self) -> None:  # last-resort cleanup; close() is the API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def shared_memory_available() -> bool:
+    """Whether POSIX shared memory can actually be used here."""
+    if _shared_memory is None:
+        return False
+    try:
+        probe = _shared_memory.SharedMemory(create=True, size=8)
+    except (OSError, ValueError):
+        return False
+    probe.close()
+    probe.unlink()
+    return True
+
+
+def publish_matrix(
+    matrix: LatencyMatrix, *, prefer_shared: bool = True
+) -> PublishedMatrix:
+    """Publish ``matrix`` for zero-copy consumption by workers.
+
+    Falls back to an inline (pickled-bytes) handle when shared memory
+    is unavailable or ``prefer_shared=False``.
+    """
+    values = matrix.values
+    shape = (int(values.shape[0]), int(values.shape[1]))
+    if prefer_shared and _shared_memory is not None:
+        try:
+            segment = _shared_memory.SharedMemory(
+                create=True, size=max(1, values.nbytes)
+            )
+        except (OSError, ValueError):
+            segment = None
+        if segment is not None:
+            staged = np.ndarray(shape, dtype=np.float64, buffer=segment.buf)
+            staged[:] = values
+            handle = SharedMatrixHandle(shape=shape, shm_name=segment.name)
+            return PublishedMatrix(matrix, handle, segment)
+    handle = SharedMatrixHandle(
+        shape=shape, inline=np.ascontiguousarray(values).tobytes()
+    )
+    return PublishedMatrix(matrix, handle, None)
+
+
+# ----------------------------------------------------------------------
+# Worker-side attachment
+# ----------------------------------------------------------------------
+#: Per-process attachment cache: segment name -> (segment, matrix).
+#: Keeping the segment object alive keeps the mapping alive; entries
+#: live until the worker process exits.
+_ATTACHMENTS: Dict[str, Tuple[object, LatencyMatrix]] = {}
+
+
+def _attach_segment(name: str) -> "_shared_memory.SharedMemory":
+    """Attach to an existing segment without resource-tracker tracking.
+
+    Python's resource tracker registers *attached* segments too
+    (bpo-39959); with several workers attaching and detaching the same
+    publisher-owned segment, the tracker would race itself into
+    KeyError spam and spurious unlink attempts. Python 3.13+ exposes
+    ``track=False`` for exactly this; older interpreters get a scoped
+    no-op of the register hook during attachment (the standard
+    workaround — registration happens synchronously inside
+    ``SharedMemory.__init__``).
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _register_skipping_shm(target: str, rtype: str) -> None:
+        if rtype != "shared_memory":  # pragma: no cover - not hit here
+            original(target, rtype)
+
+    resource_tracker.register = _register_skipping_shm
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def attach_matrix(handle: SharedMatrixHandle) -> LatencyMatrix:
+    """Materialize a published matrix in this process.
+
+    Shared handles attach a read-only view (cached per process);
+    inline handles rebuild the array from bytes (cached as well, since
+    chunked scheduling can deliver the same handle many times).
+    """
+    if handle.shm_name is None:
+        if handle.inline is None:
+            raise ValueError("handle carries neither a segment nor inline data")
+        key = f"inline-{id(handle.inline)}-{handle.shape}"
+        cached = _ATTACHMENTS.get(key)
+        if cached is not None:
+            return cached[1]
+        values = np.frombuffer(handle.inline, dtype=np.float64).reshape(
+            handle.shape
+        )
+        values.setflags(write=False)
+        matrix = LatencyMatrix.wrap_readonly(values)
+        _ATTACHMENTS[key] = (handle.inline, matrix)
+        return matrix
+    cached = _ATTACHMENTS.get(handle.shm_name)
+    if cached is not None:
+        return cached[1]
+    if _shared_memory is None:  # pragma: no cover - guarded by publish
+        raise RuntimeError("shared memory unavailable in this process")
+    segment = _attach_segment(handle.shm_name)
+    values: np.ndarray = np.ndarray(
+        handle.shape, dtype=np.float64, buffer=segment.buf
+    )
+    values.setflags(write=False)
+    matrix = LatencyMatrix.wrap_readonly(values)
+    _ATTACHMENTS[handle.shm_name] = (segment, matrix)
+    return matrix

@@ -1,0 +1,137 @@
+"""The determinism contract: worker count never changes results.
+
+Every figure and the claims checklist must produce byte-identical JSON
+payloads whether trials run inline (``workers=0``), on one worker, or
+on several — the ``--workers`` knob is a pure throughput control.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentProfile,
+    dataset_for,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    run_claims_for_profile,
+    to_jsonable,
+)
+from repro.experiments.ablations import (
+    ablation_dga_initial,
+    ablation_greedy_cost,
+    ablation_placement_strategies,
+)
+from repro.experiments.cross_dataset import compare_datasets
+from repro.experiments.scaling import scale_sweep
+from repro.parallel import TrialPool
+
+WORKER_COUNTS = (0, 1, 4)
+
+
+@pytest.fixture(scope="module")
+def tiny_profile() -> ExperimentProfile:
+    return ExperimentProfile(
+        name="determinism-test",
+        n_nodes=60,
+        n_random_runs=2,
+        server_counts=(5, 10),
+        fixed_servers=8,
+        fig8_runs=4,
+        capacities=(10, 20),
+        seed=99,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_matrix(tiny_profile):
+    return dataset_for(tiny_profile)
+
+
+def _figure_payloads(prof, matrix, pool) -> str:
+    body = {
+        "fig7": to_jsonable(fig7(prof, "random", matrix=matrix, pool=pool)),
+        "fig7_kc": to_jsonable(
+            fig7(prof, "k-center-b", matrix=matrix, pool=pool)
+        ),
+        "fig8": to_jsonable(fig8(prof, matrix=matrix, pool=pool)),
+        "fig9": to_jsonable(fig9(prof, matrix=matrix, pool=pool)),
+        "fig10": to_jsonable(fig10(prof, "random", matrix=matrix, pool=pool)),
+    }
+    return json.dumps(body, sort_keys=True)
+
+
+def test_figures_identical_across_worker_counts(tiny_profile, tiny_matrix):
+    payloads = {}
+    for workers in WORKER_COUNTS:
+        with TrialPool(workers) as pool:
+            payloads[workers] = _figure_payloads(
+                tiny_profile, tiny_matrix, pool
+            )
+    reference = payloads[WORKER_COUNTS[0]]
+    for workers, payload in payloads.items():
+        assert payload == reference, (
+            f"workers={workers} produced a different figure payload"
+        )
+
+
+def test_claims_identical_across_worker_counts(tiny_profile, tiny_matrix):
+    results = {}
+    for workers in WORKER_COUNTS:
+        with TrialPool(workers) as pool:
+            results[workers] = run_claims_for_profile(
+                tiny_profile, matrix=tiny_matrix, pool=pool
+            )
+    reference = results[WORKER_COUNTS[0]]
+    for workers, claims in results.items():
+        assert claims == reference, (
+            f"workers={workers} produced different claim results"
+        )
+
+
+def test_scale_sweep_identical_across_worker_counts():
+    results = {}
+    for workers in (0, 2):
+        with TrialPool(workers) as pool:
+            results[workers] = scale_sweep(
+                sizes=(40, 60),
+                algorithms=("nearest-server", "distributed-greedy"),
+                n_runs=2,
+                seed=5,
+                pool=pool,
+            )
+    assert results[0] == results[2]
+
+
+def test_ablations_identical_across_worker_counts(tiny_matrix):
+    for ablation in (
+        ablation_dga_initial,
+        ablation_greedy_cost,
+        ablation_placement_strategies,
+    ):
+        results = {}
+        for workers in (0, 2):
+            with TrialPool(workers) as pool:
+                results[workers] = ablation(
+                    tiny_matrix, n_servers=6, n_runs=2, seed=3, pool=pool
+                )
+        assert results[0] == results[2], ablation.__name__
+
+
+def test_cross_dataset_identical_across_worker_counts():
+    results = {}
+    for workers in (0, 2):
+        with TrialPool(workers) as pool:
+            results[workers] = compare_datasets(
+                n_nodes=50,
+                server_counts=(5, 10),
+                algorithms=("nearest-server", "greedy"),
+                n_runs=2,
+                seed=1,
+                pool=pool,
+            )
+    assert results[0] == results[2]

@@ -139,3 +139,71 @@ class TestAtomicity:
         path.write_text(full[: len(full) // 2])
         with pytest.raises(DatasetError, match="invalid JSON"):
             load_result(path)
+
+
+def _hammer_save(path: str, writer: int, n_writes: int) -> None:
+    """Worker for the concurrent-writer test: repeated saves to one path."""
+    from repro.experiments.persistence import BenchTable, save_result
+
+    for i in range(n_writes):
+        table = BenchTable(
+            name="concurrent",
+            columns=("writer", "iteration"),
+            rows=((writer, i),),
+        )
+        save_result(path, table)
+
+
+class TestConcurrentWriters:
+    def test_parallel_saves_never_corrupt(self, tmp_path):
+        """N processes hammering one path: the survivor is always valid."""
+        import multiprocessing
+
+        from repro.experiments.persistence import BenchTable
+
+        path = tmp_path / "shared.json"
+        ctx = multiprocessing.get_context()
+        n_writers, n_writes = 4, 12
+        procs = [
+            ctx.Process(target=_hammer_save, args=(str(path), w, n_writes))
+            for w in range(n_writers)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        # Last rename won: a complete document from *some* writer, and
+        # no staging files left behind.
+        loaded = load_result(path)
+        assert isinstance(loaded, BenchTable)
+        assert loaded.name == "concurrent"
+        (row,) = loaded.rows
+        assert row[0] in range(n_writers) and row[1] == n_writes - 1
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_tmp_names_are_unique_per_call(self, tmp_path, matrix):
+        """The staging-name scheme embeds pid + a per-process counter."""
+        import re
+
+        from repro.experiments import persistence
+
+        seen = []
+        original_replace = persistence.os.replace
+
+        def spy(src, dst):
+            seen.append(src)
+            return original_replace(src, dst)
+
+        series = fig7(QUICK, "random", matrix=matrix)
+        path = tmp_path / "f7.json"
+        persistence.os.replace = spy
+        try:
+            save_result(path, series)
+            save_result(path, series)
+        finally:
+            persistence.os.replace = original_replace
+        assert len(seen) == 2 and seen[0] != seen[1]
+        pattern = re.compile(rf"{re.escape(str(path))}\.\d+-\d+\.tmp$")
+        for name in seen:
+            assert pattern.match(name), name

@@ -1,0 +1,95 @@
+"""Shared-memory matrix publication and attachment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import small_world_latencies
+from repro.errors import InvalidLatencyMatrixError
+from repro.net.latency import LatencyMatrix
+from repro.parallel.shm import (
+    SharedMatrixHandle,
+    attach_matrix,
+    publish_matrix,
+    shared_memory_available,
+)
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="no usable shared memory here"
+)
+
+
+@needs_shm
+def test_publish_and_attach_round_trip():
+    matrix = small_world_latencies(25, seed=3)
+    with publish_matrix(matrix) as published:
+        assert published.handle.is_shared
+        assert published.handle.shape == (25, 25)
+        attached = attach_matrix(published.handle)
+        assert np.array_equal(attached.values, matrix.values)
+
+
+@needs_shm
+def test_attached_view_is_readonly_and_zero_copy():
+    matrix = small_world_latencies(20, seed=4)
+    with publish_matrix(matrix) as published:
+        attached = attach_matrix(published.handle)
+        assert not attached.values.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            attached.values[0, 1] = 999.0
+
+
+@needs_shm
+def test_attachment_is_cached_per_process():
+    matrix = small_world_latencies(15, seed=5)
+    with publish_matrix(matrix) as published:
+        first = attach_matrix(published.handle)
+        second = attach_matrix(published.handle)
+        assert first is second
+
+
+@needs_shm
+def test_close_is_idempotent():
+    matrix = small_world_latencies(10, seed=6)
+    published = publish_matrix(matrix)
+    published.close()
+    published.close()  # second close is a no-op, not an error
+
+
+def test_inline_fallback_round_trip():
+    matrix = small_world_latencies(12, seed=7)
+    with publish_matrix(matrix, prefer_shared=False) as published:
+        handle = published.handle
+        assert not handle.is_shared
+        assert handle.inline is not None
+        attached = attach_matrix(handle)
+        assert np.array_equal(attached.values, matrix.values)
+        assert not attached.values.flags.writeable
+
+
+def test_handle_nbytes():
+    handle = SharedMatrixHandle(shape=(100, 100), shm_name="x")
+    assert handle.nbytes == 100 * 100 * 8
+
+
+def test_empty_handle_rejected():
+    handle = SharedMatrixHandle(shape=(3, 3))
+    with pytest.raises(ValueError, match="neither"):
+        attach_matrix(handle)
+
+
+def test_wrap_readonly_requires_readonly_float64_square():
+    values = np.zeros((4, 4))
+    values.setflags(write=False)
+    wrapped = LatencyMatrix.wrap_readonly(values)
+    assert wrapped.values is values
+
+    writable = np.zeros((4, 4))
+    with pytest.raises(InvalidLatencyMatrixError):
+        LatencyMatrix.wrap_readonly(writable)
+
+    not_square = np.zeros((4, 3))
+    not_square.setflags(write=False)
+    with pytest.raises(InvalidLatencyMatrixError):
+        LatencyMatrix.wrap_readonly(not_square)

@@ -103,6 +103,12 @@ class TestFig:
             == 0
         )
 
+    def test_fig7_workers_flag_matches_serial(self, capsys):
+        assert main(["fig", "7", "--profile", "quick"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["fig", "7", "--profile", "quick", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
 
 class TestClaims:
     def test_quick_claims_pass(self, capsys):
