@@ -45,7 +45,7 @@ from repro.core import (
 from repro.experiments.persistence import BenchTable, load_result, save_result
 from repro.experiments.reporting import format_table
 from repro.net.latency import LatencyMatrix
-from repro.utils.timing import Stopwatch
+from repro.obs import Stopwatch
 
 N_SERVERS = 25
 N_SAMPLED_CLIENTS = 64

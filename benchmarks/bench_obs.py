@@ -1,0 +1,143 @@
+"""Observability overhead benchmark: instrumentation must stay cheap.
+
+The metrics layer is on by default, so its cost is a standing tax on
+every solver run. This benchmark times the two most instrumented
+algorithms (Greedy and Distributed-Greedy) twice per instance:
+
+- **instrumented** — the shipping configuration: the process-global
+  :class:`~repro.obs.metrics.MetricsRegistry` live, null trace sink;
+- **baseline** — a :class:`~repro.obs.metrics.NullMetricsRegistry`
+  installed via :func:`~repro.obs.metrics.use_registry`, so every
+  ``inc``/``observe`` becomes a no-op while the algorithm's own work is
+  unchanged.
+
+Each configuration takes the **minimum of several repeats** (the
+standard way to strip scheduler noise from a lower-bound cost
+measurement) and the benchmark asserts the instrumented minimum is
+within ``REPRO_BENCH_OBS_TOLERANCE`` (default 5%) of the baseline.
+Results persist as a ``bench-table`` through the standard schema.
+
+Scale knobs: ``REPRO_BENCH_OBS_NODES`` (default 250),
+``REPRO_BENCH_OBS_REPEATS`` (default 5).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.algorithms import distributed_greedy, greedy
+from repro.core import ClientAssignmentProblem
+from repro.net.latency import LatencyMatrix
+from repro.obs.metrics import NullMetricsRegistry, use_registry
+from repro.placement import random_placement
+
+#: Instrumented-over-baseline runtime ratio ceiling (1.05 = within 5%).
+TOLERANCE = 1.0 + float(os.environ.get("REPRO_BENCH_OBS_TOLERANCE", "0.05"))
+N_NODES = int(os.environ.get("REPRO_BENCH_OBS_NODES", "250"))
+N_REPEATS = int(os.environ.get("REPRO_BENCH_OBS_REPEATS", "5"))
+N_SERVERS = 30
+
+ALGORITHMS = {
+    "greedy": lambda problem: greedy(problem),
+    "distributed-greedy": lambda problem: distributed_greedy(problem, seed=0),
+}
+
+
+def _make_problem() -> ClientAssignmentProblem:
+    matrix = LatencyMatrix.random_metric(N_NODES, seed=7)
+    servers = random_placement(matrix, N_SERVERS, seed=7)
+    return ClientAssignmentProblem(matrix, servers)
+
+
+def _min_runtime(fn, problem, repeats: int = N_REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(problem)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_overhead(name: str):
+    """(instrumented_s, baseline_s, ratio) for one algorithm."""
+    fn = ALGORITHMS[name]
+    problem = _make_problem()
+    fn(problem)  # warm caches / JIT-free but touches lazy structures
+    instrumented = _min_runtime(fn, problem)
+    with use_registry(NullMetricsRegistry()):
+        fn(problem)
+        baseline = _min_runtime(fn, problem)
+    return instrumented, baseline, instrumented / baseline
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_instrumentation_overhead(name):
+    instrumented, baseline, ratio = measure_overhead(name)
+    print(
+        f"\n{name}: instrumented {instrumented * 1000:.2f} ms, "
+        f"baseline {baseline * 1000:.2f} ms, ratio {ratio:.3f} "
+        f"(tolerance {TOLERANCE:.2f})"
+    )
+    assert ratio <= TOLERANCE, (
+        f"{name} instrumentation overhead {ratio:.3f}x exceeds "
+        f"{TOLERANCE:.2f}x — a hot path is doing per-event telemetry work"
+    )
+
+
+def test_results_identical_under_null_registry():
+    """The baseline leg measures the same computation, not a variant."""
+    problem = _make_problem()
+    expected = greedy(problem).server_of
+    with use_registry(NullMetricsRegistry()):
+        nulled = greedy(problem).server_of
+    assert (expected == nulled).all()
+
+
+def main() -> int:
+    from repro.experiments.persistence import BenchTable, save_result
+    from repro.experiments.reporting import format_table
+
+    rows = []
+    failures = 0
+    for name in sorted(ALGORITHMS):
+        instrumented, baseline, ratio = measure_overhead(name)
+        ok = ratio <= TOLERANCE
+        failures += 0 if ok else 1
+        rows.append(
+            (
+                name,
+                round(instrumented * 1000, 3),
+                round(baseline * 1000, 3),
+                round(ratio, 4),
+                "ok" if ok else "FAIL",
+            )
+        )
+    columns = (
+        "algorithm", "instrumented_ms", "baseline_ms", "ratio", "status"
+    )
+    print(format_table(columns, rows))
+    out = os.environ.get("REPRO_BENCH_OBS_OUT")
+    if out:
+        save_result(
+            out,
+            BenchTable(
+                name="bench_obs",
+                columns=columns,
+                rows=tuple(tuple(row) for row in rows),
+                meta={
+                    "n_nodes": N_NODES,
+                    "n_servers": N_SERVERS,
+                    "repeats": N_REPEATS,
+                    "tolerance": TOLERANCE,
+                },
+            ),
+        )
+        print(f"saved measurements to {out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,7 +38,7 @@ from repro.experiments.persistence import BenchTable, load_result, save_result
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import PLACEMENT_NAMES
 from repro.parallel import TrialPool
-from repro.utils.timing import Stopwatch
+from repro.obs import Stopwatch
 
 SPEEDUP_TARGET = 3.0
 #: Profiles too small for trial work to dominate pool overhead only

@@ -27,7 +27,7 @@ from repro.core.metrics import max_interaction_path_length
 from repro.core.problem import ClientAssignmentProblem
 from repro.core.results import AssignmentResult
 from repro.errors import InvalidParameterError, UnknownAlgorithmError
-from repro.utils.timing import Stopwatch
+from repro.obs import SECONDS_BUCKETS, Stopwatch, registry, span
 
 #: Uniform algorithm signature.
 AlgorithmFn = Callable[..., Assignment]
@@ -112,8 +112,17 @@ def run_algorithm(
         fn = get_algorithm(name)
     else:
         get_algorithm(name)  # validate the name exists in the registry
-    with count_evaluations() as counter, Stopwatch() as watch:
+    with span(
+        f"algo.{name}",
+        algorithm=name,
+        clients=problem.n_clients,
+        servers=problem.n_servers,
+    ), count_evaluations() as counter, Stopwatch() as watch:
         outcome = fn(problem, seed=seed, **kwargs)
+    metrics = registry()
+    metrics.counter(f"algo.{name}.runs").inc()
+    metrics.counter("algo.evaluations").inc(counter.count)
+    metrics.histogram("algo.seconds", SECONDS_BUCKETS).observe(watch.elapsed)
     trace = None
     extras: Dict[str, Any] = {}
     if plain:

@@ -61,6 +61,7 @@ from repro.core.metrics import (
 )
 from repro.core.problem import ClientAssignmentProblem
 from repro.errors import InvalidParameterError
+from repro.obs import registry, span
 from repro.utils.rng import SeedLike
 
 
@@ -183,55 +184,65 @@ def distributed_greedy_detailed(
     n_messages += n_servers * (n_servers - 1)
     converged = False
 
-    while len(trace) - 1 < max_modifications:
-        candidates = clients_on_longest_paths(current_assignment())
-        moved = False
-        for c in candidates:
-            c = int(c)
-            home = int(server_of[c])
+    with span(
+        "dga.solve",
+        clients=problem.n_clients,
+        servers=n_servers,
+        evaluator=evaluator,
+    ):
+        while len(trace) - 1 < max_modifications:
+            candidates = clients_on_longest_paths(current_assignment())
+            moved = False
+            for c in candidates:
+                c = int(c)
+                home = int(server_of[c])
 
-            # Broadcast of c's identity and l(home) minus c.
-            n_messages += n_servers - 1
-
-            # L(s') for every server s' (the replies).
-            if incremental:
-                l_candidates, _d_rest = engine.candidate_paths(c)
-            else:
-                record_candidate_evaluations(n_servers)
-                l_candidates = _candidate_lengths_recompute(
-                    problem, server_of, c
-                )
-
-            # Replies from the other servers.
-            n_messages += n_servers - 1
-
-            if capacities is not None:
-                saturated = (loads >= capacities) & (
-                    np.arange(n_servers) != home
-                )
-                l_candidates = np.where(saturated, np.inf, l_candidates)
-
-            best_server = int(np.argmin(l_candidates))
-            if l_candidates[best_server] < d_current - 1e-12 and best_server != home:
-                loads[home] -= 1
-                loads[best_server] += 1
-                server_of[c] = best_server
-                # The new server broadcasts its updated l(s).
+                # Broadcast of c's identity and l(home) minus c.
                 n_messages += n_servers - 1
-                if incremental:
-                    engine.apply(c, best_server)
-                    d_current = engine.d()
-                else:
-                    d_current = max_interaction_path_length(
-                        current_assignment()
-                    )
-                trace.append(d_current)
-                moved = True
-                break  # re-derive the longest paths after each move
-        if not moved:
-            converged = True
-            break
 
+                # L(s') for every server s' (the replies).
+                if incremental:
+                    l_candidates, _d_rest = engine.candidate_paths(c)
+                else:
+                    record_candidate_evaluations(n_servers)
+                    l_candidates = _candidate_lengths_recompute(
+                        problem, server_of, c
+                    )
+
+                # Replies from the other servers.
+                n_messages += n_servers - 1
+
+                if capacities is not None:
+                    saturated = (loads >= capacities) & (
+                        np.arange(n_servers) != home
+                    )
+                    l_candidates = np.where(saturated, np.inf, l_candidates)
+
+                best_server = int(np.argmin(l_candidates))
+                if l_candidates[best_server] < d_current - 1e-12 and best_server != home:
+                    loads[home] -= 1
+                    loads[best_server] += 1
+                    server_of[c] = best_server
+                    # The new server broadcasts its updated l(s).
+                    n_messages += n_servers - 1
+                    if incremental:
+                        engine.apply(c, best_server)
+                        d_current = engine.d()
+                    else:
+                        d_current = max_interaction_path_length(
+                            current_assignment()
+                        )
+                    trace.append(d_current)
+                    moved = True
+                    break  # re-derive the longest paths after each move
+            if not moved:
+                converged = True
+                break
+
+    metrics = registry()
+    metrics.counter("dga.runs").inc()
+    metrics.counter("dga.modifications").inc(len(trace) - 1)
+    metrics.counter("dga.messages").inc(n_messages)
     final = Assignment(problem, server_of)
     return DistributedGreedyResult(
         assignment=final,

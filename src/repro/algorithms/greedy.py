@@ -54,6 +54,7 @@ from repro.core.incremental import (
     record_candidate_evaluations,
 )
 from repro.core.problem import ClientAssignmentProblem
+from repro.obs import registry, span
 from repro.utils.rng import SeedLike
 
 
@@ -81,6 +82,9 @@ def greedy(
     sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]  # (S, C)
     n_clients, n_servers = cs.shape
     rt = round_trip_distances(problem)  # (C, S): d(c,s) + d(s,c)
+    metrics = registry()
+    batches = metrics.counter("greedy.batches")
+    batch_sizes = metrics.histogram("greedy.batch_size")
 
     # Preprocessing: per-server client order by ascending d(c, s), and
     # each client's position in that order (the pseudocode's index[s, c]
@@ -101,62 +105,67 @@ def greedy(
     engine = IncrementalObjective(problem, history=False)
     max_len = 0.0
 
-    while unassigned.any():
-        # m terms shared per server (line 11 of the pseudocode):
-        #   m_in[s]  = max_b d(s, s_A(b)) + d(s_A(b), b)   (outgoing paths)
-        #   m_out[s] = max_b d(b, s_A(b)) + d(s_A(b), s)   (incoming paths)
-        # served from the engine's cached best-completion reductions.
-        any_assigned = engine.n_assigned > 0
-        if any_assigned:
-            m_in, m_out = engine.server_reductions()
+    with span("greedy.assign", clients=n_clients, servers=n_servers):
+        while unassigned.any():
+            # m terms shared per server (line 11 of the pseudocode):
+            #   m_in[s]  = max_b d(s, s_A(b)) + d(s_A(b), b)   (outgoing)
+            #   m_out[s] = max_b d(b, s_A(b)) + d(s_A(b), s)   (incoming)
+            # served from the engine's cached best-completion reductions.
+            any_assigned = engine.n_assigned > 0
+            if any_assigned:
+                m_in, m_out = engine.server_reductions()
 
-        # Candidate path length for every (s, c) pair (lines 13-14).
-        cand = np.maximum(rt.T, max_len)  # round trip & current max
-        if any_assigned:
-            cand = np.maximum(cand, cs.T + m_in[:, None])
-            cand = np.maximum(cand, m_out[:, None] + sc)
-        record_candidate_evaluations(cand.size)
-        delta_l = cand - max_len  # >= 0
+            # Candidate path length for every (s, c) pair (lines 13-14).
+            cand = np.maximum(rt.T, max_len)  # round trip & current max
+            if any_assigned:
+                cand = np.maximum(cand, cs.T + m_in[:, None])
+                cand = np.maximum(cand, m_out[:, None] + sc)
+            record_candidate_evaluations(cand.size)
+            delta_l = cand - max_len  # >= 0
 
-        # Δn: rank of each client among unassigned clients of each server.
-        cum = np.cumsum(unassigned[order], axis=1)  # (S, C)
-        delta_n = np.take_along_axis(cum, pos, axis=1).astype(np.float64)
+            # Δn: rank of each client among unassigned clients per server.
+            cum = np.cumsum(unassigned[order], axis=1)  # (S, C)
+            delta_n = np.take_along_axis(cum, pos, axis=1).astype(np.float64)
 
-        if remaining is not None:
-            delta_n = np.minimum(delta_n, remaining[:, None])
+            if remaining is not None:
+                delta_n = np.minimum(delta_n, remaining[:, None])
 
-        # Assigned clients (and saturated servers) can yield Δn = 0;
-        # their costs are masked right after, so silence the 0/0.
-        with np.errstate(divide="ignore", invalid="ignore"):
-            if amortized:
-                cost = delta_l / delta_n
-            else:
-                cost = np.where(delta_n > 0, delta_l, np.inf)
-        # Mask out assigned clients and saturated servers.
-        cost[:, ~unassigned] = np.inf
-        if remaining is not None:
-            cost[remaining <= 0, :] = np.inf
+            # Assigned clients (and saturated servers) can yield Δn = 0;
+            # their costs are masked right after, so silence the 0/0.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                if amortized:
+                    cost = delta_l / delta_n
+                else:
+                    cost = np.where(delta_n > 0, delta_l, np.inf)
+            # Mask out assigned clients and saturated servers.
+            cost[:, ~unassigned] = np.inf
+            if remaining is not None:
+                cost[remaining <= 0, :] = np.inf
 
-        flat = int(np.argmin(cost))
-        s_star, c_star = divmod(flat, n_clients)
-        assert np.isfinite(cost[s_star, c_star]), "no assignable pair found"
+            flat = int(np.argmin(cost))
+            s_star, c_star = divmod(flat, n_clients)
+            assert np.isfinite(cost[s_star, c_star]), "no assignable pair found"
 
-        limit = cs[c_star, s_star]
-        batch = np.flatnonzero(unassigned & (cs[:, s_star] <= limit))
-        if remaining is not None and batch.size > remaining[s_star]:
-            others = batch[batch != c_star]
-            keep_n = int(remaining[s_star]) - 1
-            if keep_n > 0:
-                nearest_others = others[np.argsort(cs[others, s_star], kind="stable")]
-                batch = np.concatenate(([c_star], nearest_others[:keep_n]))
-            else:
-                batch = np.array([c_star], dtype=np.int64)
+            limit = cs[c_star, s_star]
+            batch = np.flatnonzero(unassigned & (cs[:, s_star] <= limit))
+            if remaining is not None and batch.size > remaining[s_star]:
+                others = batch[batch != c_star]
+                keep_n = int(remaining[s_star]) - 1
+                if keep_n > 0:
+                    nearest_others = others[
+                        np.argsort(cs[others, s_star], kind="stable")
+                    ]
+                    batch = np.concatenate(([c_star], nearest_others[:keep_n]))
+                else:
+                    batch = np.array([c_star], dtype=np.int64)
 
-        engine.assign_many(batch, s_star)
-        unassigned[batch] = False
-        if remaining is not None:
-            remaining[s_star] -= batch.size
-        max_len = float(cand[s_star, c_star])
+            engine.assign_many(batch, s_star)
+            unassigned[batch] = False
+            if remaining is not None:
+                remaining[s_star] -= batch.size
+            max_len = float(cand[s_star, c_star])
+            batches.inc()
+            batch_sizes.observe(batch.size)
 
     return engine.assignment()
 

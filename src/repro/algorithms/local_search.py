@@ -27,6 +27,7 @@ from repro.core.incremental import IncrementalObjective, record_candidate_evalua
 from repro.core.metrics import max_interaction_path_length
 from repro.core.problem import ClientAssignmentProblem
 from repro.errors import InvalidParameterError
+from repro.obs import registry, span
 from repro.utils.rng import SeedLike, ensure_rng
 
 _EVALUATORS = ("incremental", "recompute")
@@ -99,40 +100,48 @@ def hill_climbing(
         best_d = max_interaction_path_length(
             Assignment(problem, server_of, validate=False)
         )
-    for _ in range(max_rounds):
-        improved = False
-        for c in rng.permutation(problem.n_clients):
-            c = int(c)
-            home = int(server_of[c])
-            scores: Optional[np.ndarray] = None
-            for s in range(problem.n_servers):
-                if s == home:
-                    continue
-                if capacities is not None and loads[s] >= capacities[s]:
-                    continue
-                if incremental:
-                    if scores is None:
-                        scores = engine.batch_delta_D(
-                            c, respect_capacities=False
-                        )
-                    d_new = float(scores[s])
-                else:
-                    record_candidate_evaluations(1)
-                    d_new = _objective_after_move(problem, server_of, c, s)
-                if d_new < best_d - 1e-12:
-                    server_of[c] = s
-                    loads[home] -= 1
-                    loads[s] += 1
+    moves = registry().counter("local_search.hc_moves")
+    with span(
+        "hc.search",
+        clients=problem.n_clients,
+        servers=problem.n_servers,
+        evaluator=evaluator,
+    ):
+        for _ in range(max_rounds):
+            improved = False
+            for c in rng.permutation(problem.n_clients):
+                c = int(c)
+                home = int(server_of[c])
+                scores: Optional[np.ndarray] = None
+                for s in range(problem.n_servers):
+                    if s == home:
+                        continue
+                    if capacities is not None and loads[s] >= capacities[s]:
+                        continue
                     if incremental:
-                        engine.apply(c, s)
-                        best_d = engine.d()
-                        scores = None  # home changed: rescore lazily
+                        if scores is None:
+                            scores = engine.batch_delta_D(
+                                c, respect_capacities=False
+                            )
+                        d_new = float(scores[s])
                     else:
-                        best_d = d_new
-                    home = s
-                    improved = True
-        if not improved:
-            break
+                        record_candidate_evaluations(1)
+                        d_new = _objective_after_move(problem, server_of, c, s)
+                    if d_new < best_d - 1e-12:
+                        server_of[c] = s
+                        loads[home] -= 1
+                        loads[s] += 1
+                        if incremental:
+                            engine.apply(c, s)
+                            best_d = engine.d()
+                            scores = None  # home changed: rescore lazily
+                        else:
+                            best_d = d_new
+                        home = s
+                        improved = True
+                        moves.inc()
+            if not improved:
+                break
     return Assignment(problem, server_of)
 
 
@@ -188,31 +197,40 @@ def simulated_annealing(
     )
     temperature = max(temperature, 1e-9)
 
-    for _ in range(n_steps):
-        c = int(rng.integers(0, problem.n_clients))
-        s = int(rng.integers(0, problem.n_servers))
-        home = int(server_of[c])
-        if s == home:
-            continue
-        if capacities is not None and loads[s] >= capacities[s]:
-            continue
-        if incremental:
-            record_candidate_evaluations(1)
-            engine.apply(c, s)
-            d_new = engine.d()
-        else:
-            record_candidate_evaluations(1)
-            d_new = _objective_after_move(problem, server_of, c, s)
-        delta = d_new - current_d
-        if delta <= 0 or rng.uniform() < np.exp(-delta / temperature):
-            server_of[c] = s
-            loads[home] -= 1
-            loads[s] += 1
-            current_d = d_new
-            if current_d < best_d:
-                best_d = current_d
-                best = server_of.copy()
-        elif incremental:
-            engine.undo()
-        temperature *= cooling
+    accepted = registry().counter("local_search.sa_accepted")
+    with span(
+        "sa.search",
+        clients=problem.n_clients,
+        servers=problem.n_servers,
+        steps=n_steps,
+        evaluator=evaluator,
+    ):
+        for _ in range(n_steps):
+            c = int(rng.integers(0, problem.n_clients))
+            s = int(rng.integers(0, problem.n_servers))
+            home = int(server_of[c])
+            if s == home:
+                continue
+            if capacities is not None and loads[s] >= capacities[s]:
+                continue
+            if incremental:
+                record_candidate_evaluations(1)
+                engine.apply(c, s)
+                d_new = engine.d()
+            else:
+                record_candidate_evaluations(1)
+                d_new = _objective_after_move(problem, server_of, c, s)
+            delta = d_new - current_d
+            if delta <= 0 or rng.uniform() < np.exp(-delta / temperature):
+                server_of[c] = s
+                loads[home] -= 1
+                loads[s] += 1
+                current_d = d_new
+                accepted.inc()
+                if current_d < best_d:
+                    best_d = current_d
+                    best = server_of.copy()
+            elif incremental:
+                engine.undo()
+            temperature *= cooling
     return Assignment(problem, best)

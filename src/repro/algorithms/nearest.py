@@ -23,6 +23,7 @@ from repro.core.assignment import Assignment
 from repro.core.incremental import record_candidate_evaluations
 from repro.core.problem import ClientAssignmentProblem
 from repro.errors import CapacityError
+from repro.obs import registry, span
 from repro.utils.rng import SeedLike
 
 
@@ -38,19 +39,26 @@ def nearest_server(
     """
     cs = problem.client_server
     record_candidate_evaluations(cs.size)
-    if not problem.is_capacitated:
-        return Assignment(problem, np.argmin(cs, axis=1))
+    registry().counter("nearest.assignments").inc(problem.n_clients)
+    with span(
+        "nearest.assign",
+        clients=problem.n_clients,
+        servers=problem.n_servers,
+        capacitated=problem.is_capacitated,
+    ):
+        if not problem.is_capacitated:
+            return Assignment(problem, np.argmin(cs, axis=1))
 
-    remaining = problem.capacities.copy()
-    server_of = np.empty(problem.n_clients, dtype=np.int64)
-    # Each client walks its personal nearest-first server ranking.
-    ranking = np.argsort(cs, axis=1, kind="stable")
-    for c in range(problem.n_clients):
-        for s in ranking[c]:
-            if remaining[s] > 0:
-                server_of[c] = s
-                remaining[s] -= 1
-                break
-        else:  # pragma: no cover - prevented by problem validation
-            raise CapacityError("no server with spare capacity remains")
-    return Assignment(problem, server_of)
+        remaining = problem.capacities.copy()
+        server_of = np.empty(problem.n_clients, dtype=np.int64)
+        # Each client walks its personal nearest-first server ranking.
+        ranking = np.argsort(cs, axis=1, kind="stable")
+        for c in range(problem.n_clients):
+            for s in ranking[c]:
+                if remaining[s] > 0:
+                    server_of[c] = s
+                    remaining[s] -= 1
+                    break
+            else:  # pragma: no cover - prevented by problem validation
+                raise CapacityError("no server with spare capacity remains")
+        return Assignment(problem, server_of)

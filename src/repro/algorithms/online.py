@@ -39,6 +39,7 @@ from repro.errors import (
     InvalidParameterError,
 )
 from repro.net.latency import LatencyMatrix
+from repro.obs import registry
 from repro.types import IndexArrayLike, as_index_array
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -312,6 +313,7 @@ class OnlineAssignmentManager:
         self._assigned[client_node] = best
         self._members[best].add(client_node)
         self._engine.apply(client_node, best)
+        registry().counter("online.joins").inc()
         return best
 
     def leave(self, client_node: int) -> None:
@@ -324,12 +326,14 @@ class OnlineAssignmentManager:
             ) from None
         self._members[server].discard(client_node)
         self._engine.unassign(client_node)
+        registry().counter("online.leaves").inc()
 
     def rebalance(self, *, max_moves: int = 16) -> int:
         """Run bounded Distributed-Greedy repair; returns moves made."""
         if len(self._assigned) < 1 or max_moves < 1:
             return 0
         result = self._run_dga(max_moves)
+        registry().counter("online.rebalance_moves").inc(result)
         return result
 
     def _run_dga(self, max_moves: int) -> int:

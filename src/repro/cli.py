@@ -8,13 +8,23 @@ Subcommands:
 - ``claims``   — run the §V claims checklist.
 - ``simulate`` — run the DIA event simulation for a solved assignment.
 - ``faults``   — fault-injection churn: crashes, failover, recovery.
+- ``obs``      — summarize a JSONL trace produced with ``--trace``.
+
+Every subcommand runs under the observability harness: a run manifest
+is built from the parsed arguments and installed as the ambient
+manifest (picked up by ``save_result``), and ``--trace PATH`` (or
+``REPRO_OBS_TRACE=PATH``) streams span/metrics/manifest events to a
+JSONL file that ``repro obs PATH`` rolls up into a per-phase time
+breakdown. Tracing never changes results — see docs/observability.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -44,6 +54,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for trial execution "
             "(0 = serial, -1 = all CPUs; results are identical)"
+        ),
+    )
+    # Span tracing for the sweep commands; "null" disables, "memory"
+    # buffers in-process (tests), anything else is a JSONL file path.
+    tracing = argparse.ArgumentParser(add_help=False)
+    tracing.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write span/metrics/manifest events to a JSONL trace file "
+            "(also settable via REPRO_OBS_TRACE; never changes results)"
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -83,7 +106,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     p_fig = sub.add_parser(
-        "fig", help="regenerate a paper figure's data", parents=[workers]
+        "fig",
+        help="regenerate a paper figure's data",
+        parents=[workers, tracing],
     )
     p_fig.add_argument("figure", choices=("7", "8", "9", "10"))
     p_fig.add_argument(
@@ -104,14 +129,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     p_claims = sub.add_parser(
-        "claims", help="run the §V claims checklist", parents=[workers]
+        "claims",
+        help="run the §V claims checklist",
+        parents=[workers, tracing],
     )
     p_claims.add_argument("--profile", type=str, default="default")
 
     p_report = sub.add_parser(
         "report",
         help="regenerate the full evaluation (all figures + claims)",
-        parents=[workers],
+        parents=[workers, tracing],
     )
     p_report.add_argument("--profile", type=str, default="default")
     p_report.add_argument(
@@ -122,7 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     p_ablate = sub.add_parser(
-        "ablate", help="run an ablation study", parents=[workers]
+        "ablate", help="run an ablation study", parents=[workers, tracing]
     )
     p_ablate.add_argument(
         "study",
@@ -171,6 +198,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Distributed-Greedy move budget on each server recovery",
     )
     p_faults.add_argument("--seed", type=int, default=0)
+
+    p_obs = sub.add_parser(
+        "obs", help="summarize a JSONL trace produced with --trace"
+    )
+    p_obs.add_argument("trace_file", type=str, help="JSONL trace file path")
+    p_obs.add_argument(
+        "--top", type=int, default=10,
+        help="number of hottest spans to show (by self time)",
+    )
 
     p_sim = sub.add_parser("simulate", help="run the DIA event simulation")
     p_sim.add_argument("--nodes", type=int, default=120)
@@ -296,6 +332,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 def _cmd_fig(args: argparse.Namespace) -> int:
     from repro.experiments import (
+        dataset_for,
         fig7,
         fig8,
         fig9,
@@ -316,15 +353,16 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         result = load_result(args.load)
     else:
         prof = profile(args.profile)
+        matrix = dataset_for(prof)
         with TrialPool(args.workers) as pool:
             if args.figure == "7":
-                result = fig7(prof, args.placement, pool=pool)
+                result = fig7(prof, args.placement, matrix=matrix, pool=pool)
             elif args.figure == "8":
-                result = fig8(prof, pool=pool)
+                result = fig8(prof, matrix=matrix, pool=pool)
             elif args.figure == "9":
-                result = fig9(prof, pool=pool)
+                result = fig9(prof, matrix=matrix, pool=pool)
             else:
-                result = fig10(prof, args.placement, pool=pool)
+                result = fig10(prof, args.placement, matrix=matrix, pool=pool)
     print(renderers[args.figure](result))
     if args.save is not None:
         save_result(args.save, result)
@@ -576,6 +614,71 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if report.servers_consistent and report.fair else 1
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import render_summary, summarize_file
+
+    print(render_summary(summarize_file(args.trace_file, top=args.top)))
+    return 0
+
+
+# Arguments that steer execution mechanics or output locations, not the
+# computed result. They go in the manifest's volatile section — putting
+# them in the deterministic config would make otherwise byte-identical
+# runs (e.g. --workers 0 vs 4, different --save paths) disagree.
+_NON_RESULT_ARGS = frozenset(
+    {"command", "trace", "workers", "save", "load", "out", "save_deployment"}
+)
+
+
+def _manifest_config(args: argparse.Namespace) -> dict:
+    """JSON-able view of the result-shaping arguments for the manifest."""
+    config = {}
+    for key, value in sorted(vars(args).items()):
+        if key in _NON_RESULT_ARGS:
+            continue
+        if value is None or isinstance(value, (bool, int, float, str)):
+            config[key] = value
+    return config
+
+
+@contextmanager
+def _run_observability(args: argparse.Namespace, command: str) -> Iterator[None]:
+    """Observability harness around one CLI command.
+
+    Installs a trace sink (from ``--trace`` or ``REPRO_OBS_TRACE``;
+    the null sink when neither is set) and an ambient run manifest,
+    wraps the command in a root ``cli.<command>`` span, and on exit
+    emits the process metrics snapshot plus the finalized manifest as
+    trailing trace events. Purely additive: the command's results are
+    identical with tracing on or off.
+    """
+    from repro import obs
+
+    spec = getattr(args, "trace", None) or obs.sink_spec_from_env()
+    sink = obs.open_sink(spec)
+    manifest = obs.build_manifest(
+        command=command, config=_manifest_config(args),
+        seeds={"seed": getattr(args, "seed", None)},
+        workers=getattr(args, "workers", None),
+    )
+    previous_manifest = obs.set_current_manifest(manifest)
+    obs.install_sink(sink)
+    started = time.perf_counter()
+    try:
+        with obs.span(f"cli.{command}"):
+            yield
+    finally:
+        manifest.finalize(wall_seconds=time.perf_counter() - started)
+        obs.emit_event("metrics", metrics=obs.registry().snapshot())
+        obs.emit_event(
+            "manifest", manifest=manifest.to_dict(include_volatile=True)
+        )
+        obs.uninstall_sink(close=True)
+        obs.set_current_manifest(previous_manifest)
+        if isinstance(sink, obs.JsonlSink):
+            print(f"[obs] trace written to {sink.path}", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -590,8 +693,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "churn": _cmd_churn,
         "faults": _cmd_faults,
         "simulate": _cmd_simulate,
+        "obs": _cmd_obs,
     }
-    return handlers[args.command](args)
+    if args.command == "obs":
+        return _cmd_obs(args)
+    with _run_observability(args, args.command):
+        return handlers[args.command](args)
 
 
 if __name__ == "__main__":

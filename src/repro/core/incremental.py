@@ -46,6 +46,7 @@ import numpy as np
 from repro.core.assignment import Assignment
 from repro.core.problem import ClientAssignmentProblem
 from repro.errors import InvalidAssignmentError, InvalidParameterError
+from repro.obs.metrics import registry
 from repro.types import IndexArrayLike
 
 #: Clients retained per server and direction before lazy rebuilds kick in.
@@ -269,6 +270,17 @@ class IncrementalObjective:
         self._ctx: Optional[_MoveContext] = None
         self._undo_stack: List[tuple] = []
         self._n_evaluations = 0
+
+        # Telemetry: instruments are fetched once per engine so the hot
+        # paths pay a single attribute-add each; fetched at construction
+        # time (not import time) so a swapped registry is honored.
+        metrics = registry()
+        metrics.counter("engine.builds").inc()
+        self._m_apply = metrics.counter("engine.apply")
+        self._m_undo = metrics.counter("engine.undo")
+        self._m_assign_many = metrics.counter("engine.assign_many")
+        self._m_unassign = metrics.counter("engine.unassign")
+        self._m_batch_sizes = metrics.histogram("engine.candidate_batch_size")
 
     # ------------------------------------------------------------------
     # Read-only state
@@ -514,6 +526,7 @@ class IncrementalObjective:
         n = self._problem.n_servers
         self._n_evaluations += n
         record_candidate_evaluations(n)
+        self._m_batch_sizes.observe(n)
         return ctx.paths.copy(), ctx.d_rest
 
     def delta_D(self, client: int, new_server: int) -> float:
@@ -555,6 +568,7 @@ class IncrementalObjective:
         n = int(scores.size)
         self._n_evaluations += n
         record_candidate_evaluations(n)
+        self._m_batch_sizes.observe(n)
         if respect_capacities and self._problem.is_capacitated:
             capacities = self._problem.capacities
             saturated = self._loads >= capacities
@@ -640,6 +654,7 @@ class IncrementalObjective:
         else:
             self._n_assigned += 1
         self._attach(client, new_server)
+        self._m_apply.inc()
         self._touch()
 
     def assign(self, client: int, server: int) -> None:
@@ -701,6 +716,7 @@ class IncrementalObjective:
                 top_in.add(float(inn[i]), int(batch[i]))
         self._l_out[server] = max(self._l_out[server], float(out.max()))
         self._l_in[server] = max(self._l_in[server], float(inn.max()))
+        self._m_assign_many.inc()
         self._touch()
 
     def unassign(self, client: int) -> None:
@@ -719,6 +735,7 @@ class IncrementalObjective:
         self._server_of[client] = _UNASSIGNED
         self._detach(client, server)
         self._n_assigned -= 1
+        self._m_unassign.inc()
         self._touch()
 
     def undo(self) -> None:
@@ -751,6 +768,7 @@ class IncrementalObjective:
             self._top_in[server].restore(in_state)
             self._l_out[server] = l_out
             self._l_in[server] = l_in
+        self._m_undo.inc()
         self._touch()
         self._d = old_d
 

@@ -58,6 +58,7 @@ from repro.experiments.delta_sweep import (
 from repro.experiments.orchestrator import EvaluationBundle, run_full_evaluation
 from repro.experiments.persistence import (
     from_jsonable,
+    load_manifest,
     load_result,
     save_result,
     to_jsonable,
@@ -135,6 +136,7 @@ __all__ = [
     "CrossDatasetResult",
     "save_result",
     "load_result",
+    "load_manifest",
     "to_jsonable",
     "from_jsonable",
     "format_table",

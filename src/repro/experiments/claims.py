@@ -210,13 +210,15 @@ def run_claims_for_profile(
     :class:`~repro.parallel.TrialPool`.
     """
     from repro.experiments.figures import dataset_for, fig7, fig8, fig9, fig10
+    from repro.obs import span
 
     if matrix is None:
         matrix = dataset_for(profile)
-    return run_all_claims(
-        fig7(profile, "random", matrix=matrix, pool=pool),
-        fig8(profile, matrix=matrix, pool=pool),
-        fig9(profile, matrix=matrix, pool=pool),
-        fig10(profile, "random", matrix=matrix, pool=pool),
-        n_clients=matrix.n_nodes,
-    )
+    with span("claims.run", profile=profile.name):
+        return run_all_claims(
+            fig7(profile, "random", matrix=matrix, pool=pool),
+            fig8(profile, matrix=matrix, pool=pool),
+            fig9(profile, matrix=matrix, pool=pool),
+            fig10(profile, "random", matrix=matrix, pool=pool),
+            n_clients=matrix.n_nodes,
+        )

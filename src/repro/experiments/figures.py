@@ -33,6 +33,7 @@ from repro.experiments.runner import (
     run_placement_trial,
 )
 from repro.net.latency import LatencyMatrix
+from repro.obs import span
 from repro.parallel import TrialPool, instance_cache
 from repro.parallel.pool import run_trials
 from repro.utils.rng import derive_seed
@@ -41,10 +42,18 @@ from repro.utils.rng import derive_seed
 def dataset_for(profile: ExperimentProfile) -> LatencyMatrix:
     """The profile's synthetic latency matrix (deterministic per seed)."""
     from repro.datasets import synthesize_meridian_like, synthesize_mit_like
+    from repro.obs import current_manifest, fingerprint_matrix
 
     if profile.dataset == "mit":
-        return synthesize_mit_like(profile.n_nodes, seed=profile.seed)
-    return synthesize_meridian_like(profile.n_nodes, seed=profile.seed)
+        matrix = synthesize_mit_like(profile.n_nodes, seed=profile.seed)
+    else:
+        matrix = synthesize_meridian_like(profile.n_nodes, seed=profile.seed)
+    # Stamp the ambient run manifest (installed by the CLI) with the
+    # dataset's content fingerprint the first time it is generated.
+    manifest = current_manifest()
+    if manifest is not None and manifest.dataset_fingerprint is None:
+        manifest.dataset_fingerprint = fingerprint_matrix(matrix)
+    return matrix
 
 
 # ----------------------------------------------------------------------
@@ -95,8 +104,11 @@ def fig7(
                 seed=profile.seed,
             )
         )
-    outcomes = run_trials(run_placement_trial, trials, matrix=matrix, pool=pool)
-    points = aggregate_sweep(trials, outcomes, algorithms)
+    with span("fig.fig7", placement=placement, trials=len(trials)):
+        outcomes = run_trials(
+            run_placement_trial, trials, matrix=matrix, pool=pool
+        )
+        points = aggregate_sweep(trials, outcomes, algorithms)
     return Fig7Series(placement=placement, points=tuple(points))
 
 
@@ -147,7 +159,10 @@ def fig8(
         )
         for run in range(profile.fig8_runs)
     ]
-    outcomes = run_trials(run_placement_trial, trials, matrix=matrix, pool=pool)
+    with span("fig.fig8", trials=len(trials)):
+        outcomes = run_trials(
+            run_placement_trial, trials, matrix=matrix, pool=pool
+        )
     samples: Dict[str, List[float]] = {name: [] for name in algorithms}
     n_failed = 0
     for outcome in outcomes:
@@ -233,7 +248,8 @@ def fig9(
         )
         for placement in placements
     ]
-    outcomes = run_trials(run_fig9_trial, tasks, matrix=matrix, pool=pool)
+    with span("fig.fig9", trials=len(tasks)):
+        outcomes = run_trials(run_fig9_trial, tasks, matrix=matrix, pool=pool)
     traces: List[Fig9Trace] = []
     for outcome in outcomes:
         if not outcome.ok:
@@ -300,8 +316,11 @@ def fig10(
                 capacity=capacity,
             )
         )
-    outcomes = run_trials(run_placement_trial, trials, matrix=matrix, pool=pool)
-    points = aggregate_sweep(trials, outcomes, algorithms)
+    with span("fig.fig10", placement=placement, trials=len(trials)):
+        outcomes = run_trials(
+            run_placement_trial, trials, matrix=matrix, pool=pool
+        )
+        points = aggregate_sweep(trials, outcomes, algorithms)
     return Fig10Series(
         placement=placement,
         n_servers=profile.fixed_servers,

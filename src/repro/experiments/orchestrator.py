@@ -50,6 +50,7 @@ from repro.experiments.reporting import (
     render_fig10,
 )
 from repro.experiments.runner import PLACEMENT_NAMES
+from repro.obs import span
 from repro.parallel import TrialPool
 from repro.parallel.pool import WorkersLike
 
@@ -149,6 +150,12 @@ def run_full_evaluation(
     owns_pool = pool is None
     if owns_pool:
         pool = TrialPool(workers)
+    # Entered/exited manually so the span closes inside the existing
+    # try/finally without re-indenting the whole stage sequence.
+    evaluation_span = span(
+        "evaluation.full", profile=profile.name, ablations=include_ablations
+    )
+    evaluation_span.__enter__()
     try:
         fig7_panels = {}
         for placement in PLACEMENT_NAMES:
@@ -201,6 +208,7 @@ def run_full_evaluation(
             ]
         say(pool.stats.describe())
     finally:
+        evaluation_span.__exit__(None, None, None)
         if owns_pool:
             pool.close()
 

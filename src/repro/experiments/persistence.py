@@ -5,6 +5,13 @@ reporting, plotting and claim-checking run without recomputation. The
 format is plain JSON with a ``kind`` tag and a schema version so files
 survive package upgrades (unknown versions are rejected loudly rather
 than misparsed).
+
+When a run manifest is ambient (the CLI installs one around every
+command — see :mod:`repro.obs.manifest`), :func:`save_result` embeds its
+deterministic core under a ``"manifest"`` key, so a results file found
+months later records what produced it. Files written without a manifest
+(or by older releases) load unchanged; use :func:`load_manifest` to read
+the provenance back without deserializing the whole result.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ import itertools
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import DatasetError
 from repro.experiments.figures import (
@@ -198,7 +205,15 @@ def save_result(path: PathLike, result: FigureResult) -> None:
     collide on the staging file — last rename wins, and every rename
     installs a complete, valid document.
     """
+    from repro.obs.manifest import current_manifest
+
     payload = to_jsonable(result)
+    manifest = current_manifest()
+    if manifest is not None:
+        # Deterministic core only by default (REPRO_OBS_MANIFEST=full
+        # opts into the volatile section) so byte-identical re-runs of
+        # the same profile+seed keep producing byte-identical files.
+        payload["manifest"] = manifest.to_dict()
     tmp_path = f"{os.fspath(path)}.{os.getpid()}-{next(_TMP_COUNTER)}.tmp"
     try:
         with open(tmp_path, "w", encoding="utf-8") as handle:
@@ -225,3 +240,21 @@ def load_result(path: PathLike) -> FigureResult:
     if not isinstance(data, dict):
         raise DatasetError(f"{path}: expected a JSON object at top level")
     return from_jsonable(data)
+
+
+def load_manifest(path: PathLike) -> Optional[Dict[str, Any]]:
+    """The ``"manifest"`` block of a saved result, or ``None``.
+
+    Returns ``None`` both for files written before manifests existed
+    and for runs executed without an ambient manifest, so callers can
+    treat provenance as strictly optional.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise DatasetError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise DatasetError(f"{path}: expected a JSON object at top level")
+    manifest = data.get("manifest")
+    return dict(manifest) if isinstance(manifest, dict) else None

@@ -29,6 +29,7 @@ from repro.algorithms.online import OnlineAssignmentManager
 from repro.core.incremental import count_evaluations
 from repro.errors import FailoverError, InvalidParameterError
 from repro.faults.schedule import FaultEvent
+from repro.obs import registry, span
 
 
 @dataclass(frozen=True)
@@ -141,7 +142,9 @@ class FailoverController:
         d_before = manager.current_d()
         stranded = manager.deactivate_server(server)
         shed: Tuple[int, ...] = ()
-        with count_evaluations() as counter:
+        with span(
+            "failover.crash", server=server, stranded=len(stranded)
+        ), count_evaluations() as counter:
             if stranded and self._shed_policy == "shed":
                 if manager.n_active_servers == 0:
                     # Total outage: nothing to evacuate to — disconnect all.
@@ -151,6 +154,10 @@ class FailoverController:
                 else:
                     shed = self._shed_overflow(server, len(stranded))
             moves = tuple(manager.evacuate(server))
+        metrics = registry()
+        metrics.counter("failover.crashes").inc()
+        metrics.counter("failover.evacuations").inc(len(moves))
+        metrics.counter("failover.shed").inc(len(shed))
         record = CrashRecord(
             time=time,
             server=server,
@@ -199,9 +206,12 @@ class FailoverController:
         d_before = manager.current_d()
         manager.reactivate_server(server)
         moves = 0
-        with count_evaluations() as counter:
+        with span(
+            "failover.recover", server=server
+        ), count_evaluations() as counter:
             if self._readmit_moves > 0 and manager.n_clients > 0:
                 moves = manager.rebalance(max_moves=self._readmit_moves)
+        registry().counter("failover.recoveries").inc()
         record = RecoveryRecord(
             time=time,
             server=server,

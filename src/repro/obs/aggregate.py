@@ -1,0 +1,150 @@
+"""Cross-process metric aggregation: snapshot deltas and merges.
+
+Worker processes in :class:`~repro.parallel.pool.TrialPool` each hold
+their own process-local :class:`~repro.obs.metrics.MetricsRegistry`
+(inherited as a copy under ``fork``, fresh under ``spawn``). To make
+worker-side telemetry visible in the parent, every executed chunk ships
+the *delta* its trials accrued — ``snapshot_after - snapshot_before``,
+computed with :func:`snapshot_delta` — back alongside the trial
+results, and the pool folds each delta into the parent registry with
+:func:`merge_into_registry`.
+
+Delta/merge semantics per instrument type:
+
+- **counters** — subtract / add (they only ever grow inside a chunk);
+- **histograms** — per-bucket subtract / add plus sum and count; a
+  merge across registries whose same-named histograms disagree on
+  bucket bounds raises, because adding misaligned buckets would
+  silently corrupt the distribution;
+- **gauges** — last-value instruments have no meaningful delta; a
+  delta carries the worker's final value and a merge keeps the
+  element-wise **maximum**, which is order-independent (merging chunk
+  deltas in completion order must not change the result — the same
+  commutativity requirement the pool's determinism contract imposes on
+  trial results).
+
+All shapes are the plain nested dicts produced by
+:meth:`MetricsRegistry.snapshot`, so they pickle across process
+boundaries and serialize into trace files unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import MetricsRegistry, registry
+
+Snapshot = Dict[str, Dict[str, Any]]
+
+
+def empty_snapshot() -> Snapshot:
+    """A snapshot with no instruments (the additive identity)."""
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def snapshot_delta(after: Snapshot, before: Snapshot) -> Snapshot:
+    """``after - before``, dropping instruments that did not change.
+
+    Instruments absent from ``before`` are treated as zero. Gauges are
+    carried at their ``after`` value (see module docstring).
+    """
+    counters_before = before.get("counters", {})
+    counters = {}
+    for name, value in after.get("counters", {}).items():
+        diff = value - counters_before.get(name, 0)
+        if diff:
+            counters[name] = diff
+    gauges = dict(after.get("gauges", {}))
+    hists_before = before.get("histograms", {})
+    histograms = {}
+    for name, hist in after.get("histograms", {}).items():
+        prior = hists_before.get(name)
+        if prior is None:
+            if hist["count"]:
+                histograms[name] = {
+                    "bounds": list(hist["bounds"]),
+                    "counts": list(hist["counts"]),
+                    "sum": hist["sum"],
+                    "count": hist["count"],
+                }
+            continue
+        if list(prior["bounds"]) != list(hist["bounds"]):
+            raise InvalidParameterError(
+                f"histogram {name!r} changed bounds between snapshots"
+            )
+        count = hist["count"] - prior["count"]
+        if count:
+            histograms[name] = {
+                "bounds": list(hist["bounds"]),
+                "counts": [
+                    a - b for a, b in zip(hist["counts"], prior["counts"])
+                ],
+                "sum": hist["sum"] - prior["sum"],
+                "count": count,
+            }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def merge_snapshots(left: Snapshot, right: Snapshot) -> Snapshot:
+    """Combine two snapshots/deltas into one (commutative)."""
+    counters = dict(left.get("counters", {}))
+    for name, value in right.get("counters", {}).items():
+        counters[name] = counters.get(name, 0) + value
+    gauges = dict(left.get("gauges", {}))
+    for name, value in right.get("gauges", {}).items():
+        gauges[name] = max(gauges.get(name, value), value)
+    histograms = {
+        name: {
+            "bounds": list(h["bounds"]),
+            "counts": list(h["counts"]),
+            "sum": h["sum"],
+            "count": h["count"],
+        }
+        for name, h in left.get("histograms", {}).items()
+    }
+    for name, hist in right.get("histograms", {}).items():
+        into = histograms.get(name)
+        if into is None:
+            histograms[name] = {
+                "bounds": list(hist["bounds"]),
+                "counts": list(hist["counts"]),
+                "sum": hist["sum"],
+                "count": hist["count"],
+            }
+            continue
+        if list(into["bounds"]) != list(hist["bounds"]):
+            raise InvalidParameterError(
+                f"cannot merge histogram {name!r}: bucket bounds differ"
+            )
+        into["counts"] = [a + b for a, b in zip(into["counts"], hist["counts"])]
+        into["sum"] += hist["sum"]
+        into["count"] += hist["count"]
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def merge_into_registry(
+    delta: Snapshot, target: MetricsRegistry = None  # type: ignore[assignment]
+) -> None:
+    """Fold a snapshot delta into a live registry (default: the global).
+
+    Counters and histogram buckets add; gauges keep the maximum of the
+    current and incoming value.
+    """
+    if target is None:
+        target = registry()
+    for name, value in delta.get("counters", {}).items():
+        target.counter(name).inc(value)
+    for name, value in delta.get("gauges", {}).items():
+        gauge = target.gauge(name)
+        gauge.set(max(gauge.value, value))
+    for name, hist in delta.get("histograms", {}).items():
+        into = target.histogram(name, hist["bounds"])
+        if list(into.bounds) != [float(b) for b in hist["bounds"]]:
+            raise InvalidParameterError(  # pragma: no cover - histogram() raises first
+                f"cannot merge histogram {name!r}: bucket bounds differ"
+            )
+        for i, n in enumerate(hist["counts"]):
+            into.counts[i] += n
+        into.sum += hist["sum"]
+        into.count += hist["count"]

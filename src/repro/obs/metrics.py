@@ -1,0 +1,281 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the always-on half of the observability layer: every
+instrumented subsystem (the heuristics, the incremental engine, the
+simulator, the failover controller, the trial pool) increments counters
+and observes histograms unconditionally. Instruments are plain Python
+objects mutated in place — ``counter.inc()`` is one attribute add, an
+``observe`` is a bisect over a dozen bucket bounds — so leaving them on
+costs a negligible fraction of the numpy-heavy work they sit next to
+(``benchmarks/bench_obs.py`` keeps that claim honest).
+
+Three rules keep the layer safe to leave enabled:
+
+- **Metrics never feed back.** No instrumented code path reads a metric
+  to make a decision, so telemetry can never change numerical results.
+- **Snapshots are plain data.** :meth:`MetricsRegistry.snapshot`
+  returns nested dicts of numbers — picklable, JSON-able, and closed
+  under the subtract/merge algebra in :mod:`repro.obs.aggregate` that
+  the trial pool uses to fold worker-process deltas back into the
+  parent registry.
+- **The registry is swappable.** :func:`use_registry` substitutes the
+  process-global instance (benchmarks install a
+  :class:`NullMetricsRegistry` to measure the uninstrumented baseline;
+  tests install a fresh registry for isolation). Instrumented code must
+  therefore fetch instruments through :func:`registry` at call time,
+  never cache them at import time.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import InvalidParameterError
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds — a 1/2/5 decade ladder wide
+#: enough for batch sizes, event counts and millisecond latencies alike.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+    100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+)
+
+#: Bucket ladder for wall-clock durations in seconds.
+SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05,
+    0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing numeric counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A last-value instrument (e.g. configured worker count)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Record the current value, replacing the previous one."""
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    ``bounds`` are inclusive upper bucket bounds; one overflow bucket
+    catches everything above the last bound, so ``counts`` has
+    ``len(bounds) + 1`` cells. The bounds are fixed at creation —
+    merging two histograms of the same name requires identical bounds
+    (enforced by :mod:`repro.obs.aggregate`), which is why bounds are
+    part of the snapshot format.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise InvalidParameterError(
+                f"histogram bounds must be non-empty and ascending, got {bounds}"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:.3g})"
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and process-local.
+
+    Instruments are memoized by name: two call sites asking for
+    ``counter("engine.apply")`` share one :class:`Counter`. A histogram
+    name is bound to its bucket bounds on first creation; asking again
+    with different bounds raises, because silently returning either
+    ladder would corrupt merges.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram named ``name`` (created on first use).
+
+        ``bounds`` defaults to :data:`DEFAULT_BUCKETS` and must match
+        the existing bounds when the histogram already exists.
+        """
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                name, DEFAULT_BUCKETS if bounds is None else bounds
+            )
+        elif bounds is not None and tuple(float(b) for b in bounds) != instrument.bounds:
+            raise InvalidParameterError(
+                f"histogram {name!r} already exists with bounds "
+                f"{instrument.bounds}, requested {tuple(bounds)}"
+            )
+        return instrument
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All instrument values as plain nested dicts (picklable)."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {
+                n: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for n, h in self._histograms.items()
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and benchmark isolation)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, "
+            f"{len(self._histograms)} histograms)"
+        )
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument type."""
+
+    __slots__ = ()
+    name = "null"
+    value: Number = 0
+    bounds: Tuple[float, ...] = DEFAULT_BUCKETS
+    sum = 0.0
+    count = 0
+    counts: List[int] = []
+    mean = 0.0
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def observe(self, value: Number) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """A registry whose instruments discard everything.
+
+    Installed via :func:`use_registry` to measure the cost of the
+    instrumentation itself (``benchmarks/bench_obs.py``) — the
+    attribute-lookup and call overhead remains, the mutation work
+    disappears.
+    """
+
+    def counter(self, name: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds=None):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: The process-global registry. Worker processes started with ``fork``
+#: inherit a *copy*; :mod:`repro.obs.aggregate` folds their deltas back.
+_REGISTRY: MetricsRegistry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The current process-global registry."""
+    return _REGISTRY
+
+
+def set_registry(new: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-global registry, returning the previous one."""
+    global _REGISTRY
+    previous, _REGISTRY = _REGISTRY, new
+    return previous
+
+
+@contextmanager
+def use_registry(new: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily swap the process-global registry (tests/benchmarks)."""
+    previous = set_registry(new)
+    try:
+        yield new
+    finally:
+        set_registry(previous)

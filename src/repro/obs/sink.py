@@ -1,0 +1,145 @@
+"""Pluggable event sinks for the tracing layer.
+
+A sink consumes the event dicts produced by :mod:`repro.obs.trace`
+(spans, metrics dumps, manifests). Three implementations cover every
+deployment:
+
+- :class:`NullSink` — the default; tracing code detects it and skips
+  event construction entirely, so an untraced run pays (almost) nothing.
+- :class:`MemorySink` — buffers events in a list; tests and in-process
+  consumers read them back without touching the filesystem.
+- :class:`JsonlSink` — appends one JSON object per line to a file; the
+  ``repro obs`` CLI summarizes these traces.
+
+Sinks are selected via the ``--trace PATH`` CLI flag or the
+``REPRO_OBS_TRACE`` environment variable (see :func:`open_sink`).
+
+Fork safety: worker processes started with ``fork`` inherit the parent's
+installed sink, including an open :class:`JsonlSink` file handle.
+File-backed sinks therefore record their creating PID and silently drop
+events emitted from any other process — interleaved partial lines from
+concurrent writers would corrupt the trace. Worker-side telemetry flows
+back through the metrics-delta channel instead
+(:mod:`repro.obs.aggregate`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Union
+
+PathLike = Union[str, os.PathLike]
+
+Event = Dict[str, Any]
+
+
+class Sink:
+    """Event consumer interface (duck-typed; subclassing is optional)."""
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class NullSink(Sink):
+    """Discards everything. The module-level :data:`NULL_SINK` is the
+    canonical instance — the tracer compares against it by identity to
+    skip span bookkeeping altogether."""
+
+    def emit(self, event: Event) -> None:
+        pass
+
+
+#: Canonical null sink; identity-compared by the tracer's fast path.
+NULL_SINK = NullSink()
+
+
+class MemorySink(Sink):
+    """Buffers events in memory for in-process inspection."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink(Sink):
+    """Appends events to ``path``, one compact JSON object per line.
+
+    Events are buffered and flushed every ``flush_every`` emissions (and
+    on :meth:`close`), keeping syscall overhead off the hot path. Only
+    the creating process writes; events emitted from a forked child are
+    dropped (see module docstring).
+    """
+
+    def __init__(self, path: PathLike, *, flush_every: int = 256) -> None:
+        self.path = os.fspath(path)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._pid = os.getpid()
+        self._since_flush = 0
+        self._flush_every = max(1, int(flush_every))
+        self.n_events = 0
+
+    def emit(self, event: Event) -> None:
+        if self._handle is None or os.getpid() != self._pid:
+            return
+        self._handle.write(json.dumps(event, separators=(",", ":")))
+        self._handle.write("\n")
+        self.n_events += 1
+        self._since_flush += 1
+        if self._since_flush >= self._flush_every:
+            self._handle.flush()
+            self._since_flush = 0
+
+    def close(self) -> None:
+        if self._handle is None or os.getpid() != self._pid:
+            return
+        handle, self._handle = self._handle, None
+        handle.flush()
+        handle.close()
+
+
+def open_sink(spec: Optional[str]) -> Sink:
+    """Build a sink from a CLI/env spec.
+
+    ``None``, empty, ``"null"``, or ``"off"`` select the null sink;
+    ``"memory"`` an in-memory buffer; anything else is treated as a
+    JSONL file path.
+    """
+    if not spec or spec.lower() in ("null", "off", "none"):
+        return NULL_SINK
+    if spec.lower() == "memory":
+        return MemorySink()
+    return JsonlSink(spec)
+
+
+def sink_spec_from_env() -> Optional[str]:
+    """The ``REPRO_OBS_TRACE`` environment spec, if set."""
+    return os.environ.get("REPRO_OBS_TRACE") or None
+
+
+def read_jsonl(path: PathLike) -> List[Event]:
+    """Load every event from a JSONL trace file.
+
+    Blank lines are skipped; a torn final line (e.g. from a crashed
+    writer) is ignored rather than failing the whole read — a partial
+    trace is still worth summarizing.
+    """
+    events: List[Event] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return events

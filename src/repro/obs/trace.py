@@ -1,0 +1,194 @@
+"""Lightweight span tracing with parent/child nesting.
+
+Usage::
+
+    from repro.obs import span
+
+    with span("greedy.assign", clients=n_clients):
+        ...
+
+Each closed span emits one event dict to the installed sink::
+
+    {"type": "span", "name": ..., "span_id": ..., "parent_id": ...,
+     "depth": ..., "start": <monotonic s since trace start>,
+     "duration": <s>, ...fields}
+
+Timestamps come from ``time.perf_counter()`` relative to the moment the
+sink was installed, so they are monotonic, comparable across spans of
+one trace, and immune to wall-clock steps. Nesting is tracked with an
+explicit stack: spans opened while another span is active record it as
+their parent, which is what lets :mod:`repro.obs.report` roll a trace
+up into a phase tree and compute self-times.
+
+The default sink is :data:`~repro.obs.sink.NULL_SINK`, and ``span()``
+special-cases it: it returns a shared no-op context manager without
+allocating a span object, touching the clock, or recording fields.
+Instrumentation left in hot paths therefore costs one function call and
+one identity comparison per span when tracing is off.
+
+The tracer is process-local and single-stack (the package's execution
+model: one logical task per process; parallelism happens across
+*processes*, whose file-backed sinks drop inherited handles — see
+:mod:`repro.obs.sink`).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.sink import NULL_SINK, Sink
+
+
+class _TraceState:
+    __slots__ = ("sink", "stack", "next_id", "origin")
+
+    def __init__(self) -> None:
+        self.sink: Sink = NULL_SINK
+        self.stack: List[int] = []
+        self.next_id = 1
+        self.origin = 0.0
+
+
+_STATE = _TraceState()
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+    def set(self, **fields: Any) -> None:
+        """Accept (and drop) late-bound fields."""
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """An open span; created by :func:`span`, closed by ``with``."""
+
+    __slots__ = ("name", "fields", "span_id", "parent_id", "depth", "_start")
+
+    def __init__(self, name: str, fields: Dict[str, Any]) -> None:
+        self.name = name
+        self.fields = fields
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self._start = 0.0
+
+    def set(self, **fields: Any) -> None:
+        """Attach fields discovered mid-span (e.g. result sizes)."""
+        self.fields.update(fields)
+
+    def __enter__(self) -> "Span":
+        state = _STATE
+        self.span_id = state.next_id
+        state.next_id += 1
+        self.parent_id = state.stack[-1] if state.stack else None
+        self.depth = len(state.stack)
+        state.stack.append(self.span_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        end = time.perf_counter()
+        state = _STATE
+        if state.stack and state.stack[-1] == self.span_id:
+            state.stack.pop()
+        elif self.span_id in state.stack:  # pragma: no cover - misnesting
+            state.stack.remove(self.span_id)
+        event: Dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start": self._start - state.origin,
+            "duration": end - self._start,
+        }
+        if self.fields:
+            event.update(self.fields)
+        state.sink.emit(event)
+
+
+def span(name: str, **fields: Any):
+    """Open a span named ``name`` with optional key=value fields.
+
+    Returns a context manager. While the null sink is installed this is
+    a shared no-op object — no allocation beyond the ``fields`` dict the
+    call site builds, no clock reads, no stack bookkeeping.
+    """
+    if _STATE.sink is NULL_SINK:
+        return _NOOP_SPAN
+    return Span(name, fields)
+
+
+def tracing_enabled() -> bool:
+    """Whether a real (non-null) sink is installed."""
+    return _STATE.sink is not NULL_SINK
+
+
+def active_sink() -> Sink:
+    """The currently installed sink."""
+    return _STATE.sink
+
+
+def install_sink(sink: Sink) -> Sink:
+    """Install ``sink`` as the trace target, returning the previous one.
+
+    Resets the span stack and the timestamp origin, so every trace
+    starts at ``start ~= 0``. The caller owns closing the returned
+    previous sink if it needs closing.
+    """
+    state = _STATE
+    previous = state.sink
+    state.sink = sink
+    state.stack = []
+    state.origin = time.perf_counter()
+    return previous
+
+
+def uninstall_sink(*, close: bool = True) -> Sink:
+    """Restore the null sink; optionally close the removed sink."""
+    removed = install_sink(NULL_SINK)
+    if close and removed is not NULL_SINK:
+        removed.close()
+    return removed
+
+
+@contextmanager
+def tracing(sink: Sink) -> Iterator[Sink]:
+    """Scoped sink installation: installs on entry, closes on exit."""
+    previous = install_sink(sink)
+    try:
+        yield sink
+    finally:
+        install_sink(previous)
+        if sink is not NULL_SINK:
+            sink.close()
+
+
+def emit_event(event_type: str, **payload: Any) -> None:
+    """Emit a non-span event (metrics dump, manifest) to the sink.
+
+    A timestamp relative to the trace origin is attached; the event is
+    dropped silently when tracing is disabled.
+    """
+    state = _STATE
+    if state.sink is NULL_SINK:
+        return
+    event: Dict[str, Any] = {
+        "type": event_type,
+        "ts": time.perf_counter() - state.origin,
+    }
+    event.update(payload)
+    state.sink.emit(event)

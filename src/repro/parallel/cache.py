@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core import ClientAssignmentProblem, interaction_lower_bound
 from repro.net.latency import LatencyMatrix
+from repro.obs.metrics import registry
 from repro.placement import kcenter_a, kcenter_b, random_placement
 
 #: Canonical placement-strategy registry used by the experiment layer.
@@ -103,6 +104,12 @@ class InstanceCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        # Mirrored into the metrics registry so worker-side counters
+        # flow back to the parent through the pool's snapshot deltas.
+        metrics = registry()
+        self._m_hits = metrics.counter("parallel.cache.hits")
+        self._m_misses = metrics.counter("parallel.cache.misses")
+        self._m_evictions = metrics.counter("parallel.cache.evictions")
 
     # ------------------------------------------------------------------
     @property
@@ -145,6 +152,7 @@ class InstanceCache:
         hit = self._entries.get(key)
         if hit is not None:
             self._hits += 1
+            self._m_hits.inc()
             self._entries.move_to_end(key)
             return hit
         base_key = (id(matrix), placement, n_servers, seed, None)
@@ -155,6 +163,7 @@ class InstanceCache:
             # construction, lower bound) was served from cache; only the
             # cheap capacity wrapper is fresh.
             self._hits += 1
+            self._m_hits.inc()
             self._entries.move_to_end(base_key)
             entry = CachedInstance(
                 servers=base.servers,
@@ -163,6 +172,7 @@ class InstanceCache:
             )
         else:
             self._misses += 1
+            self._m_misses.inc()
             servers = PLACEMENT_STRATEGIES[placement](
                 matrix, n_servers, seed=seed
             )
@@ -187,6 +197,7 @@ class InstanceCache:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self._evictions += 1
+            self._m_evictions.inc()
 
 
 #: Process-global cache shared by all trial functions in this process.

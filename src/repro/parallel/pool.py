@@ -57,7 +57,15 @@ from typing import (
 
 from repro.errors import TrialExecutionError
 from repro.net.latency import LatencyMatrix
-from repro.parallel.cache import CacheStats, cache_stats_snapshot
+from repro.obs import SECONDS_BUCKETS, registry, span
+from repro.obs.aggregate import (
+    Snapshot,
+    empty_snapshot,
+    merge_into_registry,
+    merge_snapshots,
+    snapshot_delta,
+)
+from repro.parallel.cache import CacheStats
 from repro.parallel.shm import (
     PublishedMatrix,
     SharedMatrixHandle,
@@ -152,14 +160,17 @@ def _execute_chunk(
     fn: TrialFn,
     matrix: Optional[LatencyMatrix],
     items: Sequence[Tuple[int, Any]],
-) -> Tuple[List[TrialOutcome], CacheStats]:
+) -> Tuple[List[TrialOutcome], Snapshot]:
     """Run one chunk of ``(index, task)`` items against ``matrix``.
 
     Trial exceptions are contained per task: one in-place retry, then a
-    failed outcome. Returns outcomes plus the instance-cache counter
-    delta accrued while running the chunk (summable across workers).
+    failed outcome. Returns outcomes plus the metrics-registry snapshot
+    delta accrued while running the chunk (instance-cache hits/misses,
+    engine commits, algorithm counters, ...) — a plain picklable dict,
+    mergeable across workers via
+    :func:`repro.obs.aggregate.merge_snapshots`.
     """
-    before = cache_stats_snapshot()
+    before = registry().snapshot()
     outcomes: List[TrialOutcome] = []
     for index, task in items:
         start = time.perf_counter()
@@ -188,14 +199,24 @@ def _execute_chunk(
                 retried=retried,
             )
         )
-    return outcomes, cache_stats_snapshot() - before
+    return outcomes, snapshot_delta(registry().snapshot(), before)
+
+
+def _cache_stats_from_delta(delta: Snapshot) -> CacheStats:
+    """The instance-cache counters embedded in a metrics delta."""
+    counters = delta.get("counters", {})
+    return CacheStats(
+        hits=int(counters.get("parallel.cache.hits", 0)),
+        misses=int(counters.get("parallel.cache.misses", 0)),
+        evictions=int(counters.get("parallel.cache.evictions", 0)),
+    )
 
 
 def _run_chunk_remote(
     fn: TrialFn,
     handle: Optional[SharedMatrixHandle],
     items: Sequence[Tuple[int, Any]],
-) -> Tuple[List[TrialOutcome], CacheStats]:
+) -> Tuple[List[TrialOutcome], Snapshot]:
     """Worker entry point: attach the shared matrix, run the chunk."""
     matrix = attach_matrix(handle) if handle is not None else None
     return _execute_chunk(fn, matrix, items)
@@ -301,19 +322,38 @@ class TrialPool:
         if not tasks:
             return []
         start = time.perf_counter()
-        if self.is_serial:
-            outcomes, cache_delta = _execute_chunk(
-                fn, matrix, list(enumerate(tasks))
-            )
-        else:
-            outcomes, cache_delta = self._map_parallel(fn, tasks, matrix)
+        with span(
+            "pool.map_trials", tasks=len(tasks), workers=self.workers
+        ):
+            if self.is_serial:
+                # Inline execution: trial-side metric increments land
+                # directly in this process's registry, so the delta is
+                # only *read* (for the cache view), never merged back.
+                outcomes, delta = _execute_chunk(
+                    fn, matrix, list(enumerate(tasks))
+                )
+            else:
+                outcomes, delta = self._map_parallel(fn, tasks, matrix)
+                # Worker increments happened in forked registries: fold
+                # the combined delta into the parent's.
+                merge_into_registry(delta)
         outcomes.sort(key=lambda o: o.index)
+        n_failed = sum(1 for o in outcomes if not o.ok)
+        n_retried = sum(1 for o in outcomes if o.retried)
+        trial_seconds = sum(o.seconds for o in outcomes)
         self.stats.n_trials += len(outcomes)
-        self.stats.n_failed += sum(1 for o in outcomes if not o.ok)
-        self.stats.n_retried += sum(1 for o in outcomes if o.retried)
-        self.stats.trial_seconds += sum(o.seconds for o in outcomes)
+        self.stats.n_failed += n_failed
+        self.stats.n_retried += n_retried
+        self.stats.trial_seconds += trial_seconds
         self.stats.wall_seconds += time.perf_counter() - start
-        self.stats.cache = self.stats.cache + cache_delta
+        self.stats.cache = self.stats.cache + _cache_stats_from_delta(delta)
+        metrics = registry()
+        metrics.counter("pool.trials").inc(len(outcomes))
+        metrics.counter("pool.failed").inc(n_failed)
+        metrics.counter("pool.retried").inc(n_retried)
+        seconds = metrics.histogram("pool.trial_seconds", SECONDS_BUCKETS)
+        for outcome in outcomes:
+            seconds.observe(outcome.seconds)
         return outcomes
 
     # ------------------------------------------------------------------
@@ -347,7 +387,7 @@ class TrialPool:
         fn: TrialFn,
         tasks: List[Any],
         matrix: Optional[LatencyMatrix],
-    ) -> Tuple[List[TrialOutcome], CacheStats]:
+    ) -> Tuple[List[TrialOutcome], Snapshot]:
         handle = self._handle_for(matrix)
         chunk_size = self.chunk_size or _default_chunk_size(
             len(tasks), self.workers
@@ -358,7 +398,7 @@ class TrialPool:
             for i in range(0, len(indexed), chunk_size)
         ]
         outcomes: List[TrialOutcome] = []
-        cache_total = CacheStats()
+        delta_total = empty_snapshot()
         crashed: List[Tuple[int, Any]] = []
         executor = self._ensure_executor()
         futures = {
@@ -373,11 +413,12 @@ class TrialPool:
                 for future in done:
                     chunk = futures[future]
                     try:
-                        chunk_outcomes, cache_delta = future.result()
+                        chunk_outcomes, chunk_delta = future.result()
                     except BrokenProcessPool:
                         # The executor died under this chunk; collect it
                         # for isolated re-execution.
                         self.stats.n_crashed_chunks += 1
+                        registry().counter("pool.crashed_chunks").inc()
                         broken = True
                         crashed.extend(chunk)
                     except KeyboardInterrupt:
@@ -394,7 +435,7 @@ class TrialPool:
                         )
                     else:
                         outcomes.extend(chunk_outcomes)
-                        cache_total = cache_total + cache_delta
+                        delta_total = merge_snapshots(delta_total, chunk_delta)
                 if broken:
                     # Every still-pending chunk will raise the same way
                     # (and may have been lost mid-flight): re-run them
@@ -408,17 +449,17 @@ class TrialPool:
             self._teardown_executor(wait=False)
             raise
         if crashed:
-            retried, cache_delta = self._rerun_crashed(fn, handle, crashed)
+            retried, rerun_delta = self._rerun_crashed(fn, handle, crashed)
             outcomes.extend(retried)
-            cache_total = cache_total + cache_delta
-        return outcomes, cache_total
+            delta_total = merge_snapshots(delta_total, rerun_delta)
+        return outcomes, delta_total
 
     def _rerun_crashed(
         self,
         fn: TrialFn,
         handle: Optional[SharedMatrixHandle],
         items: List[Tuple[int, Any]],
-    ) -> Tuple[List[TrialOutcome], CacheStats]:
+    ) -> Tuple[List[TrialOutcome], Snapshot]:
         """Re-run tasks from crashed chunks, one task per submission.
 
         A fresh executor isolates each suspect task; a task that kills
@@ -426,16 +467,17 @@ class TrialPool:
         parent, where it could take the whole sweep down).
         """
         outcomes: List[TrialOutcome] = []
-        cache_total = CacheStats()
+        delta_total = empty_snapshot()
         for index, task in sorted(items, key=lambda item: item[0]):
             executor = self._ensure_executor()
             future = executor.submit(
                 _run_chunk_remote, fn, handle, [(index, task)]
             )
             try:
-                task_outcomes, cache_delta = future.result()
+                task_outcomes, task_delta = future.result()
             except BrokenProcessPool:
                 self.stats.n_crashed_chunks += 1
+                registry().counter("pool.crashed_chunks").inc()
                 self._teardown_executor(wait=False)
                 outcomes.append(
                     TrialOutcome(
@@ -456,11 +498,11 @@ class TrialPool:
                     )
                 )
             else:
-                cache_total = cache_total + cache_delta
+                delta_total = merge_snapshots(delta_total, task_delta)
                 outcomes.extend(
                     replace(o, retried=True) for o in task_outcomes
                 )
-        return outcomes, cache_total
+        return outcomes, delta_total
 
 
 def run_trials(

@@ -57,6 +57,7 @@ from repro.errors import (
 from repro.faults.models import MessageFate
 from repro.faults.schedule import FaultSchedule
 from repro.net.jitter import JitterModel, NoJitter
+from repro.obs import DEFAULT_BUCKETS, registry, span
 from repro.sim.clocks import SimulationClock
 from repro.sim.engine import EventEngine
 from repro.sim.events import (
@@ -271,6 +272,10 @@ class DIASimulation:
         self._engine = EventEngine()
         self._n_messages = 0
         self._interaction_times: List[float] = []
+        # One histogram lookup per simulator, not per message.
+        self._m_latency = registry().histogram(
+            "sim.message_latency_ms", DEFAULT_BUCKETS
+        )
 
     # ------------------------------------------------------------------
     # Latency sampling
@@ -303,6 +308,7 @@ class DIASimulation:
             copies = 2
         for _ in range(copies):
             latency = self._latency(src_node, dst_node, wall)
+            self._m_latency.observe(latency)
             self._engine.schedule(wall + latency, message, handler)
 
     def _client_node(self, client: int) -> int:
@@ -471,11 +477,15 @@ class DIASimulation:
         Raises :class:`~repro.errors.SimulationError` subclasses when
         ``allow_late`` is False and the schedule is violated.
         """
-        for operation in operations:
-            # Client clocks are the wall reference: issue wall time ==
-            # issue sim time.
-            self._engine.schedule(operation.issue_sim_time, operation, self._issue)
-        self._engine.run()
+        with span("sim.run", operations=len(operations)):
+            for operation in operations:
+                # Client clocks are the wall reference: issue wall time
+                # == issue sim time.
+                self._engine.schedule(
+                    operation.issue_sim_time, operation, self._issue
+                )
+            self._engine.run()
+        registry().counter("sim.messages").inc(self._n_messages)
 
         servers_consistent = self._check_server_consistency()
         order_preserved = self._check_order_preserved()

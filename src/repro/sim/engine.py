@@ -14,6 +14,7 @@ import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.metrics import registry
 
 #: An event handler receives (wall_time, payload).
 Handler = Callable[[float, Any], None]
@@ -65,15 +66,23 @@ class EventEngine:
         or ``max_events`` have been processed (raising in the last case,
         as a runaway guard).
         """
-        while self._queue:
-            if self._events_processed >= max_events:
-                raise SimulationError(
-                    f"simulation exceeded max_events={max_events}"
-                )
-            wall_time, _seq, payload, handler = self._queue[0]
-            if until is not None and wall_time > until:
-                break
-            heapq.heappop(self._queue)
-            self._now = wall_time
-            self._events_processed += 1
-            handler(wall_time, payload)
+        # The per-event loop stays telemetry-free; the dispatched-event
+        # count is flushed to the metrics registry once on exit.
+        before = self._events_processed
+        try:
+            while self._queue:
+                if self._events_processed >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded max_events={max_events}"
+                    )
+                wall_time, _seq, payload, handler = self._queue[0]
+                if until is not None and wall_time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = wall_time
+                self._events_processed += 1
+                handler(wall_time, payload)
+        finally:
+            dispatched = self._events_processed - before
+            if dispatched:
+                registry().counter("sim.events").inc(dispatched)

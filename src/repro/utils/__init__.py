@@ -1,7 +1,11 @@
-"""Small cross-cutting helpers: RNG handling, validation, timing."""
+"""Small cross-cutting helpers: RNG handling, validation, timing.
 
+``Stopwatch`` now lives in :mod:`repro.obs.timing`; the re-export here
+(and the :mod:`repro.utils.timing` shim) keep old imports working.
+"""
+
+from repro.obs.timing import Stopwatch
 from repro.utils.rng import ensure_rng, spawn_rngs
-from repro.utils.timing import Stopwatch
 from repro.utils.validation import (
     require,
     require_positive,

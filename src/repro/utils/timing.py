@@ -1,37 +1,33 @@
-"""Wall-clock timing helper used by the experiment harness."""
+"""Deprecated shim: :class:`Stopwatch` moved to :mod:`repro.obs.timing`.
+
+This module remains importable so existing callers keep working, but
+new code should import from :mod:`repro.obs` (which also offers the
+registry-backed :func:`repro.obs.timing.timed`). Attribute access emits
+a :class:`DeprecationWarning` once per process and returns the real
+object — ``repro.utils.timing.Stopwatch`` *is*
+``repro.obs.timing.Stopwatch``, so ``isinstance`` checks keep passing.
+"""
 
 from __future__ import annotations
 
-import time
-from typing import Optional
+import warnings
+
+_MOVED = ("Stopwatch", "timed")
 
 
-class Stopwatch:
-    """A tiny context-manager stopwatch.
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.utils.timing.{name} is deprecated; import it from "
+            f"repro.obs (the observability package) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.obs import timing
 
-    Example::
+        return getattr(timing, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-        with Stopwatch() as sw:
-            run_algorithm()
-        print(sw.elapsed)
-    """
 
-    def __init__(self) -> None:
-        self._start: Optional[float] = None
-        self._elapsed: float = 0.0
-
-    def __enter__(self) -> "Stopwatch":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        if self._start is not None:
-            self._elapsed = time.perf_counter() - self._start
-            self._start = None
-
-    @property
-    def elapsed(self) -> float:
-        """Seconds elapsed; live while running, frozen after exit."""
-        if self._start is not None:
-            return time.perf_counter() - self._start
-        return self._elapsed
+def __dir__():
+    return sorted(list(globals()) + list(_MOVED))

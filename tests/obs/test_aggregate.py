@@ -1,0 +1,193 @@
+"""Tests for repro.obs.aggregate (snapshot deltas, merges, pool flow)."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.aggregate import (
+    empty_snapshot,
+    merge_into_registry,
+    merge_snapshots,
+    snapshot_delta,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _reg(counters=(), hist_values=()):
+    reg = MetricsRegistry()
+    for name, value in counters:
+        reg.counter(name).inc(value)
+    for name, value in hist_values:
+        reg.histogram(name, bounds=(1.0, 10.0)).observe(value)
+    return reg
+
+
+class TestSnapshotDelta:
+    def test_counters_subtract(self):
+        reg = _reg(counters=[("c", 5)])
+        before = reg.snapshot()
+        reg.counter("c").inc(3)
+        reg.counter("new").inc(2)
+        delta = snapshot_delta(reg.snapshot(), before)
+        assert delta["counters"] == {"c": 3, "new": 2}
+
+    def test_unchanged_instruments_dropped(self):
+        reg = _reg(counters=[("c", 5)], hist_values=[("h", 0.5)])
+        before = reg.snapshot()
+        delta = snapshot_delta(reg.snapshot(), before)
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}
+
+    def test_histograms_subtract_per_bucket(self):
+        reg = _reg(hist_values=[("h", 0.5)])
+        before = reg.snapshot()
+        reg.histogram("h").observe(5.0)
+        reg.histogram("h").observe(50.0)
+        delta = snapshot_delta(reg.snapshot(), before)
+        assert delta["histograms"]["h"]["counts"] == [0, 1, 1]
+        assert delta["histograms"]["h"]["count"] == 2
+        assert delta["histograms"]["h"]["sum"] == pytest.approx(55.0)
+
+    def test_bounds_change_rejected(self):
+        before = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {
+                "h": {"bounds": [1.0], "counts": [0, 0], "sum": 0, "count": 0}
+            },
+        }
+        after = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {
+                "h": {"bounds": [2.0], "counts": [1, 0], "sum": 1, "count": 1}
+            },
+        }
+        with pytest.raises(InvalidParameterError):
+            snapshot_delta(after, before)
+
+    def test_delta_from_empty_is_snapshot(self):
+        reg = _reg(counters=[("c", 2)], hist_values=[("h", 3.0)])
+        delta = snapshot_delta(reg.snapshot(), empty_snapshot())
+        assert delta["counters"] == {"c": 2}
+        assert delta["histograms"]["h"]["count"] == 1
+
+
+class TestMergeSnapshots:
+    def test_counters_add(self):
+        left = _reg(counters=[("a", 1), ("b", 2)]).snapshot()
+        right = _reg(counters=[("b", 3), ("c", 4)]).snapshot()
+        merged = merge_snapshots(left, right)
+        assert merged["counters"] == {"a": 1, "b": 5, "c": 4}
+
+    def test_commutative(self):
+        left = _reg(counters=[("a", 1)], hist_values=[("h", 0.5)]).snapshot()
+        right = _reg(counters=[("a", 9)], hist_values=[("h", 5.0)]).snapshot()
+        assert merge_snapshots(left, right) == merge_snapshots(right, left)
+
+    def test_gauges_keep_max(self):
+        left = {"counters": {}, "gauges": {"g": 3}, "histograms": {}}
+        right = {"counters": {}, "gauges": {"g": 7}, "histograms": {}}
+        assert merge_snapshots(left, right)["gauges"] == {"g": 7}
+        assert merge_snapshots(right, left)["gauges"] == {"g": 7}
+
+    def test_histograms_elementwise(self):
+        left = _reg(hist_values=[("h", 0.5), ("h", 5.0)]).snapshot()
+        right = _reg(hist_values=[("h", 50.0)]).snapshot()
+        merged = merge_snapshots(left, right)
+        assert merged["histograms"]["h"]["counts"] == [1, 1, 1]
+        assert merged["histograms"]["h"]["count"] == 3
+
+    def test_mismatched_bounds_rejected(self):
+        left = _reg(hist_values=[("h", 1.0)]).snapshot()
+        right = MetricsRegistry()
+        right.histogram("h", bounds=(2.0,)).observe(1.0)
+        with pytest.raises(InvalidParameterError):
+            merge_snapshots(left, right.snapshot())
+
+    def test_empty_is_identity(self):
+        snap = _reg(counters=[("a", 1)], hist_values=[("h", 0.5)]).snapshot()
+        assert merge_snapshots(snap, empty_snapshot()) == merge_snapshots(
+            empty_snapshot(), snap
+        )
+
+
+class TestMergeIntoRegistry:
+    def test_counters_and_histograms_fold_in(self):
+        target = _reg(counters=[("c", 1)], hist_values=[("h", 0.5)])
+        delta = _reg(counters=[("c", 4)], hist_values=[("h", 5.0)]).snapshot()
+        merge_into_registry(delta, target)
+        assert target.counter("c").value == 5
+        h = target.histogram("h")
+        assert h.count == 2
+        assert h.counts == [1, 1, 0]
+
+    def test_gauge_max(self):
+        target = MetricsRegistry()
+        target.gauge("g").set(10)
+        merge_into_registry(
+            {"counters": {}, "gauges": {"g": 3}, "histograms": {}}, target
+        )
+        assert target.gauge("g").value == 10
+
+    def test_creates_missing_instruments(self):
+        target = MetricsRegistry()
+        delta = _reg(counters=[("new", 7)], hist_values=[("h", 0.5)]).snapshot()
+        merge_into_registry(delta, target)
+        assert target.counter("new").value == 7
+        assert target.histogram("h").count == 1
+
+
+# Module-level trial functions: workers import them by qualified name.
+def _counting_greedy_trial(matrix, task):
+    from repro.algorithms import greedy
+    from repro.core import ClientAssignmentProblem
+    from repro.obs.metrics import registry as _registry
+
+    _registry().counter("test.trial_runs").inc()
+    problem = ClientAssignmentProblem(matrix, servers=[0, 1, task])
+    return greedy(problem).server_of.tolist()
+
+
+def _counting_trial(matrix, task):
+    from repro.obs.metrics import registry as _registry
+
+    _registry().counter("test.trial_runs").inc()
+    return task
+
+
+class TestCrossProcessMerge:
+    """Worker deltas land in the parent registry through the pool."""
+
+    def test_parallel_run_merges_worker_metrics(self):
+        from repro.net.latency import LatencyMatrix
+        from repro.obs.metrics import registry, use_registry
+        from repro.parallel import TrialPool
+        from repro.parallel.pool import run_trials
+
+        matrix = LatencyMatrix.random_metric(30, seed=2)
+        with use_registry(MetricsRegistry()):
+            with TrialPool(2) as pool:
+                outcomes = run_trials(
+                    _counting_greedy_trial, [3, 5, 7, 9], matrix=matrix, pool=pool
+                )
+            snap = registry().snapshot()
+        assert all(o.ok for o in outcomes)
+        # Worker-side increments (test.trial_runs, the instrumented
+        # algorithms' counters) must be visible in the parent registry.
+        assert snap["counters"]["test.trial_runs"] == 4
+        assert snap["counters"]["greedy.batches"] >= 4
+        assert snap["counters"]["pool.trials"] == 4
+
+    def test_serial_run_not_double_counted(self):
+        from repro.net.latency import LatencyMatrix
+        from repro.obs.metrics import registry, use_registry
+        from repro.parallel import TrialPool
+        from repro.parallel.pool import run_trials
+
+        matrix = LatencyMatrix.random_metric(20, seed=2)
+        with use_registry(MetricsRegistry()):
+            with TrialPool(0) as pool:
+                run_trials(_counting_trial, [1, 2, 3], matrix=matrix, pool=pool)
+            # Serial path: increments land directly in this registry;
+            # the delta must NOT be merged on top.
+            assert registry().counter("test.trial_runs").value == 3

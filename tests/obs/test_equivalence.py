@@ -1,0 +1,128 @@
+"""Telemetry-equivalence: tracing and metrics never change results.
+
+The determinism contract (docs/observability.md): the figure JSON a run
+produces is byte-identical whether tracing is off, writing to a JSONL
+file, or buffering in memory — and at any worker count.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _run_fig(tmp_path, name, *cli_args):
+    out = tmp_path / f"{name}.json"
+    code = main(
+        ["fig", "9", "--profile", "quick", "--save", str(out), *cli_args]
+    )
+    assert code == 0
+    return out.read_bytes()
+
+
+class TestFigureJsonEquivalence:
+    def test_traced_equals_untraced(self, tmp_path, capsys):
+        plain = _run_fig(tmp_path, "plain")
+        traced = _run_fig(
+            tmp_path, "traced", "--trace", str(tmp_path / "t.jsonl")
+        )
+        assert plain == traced
+
+    def test_serial_equals_parallel(self, tmp_path, capsys):
+        serial = _run_fig(tmp_path, "serial", "--workers", "0")
+        parallel = _run_fig(
+            tmp_path,
+            "parallel",
+            "--workers", "4",
+            "--trace", str(tmp_path / "t4.jsonl"),
+        )
+        assert serial == parallel
+
+    def test_repeat_runs_byte_identical(self, tmp_path, capsys):
+        first = _run_fig(tmp_path, "first")
+        second = _run_fig(tmp_path, "second")
+        assert first == second
+
+    def test_manifest_attached_and_core_only(self, tmp_path, capsys,
+                                             monkeypatch):
+        from repro.obs.manifest import MANIFEST_ENV
+
+        monkeypatch.delenv(MANIFEST_ENV, raising=False)
+        payload = json.loads(_run_fig(tmp_path, "with_manifest"))
+        manifest = payload["manifest"]
+        assert manifest["command"] == "fig"
+        assert manifest["dataset_fingerprint"]
+        assert manifest["config"]["figure"] == "9"
+        # Volatile facts (pid, timestamps) must not leak into results.
+        assert "volatile" not in manifest
+        # Execution mechanics must not shape the deterministic core.
+        for key in ("workers", "save", "load", "trace"):
+            assert key not in manifest["config"]
+
+    def test_manifest_volatile_opt_in(self, tmp_path, capsys, monkeypatch):
+        from repro.obs.manifest import MANIFEST_ENV
+
+        monkeypatch.setenv(MANIFEST_ENV, "full")
+        payload = json.loads(_run_fig(tmp_path, "full_manifest"))
+        assert "volatile" in payload["manifest"]
+
+    def test_old_files_without_manifest_still_load(self, tmp_path, capsys,
+                                                   monkeypatch):
+        from repro.experiments import load_manifest, load_result
+
+        monkeypatch.delenv("REPRO_OBS_MANIFEST", raising=False)
+        path = tmp_path / "legacy.json"
+        payload = json.loads(_run_fig(tmp_path, "modern"))
+        del payload["manifest"]
+        path.write_text(json.dumps(payload))
+        result = load_result(path)  # must not raise
+        assert result
+        assert load_manifest(path) is None
+
+    def test_load_manifest_reads_provenance(self, tmp_path, capsys):
+        from repro.experiments import load_manifest
+
+        _run_fig(tmp_path, "prov")
+        manifest = load_manifest(tmp_path / "prov.json")
+        assert manifest is not None
+        assert manifest["command"] == "fig"
+
+
+class TestRegistryEquivalence:
+    def test_null_registry_identical_results(self):
+        from repro.algorithms import distributed_greedy
+        from repro.core import ClientAssignmentProblem
+        from repro.net.latency import LatencyMatrix
+        from repro.obs.metrics import NullMetricsRegistry, use_registry
+
+        matrix = LatencyMatrix.random_metric(30, seed=11)
+        problem = ClientAssignmentProblem(matrix, servers=[0, 4, 9])
+        baseline = distributed_greedy(problem, seed=1)
+        with use_registry(NullMetricsRegistry()):
+            nulled = distributed_greedy(problem, seed=1)
+        assert (baseline.server_of == nulled.server_of).all()
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_trace_file_valid_at_any_worker_count(self, tmp_path, capsys,
+                                                  workers):
+        from repro.obs.sink import read_jsonl
+
+        trace = tmp_path / "t.jsonl"
+        code = main(
+            [
+                "fig", "9", "--profile", "quick",
+                "--workers", str(workers),
+                "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        events = read_jsonl(trace)
+        types = {e["type"] for e in events}
+        assert {"span", "metrics", "manifest"} <= types
+        # Exactly one root span, named for the CLI command.
+        roots = [
+            e for e in events
+            if e["type"] == "span" and e["parent_id"] is None
+        ]
+        assert [r["name"] for r in roots] == ["cli.fig"]

@@ -1,0 +1,171 @@
+"""Tests for repro.obs.metrics (counters, gauges, histograms, registry)."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_float_amounts(self):
+        c = Counter("x")
+        c.inc(0.5)
+        c.inc(0.25)
+        assert c.value == pytest.approx(0.75)
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        g = Gauge("x")
+        g.set(10)
+        g.set(3)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_bucketing_edges(self):
+        h = Histogram("x", bounds=(1.0, 2.0, 5.0))
+        # bisect_left on inclusive upper bounds: value == bound lands
+        # in that bound's bucket; just above it spills into the next.
+        h.observe(0.5)   # bucket 0 (<= 1)
+        h.observe(1.0)   # bucket 0 (== bound is inclusive)
+        h.observe(1.001) # bucket 1
+        h.observe(2.0)   # bucket 1
+        h.observe(5.0)   # bucket 2
+        h.observe(5.001) # overflow bucket
+        h.observe(100.0) # overflow bucket
+        assert h.counts == [2, 2, 1, 2]
+        assert h.count == 7
+        assert h.sum == pytest.approx(0.5 + 1.0 + 1.001 + 2.0 + 5.0 + 5.001 + 100.0)
+
+    def test_overflow_bucket_exists(self):
+        h = Histogram("x", bounds=(1.0,))
+        assert len(h.counts) == 2
+
+    def test_mean(self):
+        h = Histogram("x", bounds=(10.0,))
+        assert h.mean == 0.0
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == pytest.approx(3.0)
+
+    def test_rejects_unsorted_or_empty_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram("x", bounds=(2.0, 1.0))
+        with pytest.raises(InvalidParameterError):
+            Histogram("x", bounds=())
+
+
+class TestMetricsRegistry:
+    def test_instruments_memoized_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_histogram_bounds_bound_on_first_use(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", bounds=(1.0, 2.0))
+        assert reg.histogram("h") is h  # None bounds = no constraint
+        assert reg.histogram("h", bounds=(1.0, 2.0)) is h
+        with pytest.raises(InvalidParameterError):
+            reg.histogram("h", bounds=(3.0, 4.0))
+
+    def test_default_bounds(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h").bounds == DEFAULT_BUCKETS
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7)
+        reg.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"] == {
+            "bounds": [1.0],
+            "counts": [1, 0],
+            "sum": 0.5,
+            "count": 1,
+        }
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(1.0)
+        json.dumps(reg.snapshot())  # must not raise
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestGlobalRegistry:
+    def test_use_registry_swaps_and_restores(self):
+        original = registry()
+        fresh = MetricsRegistry()
+        with use_registry(fresh) as active:
+            assert active is fresh
+            assert registry() is fresh
+        assert registry() is original
+
+    def test_set_registry_returns_previous(self):
+        original = registry()
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert previous is original
+            assert registry() is fresh
+        finally:
+            set_registry(original)
+
+
+class TestNullMetricsRegistry:
+    def test_instruments_discard_everything(self):
+        reg = NullMetricsRegistry()
+        c = reg.counter("c")
+        c.inc(100)
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(1.0)
+        assert reg.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_instrumented_code_runs_under_null_registry(self):
+        from repro.core import ClientAssignmentProblem, IncrementalObjective
+        from repro.net.latency import LatencyMatrix
+
+        matrix = LatencyMatrix.random_metric(12, seed=0)
+        problem = ClientAssignmentProblem(matrix, servers=[0, 1, 2])
+        with use_registry(NullMetricsRegistry()):
+            engine = IncrementalObjective(problem)
+            engine.assign_many(range(problem.n_clients), 0)
+            assert engine.d() > 0

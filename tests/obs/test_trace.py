@@ -1,0 +1,216 @@
+"""Tests for repro.obs.trace (spans, nesting, sinks, events)."""
+
+import json
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.obs.sink import (
+    NULL_SINK,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    open_sink,
+    read_jsonl,
+)
+from repro.obs.trace import (
+    _NOOP_SPAN,
+    active_sink,
+    emit_event,
+    install_sink,
+    span,
+    tracing,
+    tracing_enabled,
+    uninstall_sink,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_sink():
+    """Every test in this module leaves the null sink installed."""
+    yield
+    uninstall_sink(close=True)
+
+
+class TestNullSinkFastPath:
+    def test_disabled_by_default(self):
+        assert not tracing_enabled()
+        assert active_sink() is NULL_SINK
+
+    def test_span_returns_shared_noop(self):
+        assert span("anything", field=1) is _NOOP_SPAN
+        assert span("other") is _NOOP_SPAN
+
+    def test_noop_span_accepts_set(self):
+        with span("x") as s:
+            s.set(result=42)  # must not raise
+
+    def test_emit_event_dropped(self):
+        emit_event("metrics", metrics={})  # must not raise
+
+
+class TestSpanNesting:
+    def test_parent_child_ids(self):
+        sink = MemorySink()
+        install_sink(sink)
+        with span("outer"):
+            with span("inner"):
+                pass
+            with span("inner"):
+                pass
+        events = sink.events
+        assert [e["name"] for e in events] == ["inner", "inner", "outer"]
+        outer = events[2]
+        assert outer["parent_id"] is None
+        assert outer["depth"] == 0
+        for inner in events[:2]:
+            assert inner["parent_id"] == outer["span_id"]
+            assert inner["depth"] == 1
+
+    def test_span_ids_unique(self):
+        sink = MemorySink()
+        install_sink(sink)
+        for _ in range(5):
+            with span("s"):
+                pass
+        ids = [e["span_id"] for e in sink.events]
+        assert len(set(ids)) == 5
+
+    def test_fields_recorded(self):
+        sink = MemorySink()
+        install_sink(sink)
+        with span("s", clients=40, evaluator="engine") as s:
+            s.set(moves=3)
+        event = sink.events[0]
+        assert event["clients"] == 40
+        assert event["evaluator"] == "engine"
+        assert event["moves"] == 3
+
+    def test_timestamps_monotonic_from_origin(self):
+        sink = MemorySink()
+        install_sink(sink)
+        with span("a"):
+            pass
+        with span("b"):
+            pass
+        a, b = sink.events
+        assert a["start"] >= 0.0
+        assert b["start"] >= a["start"]
+        assert a["duration"] >= 0.0
+
+    def test_child_within_parent_extent(self):
+        sink = MemorySink()
+        install_sink(sink)
+        with span("outer"):
+            with span("inner"):
+                pass
+        inner, outer = sink.events
+        assert inner["start"] >= outer["start"]
+        assert (
+            inner["start"] + inner["duration"]
+            <= outer["start"] + outer["duration"] + 1e-9
+        )
+
+
+class TestInstallUninstall:
+    def test_install_returns_previous(self):
+        first = MemorySink()
+        second = MemorySink()
+        assert install_sink(first) is NULL_SINK
+        assert install_sink(second) is first
+        assert uninstall_sink(close=True) is second
+
+    def test_tracing_scope(self):
+        sink = MemorySink()
+        with tracing(sink):
+            assert tracing_enabled()
+            with span("s"):
+                pass
+        assert not tracing_enabled()
+        assert len(sink.events) == 1
+
+    def test_emit_event_adds_timestamp(self):
+        sink = MemorySink()
+        install_sink(sink)
+        emit_event("metrics", metrics={"counters": {}})
+        event = sink.events[0]
+        assert event["type"] == "metrics"
+        assert event["ts"] >= 0.0
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with tracing(JsonlSink(path)):
+            with span("outer", x=1):
+                with span("inner"):
+                    pass
+            emit_event("metrics", metrics={"counters": {"c": 1}})
+        events = read_jsonl(path)
+        assert len(events) == 3
+        assert {e["type"] for e in events} == {"span", "metrics"}
+        # every line is standalone JSON
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_flushes_on_close(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path, flush_every=10_000)
+        install_sink(sink)
+        with span("s"):
+            pass
+        uninstall_sink(close=True)
+        assert len(read_jsonl(path)) == 1
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_torn_final_line_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "span", "name": "a"}\n{"type": "sp')
+        events = read_jsonl(path)
+        assert len(events) == 1
+
+
+class TestOpenSink:
+    @pytest.mark.parametrize("spec", [None, "", "null", "off", "none", "NULL"])
+    def test_null_specs(self, spec):
+        assert open_sink(spec) is NULL_SINK
+
+    def test_memory_spec(self):
+        assert isinstance(open_sink("memory"), MemorySink)
+
+    def test_path_spec(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = open_sink(str(path))
+        assert isinstance(sink, JsonlSink)
+        sink.close()
+
+    def test_null_sink_is_singleton_instance(self):
+        assert isinstance(NULL_SINK, NullSink)
+
+
+class TestTelemetryNeverChangesResults:
+    def test_algorithm_identical_with_and_without_tracing(self):
+        from repro.algorithms import greedy
+        from repro.core import ClientAssignmentProblem
+        from repro.net.latency import LatencyMatrix
+
+        matrix = LatencyMatrix.random_metric(30, seed=5)
+        problem = ClientAssignmentProblem(matrix, servers=[0, 3, 7])
+        baseline = greedy(problem)
+        with tracing(MemorySink()):
+            traced = greedy(problem)
+        assert (traced.server_of == baseline.server_of).all()
+
+
+class TestLoadTraceErrors:
+    def test_empty_file_rejected(self, tmp_path):
+        from repro.obs.report import load_trace
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            load_trace(path)

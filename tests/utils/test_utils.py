@@ -1,12 +1,13 @@
-"""Tests for repro.utils (rng, timing, validation)."""
+"""Tests for repro.utils (rng, timing shim, validation)."""
 
 import time
+import warnings
 
 import numpy as np
 import pytest
 
+from repro.obs.timing import Stopwatch
 from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
-from repro.utils.timing import Stopwatch
 from repro.utils.validation import require, require_in_range, require_positive
 
 
@@ -82,6 +83,32 @@ class TestStopwatch:
         with sw:
             time.sleep(0.005)
             assert sw.elapsed > 0.0
+
+
+class TestTimingShim:
+    """repro.utils.timing stays importable but warns and forwards."""
+
+    def test_old_import_warns_and_returns_same_class(self):
+        from repro.utils import timing as legacy
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy_stopwatch = legacy.Stopwatch
+        assert legacy_stopwatch is Stopwatch
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+
+    def test_unknown_attribute_raises(self):
+        from repro.utils import timing as legacy
+
+        with pytest.raises(AttributeError):
+            legacy.no_such_thing
+
+    def test_package_reexport_still_works(self):
+        from repro.utils import Stopwatch as reexported
+
+        assert reexported is Stopwatch
 
 
 class TestValidation:
