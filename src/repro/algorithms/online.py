@@ -96,6 +96,10 @@ class OnlineAssignmentManager:
         #: per-server liveness; crashed servers are excluded from every
         #: placement decision until reactivated
         self._active = np.ones(self._servers.size, dtype=bool)
+        #: per-server reachability; partitioned servers are excluded
+        #: from placement like crashed ones, but keep their members
+        #: (clients ride out the partition on a stale assignment)
+        self._reachable = np.ones(self._servers.size, dtype=bool)
         # Incremental objective over the full node universe; connected
         # clients are assigned, everything else stays unassigned. The
         # manager's uniform capacity and liveness masks are applied at
@@ -137,6 +141,10 @@ class OnlineAssignmentManager:
     def server_of(self, client_node: int) -> int:
         """Local server index of a connected client."""
         return self._assigned[client_node]
+
+    def is_connected(self, client_node: int) -> bool:
+        """Whether ``client_node`` is currently connected."""
+        return client_node in self._assigned
 
     def loads(self) -> np.ndarray:
         """Per-server client counts."""
@@ -188,13 +196,58 @@ class OnlineAssignmentManager:
         self._check_server_index(server)
         self._active[server] = True
 
+    # ------------------------------------------------------------------
+    # Server reachability (network partition support)
+    # ------------------------------------------------------------------
+    @property
+    def n_reachable_servers(self) -> int:
+        """Number of servers not currently behind a partition."""
+        return int(self._reachable.sum())
+
+    @property
+    def n_usable_servers(self) -> int:
+        """Number of servers both up and reachable."""
+        return int((self._active & self._reachable).sum())
+
+    def is_reachable(self, server: int) -> bool:
+        """Whether local server ``server`` is on our side of the network."""
+        self._check_server_index(server)
+        return bool(self._reachable[server])
+
+    def partition_server(self, server: int) -> Tuple[int, ...]:
+        """Mark a server as unreachable (network partition). Idempotent.
+
+        Unlike :meth:`deactivate_server`, the server is presumed still
+        *running*: its members stay assigned (serving with a stale
+        assignment) but it is excluded from every placement decision —
+        joins, moves, evacuations and rebalances — until
+        :meth:`heal_server`. Returns the member nodes riding out the
+        partition.
+        """
+        self._check_server_index(server)
+        self._reachable[server] = False
+        return tuple(sorted(self._members[server]))
+
+    def heal_server(self, server: int) -> None:
+        """Mark a partitioned server as reachable again. Idempotent."""
+        self._check_server_index(server)
+        self._reachable[server] = True
+
+    def _usable(self) -> np.ndarray:
+        """Boolean mask of servers valid as placement targets."""
+        return self._active & self._reachable
+
     def move(self, client_node: int, server: int) -> None:
-        """Reassign a connected client to a specific active server."""
+        """Reassign a connected client to a specific usable server."""
         if client_node not in self._assigned:
             raise InvalidAssignmentError(f"client {client_node} is not connected")
         self._check_server_index(server)
         if not self._active[server]:
             raise FailoverError(f"cannot move client onto down server {server}")
+        if not self._reachable[server]:
+            raise FailoverError(
+                f"cannot move client onto unreachable server {server}"
+            )
         if (
             self._capacity is not None
             and self._assigned[client_node] != server
@@ -229,12 +282,15 @@ class OnlineAssignmentManager:
                 f"server {server} is still active; deactivate it before "
                 f"evacuating (or use move() to drain it)"
             )
-        if not self._active.any():
-            raise FailoverError("every server is down; nowhere to evacuate to")
+        usable = self._usable()
+        if not usable.any():
+            raise FailoverError(
+                "every server is down or unreachable; nowhere to evacuate to"
+            )
         if self._capacity is not None:
             loads = self.loads()
             free = int(
-                (self._capacity - loads[self._active]).clip(min=0).sum()
+                (self._capacity - loads[usable]).clip(min=0).sum()
             )
             if free < len(stranded):
                 raise FailoverError(
@@ -286,7 +342,7 @@ class OnlineAssignmentManager:
             if client_node in self._assigned:
                 loads[self._assigned[client_node]] -= 1
             costs = np.where(loads >= self._capacity, np.inf, costs)
-        return np.where(self._active, costs, np.inf)
+        return np.where(self._usable(), costs, np.inf)
 
     # ------------------------------------------------------------------
     def join(self, client_node: int) -> int:
@@ -304,7 +360,7 @@ class OnlineAssignmentManager:
             costs = self._matrix.values[client_node, self._servers].astype(float)
             if self._capacity is not None:
                 costs = np.where(self.loads() >= self._capacity, np.inf, costs)
-            costs = np.where(self._active, costs, np.inf)
+            costs = np.where(self._usable(), costs, np.inf)
         else:
             costs = self._candidate_costs(client_node, exclude_self=False)
         best = int(np.argmin(costs))
@@ -328,6 +384,25 @@ class OnlineAssignmentManager:
         self._engine.unassign(client_node)
         registry().counter("online.leaves").inc()
 
+    def restore_client(self, client_node: int, server: int) -> None:
+        """Install a client→server binding verbatim (recovery path).
+
+        Used by :mod:`repro.resilience.checkpoint` to rebuild a
+        manager from a snapshot: the binding was legal when it was
+        recorded, so no placement policy runs and liveness /
+        reachability / capacity checks are bypassed — a binding onto a
+        currently-down server is exactly what a mid-outage checkpoint
+        contains.
+        """
+        if client_node in self._assigned:
+            raise InvalidAssignmentError(f"client {client_node} already connected")
+        if not 0 <= client_node < self._matrix.n_nodes:
+            raise InvalidAssignmentError(f"client node {client_node} out of range")
+        self._check_server_index(server)
+        self._assigned[client_node] = server
+        self._members[server].add(client_node)
+        self._engine.apply(client_node, server)
+
     def rebalance(self, *, max_moves: int = 16) -> int:
         """Run bounded Distributed-Greedy repair; returns moves made."""
         if len(self._assigned) < 1 or max_moves < 1:
@@ -339,9 +414,10 @@ class OnlineAssignmentManager:
     def _run_dga(self, max_moves: int) -> int:
         from repro.algorithms.distributed_greedy import distributed_greedy_detailed
 
-        # Repair runs over the *active* servers only, so a bounded
-        # rebalance can never move a client onto a crashed server.
-        active = np.flatnonzero(self._active)
+        # Repair runs over the *usable* servers only, so a bounded
+        # rebalance can never move a client onto a crashed or
+        # partitioned server.
+        usable = np.flatnonzero(self._usable())
         stranded = [
             node
             for node, s in self._assigned.items()
@@ -352,14 +428,25 @@ class OnlineAssignmentManager:
                 f"{len(stranded)} client(s) still assigned to down "
                 f"server(s); evacuate before rebalancing"
             )
-        nodes = tuple(sorted(self._assigned))
+        # Clients riding out a partition on an unreachable server keep
+        # their stale assignment: they cannot be reached to be moved,
+        # so the repair problem covers only clients on usable servers.
+        nodes = tuple(
+            sorted(
+                node
+                for node, s in self._assigned.items()
+                if self._reachable[s]
+            )
+        )
+        if not nodes or usable.size == 0:
+            return 0
         problem = ClientAssignmentProblem(
             self._matrix,
-            self._servers[active],
+            self._servers[usable],
             clients=list(nodes),
             capacities=self._capacity,
         )
-        to_sub = {int(s): i for i, s in enumerate(active)}
+        to_sub = {int(s): i for i, s in enumerate(usable)}
         server_of = np.array(
             [to_sub[self._assigned[n]] for n in nodes], dtype=np.int64
         )
@@ -372,7 +459,7 @@ class OnlineAssignmentManager:
         # directly (not via move()) because the final assignment honors
         # capacities even where individual steps would transiently not.
         for local_idx, node in enumerate(nodes):
-            new_server = int(active[result.assignment.server_of[local_idx]])
+            new_server = int(usable[result.assignment.server_of[local_idx]])
             old_server = self._assigned[node]
             if new_server != old_server:
                 self._members[old_server].discard(node)

@@ -8,6 +8,7 @@ Subcommands:
 - ``claims``   — run the §V claims checklist.
 - ``simulate`` — run the DIA event simulation for a solved assignment.
 - ``faults``   — fault-injection churn: crashes, failover, recovery.
+- ``chaos``    — kill/recover/diff the durable runtime (WAL + checkpoints).
 - ``obs``      — summarize a JSONL trace produced with ``--trace``.
 
 Every subcommand runs under the observability harness: a run manifest
@@ -198,6 +199,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Distributed-Greedy move budget on each server recovery",
     )
     p_faults.add_argument("--seed", type=int, default=0)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="kill/recover/diff the durable online runtime",
+    )
+    p_chaos.add_argument("--nodes", type=int, default=120)
+    p_chaos.add_argument("--servers", type=int, default=8)
+    p_chaos.add_argument("--events", type=int, default=120)
+    p_chaos.add_argument(
+        "--kill-at", type=int, nargs="*", default=None, metavar="K",
+        help=(
+            "event indices to kill the runtime after "
+            "(default: three points spread across the workload)"
+        ),
+    )
+    p_chaos.add_argument("--capacity", type=int, default=None)
+    p_chaos.add_argument(
+        "--max-backlog", type=int, default=32,
+        help="degraded-mode join backlog before rejection",
+    )
+    p_chaos.add_argument("--checkpoint-every", type=int, default=20)
+    p_chaos.add_argument(
+        "--fsync-every", type=int, default=8,
+        help="WAL group-commit size (1 = fsync every record)",
+    )
+    p_chaos.add_argument(
+        "--no-torn-tail", action="store_true",
+        help="skip appending a torn partial record to each killed WAL",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--dir", type=str, default=None,
+        help=(
+            "working directory for WALs/checkpoints "
+            "(default: a temp dir, removed on exit)"
+        ),
+    )
 
     p_obs = sub.add_parser(
         "obs", help="summarize a JSONL trace produced with --trace"
@@ -566,6 +604,38 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import shutil
+    import tempfile
+
+    from repro.placement import kcenter_b
+    from repro.resilience import DegradePolicy, run_chaos
+
+    matrix = _make_matrix("meridian", args.nodes, args.seed)
+    servers = kcenter_b(matrix, args.servers, seed=args.seed)
+    base_dir = args.dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    cleanup = args.dir is None
+    try:
+        report = run_chaos(
+            matrix,
+            servers,
+            base_dir,
+            n_events=args.events,
+            kill_points=tuple(args.kill_at or ()),
+            seed=args.seed,
+            capacity=args.capacity,
+            policy=DegradePolicy(max_backlog=args.max_backlog),
+            checkpoint_every=args.checkpoint_every,
+            fsync_every=args.fsync_every,
+            tear_tail=not args.no_torn_tail,
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(base_dir, ignore_errors=True)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.algorithms import run_algorithm
     from repro.core import ClientAssignmentProblem, OffsetSchedule
@@ -626,7 +696,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 # them in the deterministic config would make otherwise byte-identical
 # runs (e.g. --workers 0 vs 4, different --save paths) disagree.
 _NON_RESULT_ARGS = frozenset(
-    {"command", "trace", "workers", "save", "load", "out", "save_deployment"}
+    {"command", "trace", "workers", "save", "load", "out", "save_deployment", "dir"}
 )
 
 
@@ -692,6 +762,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "ablate": _cmd_ablate,
         "churn": _cmd_churn,
         "faults": _cmd_faults,
+        "chaos": _cmd_chaos,
         "simulate": _cmd_simulate,
         "obs": _cmd_obs,
     }

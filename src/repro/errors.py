@@ -79,6 +79,35 @@ class FailoverError(ReproError):
     """
 
 
+class ResilienceError(ReproError):
+    """The durability layer could not complete an operation.
+
+    Base class for write-ahead-log and checkpoint failures; the online
+    runtime raises it when recovery from disk is impossible (no
+    checkpoint and no log) or when a replayed log disagrees with the
+    matrix it is being recovered against.
+    """
+
+
+class WalCorruptionError(ResilienceError):
+    """A write-ahead log failed integrity checks beyond its tail.
+
+    A torn or checksum-invalid *final* record is expected (crash
+    mid-write) and handled by truncation; this error means valid
+    records were found *after* an invalid one — mid-file damage that
+    truncation would silently discard acknowledged writes to "repair".
+    """
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint could not be written, read, or used for recovery.
+
+    Examples: no checkpoint and no WAL in a recovery directory, or a
+    checkpoint whose matrix fingerprint does not match the matrix the
+    caller supplied.
+    """
+
+
 class TrialExecutionError(ReproError):
     """A parallel trial sweep could not produce a usable result.
 

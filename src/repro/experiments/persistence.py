@@ -189,35 +189,31 @@ def from_jsonable(data: Dict[str, Any]) -> FigureResult:
 _TMP_COUNTER = itertools.count()
 
 
-def save_result(path: PathLike, result: FigureResult) -> None:
-    """Write a figure result to ``path`` as JSON, atomically.
+def atomic_write_json(
+    path: PathLike,
+    payload: Dict[str, Any],
+    *,
+    indent: Optional[int] = 2,
+    sort_keys: bool = True,
+) -> None:
+    """Write ``payload`` to ``path`` as JSON via a fsync'd temp + rename.
 
     The JSON is written to a temporary sibling and moved into place
     with :func:`os.replace`, so a crash or interrupt mid-write can
     never leave a truncated file at ``path`` — the previous contents
-    (or the absence of the file) survive instead. Results take hours to
-    produce at paper scale; silently corrupting one on an unlucky
-    Ctrl-C is the one failure mode persistence exists to prevent.
+    (or the absence of the file) survive instead.
 
     The temporary name embeds the writer's PID and a per-process
     counter, so concurrent writers targeting the same path (parallel
     sweeps persisting into a shared results directory) can never
     collide on the staging file — last rename wins, and every rename
-    installs a complete, valid document.
+    installs a complete, valid document. Shared by experiment results
+    and :mod:`repro.resilience.checkpoint` snapshots.
     """
-    from repro.obs.manifest import current_manifest
-
-    payload = to_jsonable(result)
-    manifest = current_manifest()
-    if manifest is not None:
-        # Deterministic core only by default (REPRO_OBS_MANIFEST=full
-        # opts into the volatile section) so byte-identical re-runs of
-        # the same profile+seed keep producing byte-identical files.
-        payload["manifest"] = manifest.to_dict()
     tmp_path = f"{os.fspath(path)}.{os.getpid()}-{next(_TMP_COUNTER)}.tmp"
     try:
         with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
+            json.dump(payload, handle, indent=indent, sort_keys=sort_keys)
             handle.write("\n")
             handle.flush()
             os.fsync(handle.fileno())
@@ -228,6 +224,26 @@ def save_result(path: PathLike, result: FigureResult) -> None:
         except OSError:
             pass
         raise
+
+
+def save_result(path: PathLike, result: FigureResult) -> None:
+    """Write a figure result to ``path`` as JSON, atomically.
+
+    Results take hours to produce at paper scale; silently corrupting
+    one on an unlucky Ctrl-C is the one failure mode persistence exists
+    to prevent — see :func:`atomic_write_json` for the crash-safety
+    contract.
+    """
+    from repro.obs.manifest import current_manifest
+
+    payload = to_jsonable(result)
+    manifest = current_manifest()
+    if manifest is not None:
+        # Deterministic core only by default (REPRO_OBS_MANIFEST=full
+        # opts into the volatile section) so byte-identical re-runs of
+        # the same profile+seed keep producing byte-identical files.
+        payload["manifest"] = manifest.to_dict()
+    atomic_write_json(path, payload)
 
 
 def load_result(path: PathLike) -> FigureResult:

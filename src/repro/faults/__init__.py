@@ -8,9 +8,11 @@ spikes, all deterministic under a seed.
 
 - :mod:`repro.faults.models` — the fault primitives: crash/recovery
   interval generators (explicit timeline or MTTF/MTTR), message-loss
-  models (i.i.d. and Gilbert–Elliott burst loss, with duplication), and
-  windowed latency spikes, composable with
-  :class:`~repro.net.jitter.JitterModel`.
+  models (i.i.d. and Gilbert–Elliott burst loss, with duplication),
+  windowed latency spikes composable with
+  :class:`~repro.net.jitter.JitterModel`, and network
+  :class:`Partition` windows that make a server subset *unreachable*
+  (still running, excluded from placement) rather than down.
 - :mod:`repro.faults.schedule` — :class:`FaultSchedule`, the seedable
   composition the simulator and the failover controller both consume.
 - :mod:`repro.faults.failover` — :class:`FailoverController`: evacuates
@@ -31,7 +33,9 @@ from repro.faults.models import (
     LossModel,
     MessageFate,
     NoLoss,
+    Partition,
     exponential_crash_schedule,
+    random_partition_schedule,
 )
 from repro.faults.schedule import FaultEvent, FaultSchedule
 from repro.faults.failover import (
@@ -54,7 +58,9 @@ __all__ = [
     "GilbertElliottLoss",
     "LatencySpike",
     "DownInterval",
+    "Partition",
     "exponential_crash_schedule",
+    "random_partition_schedule",
     "FaultEvent",
     "FaultSchedule",
     "FailoverController",

@@ -23,7 +23,7 @@ quality without re-deriving them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
 
 from repro.algorithms.online import OnlineAssignmentManager
 from repro.core.incremental import count_evaluations
@@ -60,6 +60,31 @@ class CrashRecord:
             return 1.0
         return self.d_degraded / self.d_before
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (floats hex-encoded, bit-exact)."""
+        return {
+            "time": float(self.time).hex(),
+            "server": self.server,
+            "moves": [[int(c), int(s)] for c, s in self.moves],
+            "shed": [int(c) for c in self.shed],
+            "d_before": float(self.d_before).hex(),
+            "d_degraded": float(self.d_degraded).hex(),
+            "n_evaluations": self.n_evaluations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CrashRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            time=float.fromhex(data["time"]),
+            server=int(data["server"]),
+            moves=tuple((int(c), int(s)) for c, s in data["moves"]),
+            shed=tuple(int(c) for c in data["shed"]),
+            d_before=float.fromhex(data["d_before"]),
+            d_degraded=float.fromhex(data["d_degraded"]),
+            n_evaluations=int(data["n_evaluations"]),
+        )
+
 
 @dataclass(frozen=True)
 class RecoveryRecord:
@@ -75,6 +100,29 @@ class RecoveryRecord:
     d_after: float
     #: Candidate (client, server) evaluations spent on the re-admission.
     n_evaluations: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (floats hex-encoded, bit-exact)."""
+        return {
+            "time": float(self.time).hex(),
+            "server": self.server,
+            "rebalance_moves": self.rebalance_moves,
+            "d_before": float(self.d_before).hex(),
+            "d_after": float(self.d_after).hex(),
+            "n_evaluations": self.n_evaluations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RecoveryRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            time=float.fromhex(data["time"]),
+            server=int(data["server"]),
+            rebalance_moves=int(data["rebalance_moves"]),
+            d_before=float.fromhex(data["d_before"]),
+            d_after=float.fromhex(data["d_after"]),
+            n_evaluations=int(data["n_evaluations"]),
+        )
 
 
 class FailoverController:
@@ -131,6 +179,23 @@ class FailoverController:
         """All recoveries handled, in order."""
         return tuple(self._recoveries)
 
+    def restore_records(
+        self,
+        crashes: Iterable[CrashRecord],
+        recoveries: Iterable[RecoveryRecord],
+    ) -> None:
+        """Replace the record history (checkpoint recovery path).
+
+        Refuses to overwrite live history: a controller being restored
+        must be freshly constructed.
+        """
+        if self._crashes or self._recoveries:
+            raise FailoverError(
+                "cannot restore records onto a controller with history"
+            )
+        self._crashes = list(crashes)
+        self._recoveries = list(recoveries)
+
     # ------------------------------------------------------------------
     def on_crash(self, server: int, *, time: float = 0.0) -> CrashRecord:
         """Handle a fail-stop crash of local server ``server``.
@@ -146,7 +211,7 @@ class FailoverController:
             "failover.crash", server=server, stranded=len(stranded)
         ), count_evaluations() as counter:
             if stranded and self._shed_policy == "shed":
-                if manager.n_active_servers == 0:
+                if manager.n_usable_servers == 0:
                     # Total outage: nothing to evacuate to — disconnect all.
                     for client in stranded:
                         manager.leave(client)
@@ -179,7 +244,11 @@ class FailoverController:
         loads = manager.loads()
         free = 0
         for s in range(manager.n_servers):
-            if s != server and manager.is_active(s):
+            if (
+                s != server
+                and manager.is_active(s)
+                and manager.is_reachable(s)
+            ):
                 free += max(0, capacity - int(loads[s]))
         overflow = n_stranded - free
         if overflow <= 0:
@@ -224,10 +293,21 @@ class FailoverController:
         return record
 
     def apply(self, event: FaultEvent) -> None:
-        """Dispatch one crash/recover edge from a fault schedule."""
+        """Dispatch one availability edge from a fault schedule.
+
+        Partition edges need no repair work — members ride out the
+        window on their stale assignment — so they pass straight
+        through to the manager's reachability mask.
+        """
         if event.kind == "crash":
             self.on_crash(event.server, time=event.time)
         elif event.kind == "recover":
             self.on_recover(event.server, time=event.time)
+        elif event.kind == "partition":
+            self._manager.partition_server(event.server)
+            registry().counter("failover.partitions").inc()
+        elif event.kind == "heal":
+            self._manager.heal_server(event.server)
+            registry().counter("failover.heals").inc()
         else:
             raise FailoverError(f"unknown fault event kind {event.kind!r}")

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -230,6 +230,100 @@ class DownInterval:
 
     def covers(self, wall: float) -> bool:
         return self.start <= wall < self.end
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A windowed network partition isolating a server subset.
+
+    During ``[start, end)`` the servers in ``servers`` (local indices,
+    matching :class:`~repro.algorithms.online.OnlineAssignmentManager`)
+    are *unreachable*: still running — their clients ride out the
+    window on a stale assignment — but invalid as placement targets.
+    This is the fault class that is a partition rather than a crash:
+    nothing is lost when the window closes, so no evacuation or
+    re-admission rebalance is implied.
+    """
+
+    servers: Tuple[int, ...]
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        servers = tuple(int(s) for s in self.servers)
+        object.__setattr__(self, "servers", servers)
+        if not servers:
+            raise FaultScheduleError("partition must isolate at least one server")
+        if any(s < 0 for s in servers):
+            raise FaultScheduleError(
+                f"server indices must be nonnegative, got {servers}"
+            )
+        if len(set(servers)) != len(servers):
+            raise FaultScheduleError(f"duplicate servers in partition: {servers}")
+        if not self.end > self.start:
+            raise FaultScheduleError(
+                f"partition must end after it starts, got "
+                f"[{self.start}, {self.end})"
+            )
+
+    def covers(self, wall: float) -> bool:
+        return self.start <= wall < self.end
+
+    def isolates(self, server: int, wall: float) -> bool:
+        """Whether ``server`` is unreachable at ``wall`` due to this window."""
+        return server in self.servers and self.covers(wall)
+
+
+def random_partition_schedule(
+    n_servers: int,
+    horizon: float,
+    *,
+    mtbp: float,
+    mttr: float,
+    size: int = 1,
+    seed: SeedLike = 0,
+) -> List[Partition]:
+    """Draw partition windows from mean-time-between/mean-time-to-repair.
+
+    Partition onsets arrive with exponential inter-arrival times of
+    mean ``mtbp``; each isolates ``size`` uniformly drawn servers for
+    an exponential duration of mean ``mttr``, truncated to
+    ``[0, horizon)``. Deterministic under ``seed``. Windows that would
+    overlap an admitted window on any shared server are skipped, so
+    each server's unreachable intervals never overlap (the invariant
+    :class:`~repro.faults.schedule.FaultSchedule` enforces).
+    """
+    if n_servers < 1:
+        raise InvalidParameterError(f"n_servers must be >= 1, got {n_servers}")
+    if horizon <= 0:
+        raise InvalidParameterError(f"horizon must be positive, got {horizon}")
+    if mtbp <= 0 or mttr <= 0:
+        raise InvalidParameterError(
+            f"mtbp and mttr must be positive, got mtbp={mtbp}, mttr={mttr}"
+        )
+    if not 1 <= size <= n_servers:
+        raise InvalidParameterError(
+            f"size must be in [1, {n_servers}], got {size}"
+        )
+    rng = ensure_rng(seed)
+    admitted: List[Partition] = []
+    t = float(rng.exponential(mtbp))
+    while t < horizon:
+        duration = float(rng.exponential(mttr))
+        servers = tuple(
+            sorted(int(s) for s in rng.choice(n_servers, size=size, replace=False))
+        )
+        window = Partition(servers, t, min(t + duration, horizon))
+        overlaps = any(
+            set(window.servers) & set(other.servers)
+            and window.start < other.end
+            and other.start < window.end
+            for other in admitted
+        )
+        if not overlaps:
+            admitted.append(window)
+        t += float(rng.exponential(mtbp))
+    return admitted
 
 
 def exponential_crash_schedule(

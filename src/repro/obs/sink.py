@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import Any, Dict, List, Optional, Union
 
 PathLike = Union[str, os.PathLike]
@@ -128,18 +129,25 @@ def sink_spec_from_env() -> Optional[str]:
 def read_jsonl(path: PathLike) -> List[Event]:
     """Load every event from a JSONL trace file.
 
-    Blank lines are skipped; a torn final line (e.g. from a crashed
-    writer) is ignored rather than failing the whole read — a partial
-    trace is still worth summarizing.
+    Blank lines are skipped; an undecodable line — typically a torn
+    final line from a writer that crashed mid-write, or a byte-level
+    truncation — is skipped **with a warning** rather than failing the
+    whole read: a partial trace is still worth summarizing, but the
+    reader must not pretend the file was intact.
     """
     events: List[Event] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 events.append(json.loads(line))
             except json.JSONDecodeError:
-                continue
+                warnings.warn(
+                    f"{os.fspath(path)}: skipping undecodable JSONL line "
+                    f"{lineno} (torn or truncated write)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
     return events

@@ -21,6 +21,7 @@ from repro.parallel.cache import (
 )
 from repro.parallel.pool import (
     PoolStats,
+    RetryPolicy,
     TrialOutcome,
     TrialPool,
     resolve_workers,
@@ -39,6 +40,7 @@ __all__ = [
     "TrialPool",
     "TrialOutcome",
     "PoolStats",
+    "RetryPolicy",
     "resolve_workers",
     "run_trials",
     "successful_values",

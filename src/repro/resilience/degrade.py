@@ -1,0 +1,266 @@
+"""Degraded-mode operation: serve stale, queue joins, reject beyond.
+
+When the online runtime cannot honor its normal contract — no usable
+server remains (total outage or partition), capacity is exhausted, or a
+configured latency budget is violated — it does not raise out of the
+event loop. It *degrades*, by policy:
+
+- **serve with a stale assignment** — connected clients stay bound to
+  their (possibly partitioned) servers; nothing is disconnected by the
+  degrade machine itself;
+- **queue joins with a bounded backlog** — arrivals that cannot be
+  admitted wait FIFO, up to :attr:`DegradePolicy.max_backlog`;
+- **reject beyond the watermark** — arrivals past the backlog bound
+  are refused outright (recorded, never silently dropped).
+
+The state machine is ``HEALTHY → DEGRADED → RECOVERING → HEALTHY``:
+
+- ``HEALTHY`` — admissions run normally; a violation (or a blocked
+  admission) moves to ``DEGRADED``.
+- ``DEGRADED`` — arrivals enqueue behind the backlog; once no
+  structural violation remains, the machine moves to ``RECOVERING``.
+- ``RECOVERING`` — each tick drains the backlog FIFO through normal
+  admission; when the backlog is empty the machine returns to
+  ``HEALTHY``; a fresh violation drops back to ``DEGRADED``.
+
+At most one transition happens per tick, so the machine cannot flap
+within a single event. Transitions, the current state, and the backlog
+depth are exported through the obs registry
+(``resilience.state``, ``resilience.transitions.*``,
+``resilience.backlog``), and the full machine state is part of the
+checkpoint/digest contract of
+:mod:`repro.resilience.runtime` — recovery restores the exact backlog
+and counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.algorithms.online import OnlineAssignmentManager
+from repro.errors import CapacityError, InvalidParameterError, ResilienceError
+from repro.obs import registry
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+RECOVERING = "recovering"
+
+#: Gauge encoding for ``resilience.state``.
+STATE_CODES = {HEALTHY: 0, DEGRADED: 1, RECOVERING: 2}
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """Configuration of degraded-mode behavior.
+
+    Parameters
+    ----------
+    max_backlog:
+        Joins queued while degraded before further arrivals are
+        rejected (the watermark). ``0`` rejects immediately.
+    d_budget:
+        Optional latency budget: when the current D exceeds it, the
+        runtime degrades until repair (e.g. a recovery rebalance)
+        brings D back within budget.
+    """
+
+    max_backlog: int = 64
+    d_budget: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_backlog < 0:
+            raise InvalidParameterError(
+                f"max_backlog must be >= 0, got {self.max_backlog}"
+            )
+        if self.d_budget is not None and self.d_budget <= 0:
+            raise InvalidParameterError(
+                f"d_budget must be positive, got {self.d_budget}"
+            )
+
+
+class DegradeController:
+    """The degraded-mode state machine over one assignment manager."""
+
+    def __init__(
+        self,
+        manager: OnlineAssignmentManager,
+        policy: Optional[DegradePolicy] = None,
+    ) -> None:
+        self._manager = manager
+        self._policy = policy or DegradePolicy()
+        self._state = HEALTHY
+        self._backlog: List[int] = []
+        self._n_queued = 0
+        self._n_rejected = 0
+        self._n_drained = 0
+        #: (from_state, to_state, reason) in occurrence order.
+        self._transitions: List[Tuple[str, str, str]] = []
+        registry().gauge("resilience.state").set(STATE_CODES[HEALTHY])
+
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> DegradePolicy:
+        return self._policy
+
+    @property
+    def state(self) -> str:
+        """Current machine state (one of the module constants)."""
+        return self._state
+
+    @property
+    def backlog(self) -> Tuple[int, ...]:
+        """Queued join nodes, FIFO order."""
+        return tuple(self._backlog)
+
+    @property
+    def n_queued(self) -> int:
+        """Total joins ever queued."""
+        return self._n_queued
+
+    @property
+    def n_rejected(self) -> int:
+        """Total joins refused past the watermark."""
+        return self._n_rejected
+
+    @property
+    def n_drained(self) -> int:
+        """Total queued joins later admitted."""
+        return self._n_drained
+
+    @property
+    def transitions(self) -> Tuple[Tuple[str, str, str], ...]:
+        """Every state transition as ``(from, to, reason)``."""
+        return tuple(self._transitions)
+
+    def in_backlog(self, node: int) -> bool:
+        """Whether ``node`` is waiting in the join backlog."""
+        return node in self._backlog
+
+    # ------------------------------------------------------------------
+    def violation(self) -> Optional[str]:
+        """The structural violation currently in force, if any.
+
+        Capacity exhaustion is *not* structural — it only matters when
+        an admission actually hits it (see :meth:`admission_blocked`),
+        and it clears through leaves rather than repairs.
+        """
+        if self._manager.n_usable_servers == 0:
+            return "no-usable-server"
+        budget = self._policy.d_budget
+        if budget is not None and self._manager.current_d() > budget:
+            return "latency-budget"
+        return None
+
+    def admission_blocked(self, node: int, reason: str) -> str:
+        """Handle a join that could not be admitted normally.
+
+        Queues it (FIFO) up to the watermark, rejects beyond, and — if
+        the machine was still ``HEALTHY`` — enters ``DEGRADED``.
+        Returns ``"queued"`` or ``"rejected"``.
+        """
+        if self._state == HEALTHY:
+            self._transition(DEGRADED, reason)
+        if len(self._backlog) < self._policy.max_backlog:
+            self._backlog.append(int(node))
+            self._n_queued += 1
+            metrics = registry()
+            metrics.counter("resilience.joins_queued").inc()
+            metrics.gauge("resilience.backlog").set(len(self._backlog))
+            return "queued"
+        self._n_rejected += 1
+        registry().counter("resilience.joins_rejected").inc()
+        return "rejected"
+
+    def discard_queued(self, node: int) -> bool:
+        """Remove a node from the backlog (it left before admission)."""
+        try:
+            self._backlog.remove(int(node))
+        except ValueError:
+            return False
+        registry().gauge("resilience.backlog").set(len(self._backlog))
+        return True
+
+    def tick(self) -> None:
+        """Advance the machine after one applied event.
+
+        Performs at most one transition; ``RECOVERING`` additionally
+        drains the backlog through normal admission.
+        """
+        if self._state == HEALTHY:
+            found = self.violation()
+            if found is not None:
+                self._transition(DEGRADED, found)
+        elif self._state == DEGRADED:
+            if self.violation() is None:
+                self._transition(RECOVERING, "violation-cleared")
+        elif self._state == RECOVERING:
+            found = self.violation()
+            if found is not None:
+                self._transition(DEGRADED, found)
+                return
+            self._drain()
+            if not self._backlog:
+                self._transition(HEALTHY, "backlog-drained")
+
+    def _drain(self) -> None:
+        """Admit queued joins FIFO until empty or capacity blocks.
+
+        A capacity block leaves the head queued; the next tick retries
+        (capacity clears through leaves, which are events, which tick).
+        """
+        while self._backlog:
+            node = self._backlog[0]
+            try:
+                self._manager.join(node)
+            except CapacityError:
+                break
+            self._backlog.pop(0)
+            self._n_drained += 1
+            registry().counter("resilience.backlog_drained").inc()
+        registry().gauge("resilience.backlog").set(len(self._backlog))
+
+    def _transition(self, to_state: str, reason: str) -> None:
+        from_state = self._state
+        self._state = to_state
+        self._transitions.append((from_state, to_state, reason))
+        metrics = registry()
+        metrics.counter(
+            f"resilience.transitions.{from_state}_to_{to_state}"
+        ).inc()
+        metrics.gauge("resilience.state").set(STATE_CODES[to_state])
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable machine state (checkpoint payload)."""
+        return {
+            "state": self._state,
+            "backlog": [int(n) for n in self._backlog],
+            "n_queued": self._n_queued,
+            "n_rejected": self._n_rejected,
+            "n_drained": self._n_drained,
+            "transitions": [list(t) for t in self._transitions],
+        }
+
+    def restore(self, data: Dict[str, Any]) -> None:
+        """Adopt a checkpointed machine state (fresh controllers only)."""
+        if self._state != HEALTHY or self._backlog or self._transitions:
+            raise ResilienceError(
+                "cannot restore degrade state onto a controller with history"
+            )
+        state = data["state"]
+        if state not in STATE_CODES:
+            raise ResilienceError(f"unknown degrade state {state!r}")
+        self._state = state
+        self._backlog = [int(n) for n in data["backlog"]]
+        self._n_queued = int(data["n_queued"])
+        self._n_rejected = int(data["n_rejected"])
+        self._n_drained = int(data["n_drained"])
+        self._transitions = [
+            (str(f), str(t), str(r)) for f, t, r in data["transitions"]
+        ]
+        metrics = registry()
+        metrics.gauge("resilience.state").set(STATE_CODES[self._state])
+        metrics.gauge("resilience.backlog").set(len(self._backlog))

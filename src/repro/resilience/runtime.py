@@ -1,0 +1,647 @@
+"""The durable online runtime: log-then-apply over the assignment stack.
+
+:class:`DurableRuntime` wraps an
+:class:`~repro.algorithms.online.OnlineAssignmentManager`, a
+:class:`~repro.faults.failover.FailoverController` and a
+:class:`~repro.resilience.degrade.DegradeController` behind one event
+API (join / leave / crash / recover_server / partition / heal /
+rebalance). Every operation is appended to the write-ahead log
+(:mod:`repro.resilience.wal`) *before* it is applied, and a checkpoint
+(:mod:`repro.resilience.checkpoint`) is written every
+``checkpoint_every`` events, so
+
+    ``DurableRuntime.recover(directory, matrix)``
+
+always rebuilds the exact state of the interrupted run: latest valid
+checkpoint, then deterministic re-execution of the WAL tail. The
+recovery contract is **byte identity** — :meth:`digest` of the
+recovered runtime equals the digest the uninterrupted run had at the
+same WAL position. Re-execution is deterministic because every
+placement decision is a function of the assignment state alone (exact
+maxima from the incremental engine; no wall clocks, no RNG inside the
+runtime), which is the property ``repro chaos`` verifies end to end.
+
+Degraded-mode semantics (see :mod:`repro.resilience.degrade`): an
+arrival that cannot be admitted — capacity exhausted, no usable server,
+or the runtime already degraded — is queued or rejected instead of
+raising, and :meth:`join` reports which (``"assigned"`` / ``"queued"``
+/ ``"rejected"``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.algorithms.online import OnlineAssignmentManager
+from repro.errors import (
+    CapacityError,
+    CheckpointError,
+    InvalidAssignmentError,
+    InvalidParameterError,
+    ResilienceError,
+)
+from repro.faults.failover import CrashRecord, FailoverController, RecoveryRecord
+from repro.net.latency import LatencyMatrix
+from repro.obs import SECONDS_BUCKETS, fingerprint_matrix, registry, span
+from repro.resilience.checkpoint import (
+    decode_float,
+    encode_float,
+    load_latest_checkpoint,
+    state_digest,
+    write_checkpoint,
+)
+from repro.resilience.degrade import HEALTHY, DegradeController, DegradePolicy
+from repro.resilience.wal import (
+    WalRecord,
+    WriteAheadLog,
+    read_wal,
+    truncate_torn_tail,
+)
+from repro.types import IndexArrayLike, as_index_array
+
+PathLike = Union[str, os.PathLike]
+
+#: WAL file name inside a runtime directory.
+WAL_NAME = "events.wal"
+
+#: State-dict layout version (independent of the checkpoint envelope).
+STATE_SCHEMA = 1
+
+
+class DurableRuntime:
+    """A crash-recoverable online assignment runtime.
+
+    Parameters
+    ----------
+    directory:
+        Home of the WAL and checkpoints; created if missing. A
+        directory that already holds a non-empty WAL or checkpoints
+        refuses a fresh start — use :meth:`recover`.
+    matrix, servers, capacity, join_policy:
+        Forwarded to :class:`~repro.algorithms.online.
+        OnlineAssignmentManager`.
+    readmit_moves, shed_policy:
+        Forwarded to :class:`~repro.faults.failover.FailoverController`
+        (default ``"shed"``: a crash degrades rather than raises).
+    policy:
+        Degraded-mode policy (backlog watermark, latency budget).
+    checkpoint_every:
+        Events between snapshot checkpoints (``None``/``0`` disables;
+        recovery then replays the whole WAL).
+    fsync_every:
+        WAL group-commit interval (see :class:`~repro.resilience.wal.
+        WriteAheadLog`); the default of 8 keeps append overhead low
+        while bounding crash loss to 7 acknowledged events.
+    keep_checkpoints:
+        Checkpoints retained on disk (older pruned after each write).
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        matrix: LatencyMatrix,
+        servers: IndexArrayLike,
+        *,
+        capacity: Optional[int] = None,
+        join_policy: str = "greedy",
+        readmit_moves: int = 8,
+        shed_policy: str = "shed",
+        policy: Optional[DegradePolicy] = None,
+        checkpoint_every: Optional[int] = 25,
+        fsync_every: int = 8,
+        keep_checkpoints: int = 2,
+    ) -> None:
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        wal_path = os.path.join(directory, WAL_NAME)
+        if os.path.exists(wal_path) and os.path.getsize(wal_path) > 0:
+            raise ResilienceError(
+                f"{directory}: write-ahead log already exists; use "
+                f"DurableRuntime.recover() to resume it"
+            )
+        from repro.resilience.checkpoint import list_checkpoints
+
+        if list_checkpoints(directory):
+            raise ResilienceError(
+                f"{directory}: checkpoints already exist; use "
+                f"DurableRuntime.recover() to resume"
+            )
+        policy = policy or DegradePolicy()
+        config = {
+            "servers": [int(s) for s in as_index_array(servers, "servers")],
+            "capacity": None if capacity is None else int(capacity),
+            "join_policy": join_policy,
+            "readmit_moves": int(readmit_moves),
+            "shed_policy": shed_policy,
+            "max_backlog": policy.max_backlog,
+            "d_budget": (
+                None
+                if policy.d_budget is None
+                else encode_float(policy.d_budget)
+            ),
+            "matrix_fingerprint": fingerprint_matrix(matrix),
+        }
+        self._init_core(
+            directory,
+            matrix,
+            config,
+            checkpoint_every=checkpoint_every,
+            fsync_every=fsync_every,
+            keep_checkpoints=keep_checkpoints,
+        )
+        self._wal = WriteAheadLog(wal_path, fsync_every=self._fsync_every)
+        # Genesis record: recovery can rebuild from a bare WAL (no
+        # checkpoint yet) knowing nothing but the directory + matrix.
+        record = self._wal.append("open", config)
+        self._applied_seq = record.seq
+
+    # ------------------------------------------------------------------
+    def _init_core(
+        self,
+        directory: str,
+        matrix: LatencyMatrix,
+        config: Dict[str, Any],
+        *,
+        checkpoint_every: Optional[int],
+        fsync_every: int,
+        keep_checkpoints: int,
+    ) -> None:
+        """Build the in-memory stack from a config dict (shared by the
+        fresh-start and recovery paths)."""
+        if checkpoint_every is not None and checkpoint_every < 0:
+            raise InvalidParameterError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if keep_checkpoints < 1:
+            raise InvalidParameterError(
+                f"keep_checkpoints must be >= 1, got {keep_checkpoints}"
+            )
+        expected = config["matrix_fingerprint"]
+        actual = fingerprint_matrix(matrix)
+        if expected != actual:
+            raise CheckpointError(
+                f"{directory}: matrix fingerprint mismatch (state was "
+                f"recorded against {expected}, supplied matrix is {actual})"
+            )
+        self._directory = directory
+        self._matrix = matrix
+        self._config = dict(config)
+        self._checkpoint_every = int(checkpoint_every or 0)
+        self._fsync_every = int(fsync_every)
+        self._keep_checkpoints = int(keep_checkpoints)
+        d_budget = config["d_budget"]
+        degrade_policy = DegradePolicy(
+            max_backlog=int(config["max_backlog"]),
+            d_budget=None if d_budget is None else decode_float(d_budget),
+        )
+        self._manager = OnlineAssignmentManager(
+            matrix,
+            config["servers"],
+            capacity=config["capacity"],
+            join_policy=config["join_policy"],
+        )
+        self._controller = FailoverController(
+            self._manager,
+            readmit_moves=int(config["readmit_moves"]),
+            shed_policy=config["shed_policy"],
+        )
+        self._degrade = DegradeController(self._manager, degrade_policy)
+        self._applied_seq = 0
+        self._last_checkpoint_seq = 0
+        self._replaying = False
+        self._closed = False
+        self._wal: Optional[WriteAheadLog] = None
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        directory: PathLike,
+        matrix: LatencyMatrix,
+        *,
+        checkpoint_every: Optional[int] = 25,
+        fsync_every: int = 8,
+        keep_checkpoints: int = 2,
+    ) -> "DurableRuntime":
+        """Rebuild a runtime from its directory.
+
+        Loads the newest valid checkpoint (invalid ones are skipped
+        with a warning), replays the WAL records after it by
+        re-execution, truncates a torn WAL tail if one is found, and
+        reopens the WAL for appending. Raises
+        :class:`~repro.errors.ResilienceError` when the directory holds
+        neither a checkpoint nor a WAL, and
+        :class:`~repro.errors.CheckpointError` when the recorded matrix
+        fingerprint does not match ``matrix``.
+        """
+        directory = os.fspath(directory)
+        wal_path = os.path.join(directory, WAL_NAME)
+        start = time.perf_counter()
+        with span("resilience.recover", directory=directory):
+            checkpoint = load_latest_checkpoint(directory)
+            result = read_wal(wal_path)
+            truncate_torn_tail(wal_path, result)
+            records = result.records
+            if checkpoint is None and not records:
+                raise ResilienceError(
+                    f"{directory}: nothing to recover (no checkpoint, "
+                    f"no write-ahead log)"
+                )
+            if checkpoint is not None:
+                config = dict(checkpoint.state["config"])
+            else:
+                genesis = records[0]
+                if genesis.kind != "open":
+                    raise ResilienceError(
+                        f"{directory}: write-ahead log does not start "
+                        f"with an 'open' record and no checkpoint exists"
+                    )
+                config = dict(genesis.data)
+            runtime = cls.__new__(cls)
+            runtime._init_core(
+                directory,
+                matrix,
+                config,
+                checkpoint_every=checkpoint_every,
+                fsync_every=fsync_every,
+                keep_checkpoints=keep_checkpoints,
+            )
+            if checkpoint is not None:
+                runtime._restore_state(checkpoint.state)
+                runtime._last_checkpoint_seq = checkpoint.seq
+            tail = [r for r in records if r.seq > runtime._applied_seq]
+            runtime._replaying = True
+            try:
+                for record in tail:
+                    runtime._apply_record(record)
+            finally:
+                runtime._replaying = False
+            last_seq = max(
+                runtime._applied_seq,
+                records[-1].seq if records else 0,
+            )
+            runtime._wal = WriteAheadLog(
+                wal_path, fsync_every=fsync_every, next_seq=last_seq + 1
+            )
+        metrics = registry()
+        metrics.counter("resilience.recoveries").inc()
+        metrics.counter("resilience.replayed_records").inc(len(tail))
+        metrics.histogram("resilience.recovery_seconds", SECONDS_BUCKETS).observe(
+            time.perf_counter() - start
+        )
+        return runtime
+
+    def _restore_state(self, state: Dict[str, Any]) -> None:
+        """Adopt a checkpointed state dict, then verify byte identity."""
+        if state.get("schema") != STATE_SCHEMA:
+            raise CheckpointError(
+                f"unsupported state schema {state.get('schema')!r} "
+                f"(this build reads {STATE_SCHEMA})"
+            )
+        manager_state = state["manager"]
+        # Sorted order; the engine's observable values are exact maxima,
+        # independent of application order, so any order reproduces the
+        # recorded D bit-for-bit — the digest check below enforces it.
+        for node, server in manager_state["assigned"]:
+            self._manager.restore_client(int(node), int(server))
+        for server in manager_state["inactive"]:
+            self._manager.deactivate_server(int(server))
+        for server in manager_state["unreachable"]:
+            self._manager.partition_server(int(server))
+        failover_state = state["failover"]
+        self._controller.restore_records(
+            [CrashRecord.from_dict(r) for r in failover_state["crashes"]],
+            [RecoveryRecord.from_dict(r) for r in failover_state["recoveries"]],
+        )
+        self._degrade.restore(state["degrade"])
+        self._applied_seq = int(state["applied_seq"])
+        restored = self.state_dict()
+        if state_digest(restored) != state_digest(state):
+            raise CheckpointError(
+                "restored state does not reproduce the checkpoint digest"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    @property
+    def manager(self) -> OnlineAssignmentManager:
+        """The wrapped assignment manager."""
+        return self._manager
+
+    @property
+    def controller(self) -> FailoverController:
+        """The wrapped failover controller."""
+        return self._controller
+
+    @property
+    def degrade(self) -> DegradeController:
+        """The degraded-mode state machine."""
+        return self._degrade
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        return self._wal
+
+    @property
+    def applied_seq(self) -> int:
+        """WAL sequence number of the last applied event."""
+        return self._applied_seq
+
+    @property
+    def health(self) -> str:
+        """Current degrade state (``healthy``/``degraded``/``recovering``)."""
+        return self._degrade.state
+
+    @property
+    def n_clients(self) -> int:
+        return self._manager.n_clients
+
+    def current_d(self) -> float:
+        """The current maximum interaction path length."""
+        return self._manager.current_d()
+
+    # ------------------------------------------------------------------
+    # State capture
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serializable state (the byte-identity basis).
+
+        Floats are hex-encoded, collections sorted; two runtimes are
+        considered identical iff their state dicts (equivalently their
+        :meth:`digest`\\ s) are equal.
+        """
+        manager = self._manager
+        return {
+            "schema": STATE_SCHEMA,
+            "config": dict(self._config),
+            "applied_seq": self._applied_seq,
+            "manager": {
+                "assigned": [
+                    [int(node), int(manager.server_of(node))]
+                    for node in manager.clients
+                ],
+                "inactive": [
+                    s for s in range(manager.n_servers) if not manager.is_active(s)
+                ],
+                "unreachable": [
+                    s
+                    for s in range(manager.n_servers)
+                    if not manager.is_reachable(s)
+                ],
+                "d": encode_float(manager.current_d()),
+            },
+            "failover": {
+                "crashes": [r.to_dict() for r in self._controller.crash_records],
+                "recoveries": [
+                    r.to_dict() for r in self._controller.recovery_records
+                ],
+            },
+            "degrade": self._degrade.to_dict(),
+        }
+
+    def digest(self) -> str:
+        """SHA-256 digest of :meth:`state_dict`."""
+        return state_digest(self.state_dict())
+
+    def checkpoint(self) -> str:
+        """Force a snapshot checkpoint now; returns the path written.
+
+        The WAL is synced first so a checkpoint never describes state
+        more durable than the log that produced it.
+        """
+        self._require_open()
+        self._wal.sync()
+        path = write_checkpoint(
+            self._directory,
+            self._applied_seq,
+            self.state_dict(),
+            keep=self._keep_checkpoints,
+        )
+        self._last_checkpoint_seq = self._applied_seq
+        return path
+
+    # ------------------------------------------------------------------
+    # Event API (log-then-apply)
+    # ------------------------------------------------------------------
+    def join(self, node: int) -> str:
+        """Admit a client; returns ``"assigned"``/``"queued"``/``"rejected"``."""
+        self._require_open()
+        node = int(node)
+        if not 0 <= node < self._matrix.n_nodes:
+            raise InvalidAssignmentError(f"client node {node} out of range")
+        if self._manager.is_connected(node):
+            raise InvalidAssignmentError(f"client {node} already connected")
+        if self._degrade.in_backlog(node):
+            raise InvalidAssignmentError(f"client {node} already queued")
+        record = self._wal.append("join", {"node": node})
+        return self._apply_join(record)
+
+    def leave(self, node: int) -> str:
+        """Remove a client; returns ``"left"``/``"dequeued"``/``"absent"``.
+
+        Tolerant by design: a leave for a node that was queued (still
+        waiting) dequeues it, and one for a node that was rejected or
+        shed is a counted no-op — churn sources need not know the
+        admission outcome of every join they issued.
+        """
+        self._require_open()
+        record = self._wal.append("leave", {"node": int(node)})
+        return self._apply_leave(record)
+
+    def crash(self, server: int) -> CrashRecord:
+        """Fail-stop crash of a (currently up) local server."""
+        self._require_open()
+        server = int(server)
+        if not self._manager.is_active(server):
+            raise InvalidParameterError(f"server {server} is already down")
+        record = self._wal.append("crash", {"server": server})
+        return self._apply_crash(record)
+
+    def recover_server(self, server: int) -> RecoveryRecord:
+        """Recover a (currently down) local server."""
+        self._require_open()
+        server = int(server)
+        if self._manager.is_active(server):
+            raise InvalidParameterError(f"server {server} is already up")
+        record = self._wal.append("recover", {"server": server})
+        return self._apply_recover(record)
+
+    def partition(self, servers: Iterable[int]) -> Tuple[int, ...]:
+        """Make a server subset unreachable; returns stale-served nodes."""
+        self._require_open()
+        subset = sorted(int(s) for s in servers)
+        if not subset:
+            raise InvalidParameterError("partition needs at least one server")
+        for server in subset:
+            if not self._manager.is_reachable(server):
+                raise InvalidParameterError(
+                    f"server {server} is already unreachable"
+                )
+        record = self._wal.append("partition", {"servers": subset})
+        return self._apply_partition(record)
+
+    def heal(self, servers: Iterable[int]) -> None:
+        """Restore reachability of a partitioned server subset."""
+        self._require_open()
+        subset = sorted(int(s) for s in servers)
+        if not subset:
+            raise InvalidParameterError("heal needs at least one server")
+        for server in subset:
+            if self._manager.is_reachable(server):
+                raise InvalidParameterError(f"server {server} is reachable")
+        record = self._wal.append("heal", {"servers": subset})
+        self._apply_heal(record)
+
+    def rebalance(self, *, max_moves: int = 16) -> int:
+        """Bounded Distributed-Greedy repair; returns moves made."""
+        self._require_open()
+        if max_moves < 0:
+            raise InvalidParameterError(
+                f"max_moves must be >= 0, got {max_moves}"
+            )
+        record = self._wal.append("rebalance", {"max_moves": int(max_moves)})
+        return self._apply_rebalance(record)
+
+    # ------------------------------------------------------------------
+    # Appliers (shared verbatim by the replay path)
+    # ------------------------------------------------------------------
+    def _apply_record(self, record: WalRecord) -> None:
+        """Re-execute one WAL record during recovery."""
+        try:
+            if record.kind == "open":
+                self._applied_seq = record.seq
+            elif record.kind == "join":
+                self._apply_join(record)
+            elif record.kind == "leave":
+                self._apply_leave(record)
+            elif record.kind == "crash":
+                self._apply_crash(record)
+            elif record.kind == "recover":
+                self._apply_recover(record)
+            elif record.kind == "partition":
+                self._apply_partition(record)
+            elif record.kind == "heal":
+                self._apply_heal(record)
+            elif record.kind == "rebalance":
+                self._apply_rebalance(record)
+            else:
+                raise ResilienceError(
+                    f"unknown WAL record kind {record.kind!r}"
+                )
+        except ResilienceError:
+            raise
+        except Exception as exc:
+            raise ResilienceError(
+                f"replay of WAL record seq={record.seq} "
+                f"kind={record.kind!r} failed: {exc}"
+            ) from exc
+
+    def _apply_join(self, record: WalRecord) -> str:
+        node = int(record.data["node"])
+        if self._degrade.state != HEALTHY:
+            outcome = self._degrade.admission_blocked(node, "degraded")
+        else:
+            try:
+                self._manager.join(node)
+                outcome = "assigned"
+            except CapacityError:
+                outcome = self._degrade.admission_blocked(
+                    node, "capacity-exhausted"
+                )
+        self._finish_event(record)
+        return outcome
+
+    def _apply_leave(self, record: WalRecord) -> str:
+        node = int(record.data["node"])
+        if self._manager.is_connected(node):
+            self._manager.leave(node)
+            outcome = "left"
+        elif self._degrade.discard_queued(node):
+            outcome = "dequeued"
+        else:
+            registry().counter("resilience.absent_leaves").inc()
+            outcome = "absent"
+        self._finish_event(record)
+        return outcome
+
+    def _apply_crash(self, record: WalRecord) -> CrashRecord:
+        server = int(record.data["server"])
+        crash = self._controller.on_crash(server, time=float(record.seq))
+        self._finish_event(record)
+        return crash
+
+    def _apply_recover(self, record: WalRecord) -> RecoveryRecord:
+        server = int(record.data["server"])
+        recovery = self._controller.on_recover(server, time=float(record.seq))
+        self._finish_event(record)
+        return recovery
+
+    def _apply_partition(self, record: WalRecord) -> Tuple[int, ...]:
+        stale: List[int] = []
+        for server in record.data["servers"]:
+            stale.extend(self._manager.partition_server(int(server)))
+        registry().counter("resilience.partitions").inc()
+        self._finish_event(record)
+        return tuple(sorted(stale))
+
+    def _apply_heal(self, record: WalRecord) -> None:
+        for server in record.data["servers"]:
+            self._manager.heal_server(int(server))
+        registry().counter("resilience.heals").inc()
+        self._finish_event(record)
+
+    def _apply_rebalance(self, record: WalRecord) -> int:
+        moves = self._manager.rebalance(max_moves=int(record.data["max_moves"]))
+        self._finish_event(record)
+        return moves
+
+    def _finish_event(self, record: WalRecord) -> None:
+        self._applied_seq = record.seq
+        self._degrade.tick()
+        if (
+            not self._replaying
+            and self._checkpoint_every
+            and self._applied_seq - self._last_checkpoint_seq
+            >= self._checkpoint_every
+        ):
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed or self._wal is None or self._wal.closed:
+            raise ResilienceError("runtime is closed")
+
+    def close(self) -> None:
+        """Sync the WAL and release resources (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._wal is not None:
+            self._wal.close()
+
+    def abandon(self) -> None:
+        """Drop the runtime without syncing — simulate a process kill.
+
+        Used by the chaos harness; everything appended so far is
+        already flushed to the OS, matching a SIGKILL between events.
+        """
+        self._closed = True
+        if self._wal is not None:
+            self._wal.abandon()
+
+    def __enter__(self) -> "DurableRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

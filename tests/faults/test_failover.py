@@ -246,3 +246,132 @@ class TestFailoverController:
             FailoverController(manager, readmit_moves=-1)
         with pytest.raises(InvalidParameterError):
             FailoverController(manager, shed_policy="panic")
+
+
+class TestFailoverEdgeCases:
+    def test_crash_and_recover_same_tick(self, matrix, servers):
+        """A bounce (crash + recover at the same time) leaves a valid
+        assignment and both records with matching D hand-off."""
+        manager = populated_manager(matrix, servers)
+        controller = FailoverController(manager, readmit_moves=16)
+        victim = int(np.argmax(manager.loads()))
+        crash = controller.on_crash(victim, time=5.0)
+        recovery = controller.on_recover(victim, time=5.0)
+        assert crash.time == recovery.time == 5.0
+        assert manager.is_active(victim)
+        assert manager.n_clients == 25
+        assert recovery.d_before == pytest.approx(crash.d_degraded)
+        assert manager.verify()
+
+    def test_crash_during_readmission(self, matrix, servers):
+        """A second server dies right as the first one's readmission
+        completes: no client is lost or double-assigned."""
+        manager = populated_manager(matrix, servers, capacity=10)
+        controller = FailoverController(
+            manager, readmit_moves=16, shed_policy="shed"
+        )
+        controller.on_crash(0, time=1.0)
+        controller.on_recover(0, time=2.0)
+        # The crash interleaves with the tail of the readmission window.
+        second = controller.on_crash(1, time=2.0)
+        assert not manager.is_active(1)
+        assert manager.loads()[1] == 0
+        assert manager.n_clients == 25 - len(second.shed)
+        assert np.all(manager.loads() <= 10)
+        assert manager.verify()
+
+    def test_evacuation_with_all_survivors_at_capacity(self, matrix, servers):
+        # 5 servers x capacity 5 = 25 slots, all full: zero free slots
+        # anywhere, so every stranded client must be shed (or strict
+        # must refuse).
+        manager = populated_manager(matrix, servers, capacity=5, n=25)
+        assert np.all(manager.loads() == 5)
+        victim = int(np.argmax(manager.loads()))
+        strict = FailoverController(manager, shed_policy="strict")
+        with pytest.raises(FailoverError):
+            strict.on_crash(victim)
+
+        manager2 = populated_manager(matrix, servers, capacity=5, n=25)
+        shed_controller = FailoverController(manager2, shed_policy="shed")
+        record = shed_controller.on_crash(victim)
+        assert record.n_evacuated == 0
+        assert len(record.shed) == 5
+        assert manager2.n_clients == 20
+        assert np.all(manager2.loads() <= 5)
+        assert manager2.verify()
+
+    def test_record_serialization_roundtrip(self, matrix, servers):
+        from repro.faults import CrashRecord, RecoveryRecord
+
+        manager = populated_manager(matrix, servers)
+        controller = FailoverController(manager, readmit_moves=8)
+        victim = int(np.argmax(manager.loads()))
+        crash = controller.on_crash(victim, time=3.25)
+        recovery = controller.on_recover(victim, time=4.75)
+        assert CrashRecord.from_dict(crash.to_dict()) == crash
+        assert RecoveryRecord.from_dict(recovery.to_dict()) == recovery
+
+    def test_restore_records_refuses_history(self, matrix, servers):
+        manager = populated_manager(matrix, servers)
+        controller = FailoverController(manager)
+        controller.on_crash(0)
+        with pytest.raises(FailoverError, match="history"):
+            controller.restore_records([], [])
+
+
+class TestPartitionReachability:
+    def test_partition_keeps_members_serving_stale(self, matrix, servers):
+        manager = populated_manager(matrix, servers)
+        members = manager.members_of(2)
+        stale = manager.partition_server(2)
+        assert stale == tuple(sorted(members))
+        assert not manager.is_reachable(2)
+        assert manager.is_active(2)  # partitioned, not down
+        for client in members:
+            assert manager.server_of(client) == 2
+
+    def test_joins_avoid_unreachable_server(self, matrix, servers):
+        manager = OnlineAssignmentManager(matrix, servers)
+        manager.partition_server(1)
+        server_set = set(int(s) for s in servers)
+        for node in range(20):
+            if node in server_set:
+                continue
+            assert manager.join(node) != 1
+
+    def test_heal_restores_placement_targets(self, matrix, servers):
+        manager = OnlineAssignmentManager(matrix, servers)
+        manager.partition_server(0)
+        assert manager.n_usable_servers == 4
+        manager.heal_server(0)
+        assert manager.n_usable_servers == 5
+        assert manager.is_reachable(0)
+
+    def test_move_to_unreachable_refused(self, matrix, servers):
+        manager = populated_manager(matrix, servers)
+        client = manager.clients[0]
+        target = (manager.server_of(client) + 1) % 5
+        manager.partition_server(target)
+        with pytest.raises(FailoverError):
+            manager.move(client, target)
+
+    def test_rebalance_skips_clients_behind_partition(self, matrix, servers):
+        manager = populated_manager(matrix, servers)
+        victim = int(np.argmax(manager.loads()))
+        members = set(manager.members_of(victim))
+        manager.partition_server(victim)
+        manager.rebalance(max_moves=30)
+        # Stale-served clients stay put; reachable clients stay valid.
+        for client in members:
+            assert manager.server_of(client) == victim
+        assert manager.verify()
+
+    def test_controller_apply_partition_and_heal(self, matrix, servers):
+        manager = populated_manager(matrix, servers)
+        controller = FailoverController(manager)
+        controller.apply(FaultEvent(1.0, "partition", 3))
+        assert not manager.is_reachable(3)
+        controller.apply(FaultEvent(2.0, "heal", 3))
+        assert manager.is_reachable(3)
+        # Partition edges are not crashes: no records accumulate.
+        assert controller.crash_records == ()

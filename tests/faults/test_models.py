@@ -168,3 +168,62 @@ class TestExponentialCrashSchedule:
             exponential_crash_schedule(
                 2, 10.0, mttf=1, mttr=1, max_concurrent_down=0
             )
+
+
+class TestPartition:
+    def test_window_semantics(self):
+        from repro.faults import Partition
+
+        window = Partition(servers=(1, 3), start=10.0, end=20.0)
+        assert window.covers(10.0) and not window.covers(20.0)
+        assert window.isolates(1, 15.0)
+        assert not window.isolates(2, 15.0)
+        assert not window.isolates(1, 25.0)
+
+    def test_validation(self):
+        from repro.faults import Partition
+
+        with pytest.raises(FaultScheduleError):
+            Partition(servers=(), start=0.0, end=1.0)
+        with pytest.raises(FaultScheduleError):
+            Partition(servers=(1, 1), start=0.0, end=1.0)
+        with pytest.raises(FaultScheduleError):
+            Partition(servers=(1,), start=5.0, end=5.0)
+        with pytest.raises(FaultScheduleError):
+            Partition(servers=(-1,), start=0.0, end=1.0)
+
+
+class TestRandomPartitionSchedule:
+    def test_deterministic_and_bounded(self):
+        from repro.faults import random_partition_schedule
+
+        a = random_partition_schedule(6, 500.0, mtbp=80, mttr=30, seed=4)
+        b = random_partition_schedule(6, 500.0, mtbp=80, mttr=30, seed=4)
+        assert a == b
+        for window in a:
+            assert 0.0 <= window.start < window.end <= 500.0
+            assert all(0 <= s < 6 for s in window.servers)
+
+    def test_per_server_windows_never_overlap(self):
+        from repro.faults import random_partition_schedule
+
+        windows = random_partition_schedule(
+            4, 2000.0, mtbp=40, mttr=60, size=2, seed=7
+        )
+        for server in range(4):
+            own = sorted(
+                (w for w in windows if server in w.servers),
+                key=lambda w: w.start,
+            )
+            for earlier, later in zip(own, own[1:]):
+                assert later.start >= earlier.end
+
+    def test_validation(self):
+        from repro.faults import random_partition_schedule
+
+        with pytest.raises(InvalidParameterError):
+            random_partition_schedule(0, 10.0, mtbp=1, mttr=1)
+        with pytest.raises(InvalidParameterError):
+            random_partition_schedule(2, 10.0, mtbp=0, mttr=1)
+        with pytest.raises(InvalidParameterError):
+            random_partition_schedule(2, 10.0, mtbp=1, mttr=1, size=3)

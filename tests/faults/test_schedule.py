@@ -115,3 +115,66 @@ class TestGenerate:
     def test_repr(self):
         sched = FaultSchedule.generate(3, 100.0, mttf=50, mttr=10, seed=0)
         assert "outage" in repr(sched)
+
+
+class TestPartitionTimeline:
+    def test_is_unreachable_and_queries(self):
+        from repro.faults import Partition
+
+        sched = FaultSchedule(
+            partitions=[Partition(servers=(0, 2), start=5.0, end=15.0)]
+        )
+        assert sched.is_unreachable(0, 10.0)
+        assert not sched.is_unreachable(1, 10.0)
+        assert not sched.is_unreachable(0, 15.0)
+        assert sched.servers_unreachable(10.0) == (0, 2)
+        assert sched.servers_unreachable(20.0) == ()
+
+    def test_overlapping_windows_on_shared_server_rejected(self):
+        from repro.faults import Partition
+
+        with pytest.raises(FaultScheduleError):
+            FaultSchedule(
+                partitions=[
+                    Partition(servers=(1,), start=0.0, end=10.0),
+                    Partition(servers=(1, 2), start=5.0, end=12.0),
+                ]
+            )
+
+    def test_partition_events_edges(self):
+        from repro.faults import Partition
+
+        sched = FaultSchedule(
+            partitions=[Partition(servers=(3,), start=2.0, end=8.0)]
+        )
+        events = sched.partition_events()
+        assert [(e.time, e.kind, e.server) for e in events] == [
+            (2.0, "partition", 3),
+            (8.0, "heal", 3),
+        ]
+
+    def test_all_events_merges_crashes_and_partitions(self):
+        from repro.faults import Partition
+
+        sched = FaultSchedule(
+            [DownInterval(0, 1.0, 4.0)],
+            partitions=[Partition(servers=(1,), start=2.0, end=6.0)],
+        )
+        kinds = [(e.time, e.kind) for e in sched.all_events()]
+        assert kinds == [
+            (1.0, "crash"),
+            (2.0, "partition"),
+            (4.0, "recover"),
+            (6.0, "heal"),
+        ]
+
+    def test_generate_with_partitions(self):
+        from repro.faults import random_partition_schedule
+
+        windows = random_partition_schedule(5, 200.0, mtbp=50, mttr=20, seed=3)
+        sched = FaultSchedule.generate(
+            5, 200.0, mttf=80, mttr=30, seed=3, partitions=windows
+        )
+        assert sched.partitions == tuple(windows)
+        # events() (the legacy crash/recover contract) is unchanged.
+        assert all(e.kind in ("crash", "recover") for e in sched.events())

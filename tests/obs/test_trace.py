@@ -167,11 +167,27 @@ class TestJsonlSink:
         sink.close()
         sink.close()
 
-    def test_torn_final_line_ignored(self, tmp_path):
+    def test_torn_final_line_skipped_with_warning(self, tmp_path):
         path = tmp_path / "trace.jsonl"
         path.write_text('{"type": "span", "name": "a"}\n{"type": "sp')
-        events = read_jsonl(path)
+        with pytest.warns(RuntimeWarning, match="skipping undecodable"):
+            events = read_jsonl(path)
         assert len(events) == 1
+
+    def test_byte_truncated_file_yields_valid_prefix(self, tmp_path):
+        """Regression: a trace cut at an arbitrary byte offset (disk
+        full, SIGKILL mid-write) must return every intact line."""
+        path = tmp_path / "trace.jsonl"
+        with tracing(JsonlSink(path)):
+            for name in ("a", "b", "c"):
+                with span(name):
+                    pass
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 7])  # cut into the last line
+        with pytest.warns(RuntimeWarning, match="torn or truncated"):
+            events = read_jsonl(path)
+        assert len(events) == 2
+        assert all(e["type"] == "span" for e in events)
 
 
 class TestOpenSink:

@@ -219,3 +219,104 @@ def test_values_identical_to_single_worker():
     assert np.array_equal(
         [o.value for o in one], [o.value for o in three]
     )
+
+
+def _fail_twice_then_succeed(matrix, task):
+    """Needs two retries: raises until the marker holds two attempts."""
+    index, marker = task
+    attempts = 0
+    if os.path.exists(marker):
+        with open(marker, "r", encoding="utf-8") as fh:
+            attempts = int(fh.read())
+    if attempts < 2:
+        with open(marker, "w", encoding="utf-8") as fh:
+            fh.write(str(attempts + 1))
+        raise RuntimeError(f"attempt {attempts} fails")
+    return index
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        from repro.errors import InvalidParameterError
+        from repro.parallel import RetryPolicy
+
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(base_seconds=-0.1)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(cap_seconds=-1.0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(jitter=1.5)
+
+    def test_default_delay_is_zero(self):
+        from repro.parallel import RetryPolicy
+
+        policy = RetryPolicy()
+        assert policy.retries == 1
+        assert policy.delay_seconds(0, 0) == 0.0
+
+    def test_exponential_growth_and_cap(self):
+        from repro.parallel import RetryPolicy
+
+        policy = RetryPolicy(
+            retries=8, base_seconds=0.1, cap_seconds=0.4, jitter=0.0
+        )
+        delays = [policy.delay_seconds(0, k) for k in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        from repro.parallel import RetryPolicy
+
+        policy = RetryPolicy(
+            retries=4, base_seconds=0.1, cap_seconds=1.0, jitter=0.5, seed=42
+        )
+        same = RetryPolicy(
+            retries=4, base_seconds=0.1, cap_seconds=1.0, jitter=0.5, seed=42
+        )
+        other = RetryPolicy(
+            retries=4, base_seconds=0.1, cap_seconds=1.0, jitter=0.5, seed=43
+        )
+        d = policy.delay_seconds(3, 1)
+        assert d == same.delay_seconds(3, 1)
+        assert d != other.delay_seconds(3, 1)
+        # Equal-jitter band: raw * (1 - jitter * u), u in [0, 1).
+        assert 0.1 < d <= 0.2
+        # Different tasks back off at decorrelated times.
+        assert policy.delay_seconds(4, 1) != d
+
+    def test_retries_zero_fails_without_retry(self, tmp_path):
+        from repro.parallel import RetryPolicy
+
+        marker = str(tmp_path / "never-read")
+        with TrialPool(0, retry=RetryPolicy(retries=0)) as pool:
+            outcomes = pool.map_trials(_flaky_until_marker, [(1, marker)])
+        (outcome,) = outcomes
+        assert not outcome.ok and not outcome.retried
+        assert pool.stats.n_retried == 0
+
+    def test_multiple_backoff_retries_recover(self, tmp_path):
+        from repro.parallel import RetryPolicy
+
+        marker = str(tmp_path / "attempts")
+        policy = RetryPolicy(
+            retries=2, base_seconds=0.001, cap_seconds=0.002, seed=0
+        )
+        with TrialPool(0, retry=policy) as pool:
+            outcomes = pool.map_trials(
+                _fail_twice_then_succeed, [(5, marker)]
+            )
+        (outcome,) = outcomes
+        assert outcome.ok and outcome.value == 5 and outcome.retried
+        assert pool.stats.n_retried == 1
+
+    def test_retry_counters_reach_registry(self, tmp_path):
+        from repro.obs import registry
+        from repro.parallel import RetryPolicy
+
+        before = registry().counter("pool.retry.attempts").value
+        marker = str(tmp_path / "counted")
+        policy = RetryPolicy(retries=2, base_seconds=0.001, seed=1)
+        with TrialPool(0, retry=policy) as pool:
+            pool.map_trials(_fail_twice_then_succeed, [(0, marker)])
+        assert registry().counter("pool.retry.attempts").value == before + 2

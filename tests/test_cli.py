@@ -264,3 +264,48 @@ class TestFaults:
         assert "greedy joins" in out
         assert "mean D" in out
         assert "evacuated" in out
+
+
+class TestChaos:
+    def test_smoke_verdict_ok(self, capsys, tmp_path):
+        code = main(
+            [
+                "chaos",
+                "--nodes",
+                "50",
+                "--servers",
+                "4",
+                "--events",
+                "30",
+                "--kill-at",
+                "7",
+                "19",
+                "--checkpoint-every",
+                "8",
+                "--seed",
+                "0",
+                "--dir",
+                str(tmp_path / "chaos"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict: OK" in out
+        assert "kill  replayed" in out
+
+    def test_default_temp_dir_is_removed(self, capsys):
+        import glob
+        import os
+        import tempfile
+
+        code = main(
+            ["chaos", "--nodes", "40", "--servers", "3", "--events", "12",
+             "--kill-at", "5", "--no-torn-tail"]
+        )
+        assert code == 0
+        assert "verdict: OK" in capsys.readouterr().out
+        # No leftover working directories.
+        leftovers = glob.glob(
+            os.path.join(tempfile.gettempdir(), "repro-chaos-*")
+        )
+        assert leftovers == []
