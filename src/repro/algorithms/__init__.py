@@ -45,6 +45,7 @@ from repro.algorithms.online import (
     ChurnResult,
     ChurnTracePoint,
     OnlineAssignmentManager,
+    OnlineConfig,
     simulate_churn,
 )
 
@@ -54,6 +55,7 @@ __all__ = [
     "greedy",
     "greedy_absolute",
     "OnlineAssignmentManager",
+    "OnlineConfig",
     "simulate_churn",
     "ChurnResult",
     "ChurnTracePoint",

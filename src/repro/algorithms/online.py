@@ -23,8 +23,9 @@ so the value of prompt reassignment is measurable (see
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -44,6 +45,89 @@ from repro.types import IndexArrayLike, as_index_array
 from repro.utils.rng import SeedLike, ensure_rng
 
 
+_UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Typed configuration for :class:`OnlineAssignmentManager`.
+
+    Consolidates the manager's former keyword sprawl into one validated
+    object that can be passed around, serialized (:meth:`to_dict` /
+    :meth:`from_dict`), and shared between the library path and the
+    service layer (:mod:`repro.service`).
+
+    Parameters
+    ----------
+    capacity:
+        Optional uniform per-server client capacity (``None`` =
+        unlimited).
+    join_policy:
+        Placement rule for arrivals: ``"greedy"`` minimizes the
+        resulting D, ``"nearest"`` is the deployed-system default.
+    """
+
+    capacity: Optional[int] = None
+    join_policy: str = "greedy"
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 1:
+            raise InvalidParameterError(
+                f"capacity must be >= 1, got {self.capacity}"
+            )
+        if self.join_policy not in ("greedy", "nearest"):
+            raise InvalidParameterError(
+                f"join_policy must be 'greedy' or 'nearest', "
+                f"got {self.join_policy!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view (stable keys, scalars only)."""
+        return {
+            "capacity": None if self.capacity is None else int(self.capacity),
+            "join_policy": self.join_policy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "OnlineConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        capacity = data.get("capacity")
+        return cls(
+            capacity=None if capacity is None else int(capacity),
+            join_policy=str(data.get("join_policy", "greedy")),
+        )
+
+    def merge_legacy_kwargs(
+        self, where: str, *, capacity: Any = _UNSET, join_policy: Any = _UNSET
+    ) -> "OnlineConfig":
+        """Fold deprecated constructor keywords into a config.
+
+        Emits one :class:`DeprecationWarning` per call site kind and
+        refuses silently conflicting double specification.
+        """
+        updates: Dict[str, Any] = {}
+        if capacity is not _UNSET:
+            updates["capacity"] = capacity
+        if join_policy is not _UNSET:
+            updates["join_policy"] = join_policy
+        if not updates:
+            return self
+        warnings.warn(
+            f"passing {sorted(updates)} directly to {where} is deprecated; "
+            f"pass config=OnlineConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        for key, value in updates.items():
+            if getattr(self, key) != OnlineConfig.__dataclass_fields__[
+                key
+            ].default:
+                raise InvalidParameterError(
+                    f"{key} specified both in config and as a keyword"
+                )
+        return OnlineConfig(**{**self.to_dict(), **updates})
+
+
 class OnlineAssignmentManager:
     """Maintains a client assignment under joins, leaves and rebalances.
 
@@ -53,8 +137,9 @@ class OnlineAssignmentManager:
         All-pairs latency matrix over the node universe.
     servers:
         Node indices hosting servers.
-    capacity:
-        Optional uniform per-server client capacity.
+    config:
+        An :class:`OnlineConfig`; the legacy ``capacity=`` /
+        ``join_policy=`` keywords remain accepted but deprecated.
 
     Notes
     -----
@@ -73,22 +158,23 @@ class OnlineAssignmentManager:
         self,
         matrix: LatencyMatrix,
         servers: IndexArrayLike,
+        config: Optional[OnlineConfig] = None,
         *,
-        capacity: Optional[int] = None,
-        join_policy: str = "greedy",
+        capacity: Any = _UNSET,
+        join_policy: Any = _UNSET,
     ) -> None:
+        config = (config or OnlineConfig()).merge_legacy_kwargs(
+            "OnlineAssignmentManager",
+            capacity=capacity,
+            join_policy=join_policy,
+        )
         self._matrix = matrix
         self._servers = as_index_array(servers, "servers")
         if self._servers.size == 0:
             raise InvalidParameterError("need at least one server")
-        if capacity is not None and capacity < 1:
-            raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
-        if join_policy not in ("greedy", "nearest"):
-            raise InvalidParameterError(
-                f"join_policy must be 'greedy' or 'nearest', got {join_policy!r}"
-            )
-        self._capacity = capacity
-        self._join_policy = join_policy
+        self._config = config
+        self._capacity = config.capacity
+        self._join_policy = config.join_policy
         #: node -> local server index
         self._assigned: Dict[int, int] = {}
         #: per-server member node sets
@@ -112,6 +198,11 @@ class OnlineAssignmentManager:
     def n_servers(self) -> int:
         """Number of servers."""
         return int(self._servers.size)
+
+    @property
+    def config(self) -> OnlineConfig:
+        """The manager's resolved configuration."""
+        return self._config
 
     @property
     def capacity(self) -> Optional[int]:
@@ -551,7 +642,7 @@ def simulate_churn(
         raise InvalidParameterError("join_probability must be in (0, 1)")
     rng = ensure_rng(seed)
     manager = OnlineAssignmentManager(
-        matrix, servers, capacity=capacity, join_policy=join_policy
+        matrix, servers, OnlineConfig(capacity=capacity, join_policy=join_policy)
     )
     server_set = set(int(s) for s in as_index_array(servers))
     candidates = [u for u in range(matrix.n_nodes) if u not in server_set]

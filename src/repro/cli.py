@@ -9,6 +9,8 @@ Subcommands:
 - ``simulate`` — run the DIA event simulation for a solved assignment.
 - ``faults``   — fault-injection churn: crashes, failover, recovery.
 - ``chaos``    — kill/recover/diff the durable runtime (WAL + checkpoints).
+- ``serve``    — run the assignment service over TCP JSON-lines.
+- ``loadgen``  — drive seeded churn through a live assignment server.
 - ``obs``      — summarize a JSONL trace produced with ``--trace``.
 
 Every subcommand runs under the observability harness: a run manifest
@@ -235,6 +237,62 @@ def _build_parser() -> argparse.ArgumentParser:
             "working directory for WALs/checkpoints "
             "(default: a temp dir, removed on exit)"
         ),
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the assignment service over TCP JSON-lines",
+    )
+    p_serve.add_argument("--host", type=str, default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7690,
+        help="listen port (0 = pick an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--base-dir", type=str, default=None,
+        help=(
+            "directory for WAL-backed session state "
+            "(default: a temp dir, removed on shutdown)"
+        ),
+    )
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="drive seeded churn through a live assignment server",
+    )
+    p_loadgen.add_argument("--host", type=str, default="127.0.0.1")
+    p_loadgen.add_argument("--port", type=int, default=7690)
+    p_loadgen.add_argument(
+        "--spawn", action="store_true",
+        help="start an in-process server on an ephemeral port instead",
+    )
+    p_loadgen.add_argument("--events", type=int, default=10_000)
+    p_loadgen.add_argument("--batch-size", type=int, default=200)
+    p_loadgen.add_argument("--pipeline-depth", type=int, default=8)
+    p_loadgen.add_argument("--seed", type=int, default=0)
+    p_loadgen.add_argument("--nodes", type=int, default=120)
+    p_loadgen.add_argument(
+        "--kind", choices=("meridian", "mit"), default="meridian"
+    )
+    p_loadgen.add_argument("--servers", type=int, default=8)
+    p_loadgen.add_argument("--capacity", type=int, default=None)
+    p_loadgen.add_argument(
+        "--durability", choices=("off", "wal"), default="off",
+        help="session durability mode (wal persists state server-side)",
+    )
+    p_loadgen.add_argument("--fault-every", type=int, default=0)
+    p_loadgen.add_argument("--partition-every", type=int, default=0)
+    p_loadgen.add_argument("--rebalance-every", type=int, default=0)
+    p_loadgen.add_argument(
+        "--verify", action="store_true",
+        help=(
+            "replay the events in-process and assert the wire and "
+            "library paths are byte-identical"
+        ),
+    )
+    p_loadgen.add_argument(
+        "--min-throughput", type=float, default=None, metavar="EVENTS_PER_SEC",
+        help="exit non-zero below this sustained event rate",
     )
 
     p_obs = sub.add_parser(
@@ -684,6 +742,76 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if report.servers_consistent and report.fair else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import AssignmentServer, AssignmentService
+
+    service = AssignmentService(base_dir=args.base_dir)
+    server = AssignmentServer(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        print(f"assignment service listening on {host}:{port}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.close()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service import ServerThread, run_loadgen
+
+    session_params = {
+        "nodes": args.nodes,
+        "kind": args.kind,
+        "n_servers": args.servers,
+        "capacity": args.capacity,
+        "durability": args.durability,
+    }
+
+    def _run(host: str, port: int):
+        return run_loadgen(
+            host,
+            port,
+            n_events=args.events,
+            batch_size=args.batch_size,
+            pipeline_depth=args.pipeline_depth,
+            seed=args.seed,
+            session_params=session_params,
+            fault_every=args.fault_every,
+            partition_every=args.partition_every,
+            rebalance_every=args.rebalance_every,
+            verify=args.verify,
+        )
+
+    if args.spawn:
+        with ServerThread() as (host, port):
+            report = _run(host, port)
+    else:
+        report = _run(args.host, args.port)
+    print(report.render())
+    if (
+        args.min_throughput is not None
+        and report.events_per_second < args.min_throughput
+    ):
+        print(
+            f"FAIL: {report.events_per_second:,.0f} events/s is below the "
+            f"required {args.min_throughput:,.0f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import render_summary, summarize_file
 
@@ -696,7 +824,11 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 # them in the deterministic config would make otherwise byte-identical
 # runs (e.g. --workers 0 vs 4, different --save paths) disagree.
 _NON_RESULT_ARGS = frozenset(
-    {"command", "trace", "workers", "save", "load", "out", "save_deployment", "dir"}
+    {
+        "command", "trace", "workers", "save", "load", "out",
+        "save_deployment", "dir", "host", "port", "base_dir", "spawn",
+        "min_throughput",
+    }
 )
 
 
@@ -764,6 +896,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "faults": _cmd_faults,
         "chaos": _cmd_chaos,
         "simulate": _cmd_simulate,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "obs": _cmd_obs,
     }
     if args.command == "obs":

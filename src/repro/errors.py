@@ -4,13 +4,28 @@ All exceptions raised deliberately by this package derive from
 :class:`ReproError` so callers can catch package-level failures with a
 single ``except`` clause while letting genuine programming errors
 (``TypeError``, ``KeyError`` from internal bugs, ...) propagate.
+
+Every class carries a **stable machine-readable code** in its ``code``
+class attribute (kebab-case, never reused for a different meaning).
+The service layer (:mod:`repro.service`) maps exceptions onto
+structured protocol error replies through these codes, so remote
+clients dispatch on ``error["code"]`` instead of parsing message
+strings. :func:`error_code` resolves the code for any exception and
+:data:`ERROR_CODES` maps each code back to its class.
 """
 
 from __future__ import annotations
 
+from typing import Dict, Type
+
+#: Code reported for exceptions outside the :class:`ReproError` tree.
+INTERNAL_ERROR_CODE = "internal-error"
+
 
 class ReproError(Exception):
     """Base class for every error raised by the ``repro`` package."""
+
+    code = "repro-error"
 
 
 class InvalidLatencyMatrixError(ReproError):
@@ -21,6 +36,8 @@ class InvalidLatencyMatrixError(ReproError):
     diagonal.
     """
 
+    code = "invalid-latency-matrix"
+
 
 class InvalidProblemError(ReproError):
     """A :class:`~repro.core.problem.ClientAssignmentProblem` is malformed.
@@ -28,6 +45,8 @@ class InvalidProblemError(ReproError):
     Examples: empty server or client set, indices out of range, duplicate
     servers, or capacities that cannot accommodate all clients.
     """
+
+    code = "invalid-problem"
 
 
 class InvalidAssignmentError(ReproError):
@@ -38,6 +57,8 @@ class InvalidAssignmentError(ReproError):
     capacity.
     """
 
+    code = "invalid-assignment"
+
 
 class InvalidParameterError(ReproError, ValueError):
     """A function or constructor argument is out of its valid domain.
@@ -45,6 +66,8 @@ class InvalidParameterError(ReproError, ValueError):
     Also derives from :class:`ValueError` so callers that predate the
     package hierarchy (``except ValueError``) keep working.
     """
+
+    code = "invalid-parameter"
 
 
 class UnknownAlgorithmError(ReproError, KeyError):
@@ -55,12 +78,16 @@ class UnknownAlgorithmError(ReproError, KeyError):
     lists the registered names.
     """
 
+    code = "unknown-algorithm"
+
     def __str__(self) -> str:  # KeyError wraps its arg in repr()
         return self.args[0] if self.args else ""
 
 
 class CapacityError(ReproError):
     """Total server capacity is insufficient for the client population."""
+
+    code = "capacity-exhausted"
 
 
 class FaultScheduleError(ReproError):
@@ -70,6 +97,8 @@ class FaultScheduleError(ReproError):
     before its crash, or a latency spike with a nonpositive window.
     """
 
+    code = "invalid-fault-schedule"
+
 
 class FailoverError(ReproError):
     """The failover controller could not repair the system.
@@ -77,6 +106,8 @@ class FailoverError(ReproError):
     Raised when a crash leaves surviving capacity insufficient for the
     evacuated clients, or when every server is down simultaneously.
     """
+
+    code = "failover-failed"
 
 
 class ResilienceError(ReproError):
@@ -88,6 +119,8 @@ class ResilienceError(ReproError):
     matrix it is being recovered against.
     """
 
+    code = "resilience-failed"
+
 
 class WalCorruptionError(ResilienceError):
     """A write-ahead log failed integrity checks beyond its tail.
@@ -98,6 +131,8 @@ class WalCorruptionError(ResilienceError):
     truncation would silently discard acknowledged writes to "repair".
     """
 
+    code = "wal-corrupt"
+
 
 class CheckpointError(ResilienceError):
     """A checkpoint could not be written, read, or used for recovery.
@@ -106,6 +141,8 @@ class CheckpointError(ResilienceError):
     checkpoint whose matrix fingerprint does not match the matrix the
     caller supplied.
     """
+
+    code = "checkpoint-failed"
 
 
 class TrialExecutionError(ReproError):
@@ -117,26 +154,38 @@ class TrialExecutionError(ReproError):
     would silently fabricate data.
     """
 
+    code = "trial-execution-failed"
+
 
 class InfeasibleScheduleError(ReproError):
     """A requested lag ``delta`` is below the minimum achievable value D."""
 
+    code = "infeasible-schedule"
+
 
 class DatasetError(ReproError):
     """A dataset file could not be parsed or failed integrity checks."""
+
+    code = "dataset-error"
 
 
 class GraphError(ReproError):
     """A network graph is malformed or disconnected where connectivity
     is required (e.g. routing between nodes with no path)."""
 
+    code = "graph-error"
+
 
 class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its budget."""
 
+    code = "convergence-failed"
+
 
 class SimulationError(ReproError):
     """The discrete-event simulator detected an internal inconsistency."""
+
+    code = "simulation-error"
 
 
 class ConsistencyViolation(SimulationError):
@@ -146,6 +195,8 @@ class ConsistencyViolation(SimulationError):
     simulation time.
     """
 
+    code = "consistency-violation"
+
 
 class FairnessViolation(SimulationError):
     """The simulated DIA violated the fairness criterion.
@@ -153,3 +204,104 @@ class FairnessViolation(SimulationError):
     Operations were executed out of issuance order, or the
     issuance-to-execution lag was not constant across operations.
     """
+
+    code = "fairness-violation"
+
+
+class ServiceError(ReproError):
+    """The assignment service could not satisfy a request.
+
+    Base class for session- and protocol-level failures in
+    :mod:`repro.service`; every subclass keeps a distinct stable code
+    so remote clients can dispatch without string matching.
+    """
+
+    code = "service-error"
+
+
+class UnknownSessionError(ServiceError):
+    """A request referenced a session id the service does not hold."""
+
+    code = "unknown-session"
+
+
+class SessionStateError(ServiceError):
+    """A request is invalid for the session's current state.
+
+    Examples: an operation on a closed session, or opening a session
+    under a name that is already live.
+    """
+
+    code = "session-state"
+
+
+class ProtocolError(ServiceError):
+    """A wire frame could not be decoded into a valid request.
+
+    Examples: invalid JSON, a frame exceeding the size limit, a
+    non-object payload, or a missing/unknown ``op``.
+    """
+
+    code = "bad-frame"
+
+
+class FrameTooLargeError(ProtocolError):
+    """A wire frame exceeded the configured maximum size."""
+
+    code = "frame-too-large"
+
+
+class UnknownOperationError(ProtocolError):
+    """A request named an operation the service does not implement."""
+
+    code = "unknown-op"
+
+
+class BadRequestError(ProtocolError):
+    """A request was structurally valid but its parameters were not.
+
+    Examples: a missing required field, a field of the wrong type, or
+    an out-of-domain value detected before it reaches the library
+    layer.
+    """
+
+    code = "bad-request"
+
+
+def _collect_codes() -> Dict[str, Type[ReproError]]:
+    codes: Dict[str, Type[ReproError]] = {}
+    stack = [ReproError]
+    while stack:
+        cls = stack.pop()
+        existing = codes.get(cls.code)
+        # Subclasses that do not override ``code`` inherit their
+        # parent's; keep the most general class for the shared code.
+        if existing is None or issubclass(existing, cls):
+            codes[cls.code] = cls
+        stack.extend(cls.__subclasses__())
+    return codes
+
+
+def error_codes() -> Dict[str, Type[ReproError]]:
+    """Stable code → exception class, for every registered error.
+
+    Computed on demand so classes defined after import (e.g. in tests)
+    are included.
+    """
+    return _collect_codes()
+
+
+#: Snapshot of the mapping at import time (module-level convenience).
+ERROR_CODES: Dict[str, Type[ReproError]] = _collect_codes()
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable machine-readable code for any exception.
+
+    :class:`ReproError` instances report their class code; everything
+    else maps to :data:`INTERNAL_ERROR_CODE` — a service must never
+    leak Python class names as its error contract.
+    """
+    if isinstance(exc, ReproError):
+        return type(exc).code
+    return INTERNAL_ERROR_CODE

@@ -20,7 +20,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.algorithms.online import OnlineAssignmentManager
+from repro.algorithms.online import OnlineAssignmentManager, OnlineConfig
 from repro.errors import CapacityError, InvalidParameterError
 from repro.faults.failover import (
     CrashRecord,
@@ -163,7 +163,7 @@ def simulate_churn_with_faults(
     rng = ensure_rng(seed)
     schedule.reset()
     manager = OnlineAssignmentManager(
-        matrix, servers, capacity=capacity, join_policy=join_policy
+        matrix, servers, OnlineConfig(capacity=capacity, join_policy=join_policy)
     )
     controller = FailoverController(
         manager, readmit_moves=readmit_moves, shed_policy=shed_policy

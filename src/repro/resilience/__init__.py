@@ -54,7 +54,7 @@ from repro.resilience.degrade import (
     DegradeController,
     DegradePolicy,
 )
-from repro.resilience.runtime import DurableRuntime
+from repro.resilience.runtime import DurabilityConfig, DurableRuntime
 from repro.resilience.wal import (
     WalReadResult,
     WalRecord,
@@ -85,6 +85,7 @@ __all__ = [
     "DegradePolicy",
     "DegradeController",
     # runtime
+    "DurabilityConfig",
     "DurableRuntime",
     # chaos
     "ChaosEvent",

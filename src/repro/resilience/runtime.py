@@ -32,9 +32,15 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.algorithms.online import OnlineAssignmentManager
+from repro.algorithms.online import (
+    _UNSET,
+    OnlineAssignmentManager,
+    OnlineConfig,
+)
 from repro.errors import (
     CapacityError,
     CheckpointError,
@@ -70,6 +76,172 @@ WAL_NAME = "events.wal"
 STATE_SCHEMA = 1
 
 
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Typed durability configuration for :class:`DurableRuntime`.
+
+    Parameters
+    ----------
+    mode:
+        ``"wal"`` (default) — log-then-apply with on-disk WAL and
+        checkpoints, recoverable via :meth:`DurableRuntime.recover`.
+        ``"off"`` — volatile mode: identical event semantics and state
+        digests, but nothing touches disk (the WAL is an in-memory
+        sequence counter and checkpoints are disabled). The service
+        layer uses this for ``durability=off`` sessions so both modes
+        share one runtime implementation.
+    checkpoint_every:
+        Events between snapshot checkpoints (``None``/``0`` disables;
+        recovery then replays the whole WAL). Ignored in ``"off"``
+        mode.
+    fsync_every:
+        WAL group-commit interval (see
+        :class:`~repro.resilience.wal.WriteAheadLog`); the default of 8
+        keeps append overhead low while bounding crash loss to 7
+        acknowledged events.
+    keep_checkpoints:
+        Checkpoints retained on disk (older pruned after each write).
+    """
+
+    mode: str = "wal"
+    checkpoint_every: Optional[int] = 25
+    fsync_every: int = 8
+    keep_checkpoints: int = 2
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("wal", "off"):
+            raise InvalidParameterError(
+                f"durability mode must be 'wal' or 'off', got {self.mode!r}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every < 0:
+            raise InvalidParameterError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.fsync_every < 0:
+            raise InvalidParameterError(
+                f"fsync_every must be >= 0, got {self.fsync_every}"
+            )
+        if self.keep_checkpoints < 1:
+            raise InvalidParameterError(
+                f"keep_checkpoints must be >= 1, got {self.keep_checkpoints}"
+            )
+
+    @property
+    def durable(self) -> bool:
+        """Whether this configuration persists anything to disk."""
+        return self.mode == "wal"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view (stable keys, scalars only)."""
+        return {
+            "mode": self.mode,
+            "checkpoint_every": (
+                None
+                if self.checkpoint_every is None
+                else int(self.checkpoint_every)
+            ),
+            "fsync_every": int(self.fsync_every),
+            "keep_checkpoints": int(self.keep_checkpoints),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DurabilityConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        checkpoint_every = data.get("checkpoint_every", 25)
+        return cls(
+            mode=str(data.get("mode", "wal")),
+            checkpoint_every=(
+                None if checkpoint_every is None else int(checkpoint_every)
+            ),
+            fsync_every=int(data.get("fsync_every", 8)),
+            keep_checkpoints=int(data.get("keep_checkpoints", 2)),
+        )
+
+    def merge_legacy_kwargs(
+        self,
+        where: str,
+        *,
+        checkpoint_every: Any = _UNSET,
+        fsync_every: Any = _UNSET,
+        keep_checkpoints: Any = _UNSET,
+    ) -> "DurabilityConfig":
+        """Fold deprecated constructor keywords into a config.
+
+        Emits a :class:`DeprecationWarning` and refuses silently
+        conflicting double specification.
+        """
+        updates: Dict[str, Any] = {}
+        if checkpoint_every is not _UNSET:
+            updates["checkpoint_every"] = checkpoint_every
+        if fsync_every is not _UNSET:
+            updates["fsync_every"] = fsync_every
+        if keep_checkpoints is not _UNSET:
+            updates["keep_checkpoints"] = keep_checkpoints
+        if not updates:
+            return self
+        warnings.warn(
+            f"passing {sorted(updates)} directly to {where} is deprecated; "
+            f"pass durability=DurabilityConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        fields = DurabilityConfig.__dataclass_fields__
+        for key in updates:
+            if getattr(self, key) != fields[key].default:
+                raise InvalidParameterError(
+                    f"{key} specified both in durability config and as a "
+                    f"keyword"
+                )
+        return DurabilityConfig(**{**self.to_dict(), **updates})
+
+
+class _NullWal:
+    """In-memory stand-in for :class:`~repro.resilience.wal.WriteAheadLog`.
+
+    Volatile mode (:class:`DurabilityConfig` ``mode="off"``) keeps the
+    runtime's log-then-apply shape — every event still receives a
+    contiguous sequence number so ``applied_seq`` and therefore the
+    state digest match a WAL-backed twin byte for byte — without
+    touching the filesystem.
+    """
+
+    __slots__ = ("_next_seq", "_closed")
+
+    path = None
+
+    def __init__(self, *, next_seq: int = 1) -> None:
+        self._next_seq = int(next_seq)
+        self._closed = False
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    @property
+    def last_seq(self) -> int:
+        return self._next_seq - 1
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def append(self, kind: str, data: Optional[Dict[str, Any]] = None) -> WalRecord:
+        if self._closed:
+            raise ResilienceError("write-ahead log is closed")
+        record = WalRecord(seq=self._next_seq, kind=kind, data=dict(data or {}))
+        self._next_seq += 1
+        return record
+
+    def sync(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self._closed = True
+
+    def abandon(self) -> None:
+        self._closed = True
+
+
 class DurableRuntime:
     """A crash-recoverable online assignment runtime.
 
@@ -78,61 +250,80 @@ class DurableRuntime:
     directory:
         Home of the WAL and checkpoints; created if missing. A
         directory that already holds a non-empty WAL or checkpoints
-        refuses a fresh start — use :meth:`recover`.
-    matrix, servers, capacity, join_policy:
+        refuses a fresh start — use :meth:`recover`. May be ``None``
+        in volatile mode (``durability.mode == "off"``).
+    matrix, servers:
         Forwarded to :class:`~repro.algorithms.online.
         OnlineAssignmentManager`.
+    online:
+        An :class:`~repro.algorithms.online.OnlineConfig` (capacity,
+        join policy); the legacy ``capacity=`` / ``join_policy=``
+        keywords remain accepted but deprecated.
+    durability:
+        A :class:`DurabilityConfig` (mode, checkpoint cadence, fsync
+        interval, retention); the legacy ``checkpoint_every=`` /
+        ``fsync_every=`` / ``keep_checkpoints=`` keywords remain
+        accepted but deprecated.
     readmit_moves, shed_policy:
         Forwarded to :class:`~repro.faults.failover.FailoverController`
         (default ``"shed"``: a crash degrades rather than raises).
     policy:
         Degraded-mode policy (backlog watermark, latency budget).
-    checkpoint_every:
-        Events between snapshot checkpoints (``None``/``0`` disables;
-        recovery then replays the whole WAL).
-    fsync_every:
-        WAL group-commit interval (see :class:`~repro.resilience.wal.
-        WriteAheadLog`); the default of 8 keeps append overhead low
-        while bounding crash loss to 7 acknowledged events.
-    keep_checkpoints:
-        Checkpoints retained on disk (older pruned after each write).
     """
 
     def __init__(
         self,
-        directory: PathLike,
+        directory: Optional[PathLike],
         matrix: LatencyMatrix,
         servers: IndexArrayLike,
         *,
-        capacity: Optional[int] = None,
-        join_policy: str = "greedy",
+        online: Optional[OnlineConfig] = None,
+        durability: Optional[DurabilityConfig] = None,
         readmit_moves: int = 8,
         shed_policy: str = "shed",
         policy: Optional[DegradePolicy] = None,
-        checkpoint_every: Optional[int] = 25,
-        fsync_every: int = 8,
-        keep_checkpoints: int = 2,
+        capacity: Any = _UNSET,
+        join_policy: Any = _UNSET,
+        checkpoint_every: Any = _UNSET,
+        fsync_every: Any = _UNSET,
+        keep_checkpoints: Any = _UNSET,
     ) -> None:
-        directory = os.fspath(directory)
-        os.makedirs(directory, exist_ok=True)
-        wal_path = os.path.join(directory, WAL_NAME)
-        if os.path.exists(wal_path) and os.path.getsize(wal_path) > 0:
-            raise ResilienceError(
-                f"{directory}: write-ahead log already exists; use "
-                f"DurableRuntime.recover() to resume it"
-            )
-        from repro.resilience.checkpoint import list_checkpoints
+        online = (online or OnlineConfig()).merge_legacy_kwargs(
+            "DurableRuntime", capacity=capacity, join_policy=join_policy
+        )
+        durability = (durability or DurabilityConfig()).merge_legacy_kwargs(
+            "DurableRuntime",
+            checkpoint_every=checkpoint_every,
+            fsync_every=fsync_every,
+            keep_checkpoints=keep_checkpoints,
+        )
+        if durability.durable:
+            if directory is None:
+                raise InvalidParameterError(
+                    "durability mode 'wal' requires a directory"
+                )
+            directory = os.fspath(directory)
+            os.makedirs(directory, exist_ok=True)
+            wal_path = os.path.join(directory, WAL_NAME)
+            if os.path.exists(wal_path) and os.path.getsize(wal_path) > 0:
+                raise ResilienceError(
+                    f"{directory}: write-ahead log already exists; use "
+                    f"DurableRuntime.recover() to resume it"
+                )
+            from repro.resilience.checkpoint import list_checkpoints
 
-        if list_checkpoints(directory):
-            raise ResilienceError(
-                f"{directory}: checkpoints already exist; use "
-                f"DurableRuntime.recover() to resume"
-            )
+            if list_checkpoints(directory):
+                raise ResilienceError(
+                    f"{directory}: checkpoints already exist; use "
+                    f"DurableRuntime.recover() to resume"
+                )
+        else:
+            directory = None if directory is None else os.fspath(directory)
         policy = policy or DegradePolicy()
         config = {
             "servers": [int(s) for s in as_index_array(servers, "servers")],
-            "capacity": None if capacity is None else int(capacity),
-            "join_policy": join_policy,
+            "capacity": online.capacity,
+            "join_policy": online.join_policy,
             "readmit_moves": int(readmit_moves),
             "shed_policy": shed_policy,
             "max_backlog": policy.max_backlog,
@@ -143,15 +334,14 @@ class DurableRuntime:
             ),
             "matrix_fingerprint": fingerprint_matrix(matrix),
         }
-        self._init_core(
-            directory,
-            matrix,
-            config,
-            checkpoint_every=checkpoint_every,
-            fsync_every=fsync_every,
-            keep_checkpoints=keep_checkpoints,
-        )
-        self._wal = WriteAheadLog(wal_path, fsync_every=self._fsync_every)
+        self._init_core(directory, matrix, config, durability=durability)
+        if durability.durable:
+            self._wal = WriteAheadLog(
+                os.path.join(directory, WAL_NAME),
+                fsync_every=durability.fsync_every,
+            )
+        else:
+            self._wal = _NullWal()
         # Genesis record: recovery can rebuild from a bare WAL (no
         # checkpoint yet) knowing nothing but the directory + matrix.
         record = self._wal.append("open", config)
@@ -160,24 +350,14 @@ class DurableRuntime:
     # ------------------------------------------------------------------
     def _init_core(
         self,
-        directory: str,
+        directory: Optional[str],
         matrix: LatencyMatrix,
         config: Dict[str, Any],
         *,
-        checkpoint_every: Optional[int],
-        fsync_every: int,
-        keep_checkpoints: int,
+        durability: DurabilityConfig,
     ) -> None:
         """Build the in-memory stack from a config dict (shared by the
         fresh-start and recovery paths)."""
-        if checkpoint_every is not None and checkpoint_every < 0:
-            raise InvalidParameterError(
-                f"checkpoint_every must be >= 0, got {checkpoint_every}"
-            )
-        if keep_checkpoints < 1:
-            raise InvalidParameterError(
-                f"keep_checkpoints must be >= 1, got {keep_checkpoints}"
-            )
         expected = config["matrix_fingerprint"]
         actual = fingerprint_matrix(matrix)
         if expected != actual:
@@ -188,9 +368,10 @@ class DurableRuntime:
         self._directory = directory
         self._matrix = matrix
         self._config = dict(config)
-        self._checkpoint_every = int(checkpoint_every or 0)
-        self._fsync_every = int(fsync_every)
-        self._keep_checkpoints = int(keep_checkpoints)
+        self._durability = durability
+        self._checkpoint_every = (
+            int(durability.checkpoint_every or 0) if durability.durable else 0
+        )
         d_budget = config["d_budget"]
         degrade_policy = DegradePolicy(
             max_backlog=int(config["max_backlog"]),
@@ -199,8 +380,10 @@ class DurableRuntime:
         self._manager = OnlineAssignmentManager(
             matrix,
             config["servers"],
-            capacity=config["capacity"],
-            join_policy=config["join_policy"],
+            OnlineConfig(
+                capacity=config["capacity"],
+                join_policy=config["join_policy"],
+            ),
         )
         self._controller = FailoverController(
             self._manager,
@@ -212,7 +395,7 @@ class DurableRuntime:
         self._last_checkpoint_seq = 0
         self._replaying = False
         self._closed = False
-        self._wal: Optional[WriteAheadLog] = None
+        self._wal: Optional[Union[WriteAheadLog, _NullWal]] = None
 
     # ------------------------------------------------------------------
     # Recovery
@@ -223,9 +406,10 @@ class DurableRuntime:
         directory: PathLike,
         matrix: LatencyMatrix,
         *,
-        checkpoint_every: Optional[int] = 25,
-        fsync_every: int = 8,
-        keep_checkpoints: int = 2,
+        durability: Optional[DurabilityConfig] = None,
+        checkpoint_every: Any = _UNSET,
+        fsync_every: Any = _UNSET,
+        keep_checkpoints: Any = _UNSET,
     ) -> "DurableRuntime":
         """Rebuild a runtime from its directory.
 
@@ -238,6 +422,17 @@ class DurableRuntime:
         :class:`~repro.errors.CheckpointError` when the recorded matrix
         fingerprint does not match ``matrix``.
         """
+        durability = (durability or DurabilityConfig()).merge_legacy_kwargs(
+            "DurableRuntime.recover",
+            checkpoint_every=checkpoint_every,
+            fsync_every=fsync_every,
+            keep_checkpoints=keep_checkpoints,
+        )
+        if not durability.durable:
+            raise InvalidParameterError(
+                "cannot recover with durability mode 'off' — there is "
+                "nothing on disk to recover from"
+            )
         directory = os.fspath(directory)
         wal_path = os.path.join(directory, WAL_NAME)
         start = time.perf_counter()
@@ -262,14 +457,7 @@ class DurableRuntime:
                     )
                 config = dict(genesis.data)
             runtime = cls.__new__(cls)
-            runtime._init_core(
-                directory,
-                matrix,
-                config,
-                checkpoint_every=checkpoint_every,
-                fsync_every=fsync_every,
-                keep_checkpoints=keep_checkpoints,
-            )
+            runtime._init_core(directory, matrix, config, durability=durability)
             if checkpoint is not None:
                 runtime._restore_state(checkpoint.state)
                 runtime._last_checkpoint_seq = checkpoint.seq
@@ -285,7 +473,9 @@ class DurableRuntime:
                 records[-1].seq if records else 0,
             )
             runtime._wal = WriteAheadLog(
-                wal_path, fsync_every=fsync_every, next_seq=last_seq + 1
+                wal_path,
+                fsync_every=durability.fsync_every,
+                next_seq=last_seq + 1,
             )
         metrics = registry()
         metrics.counter("resilience.recoveries").inc()
@@ -329,8 +519,18 @@ class DurableRuntime:
     # Introspection
     # ------------------------------------------------------------------
     @property
-    def directory(self) -> str:
+    def directory(self) -> Optional[str]:
         return self._directory
+
+    @property
+    def durability(self) -> DurabilityConfig:
+        """The runtime's resolved durability configuration."""
+        return self._durability
+
+    @property
+    def online_config(self) -> OnlineConfig:
+        """The wrapped manager's resolved online configuration."""
+        return self._manager.config
 
     @property
     def manager(self) -> OnlineAssignmentManager:
@@ -348,7 +548,7 @@ class DurableRuntime:
         return self._degrade
 
     @property
-    def wal(self) -> WriteAheadLog:
+    def wal(self) -> Union[WriteAheadLog, _NullWal]:
         return self._wal
 
     @property
@@ -424,7 +624,7 @@ class DurableRuntime:
             self._directory,
             self._applied_seq,
             self.state_dict(),
-            keep=self._keep_checkpoints,
+            keep=self._durability.keep_checkpoints,
         )
         self._last_checkpoint_seq = self._applied_seq
         return path

@@ -1,0 +1,90 @@
+"""Assignment-as-a-service: the session server over the online stack.
+
+The paper frames client assignment as a *continuously running* concern —
+clients join and leave while the system maintains interactivity — and
+this package serves it that way, behind a transport-agnostic service
+API:
+
+- :mod:`repro.service.core` — :class:`AssignmentService`, the
+  transport-agnostic core: session create/close, client join/leave,
+  server crash/recover/partition/heal, rebalance, and
+  D/interactivity/degraded-state queries, each session wrapping a
+  :class:`~repro.resilience.runtime.DurableRuntime` (volatile or
+  WAL-backed per :class:`~repro.resilience.runtime.DurabilityConfig`).
+  Every request and reply is a plain JSON-able dict, so the in-process
+  path (``service.handle(request)``) and the wire path are **output
+  equivalent** — the same seeded event sequence yields byte-identical
+  assignment trajectories and state digests through either
+  (``tests/service/test_equivalence.py`` enforces it).
+- :mod:`repro.service.protocol` — JSON-lines wire framing with a frame
+  size cap, request validation, and structured error replies carrying
+  the stable codes of :mod:`repro.errors` (clients never parse
+  exception strings).
+- :mod:`repro.service.server` — the asyncio TCP server multiplexing
+  many concurrent sessions over many connections, plus
+  :class:`ServerThread` for embedding a live server in tests and the
+  load generator.
+- :mod:`repro.service.client` — a blocking socket client with request
+  pipelining.
+- :mod:`repro.service.workload` — deterministic seeded
+  join/leave/crash/recover/partition/heal/rebalance event sequences
+  shared by the load generator, the equivalence tests, and the
+  in-process replayer.
+- :mod:`repro.service.replay` — the *library-path* replayer: drives
+  the same events straight through
+  :class:`~repro.algorithms.online.OnlineAssignmentManager` +
+  :class:`~repro.faults.failover.FailoverController` +
+  :class:`~repro.resilience.degrade.DegradeController` with no service
+  code in the loop, producing the reference trajectory the service
+  must match.
+- :mod:`repro.service.loadgen` — sustained churn driver reporting
+  events/sec and p50/p99 latencies through the obs registry.
+
+CLI: ``repro serve`` / ``repro loadgen``. See ``docs/service.md``.
+"""
+
+from repro.service.core import (
+    AssignmentService,
+    Session,
+    SessionConfig,
+    SessionInfo,
+)
+from repro.service.client import ServiceClient
+from repro.service.loadgen import LoadgenReport, run_loadgen
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    error_reply,
+    ok_reply,
+    parse_request,
+)
+from repro.service.replay import ReplayResult, replay_events, trajectory_digest
+from repro.service.server import AssignmentServer, ServerThread
+from repro.service.workload import generate_events
+
+__all__ = [
+    # core
+    "AssignmentService",
+    "Session",
+    "SessionConfig",
+    "SessionInfo",
+    # protocol
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame",
+    "parse_request",
+    "ok_reply",
+    "error_reply",
+    # server / client
+    "AssignmentServer",
+    "ServerThread",
+    "ServiceClient",
+    # workload / replay / loadgen
+    "generate_events",
+    "ReplayResult",
+    "replay_events",
+    "trajectory_digest",
+    "LoadgenReport",
+    "run_loadgen",
+]

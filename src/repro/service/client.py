@@ -1,0 +1,159 @@
+"""A blocking JSON-lines client with request pipelining.
+
+:class:`ServiceClient` speaks the :mod:`repro.service.protocol` framing
+over one TCP connection. Two usage styles:
+
+- ``request(op, **params)`` — send one request and block for its reply.
+- ``send(op, **params)`` then ``recv()`` — fire-and-collect pipelining;
+  the server replies strictly in order, so the *n*-th ``recv`` matches
+  the *n*-th ``send``. This is what lets the load generator keep the
+  socket full without threads.
+
+Replies are returned as envelope dicts (``ok`` / ``result`` /
+``error``). :meth:`call` unwraps: it returns ``result`` directly and
+raises :class:`~repro.errors.ServiceError` (carrying the wire
+``error.code``) on a failure reply.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service.protocol import MAX_FRAME_BYTES, decode_frame, encode_frame
+
+
+class RemoteError(ServiceError):
+    """A failure reply from the server, as a local exception.
+
+    ``code`` is the *wire* error code (overriding the class-level
+    ``service-error``), so callers can dispatch on
+    ``exc.code`` exactly as they would on ``reply["error"]["code"]``.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.remote_message = message
+
+
+class ServiceClient:
+    """One blocking connection to an assignment server."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = 30.0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._max_frame_bytes = int(max_frame_bytes)
+        self._next_id = 1
+        self._inflight = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def send(self, op: str, **params: Any) -> int:
+        """Write one request frame; returns its request id."""
+        self._require_open()
+        request_id = self._next_id
+        self._next_id += 1
+        frame: Dict[str, Any] = {"id": request_id, "op": op}
+        frame.update(params)
+        self._sock.sendall(encode_frame(frame))
+        self._inflight += 1
+        return request_id
+
+    def send_raw(self, payload: bytes) -> None:
+        """Write raw bytes (for protocol tests; no reply bookkeeping)."""
+        self._require_open()
+        self._sock.sendall(payload)
+        self._inflight += 1
+
+    def recv(self) -> Dict[str, Any]:
+        """Read the next reply envelope (in send order)."""
+        self._require_open()
+        line = self._file.readline(self._max_frame_bytes + 1)
+        if not line:
+            raise ServiceError("server closed the connection")
+        if not line.endswith(b"\n"):
+            raise ProtocolError("reply frame exceeds the size limit")
+        self._inflight -= 1
+        return decode_frame(line, max_bytes=self._max_frame_bytes)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Collect every outstanding pipelined reply."""
+        replies = []
+        while self._inflight > 0:
+            replies.append(self.recv())
+        return replies
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Send one request and block for its reply envelope."""
+        if self._inflight:
+            raise ServiceError(
+                "request() with pipelined replies outstanding; drain() first"
+            )
+        self.send(op, **params)
+        return self.recv()
+
+    def call(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Like :meth:`request`, but unwrap: result dict or raise."""
+        return self.unwrap(self.request(op, **params))
+
+    @staticmethod
+    def unwrap(reply: Dict[str, Any]) -> Dict[str, Any]:
+        """Extract ``result`` from an envelope; raise on error replies."""
+        if not isinstance(reply, dict) or "ok" not in reply:
+            raise ProtocolError(f"malformed reply envelope: {reply!r}")
+        if reply["ok"]:
+            return reply.get("result", {})
+        error = reply.get("error") or {}
+        raise RemoteError(
+            str(error.get("code", "service-error")),
+            str(error.get("message", "")),
+        )
+
+    # -- convenience wrappers ------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.call("ping")
+
+    def open_session(self, **params: Any) -> Dict[str, Any]:
+        return self.call("open_session", **params)
+
+    def close_session(self, session: str) -> Dict[str, Any]:
+        return self.call("close_session", session=session)
+
+    def batch(
+        self, session: str, events: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        return self.call("batch", session=session, events=events)["results"]
+
+    def query(self, session: str, what: str = "stats") -> Dict[str, Any]:
+        return self.call("query", session=session, what=what)
+
+    # ------------------------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServiceError("client is closed")
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._file.close()
+            finally:
+                self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = ["RemoteError", "ServiceClient"]

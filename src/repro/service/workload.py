@@ -1,0 +1,156 @@
+"""Deterministic churn event sequences for the service layer.
+
+:func:`generate_events` produces a seeded join/leave/crash/recover/
+partition/heal/rebalance sequence as plain event dicts — the same
+shape the wire protocol's ``batch`` op and the library replayer
+consume — so the load generator, the output-equivalence suite, and the
+CI smoke job all drive **bit-identical** workloads from a seed.
+
+The generator is deliberately *outcome-blind*: it tracks its own view
+of which nodes it has joined and which servers it has crashed or
+partitioned, never the runtime's admission decisions. That keeps the
+sequence a pure function of its arguments — the property that lets two
+independent execution paths replay it and be compared byte for byte.
+(The runtime's ``leave`` is tolerant of nodes that were queued or
+rejected, so generator-side bookkeeping never desynchronizes.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.errors import InvalidParameterError
+from repro.types import IndexArrayLike, as_index_array
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def generate_events(
+    n_nodes: int,
+    servers: IndexArrayLike,
+    *,
+    n_events: int = 1000,
+    seed: SeedLike = 0,
+    join_probability: float = 0.7,
+    fault_every: int = 0,
+    partition_every: int = 0,
+    rebalance_every: int = 0,
+) -> List[Dict[str, Any]]:
+    """A seeded event sequence over an ``n_nodes`` universe.
+
+    Parameters
+    ----------
+    n_nodes, servers:
+        The node universe and the server placement (server nodes are
+        never joined as clients).
+    n_events:
+        Sequence length.
+    join_probability:
+        Probability an ordinary event is a join rather than a leave
+        (leaves fall back to joins while nothing is connected).
+    fault_every:
+        Every that-many events, crash a random up server — or recover
+        a random down one when more than half are down (0 disables).
+        At least one server is always left up.
+    partition_every:
+        Every that-many events (offset from crashes), partition a
+        random reachable server — or heal one when more than half are
+        unreachable (0 disables). At least one server is always left
+        reachable.
+    rebalance_every:
+        Every that-many events, append a bounded rebalance (0
+        disables).
+    """
+    if n_events < 1:
+        raise InvalidParameterError(f"n_events must be >= 1, got {n_events}")
+    if not 0.0 < join_probability < 1.0:
+        raise InvalidParameterError("join_probability must be in (0, 1)")
+    for name, value in (
+        ("fault_every", fault_every),
+        ("partition_every", partition_every),
+        ("rebalance_every", rebalance_every),
+    ):
+        if value < 0:
+            raise InvalidParameterError(f"{name} must be >= 0, got {value}")
+    server_nodes = as_index_array(servers, "servers")
+    n_servers = int(server_nodes.size)
+    if n_servers < 1:
+        raise InvalidParameterError("need at least one server")
+    server_set = set(int(s) for s in server_nodes)
+    pool = [u for u in range(n_nodes) if u not in server_set]
+    if not pool:
+        raise InvalidParameterError("no client nodes left after placement")
+
+    rng = ensure_rng(seed)
+    connected: Set[int] = set()
+    down: Set[int] = set()
+    unreachable: Set[int] = set()
+    events: List[Dict[str, Any]] = []
+
+    def fault_event() -> Optional[Dict[str, Any]]:
+        recover_bias = len(down) > n_servers // 2
+        if down and (recover_bias or rng.uniform() < 0.5):
+            server = sorted(down)[rng.integers(0, len(down))]
+            down.discard(server)
+            return {"op": "recover", "server": int(server)}
+        if len(down) < n_servers - 1:
+            up = [s for s in range(n_servers) if s not in down]
+            server = int(up[rng.integers(0, len(up))])
+            down.add(server)
+            return {"op": "crash", "server": server}
+        return None
+
+    def partition_event() -> Optional[Dict[str, Any]]:
+        heal_bias = len(unreachable) > n_servers // 2
+        if unreachable and (heal_bias or rng.uniform() < 0.5):
+            server = sorted(unreachable)[rng.integers(0, len(unreachable))]
+            unreachable.discard(server)
+            return {"op": "heal", "servers": [int(server)]}
+        if len(unreachable) < n_servers - 1:
+            reachable = [s for s in range(n_servers) if s not in unreachable]
+            server = int(reachable[rng.integers(0, len(reachable))])
+            unreachable.add(server)
+            return {"op": "partition", "servers": [server]}
+        return None
+
+    # Exactly one event is emitted per index, so the sequence length —
+    # and every RNG draw — is a pure function of the arguments. A
+    # scheduled fault/partition slot that has no legal action (e.g. a
+    # single-server placement) falls through to ordinary churn.
+    for index in range(n_events):
+        event: Optional[Dict[str, Any]] = None
+        if fault_every and index > 0 and index % fault_every == 0:
+            event = fault_event()
+        if (
+            event is None
+            and partition_every
+            and index > 0
+            and index % partition_every == 0
+        ):
+            event = partition_event()
+        if (
+            event is None
+            and rebalance_every
+            and index > 0
+            and index % rebalance_every == 0
+        ):
+            event = {"op": "rebalance", "max_moves": 8}
+        if event is None:
+            free = len(pool) - len(connected)
+            do_join = (not connected) or (
+                free > 0 and rng.uniform() < join_probability
+            )
+            if do_join:
+                free_nodes = [u for u in pool if u not in connected]
+                node = int(free_nodes[rng.integers(0, len(free_nodes))])
+                connected.add(node)
+                event = {"op": "join", "node": node}
+            else:
+                members = sorted(connected)
+                node = int(members[rng.integers(0, len(members))])
+                connected.discard(node)
+                event = {"op": "leave", "node": node}
+        events.append(event)
+    return events
+
+
+__all__ = ["generate_events"]

@@ -1,0 +1,89 @@
+"""OnlineConfig: validation, serialization, and the legacy-kwargs shim."""
+
+import warnings
+
+import pytest
+
+from repro.algorithms.online import OnlineAssignmentManager, OnlineConfig
+from repro.datasets import synthesize_meridian_like
+from repro.errors import InvalidParameterError
+from repro.placement import kcenter_b
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    matrix = synthesize_meridian_like(30, seed=0)
+    servers = kcenter_b(matrix, 3, seed=0)
+    return matrix, servers
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = OnlineConfig()
+        assert config.capacity is None
+        assert config.join_policy == "greedy"
+
+    def test_bad_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            OnlineConfig(capacity=0)
+
+    def test_bad_policy(self):
+        with pytest.raises(InvalidParameterError):
+            OnlineConfig(join_policy="wishful")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            OnlineConfig().capacity = 5
+
+    def test_roundtrip(self):
+        config = OnlineConfig(capacity=7, join_policy="nearest")
+        assert OnlineConfig.from_dict(config.to_dict()) == config
+
+
+class TestManagerConstruction:
+    def test_config_object_is_primary_api(self, small_world):
+        matrix, servers = small_world
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            manager = OnlineAssignmentManager(
+                matrix, servers, OnlineConfig(capacity=4)
+            )
+        assert manager.config.capacity == 4
+
+    def test_legacy_kwargs_warn_but_work(self, small_world):
+        matrix, servers = small_world
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            manager = OnlineAssignmentManager(
+                matrix, servers, capacity=4, join_policy="nearest"
+            )
+        assert manager.config == OnlineConfig(capacity=4, join_policy="nearest")
+
+    def test_double_specification_rejected(self, small_world):
+        matrix, servers = small_world
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(InvalidParameterError, match="both"):
+                OnlineAssignmentManager(
+                    matrix, servers, OnlineConfig(capacity=4), capacity=5
+                )
+
+    def test_equivalent_behaviour_old_and_new(self, small_world):
+        matrix, servers = small_world
+        new = OnlineAssignmentManager(matrix, servers, OnlineConfig(capacity=2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = OnlineAssignmentManager(matrix, servers, capacity=2)
+        clients = [u for u in range(30) if u not in set(int(s) for s in servers)]
+        for node in clients[:8]:
+            try:
+                new.join(node)
+                new_outcome = "ok"
+            except Exception as exc:
+                new_outcome = type(exc).__name__
+            try:
+                old.join(node)
+                old_outcome = "ok"
+            except Exception as exc:
+                old_outcome = type(exc).__name__
+            assert new_outcome == old_outcome
+        assert new.current_d() == old.current_d()

@@ -1,0 +1,123 @@
+"""Wire framing: canonical encoding, size caps, malformed frames."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    BadRequestError,
+    FrameTooLargeError,
+    ProtocolError,
+    error_code,
+    error_codes,
+)
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    OPS,
+    decode_frame,
+    encode_frame,
+    error_reply,
+    ok_reply,
+    parse_request,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        frame = {"op": "join", "id": 7, "node": 3}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_canonical_bytes(self):
+        # Key order must not matter: canonical encoding sorts keys.
+        a = encode_frame({"b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1})
+        assert a == b == b'{"a":2,"b":1}\n'
+
+    def test_newline_terminated(self):
+        assert encode_frame({}).endswith(b"\n")
+
+    def test_compact_no_spaces(self):
+        assert b" " not in encode_frame({"a": [1, 2], "b": {"c": 3}})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"{not json}\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"[1,2,3]\n")
+        with pytest.raises(ProtocolError):
+            decode_frame(b'"just a string"\n')
+
+    def test_invalid_utf8_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b'\xff\xfe{"op":"ping"}\n')
+
+    def test_oversized_frame_rejected(self):
+        big = encode_frame({"op": "x", "blob": "y" * MAX_FRAME_BYTES})
+        with pytest.raises(FrameTooLargeError):
+            decode_frame(big)
+
+    def test_custom_cap(self):
+        frame = encode_frame({"op": "ping"})
+        with pytest.raises(FrameTooLargeError):
+            decode_frame(frame, max_bytes=4)
+        assert decode_frame(frame, max_bytes=1024) == {"op": "ping"}
+
+
+class TestRequestValidation:
+    def test_missing_op(self):
+        with pytest.raises(BadRequestError):
+            parse_request({"id": 1})
+
+    def test_non_string_op(self):
+        with pytest.raises(BadRequestError):
+            parse_request({"op": 42})
+
+    def test_empty_op(self):
+        with pytest.raises(BadRequestError):
+            parse_request({"op": ""})
+
+    def test_valid_passthrough(self):
+        frame = {"op": "ping", "id": 9}
+        assert parse_request(frame) is frame
+
+
+class TestReplies:
+    def test_ok_reply_shape(self):
+        reply = ok_reply(5, {"pong": True})
+        assert reply == {"id": 5, "ok": True, "result": {"pong": True}}
+
+    def test_error_reply_from_exception(self):
+        reply = error_reply(2, ProtocolError("bad"))
+        assert reply["ok"] is False
+        assert reply["id"] == 2
+        assert reply["error"]["code"] == "bad-frame"
+        assert reply["error"]["message"] == "bad"
+
+    def test_error_reply_explicit_code(self):
+        reply = error_reply(None, code="frame-too-large", message="nope")
+        assert reply["error"] == {"code": "frame-too-large", "message": "nope"}
+
+    def test_error_reply_needs_something(self):
+        with pytest.raises(ValueError):
+            error_reply(1)
+
+    def test_error_codes_are_stable_kebab_case(self):
+        codes = error_codes()
+        assert "unknown-session" in codes
+        assert "frame-too-large" in codes
+        for code in codes:
+            assert code == code.lower()
+            assert " " not in code
+
+    def test_error_code_for_foreign_exception(self):
+        assert error_code(ValueError("x")) == "internal-error"
+
+    def test_ops_table_includes_lifecycle_and_events(self):
+        for op in ("ping", "open_session", "batch", "join", "query"):
+            assert op in OPS
+
+    def test_reply_json_serializable(self):
+        reply = error_reply(3, FrameTooLargeError("big"))
+        assert json.loads(encode_frame(reply)[:-1]) == reply

@@ -309,3 +309,66 @@ class TestChaos:
             os.path.join(tempfile.gettempdir(), "repro-chaos-*")
         )
         assert leftovers == []
+
+
+class TestServiceCommands:
+    def test_loadgen_spawn_verified(self, capsys):
+        code = main(
+            ["loadgen", "--spawn", "--events", "1000", "--batch-size", "100",
+             "--nodes", "60", "--servers", "5", "--seed", "1",
+             "--fault-every", "97", "--verify"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VERIFIED (wire == library)" in out
+        assert "events/s" in out
+
+    def test_loadgen_wal_session(self, capsys):
+        code = main(
+            ["loadgen", "--spawn", "--events", "500", "--nodes", "60",
+             "--servers", "5", "--durability", "wal", "--verify"]
+        )
+        assert code == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_loadgen_min_throughput_failure(self, capsys):
+        # An absurd floor must flip the exit code.
+        code = main(
+            ["loadgen", "--spawn", "--events", "300", "--nodes", "60",
+             "--servers", "5", "--min-throughput", "1e12"]
+        )
+        assert code == 1
+        assert "below the required" in capsys.readouterr().err
+
+    def test_serve_then_drive_over_tcp(self):
+        # Exercise `serve` end to end: spawn the CLI in a subprocess on
+        # an ephemeral port, read the bound address off its stdout, and
+        # drive it with the client.
+        import os
+        import re
+        import subprocess
+        import sys
+
+        from repro.service import ServiceClient
+
+        env = dict(os.environ)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"listening on [\d.]+:(\d+)", line)
+            assert match, f"unexpected server banner: {line!r}"
+            port = int(match.group(1))
+            with ServiceClient("127.0.0.1", port) as client:
+                assert client.ping()["pong"] is True
+                sid = client.open_session(nodes=40, n_servers=4)["session"]
+                result = client.call("join", session=sid, node=1)
+                assert result["outcome"] == "assigned"
+        finally:
+            proc.terminate()
+            proc.wait(10)

@@ -13,6 +13,7 @@ PUBLIC_MODULES = [
     "repro.algorithms",
     "repro.sim",
     "repro.experiments",
+    "repro.service",
     "repro.cli",
 ]
 
