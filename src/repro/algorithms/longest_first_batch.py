@@ -41,7 +41,10 @@ from repro.utils.rng import SeedLike
 
 @register("longest-first-batch")
 def longest_first_batch(
-    problem: ClientAssignmentProblem, *, seed: SeedLike = None
+    problem: ClientAssignmentProblem,
+    *,
+    seed: SeedLike = None,
+    backend: str = "auto",
 ) -> Assignment:
     """Run Longest-First-Batch Assignment.
 
@@ -49,11 +52,12 @@ def longest_first_batch(
     algorithm is deterministic. Batches commit through an
     :class:`~repro.core.incremental.IncrementalObjective`, so the
     partial assignment's objective stays queryable throughout the
-    construction at no extra asymptotic cost.
+    construction at no extra asymptotic cost. ``backend`` selects the
+    engine's kernel backend (see :func:`repro.kernels.resolve_backend`).
     """
     cs = problem.client_server
     n_clients = problem.n_clients
-    engine = IncrementalObjective(problem, history=False)
+    engine = IncrementalObjective(problem, history=False, backend=backend)
     unassigned = np.ones(n_clients, dtype=bool)
     metrics = registry()
     batches = metrics.counter("lfb.batches")

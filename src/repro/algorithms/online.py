@@ -30,7 +30,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.assignment import Assignment
-from repro.core.incremental import IncrementalObjective
+from repro.core.incremental import DEFAULT_TOP_K, IncrementalObjective
 from repro.core.metrics import max_interaction_path_length
 from repro.core.problem import ClientAssignmentProblem
 from repro.errors import (
@@ -65,10 +65,22 @@ class OnlineConfig:
     join_policy:
         Placement rule for arrivals: ``"greedy"`` minimizes the
         resulting D, ``"nearest"`` is the deployed-system default.
+    backend:
+        Kernel backend for the manager's incremental engine — one of
+        ``"auto"`` (default), ``"numba"``, ``"numpy"``; see
+        :func:`repro.kernels.resolve_backend` and
+        ``docs/performance.md``. New knob, no deprecation shims.
+    top_k:
+        Per-server, per-direction top-k retention of the engine's
+        farthest-client lists (default
+        :data:`repro.core.incremental.DEFAULT_TOP_K`). Larger values
+        trade memory for fewer lazy rebuilds under heavy churn.
     """
 
     capacity: Optional[int] = None
     join_policy: str = "greedy"
+    backend: str = "auto"
+    top_k: int = DEFAULT_TOP_K
 
     def __post_init__(self) -> None:
         if self.capacity is not None and self.capacity < 1:
@@ -80,21 +92,36 @@ class OnlineConfig:
                 f"join_policy must be 'greedy' or 'nearest', "
                 f"got {self.join_policy!r}"
             )
+        from repro.kernels import validate_backend_name
+
+        validate_backend_name(self.backend)
+        if self.top_k < 2:
+            raise InvalidParameterError(
+                f"top_k must be >= 2, got {self.top_k}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable view (stable keys, scalars only)."""
         return {
             "capacity": None if self.capacity is None else int(self.capacity),
             "join_policy": self.join_policy,
+            "backend": self.backend,
+            "top_k": int(self.top_k),
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "OnlineConfig":
-        """Rebuild a config from :meth:`to_dict` output."""
+        """Rebuild a config from :meth:`to_dict` output.
+
+        ``backend`` / ``top_k`` default when absent so configs (and
+        checkpoints) serialized before those knobs existed keep loading.
+        """
         capacity = data.get("capacity")
         return cls(
             capacity=None if capacity is None else int(capacity),
             join_policy=str(data.get("join_policy", "greedy")),
+            backend=str(data.get("backend", "auto")),
+            top_k=int(data.get("top_k", DEFAULT_TOP_K)),
         )
 
     def merge_legacy_kwargs(
@@ -191,7 +218,12 @@ class OnlineAssignmentManager:
         # manager's uniform capacity and liveness masks are applied at
         # decision time, so the engine's problem carries no capacities.
         self._universe = ClientAssignmentProblem(matrix, self._servers)
-        self._engine = IncrementalObjective(self._universe, history=False)
+        self._engine = IncrementalObjective(
+            self._universe,
+            history=False,
+            k=config.top_k,
+            backend=config.backend,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -627,6 +659,7 @@ def simulate_churn(
     rebalance_moves: int = 8,
     capacity: Optional[int] = None,
     join_policy: str = "greedy",
+    backend: str = "auto",
     seed: SeedLike = 0,
 ) -> ChurnResult:
     """Replay a random join/leave sequence through the online manager.
@@ -636,13 +669,18 @@ def simulate_churn(
     a bounded Distributed-Greedy repair runs after every that-many
     events. Returns the D-over-time trace. ``join_policy`` selects the
     placement rule for arrivals ("greedy" = minimize resulting D,
-    "nearest" = deployed-system default).
+    "nearest" = deployed-system default); ``backend`` the manager's
+    kernel backend.
     """
     if not 0.0 < join_probability < 1.0:
         raise InvalidParameterError("join_probability must be in (0, 1)")
     rng = ensure_rng(seed)
     manager = OnlineAssignmentManager(
-        matrix, servers, OnlineConfig(capacity=capacity, join_policy=join_policy)
+        matrix,
+        servers,
+        OnlineConfig(
+            capacity=capacity, join_policy=join_policy, backend=backend
+        ),
     )
     server_set = set(int(s) for s in as_index_array(servers))
     candidates = [u for u in range(matrix.n_nodes) if u not in server_set]

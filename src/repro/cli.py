@@ -32,6 +32,8 @@ from typing import Iterator, List, Optional
 import numpy as np
 
 from repro._version import __version__
+from repro.errors import ReproError
+from repro.kernels import BACKEND_CHOICES
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -101,6 +103,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--algorithm", type=str, default="distributed-greedy")
     p_solve.add_argument("--capacity", type=int, default=None)
     p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="auto",
+        help="kernel backend for the incremental engine "
+        "(auto = numba when importable, else numpy)",
+    )
     p_solve.add_argument(
         "--save-deployment",
         type=str,
@@ -397,7 +406,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     matrix = _make_matrix(args.kind, args.nodes, args.seed)
     servers = PLACEMENTS[args.placement](matrix, args.servers, seed=args.seed)
     problem = ClientAssignmentProblem(matrix, servers, capacities=args.capacity)
-    result = run_algorithm(args.algorithm, problem, seed=args.seed)
+    result = run_algorithm(
+        args.algorithm, problem, seed=args.seed, backend=args.backend
+    )
     assignment = result.assignment
     d = result.d
     lb = interaction_lower_bound(problem.uncapacitated())
@@ -900,10 +911,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "loadgen": _cmd_loadgen,
         "obs": _cmd_obs,
     }
-    if args.command == "obs":
-        return _cmd_obs(args)
-    with _run_observability(args, args.command):
-        return handlers[args.command](args)
+    try:
+        if args.command == "obs":
+            return _cmd_obs(args)
+        with _run_observability(args, args.command):
+            return handlers[args.command](args)
+    except ReproError as exc:
+        # Package errors carry a stable code (e.g.
+        # "kernel-backend-unavailable" for --backend numba without
+        # numba); surface it instead of a traceback.
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

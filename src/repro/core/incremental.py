@@ -33,6 +33,18 @@ The engine also supports *partial* assignments (``server_of[i] == -1``
 means client ``i`` is currently unassigned) so constructive algorithms
 (Greedy, Longest-First-Batch) and the online manager (joins/leaves) run
 on the same substrate as the local-search family.
+
+The four hot loops — fused candidate scoring, the best-completion
+top-2 reduction, top-k selection for lazy rebuilds, and the O(|S|^2)
+objective refresh — are dispatched through a :mod:`repro.kernels`
+backend selected by the ``backend=`` knob (``"auto"`` picks numba when
+importable and otherwise the pure-numpy twin, which reproduces the
+historical inline engine byte for byte). Latency matrices may be
+float32 (see :class:`~repro.net.latency.LatencyMatrix`): the big
+``(C, S)``/``(S, C)`` views stay in the matrix dtype for cache density
+while every S-sized accumulator remains float64, so float32 values —
+exactly representable in float64 — never lose precision inside the
+engine; only the matrix itself is rounded.
 """
 
 from __future__ import annotations
@@ -46,6 +58,7 @@ import numpy as np
 from repro.core.assignment import Assignment
 from repro.core.problem import ClientAssignmentProblem
 from repro.errors import InvalidAssignmentError, InvalidParameterError
+from repro.kernels import resolve_backend
 from repro.obs.metrics import registry
 from repro.types import IndexArrayLike
 
@@ -152,16 +165,18 @@ class _TopList:
         self.clients.pop(pos)
 
     def rebuild(self, dists: np.ndarray, clients: np.ndarray) -> None:
-        if dists.size > self.k:
-            part = np.argpartition(-dists, self.k - 1)
-            keep = part[: self.k]
-            self.bound = float(dists[part[self.k :]].max())
-        else:
-            keep = np.arange(dists.size)
-            self.bound = -np.inf
-        order = keep[np.argsort(-dists[keep], kind="stable")]
-        self.neg_dists = [-float(d) for d in dists[order]]
-        self.clients = [int(c) for c in clients[order]]
+        from repro.kernels.numpy_backend import topk_select
+
+        order, bound = topk_select(dists, self.k)
+        self.load(dists[order], clients[order], bound)
+
+    def load(
+        self, dists_desc: np.ndarray, clients: np.ndarray, bound: float
+    ) -> None:
+        """Adopt a ready-made top-k selection (descending distances)."""
+        self.bound = float(bound)
+        self.neg_dists = [-float(d) for d in dists_desc]
+        self.clients = [int(c) for c in clients]
 
     def snapshot(self) -> Tuple[List[float], List[int], float]:
         return list(self.neg_dists), list(self.clients), self.bound
@@ -215,6 +230,13 @@ class IncrementalObjective:
         :meth:`unassign` push undo records so :meth:`undo` can roll the
         state back. Long-running consumers (the online manager) disable
         it to bound memory.
+    backend:
+        Kernel backend for the hot loops: ``"auto"`` (default; numba
+        when importable, else the pure-numpy twin), ``"numba"``
+        (required — raises :class:`~repro.errors.KernelBackendError`
+        when numba is absent) or ``"numpy"``. Within one matrix dtype
+        the backends keep the engine state bit-identical; see
+        :mod:`repro.kernels` and ``docs/performance.md``.
     """
 
     def __init__(
@@ -224,15 +246,21 @@ class IncrementalObjective:
         *,
         k: int = DEFAULT_TOP_K,
         history: bool = True,
+        backend: str = "auto",
     ) -> None:
         if k < 2:
             raise InvalidParameterError(f"top-k retention must be >= 2, got {k}")
         self._problem = problem
-        self._cs = problem.client_server  # (C, S)
-        self._ss = problem.server_server  # (S, S)
+        self._cs = problem.client_server  # (C, S), matrix dtype
+        self._ss = problem.server_server  # (S, S), matrix dtype
         self._sc = problem.matrix.values[
             np.ix_(problem.servers, problem.clients)
-        ]  # (S, C)
+        ]  # (S, C), matrix dtype
+        # The kernels accumulate in float64; the S x S view is tiny, so
+        # a float64 shadow costs nothing even for float32 matrices (and
+        # is free — no copy — for float64 ones).
+        self._ss64 = np.asarray(self._ss, dtype=np.float64)
+        self._kernels = resolve_backend(backend)
         self._k = int(k)
         self._history = bool(history)
         n_clients, n_servers = problem.n_clients, problem.n_servers
@@ -291,6 +319,11 @@ class IncrementalObjective:
         return self._problem
 
     @property
+    def backend(self) -> str:
+        """The resolved kernel backend name (``"numpy"`` or ``"numba"``)."""
+        return self._kernels.name
+
+    @property
     def server_of(self) -> np.ndarray:
         """Current mapping (length ``|C|``, ``-1`` = unassigned). Copy."""
         return self._server_of.copy()
@@ -347,8 +380,10 @@ class IncrementalObjective:
             return
         out = self._cs[members, server]
         inn = self._sc[server, members]
-        self._top_out[server].rebuild(out, members)
-        self._top_in[server].rebuild(inn, members)
+        order, bound = self._kernels.topk_select(out, self._k)
+        self._top_out[server].load(out[order], members[order], bound)
+        order, bound = self._kernels.topk_select(inn, self._k)
+        self._top_in[server].load(inn[order], members[order], bound)
         self._l_out[server] = self._top_out[server].head()
         self._l_in[server] = self._top_in[server].head()
 
@@ -407,30 +442,8 @@ class IncrementalObjective:
                 none = np.full(n_servers, -1, dtype=np.int64)
                 self._reductions = (neg, neg, none, neg, neg, none)
                 return self._reductions
-            in_terms = self._ss + self._l_in[None, :]  # (S, S): term[s', s]
-            out_terms = self._l_out[:, None] + self._ss  # (S, S): term[s, s']
-            order_in = np.argsort(in_terms, axis=1, kind="stable")
-            arg1_in = order_in[:, -1]
-            rows = np.arange(n_servers)
-            best1_in = in_terms[rows, arg1_in]
-            if n_servers >= 2:
-                best2_in = in_terms[rows, order_in[:, -2]]
-            else:
-                best2_in = np.full(n_servers, -np.inf)
-            order_out = np.argsort(out_terms, axis=0, kind="stable")
-            arg1_out = order_out[-1, :]
-            best1_out = out_terms[arg1_out, rows]
-            if n_servers >= 2:
-                best2_out = out_terms[order_out[-2, :], rows]
-            else:
-                best2_out = np.full(n_servers, -np.inf)
-            self._reductions = (
-                best1_in,
-                best2_in,
-                arg1_in,
-                best1_out,
-                best2_out,
-                arg1_out,
+            self._reductions = self._kernels.reduction_top2(
+                self._ss64, self._l_in, self._l_out
             )
         return self._reductions
 
@@ -459,10 +472,11 @@ class IncrementalObjective:
         if self._n_assigned == 0:
             return 0.0
         if self._d is None:
-            used = np.flatnonzero(np.isfinite(self._l_out))
-            ss = self._ss[np.ix_(used, used)]
-            totals = self._l_out[used][:, None] + ss + self._l_in[used][None, :]
-            self._d = float(totals.max())
+            self._d = float(
+                self._kernels.objective_refresh(
+                    self._l_out, self._l_in, self._ss64
+                )
+            )
         return self._d
 
     def _context(self, client: int) -> _MoveContext:
@@ -471,45 +485,35 @@ class IncrementalObjective:
         if ctx is not None and ctx.client == client:
             return ctx
         home = int(self._server_of[client])
-        (
-            best1_in,
-            best2_in,
-            arg1_in,
-            best1_out,
-            best2_out,
-            arg1_out,
-        ) = self._server_reduction_cache()
+        reductions = self._server_reduction_cache()
         if home >= 0:
             l_out_home, l_in_home = self._l_excluding(home, client)
-            # best_in with server ``home``'s column replaced by its
-            # client-excluded value: top-2 makes the exclusion O(1)/row.
-            best_in = np.where(arg1_in == home, best2_in, best1_in)
-            np.maximum(best_in, self._ss[:, home] + l_in_home, out=best_in)
-            best_out = np.where(arg1_out == home, best2_out, best1_out)
-            np.maximum(best_out, l_out_home + self._ss[home, :], out=best_out)
-            l_out_rest = self._l_out.copy()
-            l_in_rest = self._l_in.copy()
-            l_out_rest[home] = l_out_home
-            l_in_rest[home] = l_in_home
-            with np.errstate(invalid="ignore"):
-                d_rest = float(np.max(l_out_rest + best_in))
         else:
             l_out_home = l_in_home = -np.inf
-            best_in = best1_in
-            best_out = best1_out
-            if self._n_assigned:
-                with np.errstate(invalid="ignore"):
-                    d_rest = float(np.max(self._l_out + best_in))
-            else:
-                d_rest = -np.inf
-        # Candidate path length through the client at each destination:
-        # its outgoing leg + the best continuation, the best prefix + its
-        # incoming leg, and its own round trip (the self-pair).
-        out_leg = self._cs[client, :]
-        in_leg = self._sc[:, client]
-        paths = np.maximum(out_leg + best_in, best_out + in_leg)
-        np.maximum(paths, out_leg + in_leg, out=paths)
-        ctx = _MoveContext(client, home, l_out_home, l_in_home, d_rest, paths)
+        # The client's legs as float64 rows: a no-copy pass-through for
+        # float64 matrices, an S-sized (tiny) exact upcast for float32.
+        out_leg = np.ascontiguousarray(self._cs[client, :], dtype=np.float64)
+        in_leg = np.ascontiguousarray(self._sc[:, client], dtype=np.float64)
+        # Fused kernel: home-server exclusion via the top-2 reductions
+        # (O(1) per row), d_rest, and the candidate path length through
+        # the client at each destination — its outgoing leg + the best
+        # continuation, the best prefix + its incoming leg, and its own
+        # round trip (the self-pair).
+        paths, d_rest = self._kernels.move_context(
+            self._ss64,
+            self._l_out,
+            self._l_in,
+            *reductions,
+            out_leg,
+            in_leg,
+            home,
+            l_out_home,
+            l_in_home,
+            self._n_assigned > 0,
+        )
+        ctx = _MoveContext(
+            client, home, l_out_home, l_in_home, float(d_rest), paths
+        )
         self._ctx = ctx
         return ctx
 

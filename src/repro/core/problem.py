@@ -163,6 +163,28 @@ class ClientAssignmentProblem:
         """``(|S|, |S|)`` distances ``d(s_j, s_j')`` (read-only)."""
         return self._ss
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Element type of the distance views (the matrix's dtype)."""
+        return self._matrix.dtype
+
+    def astype(self, dtype) -> "ClientAssignmentProblem":
+        """This instance over the matrix cast to ``dtype``.
+
+        Returns ``self`` when the dtype already matches; see
+        :meth:`repro.net.latency.LatencyMatrix.astype` for the rounding
+        contract of a float64 → float32 downcast.
+        """
+        matrix = self._matrix.astype(dtype)
+        if matrix is self._matrix:
+            return self
+        return ClientAssignmentProblem(
+            matrix,
+            self._servers,
+            self._clients,
+            capacities=self._capacities,
+        )
+
     def uncapacitated(self) -> "ClientAssignmentProblem":
         """A copy of this instance with capacities removed."""
         if not self.is_capacitated:

@@ -19,6 +19,7 @@ See DESIGN.md §5 for the substitution rationale and
 
 from repro.datasets.cleaning import CleaningReport, drop_incomplete_nodes
 from repro.datasets.io import (
+    as_latency_matrix,
     load_matrix_auto,
     read_matrix_npy,
     read_matrix_text,
@@ -55,6 +56,7 @@ __all__ = [
     "MIT_KING_NODE_COUNT",
     "drop_incomplete_nodes",
     "CleaningReport",
+    "as_latency_matrix",
     "read_matrix_text",
     "write_matrix_text",
     "read_matrix_npy",

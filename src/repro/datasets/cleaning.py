@@ -42,7 +42,10 @@ class CleaningReport:
 
 
 def drop_incomplete_nodes(
-    raw: np.ndarray, *, treat_nonpositive_as_missing: bool = True
+    raw: np.ndarray,
+    *,
+    treat_nonpositive_as_missing: bool = True,
+    dtype=None,
 ) -> Tuple[LatencyMatrix, CleaningReport]:
     """Peel nodes until the remaining matrix is complete and valid.
 
@@ -54,6 +57,9 @@ def drop_incomplete_nodes(
         ``-1`` or ``0`` as sentinels).
     treat_nonpositive_as_missing:
         Map off-diagonal values ``<= 0`` to missing before peeling.
+    dtype:
+        Storage dtype of the cleaned matrix (``None`` = float64; the
+        peeling itself always runs in float64).
 
     Returns
     -------
@@ -102,4 +108,6 @@ def drop_incomplete_nodes(
         dropped=tuple(dropped),
         missing_entries=total_missing,
     )
-    return LatencyMatrix(cleaned), report
+    from repro.datasets.io import as_latency_matrix
+
+    return as_latency_matrix(cleaned, dtype=dtype, where="cleaned matrix"), report

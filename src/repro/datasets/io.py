@@ -8,6 +8,12 @@ Supported formats:
 - **npy** — raw numpy arrays for fast caching of generated matrices.
 
 ``load_matrix_auto`` dispatches on file extension.
+
+Dtype discipline: every reader parses in float64 (the ``-1`` → NaN
+sentinel mapping and unit scaling stay exact) and casts once at the
+end; :func:`as_latency_matrix` is the single raw-array →
+:class:`~repro.net.latency.LatencyMatrix` normalization point, with
+validation errors reported under the stable ``dataset-error`` code.
 """
 
 from __future__ import annotations
@@ -19,14 +25,74 @@ from typing import Union
 import numpy as np
 
 from repro.errors import DatasetError
+from repro.net.latency import ALLOWED_DTYPES, LatencyMatrix
 
 PathLike = Union[str, os.PathLike]
 
 
-def read_matrix_text(path: PathLike) -> np.ndarray:
+def _cast(matrix: np.ndarray, dtype) -> np.ndarray:
+    """Cast a parsed matrix to its storage dtype (``None`` = preserve).
+
+    ``None`` keeps a float32/float64 array as-is and coerces any other
+    element type to float64 — the historical behavior.
+    """
+    if dtype is None:
+        if matrix.dtype in ALLOWED_DTYPES:
+            return matrix
+        return np.asarray(matrix, dtype=np.float64)
+    dt = np.dtype(dtype)
+    if dt not in ALLOWED_DTYPES:
+        raise DatasetError(
+            f"matrix dtype must be float32 or float64, got {dt}"
+        )
+    return np.asarray(matrix, dtype=dt)
+
+
+def as_latency_matrix(
+    raw: np.ndarray,
+    *,
+    dtype=None,
+    where: str = "matrix",
+) -> LatencyMatrix:
+    """Normalize a raw array into a validated :class:`LatencyMatrix`.
+
+    The single choke point between on-disk/generated arrays and the
+    solver stack: checks the array is square, fully finite (no NaN
+    sentinels left), and non-negative, reporting failures as
+    :class:`~repro.errors.DatasetError` (stable code ``dataset-error``)
+    with ``where`` naming the source. The remaining structural rules
+    (zero diagonal, strictly positive off-diagonals) are enforced by the
+    :class:`LatencyMatrix` constructor itself.
+
+    ``dtype`` selects the storage type (``numpy.float32`` /
+    ``numpy.float64``); ``None`` preserves a float input's dtype,
+    coercing non-float arrays to float64.
+    """
+    d = np.asarray(raw)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise DatasetError(
+            f"{where}: expected a square 2-D matrix, got shape {d.shape}"
+        )
+    if d.size == 0:
+        raise DatasetError(f"{where}: matrix is empty")
+    d = _cast(d, dtype)
+    if not np.all(np.isfinite(d)):
+        raise DatasetError(
+            f"{where}: matrix contains NaN or infinite entries "
+            f"(clean missing measurements first — see "
+            f"repro.datasets.cleaning.drop_incomplete_nodes)"
+        )
+    if np.any(d < 0):
+        raise DatasetError(f"{where}: matrix contains negative latencies")
+    return LatencyMatrix(d, dtype=d.dtype)
+
+
+def read_matrix_text(path: PathLike, *, dtype=None) -> np.ndarray:
     """Read a whitespace-separated square matrix (raw, may contain NaN).
 
-    ``-1`` entries are mapped to NaN (the p2psim missing-value sentinel).
+    ``-1`` entries are mapped to NaN (the p2psim missing-value
+    sentinel); the mapping happens in float64 before the optional
+    ``dtype`` cast so sentinels are matched exactly.
     """
     rows = []
     expected_width = None
@@ -55,7 +121,7 @@ def read_matrix_text(path: PathLike) -> np.ndarray:
             f"{path}: matrix is {matrix.shape[0]}x{matrix.shape[1]}, expected square"
         )
     matrix = np.where(matrix == -1.0, np.nan, matrix)
-    return matrix
+    return _cast(matrix, dtype)
 
 
 def write_matrix_text(path: PathLike, matrix: np.ndarray, *, fmt: str = "%.3f") -> None:
@@ -65,22 +131,27 @@ def write_matrix_text(path: PathLike, matrix: np.ndarray, *, fmt: str = "%.3f") 
     np.savetxt(path, out, fmt=fmt)
 
 
-def read_matrix_npy(path: PathLike) -> np.ndarray:
-    """Read a matrix from a ``.npy`` file."""
+def read_matrix_npy(path: PathLike, *, dtype=None) -> np.ndarray:
+    """Read a matrix from a ``.npy`` file.
+
+    ``dtype=None`` preserves a stored float32/float64 array's dtype
+    (anything else is coerced to float64); pass an explicit dtype to
+    force a cast.
+    """
     matrix = np.load(path, allow_pickle=False)
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         raise DatasetError(f"{path}: expected a square 2-D array, got {matrix.shape}")
-    return np.asarray(matrix, dtype=np.float64)
+    return _cast(matrix, dtype)
 
 
 def write_matrix_npy(path: PathLike, matrix: np.ndarray) -> None:
-    """Write a matrix to a ``.npy`` file."""
-    np.save(path, np.asarray(matrix, dtype=np.float64))
+    """Write a matrix to a ``.npy`` file, preserving float32/float64."""
+    np.save(path, _cast(np.asarray(matrix), None))
 
 
-def load_matrix_auto(path: PathLike) -> np.ndarray:
+def load_matrix_auto(path: PathLike, *, dtype=None) -> np.ndarray:
     """Load a raw matrix, dispatching on extension (.npy vs text)."""
     suffix = Path(path).suffix.lower()
     if suffix == ".npy":
-        return read_matrix_npy(path)
-    return read_matrix_text(path)
+        return read_matrix_npy(path, dtype=dtype)
+    return read_matrix_text(path, dtype=dtype)

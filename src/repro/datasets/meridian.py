@@ -62,6 +62,7 @@ def synthesize_meridian_like(
     *,
     seed: SeedLike = 0,
     missing_fraction: float = 0.0,
+    dtype=None,
 ) -> LatencyMatrix:
     """Generate a Meridian-like complete latency matrix.
 
@@ -77,22 +78,27 @@ def synthesize_meridian_like(
         When positive, inject missing measurements and clean them out
         (exercises the same pipeline the real data goes through), so the
         returned matrix is smaller than ``n_nodes``.
+    dtype:
+        Storage dtype of the result (``None`` = float64); synthesis
+        always runs in float64, so a float32 request costs one rounding.
     """
     model = meridian_model(n_nodes)
     if missing_fraction:
         model = dataclasses.replace(model, missing_fraction=missing_fraction)
-    return model.generate(seed)
+    return model.generate(seed, dtype=dtype)
 
 
 def load_meridian_file(
-    path: PathLike, *, unit_scale: float = 1e-3
+    path: PathLike, *, unit_scale: float = 1e-3, dtype=None
 ) -> Tuple[LatencyMatrix, CleaningReport]:
     """Load a real Meridian matrix file and clean it.
 
     The published file stores **microseconds**; ``unit_scale`` converts
     to the package's millisecond convention (default ``1e-3``). Returns
     the cleaned matrix and the cleaning report (which should show
-    ~2500 -> ~1796 on the original file).
+    ~2500 -> ~1796 on the original file). ``dtype`` selects the cleaned
+    matrix's storage type (``None`` = float64; parsing and unit scaling
+    always run in float64).
     """
     raw = load_matrix_auto(path) * unit_scale
-    return drop_incomplete_nodes(raw)
+    return drop_incomplete_nodes(raw, dtype=dtype)

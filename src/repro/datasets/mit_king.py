@@ -43,20 +43,24 @@ def mit_model(n_nodes: int = MIT_KING_NODE_COUNT) -> InternetLatencyModel:
 
 
 def synthesize_mit_like(
-    n_nodes: int = MIT_KING_NODE_COUNT, *, seed: SeedLike = 0
+    n_nodes: int = MIT_KING_NODE_COUNT, *, seed: SeedLike = 0, dtype=None
 ) -> LatencyMatrix:
-    """Generate an MIT-King-like complete latency matrix."""
-    return mit_model(n_nodes).generate(seed)
+    """Generate an MIT-King-like complete latency matrix.
+
+    ``dtype`` selects the storage type (``None`` = float64).
+    """
+    return mit_model(n_nodes).generate(seed, dtype=dtype)
 
 
 def load_mit_king_file(
-    path: PathLike, *, unit_scale: float = 1.0
+    path: PathLike, *, unit_scale: float = 1.0, dtype=None
 ) -> Tuple[LatencyMatrix, CleaningReport]:
     """Load a real p2psim King matrix file and clean it.
 
     ``unit_scale`` converts the file's unit to milliseconds (the p2psim
     dump is in milliseconds already, so the default is 1.0; use ``1e-3``
-    for microsecond dumps).
+    for microsecond dumps). ``dtype`` selects the cleaned matrix's
+    storage type (``None`` = float64).
     """
     raw = load_matrix_auto(path) * unit_scale
-    return drop_incomplete_nodes(raw)
+    return drop_incomplete_nodes(raw, dtype=dtype)

@@ -151,29 +151,34 @@ class InternetLatencyModel:
 
         return base
 
-    def generate(self, seed: SeedLike = None) -> LatencyMatrix:
+    def generate(self, seed: SeedLike = None, *, dtype=None) -> LatencyMatrix:
         """Generate a complete (NaN-free) validated latency matrix.
 
         When ``missing_fraction > 0`` the raw matrix is cleaned by
         dropping incomplete nodes exactly as the paper does for Meridian;
         the resulting matrix therefore has *fewer* than ``n_nodes`` rows.
+        Synthesis always runs in float64; ``dtype`` selects the storage
+        type of the result (``None`` = float64).
         """
         raw = self.generate_raw(seed)
         if np.isnan(raw).any():
             from repro.datasets.cleaning import drop_incomplete_nodes
 
-            cleaned, _report = drop_incomplete_nodes(raw)
+            cleaned, _report = drop_incomplete_nodes(raw, dtype=dtype)
             return cleaned
-        return LatencyMatrix(raw)
+        from repro.datasets.io import as_latency_matrix
+
+        return as_latency_matrix(raw, dtype=dtype, where="synthetic matrix")
 
 
 def small_world_latencies(
-    n: int, *, seed: SeedLike = None, scale: float = 120.0
+    n: int, *, seed: SeedLike = None, scale: float = 120.0, dtype=None
 ) -> LatencyMatrix:
     """A quick non-clustered synthetic matrix for unit tests.
 
     Uniform points in a 3-D cube with mild lognormal noise — cheaper than
     the full :class:`InternetLatencyModel` and still non-metric.
+    ``dtype`` selects the storage type (``None`` = float64).
     """
     rng = ensure_rng(seed)
     coords = rng.uniform(0.0, 1.0, size=(n, 3))
@@ -184,4 +189,6 @@ def small_world_latencies(
     np.fill_diagonal(d, 0.0)
     off = ~np.eye(n, dtype=bool)
     d[off] = np.maximum(d[off], 0.5)
-    return LatencyMatrix(d)
+    from repro.datasets.io import as_latency_matrix
+
+    return as_latency_matrix(d, dtype=dtype, where="small-world matrix")

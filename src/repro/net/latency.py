@@ -53,6 +53,21 @@ class TriangleInequalityReport:
         return self.violations / self.triples_examined
 
 
+#: Element types a latency matrix may carry. float64 is the default;
+#: float32 halves the memory footprint of |C| >= 50k instances (the
+#: dominant cost at scale) at ~1e-7 relative rounding on entry values.
+ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def _check_dtype(dtype) -> np.dtype:
+    dt = np.dtype(dtype)
+    if dt not in ALLOWED_DTYPES:
+        raise InvalidLatencyMatrixError(
+            f"latency matrix dtype must be float32 or float64, got {dt}"
+        )
+    return dt
+
+
 class LatencyMatrix:
     """An immutable all-pairs latency matrix over ``n`` nodes.
 
@@ -65,6 +80,11 @@ class LatencyMatrix:
     validate:
         Skip structural validation when ``False`` (used internally after
         operations that preserve validity by construction).
+    dtype:
+        Element type — ``numpy.float32`` or ``numpy.float64``. ``None``
+        (default) preserves a float32/float64 input array's dtype and
+        coerces anything else to float64, so pre-dtype callers see no
+        change. See ``docs/performance.md`` for the float32 trade-offs.
 
     Notes
     -----
@@ -75,8 +95,14 @@ class LatencyMatrix:
 
     __slots__ = ("_d",)
 
-    def __init__(self, values: np.ndarray, *, validate: bool = True) -> None:
-        d = np.asarray(values, dtype=np.float64)
+    def __init__(
+        self, values: np.ndarray, *, validate: bool = True, dtype=None
+    ) -> None:
+        d = np.asarray(values)
+        if dtype is not None:
+            d = np.asarray(d, dtype=_check_dtype(dtype))
+        elif d.dtype not in ALLOWED_DTYPES:
+            d = np.asarray(d, dtype=np.float64)
         if validate:
             self._validate(d)
         d = d.copy()
@@ -118,12 +144,14 @@ class LatencyMatrix:
         *,
         scale: float = 1.0,
         min_latency: float = 1e-6,
+        dtype=np.float64,
     ) -> "LatencyMatrix":
         """Build a (symmetric, metric) matrix from Euclidean coordinates.
 
         ``coords`` has shape ``(n, dim)``. Distances are scaled by
         ``scale`` and floored at ``min_latency`` to respect strict
-        positivity.
+        positivity. Distances are always computed in float64; ``dtype``
+        selects the storage type of the result.
         """
         coords = np.asarray(coords, dtype=np.float64)
         if coords.ndim != 2:
@@ -134,23 +162,24 @@ class LatencyMatrix:
         n = d.shape[0]
         mask = ~np.eye(n, dtype=bool)
         d[mask] = np.maximum(d[mask], min_latency)
-        return cls(d)
+        return cls(d, dtype=dtype)
 
     @classmethod
     def wrap_readonly(cls, values: np.ndarray) -> "LatencyMatrix":
-        """Zero-copy wrap of an existing read-only ``float64`` array.
+        """Zero-copy wrap of an existing read-only float array.
 
         The normal constructor defensively copies its input; this one
         adopts ``values`` directly so a matrix backed by shared memory
         (see :mod:`repro.parallel.shm`) is not duplicated into every
-        worker process. The array must already be ``float64``, C-ordered
-        and marked non-writeable; structural validation is skipped — the
-        publishing side validated the matrix once.
+        worker process. The array must already be ``float32`` or
+        ``float64``, C-ordered and marked non-writeable; structural
+        validation is skipped — the publishing side validated the
+        matrix once.
         """
         d = np.asarray(values)
-        if d.dtype != np.float64 or d.ndim != 2 or d.shape[0] != d.shape[1]:
+        if d.dtype not in ALLOWED_DTYPES or d.ndim != 2 or d.shape[0] != d.shape[1]:
             raise InvalidLatencyMatrixError(
-                f"wrap_readonly needs a square float64 array, got "
+                f"wrap_readonly needs a square float32/float64 array, got "
                 f"dtype {d.dtype}, shape {d.shape}"
             )
         if d.flags.writeable:
@@ -182,6 +211,24 @@ class LatencyMatrix:
     def values(self) -> np.ndarray:
         """The underlying (read-only) ``(n, n)`` float array."""
         return self._d
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element type of the stored matrix (float32 or float64)."""
+        return self._d.dtype
+
+    def astype(self, dtype) -> "LatencyMatrix":
+        """The same matrix stored as ``dtype``; ``self`` when unchanged.
+
+        Downcasting float64 → float32 rounds entries to ~7 significant
+        digits; structural validity (zero diagonal, positive
+        off-diagonals) is preserved by rounding for any realistic
+        latency range, so no re-validation runs.
+        """
+        dt = _check_dtype(dtype)
+        if dt == self._d.dtype:
+            return self
+        return LatencyMatrix(self._d, validate=False, dtype=dt)
 
     @property
     def n_nodes(self) -> int:

@@ -207,6 +207,42 @@ def _metric_lines(metrics: Snapshot) -> List[str]:
     return lines
 
 
+def _kernel_lines(metrics: Snapshot) -> List[str]:
+    """The compute-kernel timing breakdown, from ``kernel.*`` counters.
+
+    :mod:`repro.kernels` records ``kernel.<backend>.<name>.calls`` and
+    ``.seconds`` counter pairs; render them as one row per kernel with
+    the mean time per call, so a trace shows at a glance which backend
+    ran and where engine time went (see docs/performance.md).
+    """
+    counters = metrics.get("counters", {})
+    rows: List[Tuple[str, str, float, float]] = []
+    for name in sorted(counters):
+        if not (name.startswith("kernel.") and name.endswith(".calls")):
+            continue
+        parts = name.split(".")
+        if len(parts) != 4:
+            continue
+        _, backend, kernel, _ = parts
+        calls = counters[name]
+        seconds = counters.get(f"kernel.{backend}.{kernel}.seconds", 0.0)
+        rows.append((backend, kernel, float(calls), float(seconds)))
+    if not rows:
+        return []
+    rows.sort(key=lambda r: (r[0], -r[3]))
+    width = max(len(f"{b}.{k}") for b, k, _, _ in rows)
+    lines = [
+        f"  {'kernel':<{width}}  {'calls':>9}  {'total s':>9}  {'us/call':>9}"
+    ]
+    for backend, kernel, calls, seconds in rows:
+        per_call = (seconds / calls * 1e6) if calls else 0.0
+        lines.append(
+            f"  {backend + '.' + kernel:<{width}}  {calls:>9.0f}  "
+            f"{seconds:>9.4f}  {per_call:>9.1f}"
+        )
+    return lines
+
+
 def render_summary(summary: TraceSummary) -> str:
     """Human-readable report of a :class:`TraceSummary`."""
     lines = [
@@ -227,6 +263,11 @@ def render_summary(summary: TraceSummary) -> str:
         lines.append("")
         lines.append(f"hottest spans by self time (top {len(summary.hottest)}):")
         lines.extend(_rows_table(summary.hottest))
+    kernel_lines = _kernel_lines(summary.metrics)
+    if kernel_lines:
+        lines.append("")
+        lines.append("kernel timing (per backend):")
+        lines.extend(kernel_lines)
     metric_lines = _metric_lines(summary.metrics)
     if metric_lines:
         lines.append("")

@@ -1,7 +1,8 @@
 """Zero-copy latency-matrix sharing for worker processes.
 
 A profile-scale latency matrix is ``n_nodes x n_nodes`` of ``float64``
-— ~25 MB at the paper's 1796 nodes. Pickling it into every trial task
+— ~25 MB at the paper's 1796 nodes (half that as ``float32``; both
+dtypes publish unchanged). Pickling it into every trial task
 would dominate the cost of small trials and defeat the point of a
 process pool. Instead the parent publishes the matrix **once** into
 POSIX shared memory (:mod:`multiprocessing.shared_memory`) and ships
@@ -47,12 +48,16 @@ class SharedMatrixHandle:
 
     Either ``shm_name`` is set (shared-memory mode) or ``inline`` holds
     the raw array bytes (fallback mode). ``shape`` is always present so
-    attachment never trusts the segment size alone.
+    attachment never trusts the segment size alone, and ``dtype``
+    (``"float64"`` / ``"float32"``; a string so handles stay cheaply
+    picklable) records the element type — float32 halves the segment
+    size at |C| >= 50k scale.
     """
 
     shape: Tuple[int, int]
     shm_name: Optional[str] = None
     inline: Optional[bytes] = field(default=None, repr=False)
+    dtype: str = "float64"
 
     @property
     def is_shared(self) -> bool:
@@ -60,9 +65,14 @@ class SharedMatrixHandle:
         return self.shm_name is not None
 
     @property
+    def np_dtype(self) -> np.dtype:
+        """The handle's dtype as a numpy dtype object."""
+        return np.dtype(self.dtype)
+
+    @property
     def nbytes(self) -> int:
         """Size of the published matrix in bytes."""
-        return int(np.prod(self.shape)) * 8
+        return int(np.prod(self.shape)) * self.np_dtype.itemsize
 
 
 class PublishedMatrix:
@@ -135,6 +145,7 @@ def publish_matrix(
     """
     values = matrix.values
     shape = (int(values.shape[0]), int(values.shape[1]))
+    dtype_name = values.dtype.name  # "float64" or "float32"
     if prefer_shared and _shared_memory is not None:
         try:
             segment = _shared_memory.SharedMemory(
@@ -143,12 +154,16 @@ def publish_matrix(
         except (OSError, ValueError):
             segment = None
         if segment is not None:
-            staged = np.ndarray(shape, dtype=np.float64, buffer=segment.buf)
+            staged = np.ndarray(shape, dtype=values.dtype, buffer=segment.buf)
             staged[:] = values
-            handle = SharedMatrixHandle(shape=shape, shm_name=segment.name)
+            handle = SharedMatrixHandle(
+                shape=shape, shm_name=segment.name, dtype=dtype_name
+            )
             return PublishedMatrix(matrix, handle, segment)
     handle = SharedMatrixHandle(
-        shape=shape, inline=np.ascontiguousarray(values).tobytes()
+        shape=shape,
+        inline=np.ascontiguousarray(values).tobytes(),
+        dtype=dtype_name,
     )
     return PublishedMatrix(matrix, handle, None)
 
@@ -203,11 +218,11 @@ def attach_matrix(handle: SharedMatrixHandle) -> LatencyMatrix:
     if handle.shm_name is None:
         if handle.inline is None:
             raise ValueError("handle carries neither a segment nor inline data")
-        key = f"inline-{id(handle.inline)}-{handle.shape}"
+        key = f"inline-{id(handle.inline)}-{handle.shape}-{handle.dtype}"
         cached = _ATTACHMENTS.get(key)
         if cached is not None:
             return cached[1]
-        values = np.frombuffer(handle.inline, dtype=np.float64).reshape(
+        values = np.frombuffer(handle.inline, dtype=handle.np_dtype).reshape(
             handle.shape
         )
         values.setflags(write=False)
@@ -221,7 +236,7 @@ def attach_matrix(handle: SharedMatrixHandle) -> LatencyMatrix:
         raise RuntimeError("shared memory unavailable in this process")
     segment = _attach_segment(handle.shm_name)
     values: np.ndarray = np.ndarray(
-        handle.shape, dtype=np.float64, buffer=segment.buf
+        handle.shape, dtype=handle.np_dtype, buffer=segment.buf
     )
     values.setflags(write=False)
     matrix = LatencyMatrix.wrap_readonly(values)

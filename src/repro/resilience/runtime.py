@@ -41,6 +41,7 @@ from repro.algorithms.online import (
     OnlineAssignmentManager,
     OnlineConfig,
 )
+from repro.core.incremental import DEFAULT_TOP_K
 from repro.errors import (
     CapacityError,
     CheckpointError,
@@ -324,6 +325,8 @@ class DurableRuntime:
             "servers": [int(s) for s in as_index_array(servers, "servers")],
             "capacity": online.capacity,
             "join_policy": online.join_policy,
+            "backend": online.backend,
+            "top_k": int(online.top_k),
             "readmit_moves": int(readmit_moves),
             "shed_policy": shed_policy,
             "max_backlog": policy.max_backlog,
@@ -380,9 +383,13 @@ class DurableRuntime:
         self._manager = OnlineAssignmentManager(
             matrix,
             config["servers"],
+            # .get defaults keep checkpoints/WALs written before the
+            # backend/top_k knobs existed recoverable.
             OnlineConfig(
                 capacity=config["capacity"],
                 join_policy=config["join_policy"],
+                backend=config.get("backend", "auto"),
+                top_k=int(config.get("top_k", DEFAULT_TOP_K)),
             ),
         )
         self._controller = FailoverController(

@@ -225,3 +225,137 @@ def test_parameter_and_state_errors():
 
 def test_default_top_k_exported():
     assert DEFAULT_TOP_K >= 2
+
+
+class TestTopListWatermark:
+    """Edge cases of the ``_TopList`` eviction watermark (``bound``).
+
+    The list's correctness story: any unlisted member has distance
+    <= ``bound``, so the head is trustworthy exactly while
+    ``head() >= bound``. These tests pin the transitions where that
+    bookkeeping is easiest to get wrong.
+    """
+
+    def _top(self, k=3):
+        from repro.core.incremental import _TopList
+
+        return _TopList(k)
+
+    def test_eviction_at_exactly_k(self):
+        top = self._top(k=3)
+        for dist, client in [(10.0, 0), (30.0, 1), (20.0, 2)]:
+            top.add(dist, client)
+        assert len(top) == 3
+        assert top.bound == -np.inf  # nothing skipped or evicted yet
+        # The 4th member evicts the smallest and stamps the watermark.
+        top.add(25.0, 3)
+        assert len(top) == 3
+        assert top.clients == [1, 3, 2]
+        assert top.bound == 10.0
+        assert top.head() == 30.0
+
+    def test_skipped_add_raises_watermark(self):
+        top = self._top(k=2)
+        top.add(30.0, 0)
+        top.add(20.0, 1)
+        top.add(5.0, 2)  # not among the top-2: skipped, not inserted
+        assert len(top) == 2
+        assert top.clients == [0, 1]
+        assert top.bound == 5.0
+        top.add(1.0, 3)  # below the watermark AND below the tail: skipped
+        assert top.bound == 5.0
+
+    def test_partial_drain_then_add_below_watermark(self):
+        """After a drain, ``add`` may insert values below the watermark.
+
+        This is exactly why ``bound`` is tracked instead of only
+        handling the fully-drained case: the inserted value is *not*
+        trustworthy as a maximum (a skipped 18.0 may exist), and
+        ``head() >= bound`` is the guard that keeps the head usable.
+        """
+        top = self._top(k=2)
+        top.add(30.0, 0)
+        top.add(20.0, 1)
+        top.add(18.0, 2)  # skipped; watermark = 18
+        assert top.bound == 18.0
+        top.discard(1)  # partial drain: one slot opens
+        assert len(top) == 1
+        top.add(7.0, 3)  # below the watermark, but inserted (list not full)
+        assert top.clients == [0, 3]
+        # Head is still above the watermark, so it remains the true max.
+        assert top.head() == 30.0
+        assert top.head() >= top.bound
+        top.discard(0)  # now only 7.0 remains, which is < bound = 18:
+        assert top.head() < top.bound  # owner must rebuild before trusting
+
+    def test_discard_unlisted_is_noop(self):
+        top = self._top(k=2)
+        top.add(30.0, 0)
+        top.add(20.0, 1)
+        top.add(10.0, 2)
+        before = top.snapshot()
+        top.discard(2)  # client 2 was skipped, not listed
+        assert top.snapshot() == before
+
+    def test_rebuild_resets_watermark(self):
+        top = self._top(k=2)
+        top.add(30.0, 0)
+        top.add(20.0, 1)
+        top.add(10.0, 2)
+        assert top.bound == 10.0
+        # Rebuild from <= k members: every member is listed, bound clears.
+        top.rebuild(np.array([4.0, 9.0]), np.array([5, 6]))
+        assert top.clients == [6, 5]
+        assert top.bound == -np.inf
+        # Rebuild from > k members: bound is the best *unlisted* distance.
+        top.rebuild(np.array([4.0, 9.0, 7.0, 1.0]), np.array([5, 6, 7, 8]))
+        assert top.clients == [6, 7]
+        assert top.bound == 4.0
+
+    def test_snapshot_restore_round_trip(self):
+        top = self._top(k=2)
+        top.add(30.0, 0)
+        top.add(20.0, 1)
+        top.add(10.0, 2)
+        state = top.snapshot()
+        top.add(40.0, 3)
+        top.discard(0)
+        top.restore(state)
+        assert top.clients == [0, 1]
+        assert top.bound == 10.0
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_unassign_storm_forces_correct_rebuilds(self, k):
+        """Draining a server below its watermark stays bruteforce-correct.
+
+        Pile every client onto one server, then unassign the farthest
+        ones first — each removal drains the top list's head, pushing it
+        below the watermark and forcing ground-truth rebuilds.
+        """
+        rng = np.random.default_rng(60 + k)
+        n, k_servers = 20, 4
+        problem = _random_problem(rng, n, k_servers, symmetric=False)
+        engine = IncrementalObjective(problem, k=k)
+        for c in range(n):
+            engine.apply(c, 0)
+        # Farthest-first removal order w.r.t. server 0's outbound leg.
+        order = np.argsort(-problem.matrix.values[problem.servers[0], :])
+        survivors = set(range(n))
+        for c in order[: n - 4]:
+            engine.unassign(int(c))
+            survivors.discard(int(c))
+            kept = sorted(survivors)
+            # Reference: every ordered survivor pair (a == b included —
+            # D's definition takes the max over the full pair grid)
+            # routes through server 0.
+            s0 = problem.servers[0]
+            best = 0.0
+            for a in kept:
+                for b in kept:
+                    best = max(
+                        best,
+                        problem.matrix.values[a, s0]
+                        + problem.matrix.values[s0, b],
+                    )
+            assert engine.d() == pytest.approx(best, rel=1e-9)
+        assert engine.verify()

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets.io import (
+    as_latency_matrix,
     load_matrix_auto,
     read_matrix_npy,
     read_matrix_text,
@@ -89,3 +90,102 @@ class TestAuto:
         path = tmp_path / "m.dat"
         write_matrix_text(path, matrix)
         np.testing.assert_allclose(load_matrix_auto(path), matrix, atol=1e-3)
+
+
+class TestAsLatencyMatrix:
+    def test_preserves_float_dtypes(self):
+        for dt in (np.float32, np.float64):
+            d = np.array([[0, 2], [3, 0]], dtype=dt)
+            out = as_latency_matrix(d)
+            assert out.dtype == np.dtype(dt)
+
+    def test_coerces_non_float_to_float64(self):
+        d = np.array([[0, 2], [3, 0]], dtype=np.int64)
+        out = as_latency_matrix(d)
+        assert out.dtype == np.dtype(np.float64)
+
+    def test_explicit_dtype_casts(self):
+        d = np.array([[0.0, 2.0], [3.0, 0.0]])
+        out = as_latency_matrix(d, dtype=np.float32)
+        assert out.dtype == np.dtype(np.float32)
+
+    def test_unsupported_dtype_rejected(self):
+        d = np.array([[0.0, 2.0], [3.0, 0.0]])
+        with pytest.raises(DatasetError, match="float32 or float64"):
+            as_latency_matrix(d, dtype=np.float16)
+        with pytest.raises(DatasetError):
+            as_latency_matrix(d, dtype=np.int32)
+
+    def test_non_square_rejected_with_source(self):
+        with pytest.raises(DatasetError, match="meridian file"):
+            as_latency_matrix(np.zeros((2, 3)), where="meridian file")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError, match="empty"):
+            as_latency_matrix(np.zeros((0, 0)))
+
+    def test_nan_and_inf_rejected(self):
+        d = np.array([[0.0, np.nan], [3.0, 0.0]])
+        with pytest.raises(DatasetError, match="drop_incomplete_nodes"):
+            as_latency_matrix(d)
+        d = np.array([[0.0, np.inf], [3.0, 0.0]])
+        with pytest.raises(DatasetError):
+            as_latency_matrix(d)
+
+    def test_negative_rejected(self):
+        d = np.array([[0.0, -2.0], [3.0, 0.0]])
+        with pytest.raises(DatasetError, match="negative"):
+            as_latency_matrix(d)
+
+    def test_error_code_is_stable(self):
+        with pytest.raises(DatasetError) as exc_info:
+            as_latency_matrix(np.zeros((2, 3)))
+        assert exc_info.value.code == "dataset-error"
+
+
+class TestDtypeThreading:
+    def test_text_reader_casts(self, tmp_path, matrix):
+        path = tmp_path / "m.txt"
+        write_matrix_text(path, matrix)
+        out = read_matrix_text(path, dtype=np.float32)
+        assert out.dtype == np.dtype(np.float32)
+        # Default parse stays float64 (sentinel mapping is exact there).
+        assert read_matrix_text(path).dtype == np.dtype(np.float64)
+
+    def test_npy_round_trip_preserves_float32(self, tmp_path, matrix):
+        path = tmp_path / "m.npy"
+        write_matrix_npy(path, matrix.astype(np.float32))
+        out = read_matrix_npy(path)
+        assert out.dtype == np.dtype(np.float32)
+        assert read_matrix_npy(path, dtype=np.float64).dtype == np.dtype(
+            np.float64
+        )
+
+    def test_auto_loader_forwards_dtype(self, tmp_path, matrix):
+        path = tmp_path / "m.npy"
+        write_matrix_npy(path, matrix)
+        assert load_matrix_auto(path, dtype=np.float32).dtype == np.dtype(
+            np.float32
+        )
+
+    def test_loaders_thread_dtype_to_cleaned_matrix(self, tmp_path):
+        from repro.datasets import load_meridian_file, load_mit_king_file
+
+        rng = np.random.default_rng(5)
+        d = rng.uniform(1.0, 50.0, size=(6, 6))
+        np.fill_diagonal(d, 0.0)
+        path = tmp_path / "king.txt"
+        write_matrix_text(path, d)
+        cleaned, _report = load_mit_king_file(path, dtype=np.float32)
+        assert cleaned.dtype == np.dtype(np.float32)
+        cleaned, _report = load_meridian_file(
+            path, unit_scale=1.0, dtype=np.float32
+        )
+        assert cleaned.dtype == np.dtype(np.float32)
+
+    def test_synthesis_dtype(self):
+        from repro.datasets import synthesize_mit_like
+
+        m = synthesize_mit_like(24, seed=1, dtype=np.float32)
+        assert m.dtype == np.dtype(np.float32)
+        assert synthesize_mit_like(24, seed=1).dtype == np.dtype(np.float64)

@@ -169,3 +169,64 @@ class TestSummarizeFile:
         assert "root span: cli.fig" in out
         assert "per-phase breakdown" in out
         assert "dga.runs" in out
+
+
+class TestKernelTiming:
+    def _trace_with_kernels(self):
+        return [
+            _span("cli.solve", 1, None, 0, 0.0, 1.0),
+            {
+                "type": "metrics",
+                "ts": 1.0,
+                "metrics": {
+                    "counters": {
+                        "kernel.numpy.move_context.calls": 40,
+                        "kernel.numpy.move_context.seconds": 0.02,
+                        "kernel.numpy.reduction_top2.calls": 7,
+                        "kernel.numpy.reduction_top2.seconds": 0.001,
+                        "other.counter": 3,
+                    },
+                    "gauges": {},
+                    "histograms": {},
+                },
+            },
+        ]
+
+    def test_kernel_section_rendered(self):
+        text = render_summary(summarize(self._trace_with_kernels()))
+        assert "kernel timing (per backend)" in text
+        assert "numpy.move_context" in text
+        assert "numpy.reduction_top2" in text
+        # Sorted within a backend by total seconds, descending.
+        assert text.index("numpy.move_context") < text.index(
+            "numpy.reduction_top2"
+        )
+
+    def test_no_kernel_counters_no_section(self):
+        events = [_span("a", 1, None, 0, 0.0, 1.0)]
+        assert "kernel timing" not in render_summary(summarize(events))
+
+    def test_solve_trace_carries_kernel_counters(self, tmp_path, capsys):
+        import os
+
+        from repro.cli import main
+
+        trace_path = tmp_path / "trace.jsonl"
+        os.environ["REPRO_OBS_TRACE"] = str(trace_path)
+        try:
+            assert (
+                main(
+                    [
+                        "solve", "--nodes", "50", "--servers", "5",
+                        "--algorithm", "greedy", "--backend", "numpy",
+                    ]
+                )
+                == 0
+            )
+        finally:
+            os.environ.pop("REPRO_OBS_TRACE", None)
+        capsys.readouterr()
+        assert main(["obs", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "kernel timing (per backend)" in out
+        assert "numpy.reduction_top2" in out

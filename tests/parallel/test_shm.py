@@ -93,3 +93,33 @@ def test_wrap_readonly_requires_readonly_float64_square():
     not_square.setflags(write=False)
     with pytest.raises(InvalidLatencyMatrixError):
         LatencyMatrix.wrap_readonly(not_square)
+
+
+@needs_shm
+def test_float32_publishes_at_half_size():
+    matrix = small_world_latencies(24, seed=7, dtype=np.float32)
+    assert matrix.dtype == np.dtype(np.float32)
+    with publish_matrix(matrix) as published:
+        handle = published.handle
+        assert handle.dtype == "float32"
+        assert handle.np_dtype == np.dtype(np.float32)
+        assert handle.nbytes == 24 * 24 * 4
+        attached = attach_matrix(handle)
+        assert attached.dtype == np.dtype(np.float32)
+        assert np.array_equal(attached.values, matrix.values)
+
+
+def test_inline_fallback_preserves_float32():
+    matrix = small_world_latencies(12, seed=8, dtype=np.float32)
+    with publish_matrix(matrix, prefer_shared=False) as published:
+        assert not published.handle.is_shared
+        assert published.handle.dtype == "float32"
+        attached = attach_matrix(published.handle)
+        assert attached.dtype == np.dtype(np.float32)
+        assert np.array_equal(attached.values, matrix.values)
+
+
+def test_handle_dtype_defaults_to_float64():
+    handle = SharedMatrixHandle(shape=(10, 10), shm_name="x")
+    assert handle.np_dtype == np.dtype(np.float64)
+    assert handle.nbytes == 10 * 10 * 8
