@@ -186,5 +186,4 @@ def round_trip_distances(problem: ClientAssignmentProblem) -> np.ndarray:
     The self-interaction path of a client equals its round trip; several
     algorithms need it as the batch-internal path-length floor.
     """
-    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]
-    return problem.client_server + sc.T
+    return problem.client_server + problem.server_client.T

@@ -44,7 +44,7 @@ def best_single_server(
     else:
         feasible = np.ones(problem.n_servers, dtype=bool)
     cs = problem.client_server
-    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]
+    sc = problem.server_client
     d_per_server = cs.max(axis=0) + sc.max(axis=1)  # (S,)
     d_per_server = np.where(feasible, d_per_server, np.inf)
     best = int(np.argmin(d_per_server))

@@ -100,7 +100,7 @@ def _candidate_lengths_recompute(
     all clients with ``c`` excluded, then score every destination."""
     cs = problem.client_server
     ss = problem.server_server
-    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]
+    sc = problem.server_client
     n_servers = problem.n_servers
     l_out = np.full(n_servers, -np.inf)
     l_in = np.full(n_servers, -np.inf)

@@ -82,7 +82,7 @@ def greedy(
     """
     cs = problem.client_server  # (C, S): d(c, s)
     ss = problem.server_server  # (S, S)
-    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]  # (S, C)
+    sc = problem.server_client  # (S, C)
     n_clients, n_servers = cs.shape
     rt = round_trip_distances(problem)  # (C, S): d(c,s) + d(s,c)
     metrics = registry()

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from repro.errors import (
     InvalidParameterError,
 )
 from repro.net.latency import LatencyMatrix
+from repro.net.provider import LatencyProvider
 from repro.obs import registry
 from repro.types import IndexArrayLike, as_index_array
 from repro.utils.rng import SeedLike, ensure_rng
@@ -75,12 +76,20 @@ class OnlineConfig:
         farthest-client lists (default
         :data:`repro.core.incremental.DEFAULT_TOP_K`). Larger values
         trade memory for fewer lazy rebuilds under heavy churn.
+    shards:
+        Number of region shards for
+        :class:`~repro.scale.sharded.ShardedOnlineManager` (default 1 =
+        a single unsharded manager). The plain
+        :class:`OnlineAssignmentManager` ignores this knob; it exists on
+        the config so the service layer can carry one serialized object
+        for both deployment shapes.
     """
 
     capacity: Optional[int] = None
     join_policy: str = "greedy"
     backend: str = "auto"
     top_k: int = DEFAULT_TOP_K
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.capacity is not None and self.capacity < 1:
@@ -99,6 +108,10 @@ class OnlineConfig:
             raise InvalidParameterError(
                 f"top_k must be >= 2, got {self.top_k}"
             )
+        if self.shards < 1:
+            raise InvalidParameterError(
+                f"shards must be >= 1, got {self.shards}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable view (stable keys, scalars only)."""
@@ -107,14 +120,16 @@ class OnlineConfig:
             "join_policy": self.join_policy,
             "backend": self.backend,
             "top_k": int(self.top_k),
+            "shards": int(self.shards),
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "OnlineConfig":
         """Rebuild a config from :meth:`to_dict` output.
 
-        ``backend`` / ``top_k`` default when absent so configs (and
-        checkpoints) serialized before those knobs existed keep loading.
+        ``backend`` / ``top_k`` / ``shards`` default when absent so
+        configs (and checkpoints) serialized before those knobs existed
+        keep loading.
         """
         capacity = data.get("capacity")
         return cls(
@@ -122,6 +137,7 @@ class OnlineConfig:
             join_policy=str(data.get("join_policy", "greedy")),
             backend=str(data.get("backend", "auto")),
             top_k=int(data.get("top_k", DEFAULT_TOP_K)),
+            shards=int(data.get("shards", 1)),
         )
 
     def merge_legacy_kwargs(
@@ -161,19 +177,27 @@ class OnlineAssignmentManager:
     Parameters
     ----------
     matrix:
-        All-pairs latency matrix over the node universe.
+        Latency source over the node universe — a dense
+        :class:`~repro.net.latency.LatencyMatrix` or any other
+        :class:`~repro.net.provider.LatencyProvider`.
     servers:
         Node indices hosting servers.
     config:
         An :class:`OnlineConfig`; the legacy ``capacity=`` /
         ``join_policy=`` keywords remain accepted but deprecated.
+    client_nodes:
+        Optional restriction of the joinable client universe to these
+        node indices (the region-sharding hook:
+        :class:`~repro.scale.sharded.ShardedOnlineManager` gives each
+        shard the nodes routed to it). ``None`` (the default) keeps the
+        historical behavior — every node may join.
 
     Notes
     -----
     Clients are identified by their **node index** in the matrix. The
     manager's state lives in an
-    :class:`~repro.core.incremental.IncrementalObjective` over the full
-    node universe (partial assignment: unconnected nodes are simply
+    :class:`~repro.core.incremental.IncrementalObjective` over the
+    client universe (partial assignment: unconnected nodes are simply
     unassigned), which keeps the per-server farthest-client summaries
     (the ``l(s)`` of the paper's §IV-D, split by direction) and the
     best-completion reductions cached. Joins and move-cost queries are
@@ -183,12 +207,13 @@ class OnlineAssignmentManager:
 
     def __init__(
         self,
-        matrix: LatencyMatrix,
+        matrix: LatencyProvider,
         servers: IndexArrayLike,
         config: Optional[OnlineConfig] = None,
         *,
         capacity: Any = _UNSET,
         join_policy: Any = _UNSET,
+        client_nodes: Optional[IndexArrayLike] = None,
     ) -> None:
         config = (config or OnlineConfig()).merge_legacy_kwargs(
             "OnlineAssignmentManager",
@@ -213,17 +238,48 @@ class OnlineAssignmentManager:
         #: from placement like crashed ones, but keep their members
         #: (clients ride out the partition on a stale assignment)
         self._reachable = np.ones(self._servers.size, dtype=bool)
-        # Incremental objective over the full node universe; connected
+        # Incremental objective over the client universe; connected
         # clients are assigned, everything else stays unassigned. The
         # manager's uniform capacity and liveness masks are applied at
         # decision time, so the engine's problem carries no capacities.
-        self._universe = ClientAssignmentProblem(matrix, self._servers)
+        # Without a client_nodes restriction the universe's local client
+        # index coincides with the node index (clients default to every
+        # node), so no translation happens on that path; a restricted
+        # universe carries an explicit node -> engine-index map.
+        if client_nodes is None:
+            self._client_nodes: Optional[np.ndarray] = None
+            self._node_to_engine: Optional[Dict[int, int]] = None
+            self._universe = ClientAssignmentProblem(matrix, self._servers)
+        else:
+            nodes = as_index_array(client_nodes, "client_nodes")
+            if nodes.size == 0:
+                raise InvalidParameterError(
+                    "client_nodes must be non-empty when given"
+                )
+            self._client_nodes = nodes
+            self._node_to_engine = {int(n): i for i, n in enumerate(nodes)}
+            self._universe = ClientAssignmentProblem(
+                matrix, self._servers, clients=nodes
+            )
         self._engine = IncrementalObjective(
             self._universe,
             history=False,
             k=config.top_k,
             backend=config.backend,
         )
+
+    def _engine_index(self, client_node: int) -> int:
+        """The engine's local client index for a node (identity when the
+        universe is unrestricted)."""
+        if self._node_to_engine is None:
+            return client_node
+        try:
+            return self._node_to_engine[client_node]
+        except KeyError:
+            raise InvalidAssignmentError(
+                f"client node {client_node} is outside this manager's "
+                f"client universe"
+            ) from None
 
     # ------------------------------------------------------------------
     @property
@@ -247,9 +303,16 @@ class OnlineAssignmentManager:
         return self._servers.copy()
 
     @property
-    def matrix(self) -> LatencyMatrix:
-        """The latency matrix the manager operates on."""
+    def matrix(self) -> LatencyProvider:
+        """The latency provider the manager operates on."""
         return self._matrix
+
+    @property
+    def client_nodes(self) -> Optional[np.ndarray]:
+        """The restricted client universe, or ``None`` (= every node)."""
+        if self._client_nodes is None:
+            return None
+        return self._client_nodes.copy()
 
     @property
     def n_clients(self) -> int:
@@ -382,7 +445,7 @@ class OnlineAssignmentManager:
             self._members[old].discard(client_node)
             self._members[server].add(client_node)
             self._assigned[client_node] = server
-            self._engine.apply(client_node, server)
+            self._engine.apply(self._engine_index(client_node), server)
 
     def evacuate(self, server: int) -> List[Tuple[int, int]]:
         """Reassign every client of ``server`` onto the active servers.
@@ -421,12 +484,18 @@ class OnlineAssignmentManager:
                     f"client(s) stranded but only {free} free slot(s) on "
                     f"surviving servers"
                 )
-        d = self._matrix.values
+        # Round trips to the dead server via provider block calls — one
+        # (|stranded|, 1) slice per direction, never the dense matrix.
+        stranded_arr = np.fromiter(stranded, dtype=np.int64, count=len(stranded))
         node = self._servers[server]
-        order = sorted(
-            stranded,
-            key=lambda c: (-max(d[c, node], d[node, c]), c),
-        )
+        node_arr = np.array([node], dtype=np.int64)
+        to_node = self._matrix.client_server_distances(stranded_arr, node_arr)
+        from_node = self._matrix.server_client_distances(node_arr, stranded_arr)
+        round_trip = {
+            int(c): max(float(to_node[i, 0]), float(from_node[0, i]))
+            for i, c in enumerate(stranded_arr)
+        }
+        order = sorted(stranded, key=lambda c: (-round_trip[c], c))
         moves: List[Tuple[int, int]] = []
         for client in order:
             costs = self._candidate_costs(client, exclude_self=True)
@@ -450,6 +519,14 @@ class OnlineAssignmentManager:
         """
         return self._engine.d()
 
+    def l_vectors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(l_out, l_in)`` per-server farthest-client legs (copies).
+
+        Unused servers hold ``-inf``. The sharded manager merges these
+        across shards (elementwise max) to recover the exact global D.
+        """
+        return self._engine.l_vectors()
+
     def _candidate_costs(self, client_node: int, *, exclude_self: bool) -> np.ndarray:
         """L(s') for assigning ``client_node`` to each server.
 
@@ -459,7 +536,9 @@ class OnlineAssignmentManager:
         clients; joins pass ``False`` for documentation value).
         """
         del exclude_self  # the engine excludes a connected client itself
-        costs, _d_rest = self._engine.candidate_paths(client_node)
+        costs, _d_rest = self._engine.candidate_paths(
+            self._engine_index(client_node)
+        )
         if self._capacity is not None:
             loads = self._engine.loads
             if client_node in self._assigned:
@@ -479,8 +558,11 @@ class OnlineAssignmentManager:
             raise InvalidAssignmentError(f"client {client_node} already connected")
         if not 0 <= client_node < self._matrix.n_nodes:
             raise InvalidAssignmentError(f"client node {client_node} out of range")
+        engine_idx = self._engine_index(client_node)
         if self._join_policy == "nearest":
-            costs = self._matrix.values[client_node, self._servers].astype(float)
+            costs = self._matrix.client_server_distances(
+                np.array([client_node], dtype=np.int64), self._servers
+            )[0].astype(float)
             if self._capacity is not None:
                 costs = np.where(self.loads() >= self._capacity, np.inf, costs)
             costs = np.where(self._usable(), costs, np.inf)
@@ -491,7 +573,7 @@ class OnlineAssignmentManager:
             raise CapacityError("all active servers are at capacity")
         self._assigned[client_node] = best
         self._members[best].add(client_node)
-        self._engine.apply(client_node, best)
+        self._engine.apply(engine_idx, best)
         registry().counter("online.joins").inc()
         return best
 
@@ -504,7 +586,7 @@ class OnlineAssignmentManager:
                 f"client {client_node} is not connected"
             ) from None
         self._members[server].discard(client_node)
-        self._engine.unassign(client_node)
+        self._engine.unassign(self._engine_index(client_node))
         registry().counter("online.leaves").inc()
 
     def restore_client(self, client_node: int, server: int) -> None:
@@ -522,19 +604,33 @@ class OnlineAssignmentManager:
         if not 0 <= client_node < self._matrix.n_nodes:
             raise InvalidAssignmentError(f"client node {client_node} out of range")
         self._check_server_index(server)
+        engine_idx = self._engine_index(client_node)
         self._assigned[client_node] = server
         self._members[server].add(client_node)
-        self._engine.apply(client_node, server)
+        self._engine.apply(engine_idx, server)
 
-    def rebalance(self, *, max_moves: int = 16) -> int:
-        """Run bounded Distributed-Greedy repair; returns moves made."""
+    def rebalance(
+        self,
+        *,
+        max_moves: int = 16,
+        reserved: Optional[np.ndarray] = None,
+    ) -> int:
+        """Run bounded Distributed-Greedy repair; returns moves made.
+
+        ``reserved`` (length ``|S|``) subtracts externally-held slots
+        from this manager's uniform capacity during repair — the
+        region-sharding layer passes the other shards' per-server loads
+        so a shard's repair can never overfill a server globally.
+        """
         if len(self._assigned) < 1 or max_moves < 1:
             return 0
-        result = self._run_dga(max_moves)
+        result = self._run_dga(max_moves, reserved)
         registry().counter("online.rebalance_moves").inc(result)
         return result
 
-    def _run_dga(self, max_moves: int) -> int:
+    def _run_dga(
+        self, max_moves: int, reserved: Optional[np.ndarray] = None
+    ) -> int:
         from repro.algorithms.distributed_greedy import distributed_greedy_detailed
 
         # Repair runs over the *usable* servers only, so a bounded
@@ -563,11 +659,17 @@ class OnlineAssignmentManager:
         )
         if not nodes or usable.size == 0:
             return 0
+        capacities: Union[None, int, np.ndarray] = self._capacity
+        if capacities is not None and reserved is not None:
+            capacities = (
+                np.full(usable.size, int(capacities), dtype=np.int64)
+                - np.asarray(reserved, dtype=np.int64)[usable]
+            )
         problem = ClientAssignmentProblem(
             self._matrix,
             self._servers[usable],
             clients=list(nodes),
-            capacities=self._capacity,
+            capacities=capacities,
         )
         to_sub = {int(s): i for i, s in enumerate(usable)}
         server_of = np.array(
@@ -588,7 +690,7 @@ class OnlineAssignmentManager:
                 self._members[old_server].discard(node)
                 self._members[new_server].add(node)
                 self._assigned[node] = new_server
-                self._engine.apply(node, new_server)
+                self._engine.apply(self._engine_index(node), new_server)
         return result.n_modifications
 
     # ------------------------------------------------------------------
@@ -650,7 +752,7 @@ class ChurnResult:
 
 
 def simulate_churn(
-    matrix: LatencyMatrix,
+    matrix: LatencyProvider,
     servers: IndexArrayLike,
     *,
     n_events: int = 200,

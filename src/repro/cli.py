@@ -11,6 +11,7 @@ Subcommands:
 - ``chaos``    — kill/recover/diff the durable runtime (WAL + checkpoints).
 - ``serve``    — run the assignment service over TCP JSON-lines.
 - ``loadgen``  — drive seeded churn through a live assignment server.
+- ``scale``    — million-client solves: coreset + coordinate provider.
 - ``obs``      — summarize a JSONL trace produced with ``--trace``.
 
 Every subcommand runs under the observability harness: a run manifest
@@ -311,6 +312,43 @@ def _build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument(
         "--top", type=int, default=10,
         help="number of hottest spans to show (by self time)",
+    )
+
+    p_scale = sub.add_parser(
+        "scale",
+        help="million-client solves via coresets and coordinate providers",
+        parents=[tracing],
+    )
+    scale_sub = p_scale.add_subparsers(dest="scale_command", required=True)
+    p_scale_solve = scale_sub.add_parser(
+        "solve",
+        help="coreset-solve a planet-scale coordinate instance",
+        parents=[tracing],
+    )
+    p_scale_solve.add_argument(
+        "--clients", type=int, default=100_000,
+        help="client count (coordinate provider: no dense matrix, any size)",
+    )
+    p_scale_solve.add_argument("--servers", type=int, default=32)
+    p_scale_solve.add_argument(
+        "--clusters", type=int, default=64,
+        help="metro clusters in the generated geometry",
+    )
+    p_scale_solve.add_argument(
+        "--cell-size", type=float, default=None,
+        help="coreset quantization cell in ms (default: geometry-derived)",
+    )
+    p_scale_solve.add_argument("--algorithm", type=str, default="distributed-greedy")
+    p_scale_solve.add_argument("--seed", type=int, default=0)
+    p_scale_solve.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="auto",
+        help="kernel backend for the reduced solve",
+    )
+    p_scale_solve.add_argument(
+        "--save", type=str, default=None,
+        help="write the scale-solve summary as JSON",
     )
 
     p_sim = sub.add_parser("simulate", help="run the DIA event simulation")
@@ -823,6 +861,58 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.datasets import coreset_cell_size_hint, planet_instance
+    from repro.obs import format_bytes, peak_rss_bytes
+    from repro.scale import solve_at_scale
+
+    instance = planet_instance(
+        args.clients, args.servers, n_clusters=args.clusters, seed=args.seed
+    )
+    cell = args.cell_size
+    if cell is None:
+        cell = coreset_cell_size_hint(instance)
+    result = solve_at_scale(
+        instance.provider,
+        instance.servers,
+        instance.clients,
+        cell_size=cell,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    coreset = result.coreset
+    print(
+        f"instance: {args.clients} clients, {args.servers} servers, "
+        f"{args.clusters} clusters (coordinate provider, no dense matrix)"
+    )
+    print(
+        f"coreset: {coreset.n_clients} -> {coreset.n_representatives} "
+        f"super-clients ({coreset.reduction_ratio:.1f}x, cell {cell:.2f} ms, "
+        f"epsilon {coreset.epsilon:.2f} ms)"
+    )
+    print(
+        f"reduced D = {result.d_reduced:.2f} ms "
+        f"({args.algorithm}, {result.reduced.elapsed_seconds*1000:.1f} ms solve)"
+    )
+    print(
+        f"expanded D = {result.d_expanded:.2f} ms "
+        f"<= bound {result.bound:.2f} ms (reduced + 2*epsilon)"
+    )
+    print(
+        f"total {result.elapsed_seconds:.2f} s, "
+        f"peak RSS {format_bytes(peak_rss_bytes())}"
+    )
+    if args.save:
+        import json
+
+        with open(args.save, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote scale-solve summary to {args.save}")
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import render_summary, summarize_file
 
@@ -836,9 +926,9 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 # runs (e.g. --workers 0 vs 4, different --save paths) disagree.
 _NON_RESULT_ARGS = frozenset(
     {
-        "command", "trace", "workers", "save", "load", "out",
-        "save_deployment", "dir", "host", "port", "base_dir", "spawn",
-        "min_throughput",
+        "command", "scale_command", "trace", "workers", "save", "load",
+        "out", "save_deployment", "dir", "host", "port", "base_dir",
+        "spawn", "min_throughput",
     }
 )
 
@@ -882,6 +972,7 @@ def _run_observability(args: argparse.Namespace, command: str) -> Iterator[None]
             yield
     finally:
         manifest.finalize(wall_seconds=time.perf_counter() - started)
+        obs.record_peak_rss()
         obs.emit_event("metrics", metrics=obs.registry().snapshot())
         obs.emit_event(
             "manifest", manifest=manifest.to_dict(include_volatile=True)
@@ -906,6 +997,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "churn": _cmd_churn,
         "faults": _cmd_faults,
         "chaos": _cmd_chaos,
+        "scale": _cmd_scale,
         "simulate": _cmd_simulate,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,

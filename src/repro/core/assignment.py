@@ -54,7 +54,7 @@ class Assignment:
                     f"assignment refers to servers outside [0, {problem.n_servers})"
                 )
             if problem.is_capacitated:
-                loads = np.bincount(arr, minlength=problem.n_servers)
+                loads = self._capacity_loads(problem, arr)
                 over = np.flatnonzero(loads > problem.capacities)
                 if over.size:
                     details = ", ".join(
@@ -71,6 +71,23 @@ class Assignment:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Assignment is immutable")
+
+    @staticmethod
+    def _capacity_loads(
+        problem: ClientAssignmentProblem, arr: np.ndarray
+    ) -> np.ndarray:
+        """The load each server's capacity is charged for.
+
+        Client counts on plain instances; total client weight on
+        weighted (coreset super-client) instances.
+        """
+        if problem.client_weights is None:
+            return np.bincount(arr, minlength=problem.n_servers)
+        return np.bincount(
+            arr,
+            weights=problem.client_weights,
+            minlength=problem.n_servers,
+        ).astype(np.int64)
 
     # ------------------------------------------------------------------
     @property
@@ -128,12 +145,24 @@ class Assignment:
         cs = self._problem.client_server
         return cs[np.arange(self._problem.n_clients), self._server_of]
 
+    def weighted_loads(self) -> np.ndarray:
+        """Total client weight assigned to each server (length ``|S|``).
+
+        Equals :meth:`loads` on unweighted problems.
+        """
+        return self._capacity_loads(self._problem, self._server_of)
+
     def respects_capacities(self) -> bool:
         """Whether loads are within the problem's capacities (vacuously
         true for uncapacitated problems)."""
         if not self._problem.is_capacitated:
             return True
-        return bool(np.all(self.loads() <= self._problem.capacities))
+        return bool(
+            np.all(
+                self._capacity_loads(self._problem, self._server_of)
+                <= self._problem.capacities
+            )
+        )
 
     # ------------------------------------------------------------------
     def replace(self, client: int, server: int) -> "Assignment":

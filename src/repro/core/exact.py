@@ -107,7 +107,7 @@ def solve_branch_and_bound(
     cs = problem.client_server
     ss = problem.server_server
     # Server->client leg (asymmetric-safe).
-    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]
+    sc = problem.server_client
     n_clients = problem.n_clients
     n_servers = problem.n_servers
     capacities = problem.capacities

@@ -253,9 +253,7 @@ class IncrementalObjective:
         self._problem = problem
         self._cs = problem.client_server  # (C, S), matrix dtype
         self._ss = problem.server_server  # (S, S), matrix dtype
-        self._sc = problem.matrix.values[
-            np.ix_(problem.servers, problem.clients)
-        ]  # (S, C), matrix dtype
+        self._sc = problem.server_client  # (S, C), matrix dtype
         # The kernels accumulate in float64; the S x S view is tiny, so
         # a float64 shadow costs nothing even for float32 matrices (and
         # is free — no copy — for float64 ones).
@@ -283,6 +281,17 @@ class IncrementalObjective:
         self._n_assigned = int(assigned.sum())
         self._loads = np.bincount(arr[assigned], minlength=n_servers).astype(
             np.int64
+        )
+        # Weighted (coreset super-client) instances keep a second load
+        # array holding total weight per server; it feeds only the
+        # capacity masking in batch_delta_D. The member-*count* loads
+        # above stay authoritative for membership logic (`_l_excluding`,
+        # `_detach`), so unweighted instances are entirely unaffected.
+        self._weights = problem.client_weights
+        self._wloads: Optional[np.ndarray] = (
+            None
+            if self._weights is None
+            else self._kernels.weighted_loads(arr, self._weights, n_servers)
         )
 
         self._top_out: List[_TopList] = [_TopList(self._k) for _ in range(n_servers)]
@@ -332,6 +341,16 @@ class IncrementalObjective:
     def loads(self) -> np.ndarray:
         """Per-server assigned-client counts. Copy."""
         return self._loads.copy()
+
+    @property
+    def weighted_loads(self) -> np.ndarray:
+        """Per-server total assigned client weight. Copy.
+
+        Equals :attr:`loads` for unweighted problems.
+        """
+        if self._wloads is None:
+            return self._loads.copy()
+        return self._wloads.copy()
 
     @property
     def n_assigned(self) -> int:
@@ -575,7 +594,16 @@ class IncrementalObjective:
         self._m_batch_sizes.observe(n)
         if respect_capacities and self._problem.is_capacitated:
             capacities = self._problem.capacities
-            saturated = self._loads >= capacities
+            if self._weights is None:
+                saturated = self._loads >= capacities
+            else:
+                # A weight-w client fits where the weighted load plus w
+                # stays within capacity (its own home never counts: the
+                # mask below forces the home feasible, and w is already
+                # included in the home's weighted load anyway).
+                saturated = (
+                    self._wloads + self._weights[client] > capacities
+                )
             if ctx.home >= 0:
                 saturated[ctx.home] = False
             mask = saturated if cand is None else saturated[cand]
@@ -612,6 +640,8 @@ class IncrementalObjective:
         self._top_out[server].discard(client)
         self._top_in[server].discard(client)
         self._loads[server] -= 1
+        if self._wloads is not None:
+            self._wloads[server] -= self._weights[client]
         if self._loads[server] == 0:
             self._l_out[server] = -np.inf
             self._l_in[server] = -np.inf
@@ -626,6 +656,8 @@ class IncrementalObjective:
         self._top_out[server].add(out, client)
         self._top_in[server].add(inn, client)
         self._loads[server] += 1
+        if self._wloads is not None:
+            self._wloads[server] += self._weights[client]
         self._l_out[server] = max(self._l_out[server], out)
         self._l_in[server] = max(self._l_in[server], inn)
 
@@ -702,6 +734,8 @@ class IncrementalObjective:
             )
         self._server_of[batch] = server
         self._loads[server] += batch.size
+        if self._wloads is not None:
+            self._wloads[server] += int(self._weights[batch].sum())
         self._n_assigned += int(batch.size)
         out = self._cs[batch, server]
         inn = self._sc[server, batch]
@@ -755,15 +789,22 @@ class IncrementalObjective:
             _, batch, server, old_d = record
             self._server_of[batch] = _UNASSIGNED
             self._loads[server] -= batch.size
+            if self._wloads is not None:
+                self._wloads[server] -= int(self._weights[batch].sum())
             self._n_assigned -= int(batch.size)
         else:
             client, old_server, new_server, old_d = record
+            weight = 0 if self._weights is None else int(self._weights[client])
             if new_server >= 0:
                 self._loads[new_server] -= 1
+                if self._wloads is not None:
+                    self._wloads[new_server] -= weight
             else:
                 self._n_assigned += 1
             if old_server >= 0:
                 self._loads[old_server] += 1
+                if self._wloads is not None:
+                    self._wloads[old_server] += weight
             else:
                 self._n_assigned -= 1
             self._server_of[client] = old_server
@@ -786,6 +827,14 @@ class IncrementalObjective:
         )
         if not np.array_equal(loads, self._loads):
             return False
+        if self._wloads is not None:
+            from repro.kernels.numpy_backend import weighted_loads
+
+            expected = weighted_loads(
+                server_of, self._weights, self._problem.n_servers
+            )
+            if not np.array_equal(expected, self._wloads):
+                return False
         idx = np.flatnonzero(assigned)
         l_out = np.full(self._problem.n_servers, -np.inf)
         l_in = np.full(self._problem.n_servers, -np.inf)

@@ -44,7 +44,7 @@ def interaction_lower_bound(
     cs = problem.client_server  # d(c, s), shape (C, S)
     ss = problem.server_server  # d(s, s'), shape (S, S)
     # Server-to-client direction for the receiving leg.
-    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]  # (S, C)
+    sc = problem.server_client  # (S, C)
 
     # A[c, s'] = min over s of d(c, s) + d(s, s').
     # cs[:, :, None] + ss[None, :, :] would be (C, S, S); block over
@@ -77,7 +77,7 @@ def interaction_lower_bound_bruteforce(problem: ClientAssignmentProblem) -> floa
     """O(|C|^2 |S|^2) reference implementation (tests only)."""
     cs = problem.client_server
     ss = problem.server_server
-    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]
+    sc = problem.server_client
     best = -np.inf
     for ci in range(problem.n_clients):
         for cj in range(problem.n_clients):
@@ -95,6 +95,6 @@ def single_pair_lower_bound(
     """``min_{s,s'} d(c_a, s) + d(s, s') + d(s', c_b)`` for one pair."""
     cs = problem.client_server
     ss = problem.server_server
-    sc = problem.matrix.values[np.ix_(problem.servers, problem.clients)]
+    sc = problem.server_client
     totals = cs[client_a][:, None] + ss + sc[:, client_b][None, :]
     return float(totals.min())

@@ -87,10 +87,8 @@ def _directional_farthest(assignment: Assignment) -> Tuple[np.ndarray, np.ndarra
     n_servers = problem.n_servers
     idx = np.arange(problem.n_clients)
     out_dist = problem.client_server[idx, server_of]  # d(c, s_A(c))
-    # d(s_A(c), c): slice the matrix in the server->client direction.
-    sc = problem.matrix.values[
-        problem.servers[server_of], problem.clients[idx]
-    ]
+    # d(s_A(c), c): the server->client direction view.
+    sc = problem.server_client[server_of, idx]
     l_out = np.full(n_servers, -np.inf)
     l_in = np.full(n_servers, -np.inf)
     np.maximum.at(l_out, server_of, out_dist)
@@ -133,7 +131,7 @@ def argmax_interaction_path(assignment: Assignment) -> InteractionPath:
     members2 = np.flatnonzero(assignment.server_of == s2)
     d_out = problem.client_server[members1, s1]
     ca = int(members1[int(np.argmax(d_out))])
-    d_in = problem.matrix.values[problem.servers[s2], problem.clients[members2]]
+    d_in = problem.server_client[s2, members2]
     cb = int(members2[int(np.argmax(d_in))])
     return interaction_path(assignment, ca, cb)
 
@@ -154,7 +152,7 @@ def clients_on_longest_paths(
     server_of = assignment.server_of
     idx = np.arange(problem.n_clients)
     d_cs = problem.client_server[idx, server_of]  # d(c, s_A(c))
-    d_sc = problem.matrix.values[problem.servers[server_of], problem.clients[idx]]
+    d_sc = problem.server_client[server_of, idx]
 
     ss = problem.server_server
     finite_out = np.where(np.isfinite(l_out), l_out, -np.inf)
@@ -181,7 +179,7 @@ def average_interaction_path_length(assignment: Assignment) -> float:
     n = problem.n_clients
     idx = np.arange(n)
     d_cs = problem.client_server[idx, server_of]
-    d_sc = problem.matrix.values[problem.servers[server_of], problem.clients[idx]]
+    d_sc = problem.server_client[server_of, idx]
     counts = np.bincount(server_of, minlength=problem.n_servers).astype(np.float64)
     sum_out = np.bincount(server_of, weights=d_cs, minlength=problem.n_servers)
     sum_in = np.bincount(server_of, weights=d_sc, minlength=problem.n_servers)
@@ -213,7 +211,7 @@ def max_interaction_path_length_bruteforce(assignment: Assignment) -> float:
     server_of = assignment.server_of
     idx = np.arange(problem.n_clients)
     d_cs = problem.client_server[idx, server_of]
-    d_sc = problem.matrix.values[problem.servers[server_of], problem.clients[idx]]
+    d_sc = problem.server_client[server_of, idx]
     ss = problem.server_server[np.ix_(server_of, server_of)]
     totals = d_cs[:, None] + ss + d_sc[None, :]
     return float(totals.max())
@@ -234,7 +232,7 @@ def per_client_interactivity(assignment: Assignment) -> np.ndarray:
     server_of = assignment.server_of
     idx = np.arange(problem.n_clients)
     d_cs = problem.client_server[idx, server_of]
-    d_sc = problem.matrix.values[problem.servers[server_of], problem.clients[idx]]
+    d_sc = problem.server_client[server_of, idx]
     ss = problem.server_server
     finite_out = np.where(np.isfinite(l_out), l_out, -np.inf)
     finite_in = np.where(np.isfinite(l_in), l_in, -np.inf)

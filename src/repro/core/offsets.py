@@ -159,9 +159,7 @@ class OffsetSchedule:
 
         # (ii): d(s_A(c), c) + Δ_{c, s_A(c)} <= 0. With client offsets 0,
         # Δ_{c, s} = -Δ_{s, c} = -server_offsets[s].
-        d_home_c = problem.matrix.values[
-            problem.servers[server_of], problem.clients[idx]
-        ]
+        d_home_c = problem.server_client[server_of, idx]
         slack_ii = d_home_c - self._server_offsets[server_of]
         worst_ii = float(slack_ii.max())
 

@@ -41,10 +41,18 @@ from repro.datasets.mit_king import (
     load_mit_king_file,
     synthesize_mit_like,
 )
+from repro.datasets.planet import (
+    PlanetInstance,
+    coreset_cell_size_hint,
+    planet_instance,
+)
 from repro.datasets.synthetic import InternetLatencyModel
 
 __all__ = [
     "InternetLatencyModel",
+    "PlanetInstance",
+    "planet_instance",
+    "coreset_cell_size_hint",
     "MeasurementCampaign",
     "simulate_king_measurements",
     "measurement_error_report",

@@ -279,6 +279,19 @@ class BadRequestError(ProtocolError):
     code = "bad-request"
 
 
+class ScaleBoundError(ReproError):
+    """The coreset expansion bound was violated.
+
+    :func:`repro.scale.pipeline.solve_at_scale` re-checks
+    ``D_expanded <= D_reduced + 2 * epsilon`` on every run; a violation
+    means the coreset invariant itself is broken (an internal bug, not
+    a bad solve), so it raises rather than returning a result that
+    silently voids the guarantee.
+    """
+
+    code = "scale-bound-violated"
+
+
 def _collect_codes() -> Dict[str, Type[ReproError]]:
     codes: Dict[str, Type[ReproError]] = {}
     stack = [ReproError]

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Tuple
 
+import numpy as np
+
 from repro.algorithms.online import OnlineAssignmentManager
 from repro.core.incremental import count_evaluations
 from repro.errors import FailoverError, InvalidParameterError
@@ -255,11 +257,19 @@ class FailoverController:
             return ()
         # Shed the farthest clients: they inflate the degraded D most
         # and are the least likely to find a nearby surviving slot.
-        d = manager.matrix.values
+        # Provider block calls keep this dense-free.
+        members = np.asarray(manager.members_of(server), dtype=np.int64)
         node = manager.server_nodes[server]
+        node_arr = np.array([node], dtype=np.int64)
+        to_node = manager.matrix.client_server_distances(members, node_arr)
+        from_node = manager.matrix.server_client_distances(node_arr, members)
+        round_trip = {
+            int(c): max(float(to_node[i, 0]), float(from_node[0, i]))
+            for i, c in enumerate(members)
+        }
         victims = sorted(
             manager.members_of(server),
-            key=lambda c: (-max(d[c, node], d[node, c]), c),
+            key=lambda c: (-round_trip[c], c),
         )[:overflow]
         for client in victims:
             manager.leave(client)

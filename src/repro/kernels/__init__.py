@@ -11,7 +11,11 @@ heuristic's candidate scoring through four hot loops:
   completions with their top-2 contributors;
 - **topk_select** — top-k farthest-client selection used by the lazy
   per-server list rebuilds;
-- **objective_refresh** — the O(|S_used|^2) lazy recomputation of D.
+- **objective_refresh** — the O(|S_used|^2) lazy recomputation of D;
+- **weighted_loads** — per-server total client weight for capacity
+  masking on weighted (coreset super-client) instances. Integer
+  arithmetic, so its backend parity is exact rather than bit-of-float
+  identical.
 
 Two interchangeable implementations exist:
 
@@ -63,6 +67,7 @@ KERNEL_NAMES: Tuple[str, ...] = (
     "reduction_top2",
     "topk_select",
     "objective_refresh",
+    "weighted_loads",
 )
 
 _NUMBA_AVAILABLE: Optional[bool] = None
@@ -115,6 +120,7 @@ class KernelSuite:
         "reduction_top2",
         "topk_select",
         "objective_refresh",
+        "weighted_loads",
     )
 
     def __init__(self, name: str, module, *, instrument: bool = True) -> None:

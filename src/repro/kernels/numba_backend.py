@@ -140,6 +140,20 @@ def topk_select(dists, k):
 
 
 @njit(cache=True)
+def weighted_loads(server_of, weights, n_servers):
+    """Per-server total client weight (see the numpy twin's docs).
+
+    Pure integer arithmetic, so backend parity is exact equality.
+    """
+    loads = np.zeros(n_servers, np.int64)
+    for i in range(server_of.shape[0]):
+        s = server_of[i]
+        if s >= 0:
+            loads[s] += weights[i]
+    return loads
+
+
+@njit(cache=True)
 def move_context(
     ss,
     l_out,

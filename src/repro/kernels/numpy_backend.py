@@ -86,6 +86,23 @@ def topk_select(dists: np.ndarray, k: int) -> Tuple[np.ndarray, float]:
     return order, bound
 
 
+def weighted_loads(
+    server_of: np.ndarray, weights: np.ndarray, n_servers: int
+) -> np.ndarray:
+    """Per-server total client weight (int64-exact scatter-add).
+
+    ``server_of`` uses ``-1`` for unassigned clients, which contribute
+    nothing. Weighted instances (the coreset layer's super-clients)
+    consult these loads for capacity masking; member *counts* stay in
+    the engine's separate ``loads`` array.
+    """
+    loads = np.zeros(n_servers, dtype=np.int64)
+    assigned = server_of >= 0
+    if assigned.any():
+        np.add.at(loads, server_of[assigned], weights[assigned])
+    return loads
+
+
 def move_context(
     ss: np.ndarray,
     l_out: np.ndarray,

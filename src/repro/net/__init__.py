@@ -35,6 +35,7 @@ from repro.net.jitter import (
     percentile_matrix,
 )
 from repro.net.latency import LatencyMatrix, TriangleInequalityReport
+from repro.net.provider import CoordinateProvider, LatencyProvider, provider_name
 from repro.net.routing import all_pairs_shortest_paths, dijkstra
 from repro.net.topology import (
     approx_ratio_gadget,
@@ -59,6 +60,9 @@ __all__ = [
     "embed_latencies",
     "LatencyMatrix",
     "TriangleInequalityReport",
+    "LatencyProvider",
+    "CoordinateProvider",
+    "provider_name",
     "NetworkGraph",
     "dijkstra",
     "all_pairs_shortest_paths",

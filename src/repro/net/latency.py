@@ -399,6 +399,12 @@ class LatencyMatrix:
         """The ``(len(clients), len(servers))`` slice ``d[c, s]``."""
         return self._d[np.ix_(np.asarray(clients), np.asarray(servers))]
 
+    def server_client_distances(
+        self, servers: np.ndarray, clients: np.ndarray
+    ) -> np.ndarray:
+        """The ``(len(servers), len(clients))`` slice ``d[s, c]``."""
+        return self._d[np.ix_(np.asarray(servers), np.asarray(clients))]
+
     def server_server_distances(self, servers: np.ndarray) -> np.ndarray:
         """The ``(len(servers), len(servers))`` slice ``d[s, s']``."""
         s = np.asarray(servers)

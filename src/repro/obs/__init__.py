@@ -53,6 +53,12 @@ from repro.obs.metrics import (
     set_registry,
     use_registry,
 )
+from repro.obs.memory import (
+    PEAK_RSS_GAUGE,
+    format_bytes,
+    peak_rss_bytes,
+    record_peak_rss,
+)
 from repro.obs.report import TraceSummary, render_summary, summarize, summarize_file
 from repro.obs.sink import (
     NULL_SINK,
@@ -126,4 +132,9 @@ __all__ = [
     # timing
     "Stopwatch",
     "timed",
+    # memory
+    "PEAK_RSS_GAUGE",
+    "peak_rss_bytes",
+    "record_peak_rss",
+    "format_bytes",
 ]

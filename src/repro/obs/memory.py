@@ -1,0 +1,68 @@
+"""Process memory accounting for the observability layer.
+
+The scale pipeline's whole point is bounded memory — a million-client
+solve must never materialize a dense ``|C| x |S|`` block — so the
+telemetry has to be able to *show* that. :func:`peak_rss_bytes` reads
+the kernel's high-water mark for the process (``ru_maxrss``; monotone,
+so it captures the worst transient even if the allocation is already
+freed) and :func:`record_peak_rss` snapshots it into the metrics
+registry as the ``process.peak_rss_bytes`` gauge, which the CLI records
+at the end of every run and ``repro obs`` renders in its memory
+section alongside the ``provider.coordinate.*`` row-synthesis counters.
+
+Everything here is read-only introspection: recording memory telemetry
+never changes results.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, registry
+
+#: Gauge name under which :func:`record_peak_rss` publishes the value.
+PEAK_RSS_GAUGE = "process.peak_rss_bytes"
+
+
+def peak_rss_bytes() -> int:
+    """The process's peak resident set size, in bytes.
+
+    Uses ``resource.getrusage`` where available (Linux reports
+    ``ru_maxrss`` in KiB, macOS in bytes — normalized here). Returns 0
+    on platforms without the ``resource`` module (Windows) rather than
+    failing: memory telemetry is best-effort by design.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return int(peak)
+    return int(peak) * 1024
+
+
+def record_peak_rss(metrics: Optional[MetricsRegistry] = None) -> int:
+    """Snapshot the current peak RSS into the metrics registry.
+
+    Sets the :data:`PEAK_RSS_GAUGE` gauge on ``metrics`` (the ambient
+    registry by default) and returns the recorded byte count.
+    """
+    value = peak_rss_bytes()
+    (metrics if metrics is not None else registry()).gauge(
+        PEAK_RSS_GAUGE
+    ).set(value)
+    return value
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count (``1.50 GiB`` style)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    return f"{value:.2f} TiB"  # pragma: no cover - unreachable

@@ -243,6 +243,33 @@ def _kernel_lines(metrics: Snapshot) -> List[str]:
     return lines
 
 
+def _memory_lines(metrics: Snapshot) -> List[str]:
+    """The memory section: peak RSS plus provider row-synthesis work.
+
+    ``process.peak_rss_bytes`` is the gauge :func:`repro.obs.memory.
+    record_peak_rss` snapshots at the end of every CLI run; the
+    ``provider.coordinate.*`` counters say how many latency rows were
+    synthesized on demand instead of read from a dense matrix — the
+    scale pipeline's evidence that no ``|C| x |S|`` block ever existed.
+    """
+    from repro.obs.memory import PEAK_RSS_GAUGE, format_bytes
+
+    lines: List[str] = []
+    peak = metrics.get("gauges", {}).get(PEAK_RSS_GAUGE)
+    if peak is not None:
+        lines.append(f"  peak RSS: {format_bytes(peak)}")
+    counters = metrics.get("counters", {})
+    calls = counters.get("provider.coordinate.calls")
+    if calls:
+        rows = counters.get("provider.coordinate.rows", 0)
+        elements = counters.get("provider.coordinate.elements", 0)
+        lines.append(
+            f"  coordinate provider: {int(calls)} block calls, "
+            f"{int(rows)} rows, {int(elements)} elements synthesized"
+        )
+    return lines
+
+
 def render_summary(summary: TraceSummary) -> str:
     """Human-readable report of a :class:`TraceSummary`."""
     lines = [
@@ -268,6 +295,11 @@ def render_summary(summary: TraceSummary) -> str:
         lines.append("")
         lines.append("kernel timing (per backend):")
         lines.extend(kernel_lines)
+    memory_lines = _memory_lines(summary.metrics)
+    if memory_lines:
+        lines.append("")
+        lines.append("memory:")
+        lines.extend(memory_lines)
     metric_lines = _metric_lines(summary.metrics)
     if metric_lines:
         lines.append("")

@@ -29,9 +29,13 @@ from repro.parallel.pool import (
     successful_values,
 )
 from repro.parallel.shm import (
+    PublishedArray,
     PublishedMatrix,
+    SharedArrayHandle,
     SharedMatrixHandle,
+    attach_array,
     attach_matrix,
+    publish_array,
     publish_matrix,
     shared_memory_available,
 )
@@ -50,9 +54,13 @@ __all__ = [
     "instance_cache",
     "cache_stats_snapshot",
     "PLACEMENT_STRATEGIES",
+    "PublishedArray",
     "PublishedMatrix",
+    "SharedArrayHandle",
     "SharedMatrixHandle",
+    "publish_array",
     "publish_matrix",
+    "attach_array",
     "attach_matrix",
     "shared_memory_available",
 ]

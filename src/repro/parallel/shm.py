@@ -1,26 +1,31 @@
-"""Zero-copy latency-matrix sharing for worker processes.
+"""Zero-copy array sharing for worker processes.
 
 A profile-scale latency matrix is ``n_nodes x n_nodes`` of ``float64``
 — ~25 MB at the paper's 1796 nodes (half that as ``float32``; both
 dtypes publish unchanged). Pickling it into every trial task
 would dominate the cost of small trials and defeat the point of a
-process pool. Instead the parent publishes the matrix **once** into
+process pool. Instead the parent publishes the array **once** into
 POSIX shared memory (:mod:`multiprocessing.shared_memory`) and ships
-only a tiny :class:`SharedMatrixHandle`; workers attach a read-only
-NumPy view and wrap it with
-:meth:`~repro.net.latency.LatencyMatrix.wrap_readonly` — no copy, no
-re-validation.
+only a tiny handle; workers attach a read-only NumPy view — no copy,
+no re-validation.
+
+The generic layer is :func:`publish_array` / :func:`attach_array`,
+which share any contiguous ndarray (the scale pipeline uses it for
+reduced coreset matrices and coordinate tables). The historical
+matrix-shaped API — :func:`publish_matrix` / :func:`attach_matrix`
+returning :class:`~repro.net.latency.LatencyMatrix` views — is a thin
+veneer over it and keeps its exact semantics.
 
 Lifecycle contract
 ------------------
 
-- :func:`publish_matrix` returns a :class:`PublishedMatrix` context
+- :func:`publish_array` / :func:`publish_matrix` return a context
   manager owning the segment. The **publisher** is responsible for
   ``unlink()``; leaving the ``with`` block (or calling ``close()``)
   always unlinks, even on ``KeyboardInterrupt``.
-- Workers attach via :func:`attach_matrix` and cache the attachment
-  per process (keyed by segment name), so a worker maps each segment
-  once no matter how many trials it runs.
+- Workers attach via :func:`attach_array` / :func:`attach_matrix` and
+  cache the attachment per process (keyed by segment name), so a
+  worker maps each segment once no matter how many trials it runs.
 - When shared memory is unavailable (exotic platforms, permission-
   restricted ``/dev/shm``), publishing transparently degrades to an
   **inline** handle that carries the array bytes and is pickled per
@@ -43,18 +48,17 @@ except ImportError:  # pragma: no cover
 
 
 @dataclass(frozen=True)
-class SharedMatrixHandle:
-    """A picklable descriptor of a published latency matrix.
+class SharedArrayHandle:
+    """A picklable descriptor of a published ndarray.
 
     Either ``shm_name`` is set (shared-memory mode) or ``inline`` holds
     the raw array bytes (fallback mode). ``shape`` is always present so
-    attachment never trusts the segment size alone, and ``dtype``
-    (``"float64"`` / ``"float32"``; a string so handles stay cheaply
-    picklable) records the element type — float32 halves the segment
-    size at |C| >= 50k scale.
+    attachment never trusts the segment size alone, and ``dtype`` is a
+    numpy dtype *name* string (``"float64"``, ``"int64"``, ...) so
+    handles stay cheaply picklable.
     """
 
-    shape: Tuple[int, int]
+    shape: Tuple[int, ...]
     shm_name: Optional[str] = None
     inline: Optional[bytes] = field(default=None, repr=False)
     dtype: str = "float64"
@@ -71,31 +75,43 @@ class SharedMatrixHandle:
 
     @property
     def nbytes(self) -> int:
-        """Size of the published matrix in bytes."""
+        """Size of the published array in bytes."""
         return int(np.prod(self.shape)) * self.np_dtype.itemsize
 
 
-class PublishedMatrix:
-    """A latency matrix published for worker consumption.
+@dataclass(frozen=True)
+class SharedMatrixHandle(SharedArrayHandle):
+    """A :class:`SharedArrayHandle` specialized to 2-D latency matrices.
+
+    Kept as its own type so matrix consumers
+    (:func:`attach_matrix`) stay self-documenting; the layout and
+    pickle format are exactly the base class's.
+    """
+
+    shape: Tuple[int, int] = (0, 0)
+
+
+class PublishedArray:
+    """An ndarray published for worker consumption.
 
     Context manager; owns the shared-memory segment (when one exists)
-    and guarantees ``close()``/``unlink()`` on exit. The original
-    :class:`~repro.net.latency.LatencyMatrix` is kept so in-process
-    (serial backend) consumers skip attachment entirely.
+    and guarantees ``close()``/``unlink()`` on exit. The original array
+    is kept so in-process (serial backend) consumers skip attachment
+    entirely.
     """
 
     def __init__(
         self,
-        matrix: LatencyMatrix,
-        handle: SharedMatrixHandle,
+        array: np.ndarray,
+        handle: SharedArrayHandle,
         segment: Optional["_shared_memory.SharedMemory"],
     ) -> None:
-        self.matrix = matrix
+        self.array = array
         self.handle = handle
         self._segment = segment
         self._closed = False
 
-    def __enter__(self) -> "PublishedMatrix":
+    def __enter__(self) -> "PublishedArray":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -122,6 +138,23 @@ class PublishedMatrix:
             pass
 
 
+class PublishedMatrix(PublishedArray):
+    """A latency matrix published for worker consumption.
+
+    Adds the original :class:`~repro.net.latency.LatencyMatrix` on top
+    of :class:`PublishedArray` so serial consumers can use it directly.
+    """
+
+    def __init__(
+        self,
+        matrix: LatencyMatrix,
+        handle: SharedMatrixHandle,
+        segment: Optional["_shared_memory.SharedMemory"],
+    ) -> None:
+        super().__init__(matrix.values, handle, segment)
+        self.matrix = matrix
+
+
 def shared_memory_available() -> bool:
     """Whether POSIX shared memory can actually be used here."""
     if _shared_memory is None:
@@ -135,17 +168,12 @@ def shared_memory_available() -> bool:
     return True
 
 
-def publish_matrix(
-    matrix: LatencyMatrix, *, prefer_shared: bool = True
-) -> PublishedMatrix:
-    """Publish ``matrix`` for zero-copy consumption by workers.
-
-    Falls back to an inline (pickled-bytes) handle when shared memory
-    is unavailable or ``prefer_shared=False``.
-    """
-    values = matrix.values
-    shape = (int(values.shape[0]), int(values.shape[1]))
-    dtype_name = values.dtype.name  # "float64" or "float32"
+def _publish(
+    values: np.ndarray, *, prefer_shared: bool
+) -> Tuple[SharedArrayHandle, Optional["_shared_memory.SharedMemory"]]:
+    """Stage ``values`` into a fresh segment (or an inline handle)."""
+    shape = tuple(int(s) for s in values.shape)
+    dtype_name = values.dtype.name
     if prefer_shared and _shared_memory is not None:
         try:
             segment = _shared_memory.SharedMemory(
@@ -156,25 +184,62 @@ def publish_matrix(
         if segment is not None:
             staged = np.ndarray(shape, dtype=values.dtype, buffer=segment.buf)
             staged[:] = values
-            handle = SharedMatrixHandle(
-                shape=shape, shm_name=segment.name, dtype=dtype_name
+            return (
+                SharedArrayHandle(
+                    shape=shape, shm_name=segment.name, dtype=dtype_name
+                ),
+                segment,
             )
-            return PublishedMatrix(matrix, handle, segment)
-    handle = SharedMatrixHandle(
-        shape=shape,
-        inline=np.ascontiguousarray(values).tobytes(),
-        dtype=dtype_name,
+    return (
+        SharedArrayHandle(
+            shape=shape,
+            inline=np.ascontiguousarray(values).tobytes(),
+            dtype=dtype_name,
+        ),
+        None,
     )
-    return PublishedMatrix(matrix, handle, None)
+
+
+def publish_array(
+    array: np.ndarray, *, prefer_shared: bool = True
+) -> PublishedArray:
+    """Publish an ndarray for zero-copy consumption by workers.
+
+    Falls back to an inline (pickled-bytes) handle when shared memory
+    is unavailable or ``prefer_shared=False``.
+    """
+    values = np.asarray(array)
+    handle, segment = _publish(values, prefer_shared=prefer_shared)
+    return PublishedArray(values, handle, segment)
+
+
+def publish_matrix(
+    matrix: LatencyMatrix, *, prefer_shared: bool = True
+) -> PublishedMatrix:
+    """Publish a latency matrix for zero-copy consumption by workers.
+
+    Falls back to an inline (pickled-bytes) handle when shared memory
+    is unavailable or ``prefer_shared=False``.
+    """
+    values = matrix.values
+    base, segment = _publish(values, prefer_shared=prefer_shared)
+    handle = SharedMatrixHandle(
+        shape=(int(values.shape[0]), int(values.shape[1])),
+        shm_name=base.shm_name,
+        inline=base.inline,
+        dtype=base.dtype,
+    )
+    return PublishedMatrix(matrix, handle, segment)
 
 
 # ----------------------------------------------------------------------
 # Worker-side attachment
 # ----------------------------------------------------------------------
-#: Per-process attachment cache: segment name -> (segment, matrix).
-#: Keeping the segment object alive keeps the mapping alive; entries
-#: live until the worker process exits.
-_ATTACHMENTS: Dict[str, Tuple[object, LatencyMatrix]] = {}
+#: Per-process attachment cache: key -> (lifetime anchor, attached
+#: object). Anchoring the segment object keeps the mapping alive;
+#: entries live until the worker process exits. Arrays and matrices
+#: use disjoint key namespaces so one segment can serve both views.
+_ATTACHMENTS: Dict[str, Tuple[object, object]] = {}
 
 
 def _attach_segment(name: str) -> "_shared_memory.SharedMemory":
@@ -208,37 +273,64 @@ def _attach_segment(name: str) -> "_shared_memory.SharedMemory":
         resource_tracker.register = original
 
 
-def attach_matrix(handle: SharedMatrixHandle) -> LatencyMatrix:
-    """Materialize a published matrix in this process.
-
-    Shared handles attach a read-only view (cached per process);
-    inline handles rebuild the array from bytes (cached as well, since
-    chunked scheduling can deliver the same handle many times).
-    """
+def _attach_values(handle: SharedArrayHandle, namespace: str) -> Tuple[str, np.ndarray, object]:
+    """Attach a handle's bytes, returning ``(cache key, view, anchor)``."""
     if handle.shm_name is None:
         if handle.inline is None:
             raise ValueError("handle carries neither a segment nor inline data")
-        key = f"inline-{id(handle.inline)}-{handle.shape}-{handle.dtype}"
-        cached = _ATTACHMENTS.get(key)
-        if cached is not None:
-            return cached[1]
+        key = (
+            f"{namespace}-inline-{id(handle.inline)}"
+            f"-{handle.shape}-{handle.dtype}"
+        )
         values = np.frombuffer(handle.inline, dtype=handle.np_dtype).reshape(
             handle.shape
         )
         values.setflags(write=False)
-        matrix = LatencyMatrix.wrap_readonly(values)
-        _ATTACHMENTS[key] = (handle.inline, matrix)
-        return matrix
-    cached = _ATTACHMENTS.get(handle.shm_name)
-    if cached is not None:
-        return cached[1]
+        return key, values, handle.inline
     if _shared_memory is None:  # pragma: no cover - guarded by publish
         raise RuntimeError("shared memory unavailable in this process")
+    key = f"{namespace}-{handle.shm_name}"
     segment = _attach_segment(handle.shm_name)
-    values: np.ndarray = np.ndarray(
-        handle.shape, dtype=handle.np_dtype, buffer=segment.buf
-    )
+    values = np.ndarray(handle.shape, dtype=handle.np_dtype, buffer=segment.buf)
     values.setflags(write=False)
+    return key, values, segment
+
+
+def attach_array(handle: SharedArrayHandle) -> np.ndarray:
+    """Materialize a published ndarray in this process (read-only view).
+
+    Shared handles attach a read-only view (cached per process); inline
+    handles rebuild the array from bytes (cached as well, since chunked
+    scheduling can deliver the same handle many times).
+    """
+    probe_keys = (
+        f"array-{handle.shm_name}"
+        if handle.shm_name is not None
+        else f"array-inline-{id(handle.inline)}-{handle.shape}-{handle.dtype}"
+    )
+    cached = _ATTACHMENTS.get(probe_keys)
+    if cached is not None:
+        return cached[1]
+    key, values, anchor = _attach_values(handle, "array")
+    _ATTACHMENTS[key] = (anchor, values)
+    return values
+
+
+def attach_matrix(handle: SharedMatrixHandle) -> LatencyMatrix:
+    """Materialize a published matrix in this process.
+
+    Same caching rules as :func:`attach_array`, plus a zero-copy
+    :meth:`~repro.net.latency.LatencyMatrix.wrap_readonly` wrapper.
+    """
+    probe_key = (
+        f"matrix-{handle.shm_name}"
+        if handle.shm_name is not None
+        else f"matrix-inline-{id(handle.inline)}-{handle.shape}-{handle.dtype}"
+    )
+    cached = _ATTACHMENTS.get(probe_key)
+    if cached is not None:
+        return cached[1]
+    key, values, anchor = _attach_values(handle, "matrix")
     matrix = LatencyMatrix.wrap_readonly(values)
-    _ATTACHMENTS[handle.shm_name] = (segment, matrix)
+    _ATTACHMENTS[key] = (anchor, matrix)
     return matrix

@@ -1,0 +1,46 @@
+"""Million-client scaling layer: coresets, pipelines, region shards.
+
+The paper's heuristics are O(|C| |S|) and beyond in time but — more
+restrictively — O(|C| |S|) in *memory* through the dense distance views
+every :class:`~repro.core.problem.ClientAssignmentProblem` precomputes.
+This package breaks that barrier in three composable stages:
+
+- :mod:`repro.scale.coreset` — collapse clients with near-identical
+  latency profiles into weighted **super-clients**, with an explicit
+  additive quality bound: the expanded assignment's D exceeds the
+  reduced instance's D by at most ``2 * epsilon`` (Coreset.epsilon, the
+  achieved profile deviation — test-enforced).
+- :mod:`repro.scale.pipeline` — :func:`~repro.scale.pipeline.solve_at_scale`
+  chains coreset → reduced solve (any registered algorithm) → expansion
+  back to every client, evaluating the exact expanded D in O(|S|^2)
+  memory by streaming clients in chunks. Combined with a
+  :class:`~repro.net.provider.CoordinateProvider`, a 10^6-client
+  instance solves end to end without ever allocating a dense
+  ``|C| x |S|`` block.
+- :mod:`repro.scale.sharded` — a region-sharded online manager routing
+  joins/leaves to per-shard
+  :class:`~repro.algorithms.online.OnlineAssignmentManager` instances
+  and recovering the exact global D by merging per-shard farthest-client
+  vectors.
+
+See ``docs/scaling.md`` for the guarantees and the deployment model.
+"""
+
+from repro.scale.coreset import Coreset, build_coreset
+from repro.scale.pipeline import (
+    ScaleResult,
+    expanded_objective,
+    publish_reduced_views,
+    solve_at_scale,
+)
+from repro.scale.sharded import ShardedOnlineManager
+
+__all__ = [
+    "Coreset",
+    "build_coreset",
+    "ScaleResult",
+    "solve_at_scale",
+    "expanded_objective",
+    "publish_reduced_views",
+    "ShardedOnlineManager",
+]

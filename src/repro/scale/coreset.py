@@ -1,0 +1,204 @@
+"""Client coresets: weighted super-clients with an additive D bound.
+
+The objective D is a *maximum* over client pairs, so two clients whose
+latency profiles — the ``2|S|`` vector of distances to and from every
+server — differ by at most ``epsilon`` per coordinate are exchangeable
+up to ``epsilon`` per path leg. Grid-quantizing profiles at cell size
+``cell_size`` groups such clients; keeping one **representative** per
+occupied cell with the cell population as its integer weight yields a
+reduced instance whose size depends on the latency geometry, not on
+|C|.
+
+**Guarantee.** Let ``eps`` be the *achieved* deviation
+(:attr:`Coreset.epsilon`): the maximum over clients ``c`` and servers
+``s`` of ``|d(c, s) - d(rep(c), s)|`` and ``|d(s, c) - d(s, rep(c))|``.
+Expanding a reduced assignment by giving every client its
+representative's server changes each interaction path's two client legs
+by at most ``eps`` each, hence::
+
+    D_expanded <= D_reduced + 2 * eps
+
+(``tests/scale/test_coreset.py`` enforces this on random instances;
+``eps < cell_size`` always holds since cell-mates share every floor
+bucket.)
+
+Construction is **chunked**: profiles are synthesized
+``chunk_size`` clients at a time through the
+:class:`~repro.net.provider.LatencyProvider` views, so peak memory is
+O(chunk_size · |S| + |R| · |S|) — a million clients never materialize a
+dense ``|C| x |S|`` block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.net.provider import LatencyProvider
+from repro.obs.metrics import registry
+from repro.types import IndexArrayLike, as_index_array
+
+#: Default number of clients whose profiles are synthesized per chunk.
+DEFAULT_CHUNK_SIZE = 65536
+
+
+@dataclass(frozen=True)
+class Coreset:
+    """A weighted reduction of a client set (see module docs).
+
+    ``representatives[g]`` is the *node id* of group ``g``'s
+    representative; ``labels[i]`` maps input client ``i`` (positional,
+    in the order the client nodes were given) to its group;
+    ``weights[g]`` counts the group's members. ``epsilon`` is the
+    achieved per-coordinate profile deviation — the quantity the
+    ``D_expanded <= D_reduced + 2 * epsilon`` bound is stated in —
+    and ``cell_size`` the quantization cell it was built with
+    (``epsilon < cell_size`` by construction).
+    """
+
+    representatives: np.ndarray
+    weights: np.ndarray
+    labels: np.ndarray
+    epsilon: float
+    cell_size: float
+
+    def __post_init__(self) -> None:
+        for name in ("representatives", "weights", "labels"):
+            getattr(self, name).setflags(write=False)
+
+    @property
+    def n_clients(self) -> int:
+        """Number of input clients."""
+        return int(self.labels.size)
+
+    @property
+    def n_representatives(self) -> int:
+        """Number of super-clients in the reduced instance."""
+        return int(self.representatives.size)
+
+    @property
+    def reduction_ratio(self) -> float:
+        """``|C| / |R|`` — how many clients one super-client stands for."""
+        return self.n_clients / max(1, self.n_representatives)
+
+    def expand(self, server_of_representatives: np.ndarray) -> np.ndarray:
+        """Expand a reduced assignment to all clients.
+
+        ``server_of_representatives[g]`` is group ``g``'s server (any
+        index space); every member inherits its representative's server.
+        """
+        server_of = np.asarray(server_of_representatives)
+        if server_of.shape != (self.n_representatives,):
+            raise InvalidParameterError(
+                f"expected one server per representative "
+                f"({self.n_representatives}), got shape {server_of.shape}"
+            )
+        return server_of[self.labels]
+
+    def __repr__(self) -> str:
+        return (
+            f"Coreset({self.n_clients} clients -> "
+            f"{self.n_representatives} representatives, "
+            f"epsilon={self.epsilon:.4g})"
+        )
+
+
+def build_coreset(
+    provider: LatencyProvider,
+    servers: IndexArrayLike,
+    clients: IndexArrayLike,
+    *,
+    cell_size: float,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Coreset:
+    """Group ``clients`` into weighted super-clients (see module docs).
+
+    ``cell_size`` is the quantization grid pitch in latency units (ms
+    for the bundled data sets): clients whose profiles fall in the same
+    grid cell collapse into one representative — the first member
+    encountered, so the construction is deterministic in the client
+    order. The achieved :attr:`Coreset.epsilon` is measured, not
+    assumed, and is strictly below ``cell_size``.
+    """
+    if not (np.isfinite(cell_size) and cell_size > 0):
+        raise InvalidParameterError(
+            f"cell_size must be positive, got {cell_size}"
+        )
+    if chunk_size < 1:
+        raise InvalidParameterError(
+            f"chunk_size must be >= 1, got {chunk_size}"
+        )
+    server_arr = as_index_array(servers, "servers")
+    client_arr = as_index_array(clients, "clients")
+    if client_arr.size == 0:
+        raise InvalidParameterError("need at least one client")
+
+    #: quantized-profile bytes -> group index
+    groups: Dict[bytes, int] = {}
+    rep_nodes: list = []
+    rep_profiles: list = []
+    labels = np.empty(client_arr.size, dtype=np.int64)
+    epsilon = 0.0
+
+    for start in range(0, client_arr.size, chunk_size):
+        block = client_arr[start : start + chunk_size]
+        cs = provider.client_server_distances(block, server_arr)
+        sc = provider.server_client_distances(server_arr, block)
+        # (B, 2|S|) profiles in float64 so quantization cannot alias
+        # across dtypes.
+        profiles = np.concatenate(
+            [np.asarray(cs, dtype=np.float64),
+             np.asarray(sc, dtype=np.float64).T],
+            axis=1,
+        )
+        quantized = np.floor(profiles / cell_size).astype(np.int64)
+        # Dedup within the chunk first (one sort), then resolve each
+        # distinct cell against the global dictionary — the per-row
+        # Python cost scales with distinct cells, not clients.
+        # return_index points at the *first* chunk member of each cell,
+        # and iterating distinct cells by that first occurrence (not in
+        # np.unique's sorted-cell order) numbers new groups in global
+        # first-encounter order, keeping representatives, labels and
+        # weights identical to a naive one-pass scan for every
+        # chunk_size.
+        cells, first, inverse = np.unique(
+            quantized, axis=0, return_index=True, return_inverse=True
+        )
+        cell_to_group = np.empty(cells.shape[0], dtype=np.int64)
+        for j in np.argsort(first):
+            key = cells[j].tobytes()
+            group = groups.get(key)
+            if group is None:
+                group = len(rep_nodes)
+                groups[key] = group
+                member = int(first[j])
+                rep_nodes.append(int(block[member]))
+                rep_profiles.append(profiles[member])
+            cell_to_group[j] = group
+        chunk_labels = cell_to_group[inverse.reshape(-1)]
+        labels[start : start + block.size] = chunk_labels
+        # Achieved deviation, vectorized per chunk: every member against
+        # its representative's profile.
+        reps = np.asarray(rep_profiles)
+        deviation = np.abs(profiles - reps[chunk_labels]).max(initial=0.0)
+        epsilon = max(epsilon, float(deviation))
+
+    representatives = np.asarray(rep_nodes, dtype=np.int64)
+    weights = np.bincount(labels, minlength=representatives.size).astype(
+        np.int64
+    )
+    metrics = registry()
+    metrics.counter("scale.coreset.clients").inc(int(client_arr.size))
+    metrics.counter("scale.coreset.representatives").inc(
+        int(representatives.size)
+    )
+    return Coreset(
+        representatives=representatives,
+        weights=weights,
+        labels=labels,
+        epsilon=epsilon,
+        cell_size=float(cell_size),
+    )

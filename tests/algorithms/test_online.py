@@ -233,3 +233,60 @@ class TestChurnEdgeCases:
         assert manager.rebalance(max_moves=0) == 0
         assert {c: manager.server_of(c) for c in manager.clients} == before
         assert manager.current_d() == pytest.approx(d_before)
+
+
+class TestRestrictedClientUniverse:
+    """client_nodes= restricts the joinable universe (the sharding hook)."""
+
+    @pytest.fixture
+    def universe(self, matrix):
+        return np.array([2, 3, 11, 17, 29, 41], dtype=np.int64)
+
+    @pytest.fixture
+    def restricted(self, matrix, servers, universe):
+        return OnlineAssignmentManager(
+            matrix, servers, client_nodes=universe
+        )
+
+    def test_universe_is_reported(self, restricted, universe):
+        assert np.array_equal(restricted.client_nodes, universe)
+
+    def test_default_universe_is_none(self, manager):
+        assert manager.client_nodes is None
+
+    def test_members_of_universe_join_normally(self, restricted, universe):
+        for node in universe:
+            server = restricted.join(int(node))
+            assert 0 <= server < restricted.n_servers
+        assert restricted.clients == tuple(sorted(int(n) for n in universe))
+
+    def test_outside_node_rejected(self, restricted):
+        with pytest.raises(InvalidAssignmentError):
+            restricted.join(4)  # valid node, not in the universe
+        with pytest.raises(InvalidAssignmentError):
+            restricted.leave(4)
+
+    def test_decisions_match_unrestricted_manager(
+        self, matrix, servers, universe
+    ):
+        """Restricting the universe must not change placement decisions
+        for nodes inside it — same matrix rows, same engine math."""
+        full = OnlineAssignmentManager(matrix, servers)
+        restricted = OnlineAssignmentManager(
+            matrix, servers, client_nodes=universe
+        )
+        for node in universe:
+            assert restricted.join(int(node)) == full.join(int(node))
+            assert restricted.current_d() == full.current_d()
+        restricted.leave(int(universe[0]))
+        full.leave(int(universe[0]))
+        assert restricted.current_d() == full.current_d()
+        assert restricted.verify()
+
+    def test_empty_universe_rejected(self, matrix, servers):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            OnlineAssignmentManager(
+                matrix, servers, client_nodes=np.array([], dtype=np.int64)
+            )

@@ -1,0 +1,145 @@
+"""Weighted instances: super-client loads and capacity gating.
+
+The coreset layer (``repro.scale``) hands the solver a reduced problem
+whose clients carry integer weights — each super-client stands for its
+cell population. These tests pin the weighted machinery on its own:
+the ``weighted_loads`` scatter-add kernel, the engine's weighted load
+tracking through apply/undo, and the weight-aware capacity mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClientAssignmentProblem
+from repro.core.incremental import IncrementalObjective
+from repro.datasets.synthetic import small_world_latencies
+from repro.errors import InvalidProblemError
+from repro.kernels.numpy_backend import weighted_loads
+
+
+class TestWeightedLoadsKernel:
+    def test_scatter_add(self):
+        server_of = np.array([0, 2, 0, 1, 2], dtype=np.int64)
+        weights = np.array([3, 1, 4, 1, 5], dtype=np.int64)
+        assert np.array_equal(
+            weighted_loads(server_of, weights, 3), [7, 1, 6]
+        )
+
+    def test_unassigned_contribute_nothing(self):
+        server_of = np.array([-1, 1, -1, 1], dtype=np.int64)
+        weights = np.array([100, 2, 100, 3], dtype=np.int64)
+        assert np.array_equal(
+            weighted_loads(server_of, weights, 2), [0, 5]
+        )
+
+    def test_all_unassigned(self):
+        server_of = np.full(4, -1, dtype=np.int64)
+        weights = np.ones(4, dtype=np.int64)
+        assert np.array_equal(weighted_loads(server_of, weights, 3), [0, 0, 0])
+
+    def test_int64_exact_at_large_weights(self):
+        server_of = np.zeros(3, dtype=np.int64)
+        weights = np.full(3, 2**40, dtype=np.int64)
+        assert weighted_loads(server_of, weights, 1)[0] == 3 * 2**40
+
+
+@pytest.fixture
+def weighted_problem():
+    matrix = small_world_latencies(20, seed=13)
+    servers = np.array([0, 7, 14], dtype=np.int64)
+    clients = np.array([1, 2, 3, 8, 9, 15, 16], dtype=np.int64)
+    weights = np.array([5, 1, 2, 8, 1, 3, 4], dtype=np.int64)
+    return ClientAssignmentProblem(
+        matrix, servers, clients=clients, client_weights=weights,
+        capacities=12,
+    )
+
+
+def test_problem_validates_weights():
+    matrix = small_world_latencies(10, seed=0)
+    servers = np.array([0, 5], dtype=np.int64)
+    clients = np.array([1, 2, 3], dtype=np.int64)
+    with pytest.raises(InvalidProblemError):
+        ClientAssignmentProblem(
+            matrix, servers, clients=clients,
+            client_weights=np.array([1, 2], dtype=np.int64),
+        )
+    with pytest.raises(InvalidProblemError):
+        ClientAssignmentProblem(
+            matrix, servers, clients=clients,
+            client_weights=np.array([1, 0, 2], dtype=np.int64),
+        )
+
+
+def test_engine_tracks_weighted_loads(weighted_problem):
+    weights = weighted_problem.client_weights
+    server_of = np.array([0, 0, 1, 1, 2, 2, 2], dtype=np.int64)
+    engine = IncrementalObjective(weighted_problem, server_of)
+    expected = weighted_loads(server_of, weights, 3)
+    assert np.array_equal(engine.weighted_loads, expected)
+    # Counts and weights are tracked separately.
+    assert np.array_equal(engine.loads, np.bincount(server_of, minlength=3))
+
+    engine.apply(0, 2)  # move the weight-5 client
+    server_of[0] = 2
+    assert np.array_equal(
+        engine.weighted_loads, weighted_loads(server_of, weights, 3)
+    )
+    engine.undo()
+    server_of[0] = 0
+    assert np.array_equal(
+        engine.weighted_loads, weighted_loads(server_of, weights, 3)
+    )
+
+
+def test_unweighted_weighted_loads_equal_counts():
+    matrix = small_world_latencies(12, seed=1)
+    servers = np.array([0, 6], dtype=np.int64)
+    clients = np.array([1, 2, 3, 7], dtype=np.int64)
+    problem = ClientAssignmentProblem(matrix, servers, clients=clients)
+    server_of = np.array([0, 1, 0, 1], dtype=np.int64)
+    engine = IncrementalObjective(problem, server_of)
+    assert np.array_equal(engine.weighted_loads, engine.loads)
+
+
+def test_capacity_mask_uses_weights_not_counts(weighted_problem):
+    """A destination is infeasible when *weighted* load + w would
+    overflow, even with only one resident client."""
+    weights = weighted_problem.client_weights
+    # Server 1 holds the weight-8 client alone; server 0 the rest but
+    # client 0 (weight 5) which sits on server 2.
+    server_of = np.array([2, 0, 0, 1, 0, 0, 0], dtype=np.int64)
+    engine = IncrementalObjective(weighted_problem, server_of)
+    scores = engine.batch_delta_D(0)
+    # Moving weight-5 client 0 onto server 1 (weighted load 8, cap 12)
+    # would need 13 > 12: masked. Server 0 holds 1+2+1+3+4 = 11, also
+    # masked (11 + 5 > 12). Its own home stays feasible.
+    assert np.isinf(scores[1])
+    assert np.isinf(scores[0])
+    assert np.isfinite(scores[2])
+    # The weight-1 client 1 fits on server 1 (8 + 1 <= 12).
+    assert np.isfinite(engine.batch_delta_D(1)[1])
+    assert weights[0] == 5 and weights[1] == 1  # fixture sanity
+
+
+def test_weighted_solve_respects_capacity():
+    from repro.algorithms import distributed_greedy
+
+    matrix = small_world_latencies(30, seed=3)
+    servers = np.array([0, 10, 20], dtype=np.int64)
+    mask = np.ones(30, dtype=bool)
+    mask[servers] = False
+    clients = np.flatnonzero(mask).astype(np.int64)
+    rng = np.random.default_rng(2)
+    weights = rng.integers(1, 4, size=clients.size).astype(np.int64)
+    total = int(weights.sum())
+    problem = ClientAssignmentProblem(
+        matrix, servers, clients=clients, client_weights=weights,
+        capacities=total,  # generous: always feasible
+    )
+    assignment = distributed_greedy(problem)
+    loads = weighted_loads(assignment.server_of, weights, servers.size)
+    assert int(loads.sum()) == total
+    assert np.all(loads <= total)

@@ -1,0 +1,79 @@
+"""Peak-RSS tracking and the trace report's memory section."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs import (
+    MetricsRegistry,
+    PEAK_RSS_GAUGE,
+    format_bytes,
+    peak_rss_bytes,
+    record_peak_rss,
+    use_registry,
+)
+from repro.obs.report import render_summary, summarize
+
+
+def test_peak_rss_is_positive_where_resource_exists():
+    rss = peak_rss_bytes()
+    if sys.platform.startswith(("linux", "darwin")):
+        # A Python process has resident megabytes at minimum.
+        assert rss > 1024 * 1024
+    else:
+        assert rss >= 0
+
+
+def test_record_peak_rss_sets_the_gauge():
+    metrics = MetricsRegistry()
+    value = record_peak_rss(metrics)
+    assert value == metrics.snapshot()["gauges"][PEAK_RSS_GAUGE]
+    assert value == peak_rss_bytes()
+
+
+def test_record_peak_rss_defaults_to_ambient_registry():
+    metrics = MetricsRegistry()
+    with use_registry(metrics):
+        value = record_peak_rss()
+    assert metrics.snapshot()["gauges"][PEAK_RSS_GAUGE] == value
+
+
+def test_format_bytes():
+    assert format_bytes(0) == "0 B"
+    assert format_bytes(512) == "512 B"
+    assert format_bytes(2048) == "2.00 KiB"
+    assert format_bytes(int(1.5 * 2**30)) == "1.50 GiB"
+
+
+def _metrics_event(counters=None, gauges=None):
+    return {
+        "type": "metrics",
+        "ts": 1.0,
+        "metrics": {
+            "counters": counters or {},
+            "gauges": gauges or {},
+            "histograms": {},
+        },
+    }
+
+
+def test_report_memory_section_renders_rss_and_provider_work():
+    events = [
+        _metrics_event(
+            counters={
+                "provider.coordinate.calls": 3,
+                "provider.coordinate.rows": 120,
+                "provider.coordinate.elements": 960,
+            },
+            gauges={PEAK_RSS_GAUGE: int(1.5 * 2**30)},
+        )
+    ]
+    text = render_summary(summarize(events))
+    assert "memory:" in text
+    assert "peak RSS: 1.50 GiB" in text
+    assert "coordinate provider: 3 block calls, 120 rows, 960 elements" in text
+
+
+def test_report_memory_section_absent_without_signals():
+    text = render_summary(summarize([_metrics_event(counters={"x": 1})]))
+    assert "memory:" not in text

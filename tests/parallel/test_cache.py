@@ -121,3 +121,34 @@ def test_stats_arithmetic():
 
 def test_process_global_cache_is_singleton():
     assert instance_cache() is instance_cache()
+
+
+def test_backend_participates_in_the_key(matrix):
+    """A numba trial must never share an entry with a numpy one — the
+    key carries the kernel backend even though the built instance is
+    backend-independent."""
+    cache = InstanceCache()
+    a = cache.instance(matrix, "random", 5, 7, backend="numpy")
+    b = cache.instance(matrix, "random", 5, 7, backend="numba")
+    c = cache.instance(matrix, "random", 5, 7, backend=None)
+    assert len({id(e) for e in (a, b, c)}) == 3
+    assert cache.stats.misses == 3
+    assert cache.instance(matrix, "random", 5, 7, backend="numpy") is a
+    assert cache.stats.hits == 1
+    # Backend-distinct entries still describe the same servers.
+    assert np.array_equal(a.servers, b.servers)
+
+
+def test_dtype_participates_in_the_key(matrix):
+    """float32 and float64 variants of one instance never alias, even
+    if object ids were recycled across garbage collections."""
+    cache = InstanceCache()
+    f64 = cache.instance(matrix, "random", 5, 7)
+    f32_matrix = matrix.astype(np.float32)
+    f32 = cache.instance(f32_matrix, "random", 5, 7)
+    assert f64 is not f32
+    assert cache.stats.misses == 2
+    assert f32.problem.matrix.dtype == np.dtype(np.float32)
+    # The capacity sweep shares its base per dtype, not across dtypes.
+    capped = cache.instance(f32_matrix, "random", 5, 7, capacity=9)
+    assert capped.problem.matrix.dtype == np.dtype(np.float32)

@@ -1,0 +1,142 @@
+"""Coreset construction: the epsilon bound is the load-bearing invariant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Assignment, ClientAssignmentProblem
+from repro.core.metrics import max_interaction_path_length
+from repro.datasets import planet_instance
+from repro.datasets.synthetic import small_world_latencies
+from repro.errors import InvalidParameterError
+from repro.scale import build_coreset, expanded_objective
+
+
+@pytest.fixture
+def dense_instance():
+    matrix = small_world_latencies(60, seed=5)
+    servers = np.array([3, 17, 41, 55], dtype=np.int64)
+    mask = np.ones(60, dtype=bool)
+    mask[servers] = False
+    clients = np.flatnonzero(mask).astype(np.int64)
+    return matrix, servers, clients
+
+
+def test_structure(dense_instance):
+    matrix, servers, clients = dense_instance
+    coreset = build_coreset(matrix, servers, clients, cell_size=20.0)
+    assert coreset.n_clients == clients.size
+    assert coreset.n_representatives == coreset.representatives.size
+    assert coreset.weights.sum() == clients.size
+    assert coreset.labels.shape == (clients.size,)
+    assert coreset.labels.min() >= 0
+    assert coreset.labels.max() < coreset.n_representatives
+    # Every representative is one of its own members.
+    reps = set(int(r) for r in coreset.representatives)
+    assert reps <= set(int(c) for c in clients)
+    assert coreset.reduction_ratio == pytest.approx(
+        clients.size / coreset.n_representatives
+    )
+
+
+def test_epsilon_is_the_max_profile_deviation(dense_instance):
+    """epsilon must dominate |d(c,s) - d(rep(c),s)| in both directions
+    for every client and every server — the inequality the 2-epsilon
+    expansion bound is proved from."""
+    matrix, servers, clients = dense_instance
+    coreset = build_coreset(matrix, servers, clients, cell_size=15.0)
+    reps = coreset.representatives[coreset.labels]
+    cs = matrix.client_server_distances(clients, servers)
+    cs_rep = matrix.client_server_distances(reps, servers)
+    sc = matrix.server_client_distances(servers, clients).T
+    sc_rep = matrix.server_client_distances(servers, reps).T
+    worst = max(
+        np.abs(cs - cs_rep).max(), np.abs(sc - sc_rep).max()
+    )
+    assert worst <= coreset.epsilon + 1e-12
+    assert coreset.epsilon < coreset.cell_size
+
+
+@pytest.mark.parametrize("cell_size", [5.0, 20.0, 80.0])
+def test_expansion_bound_holds_for_any_reduced_assignment(
+    dense_instance, cell_size
+):
+    """D(expanded) <= D(reduced) + 2 epsilon, for arbitrary (not just
+    optimized) assignments of the representatives."""
+    matrix, servers, clients = dense_instance
+    coreset = build_coreset(matrix, servers, clients, cell_size=cell_size)
+    reduced_problem = ClientAssignmentProblem(
+        matrix, servers, clients=coreset.representatives
+    )
+    rng = np.random.default_rng(9)
+    for trial in range(5):
+        reduced_server_of = rng.integers(
+            0, servers.size, size=coreset.n_representatives
+        ).astype(np.int64)
+        d_reduced = max_interaction_path_length(
+            Assignment(reduced_problem, reduced_server_of)
+        )
+        server_of = coreset.expand(reduced_server_of)
+        d_expanded = expanded_objective(
+            matrix, servers, clients, server_of
+        )
+        assert d_expanded <= d_reduced + 2.0 * coreset.epsilon + 1e-9
+
+
+def test_chunk_size_invariance():
+    """Representatives, labels and epsilon must not depend on the
+    streaming chunk size."""
+    instance = planet_instance(3000, 8, n_clusters=16, seed=11)
+    baseline = build_coreset(
+        instance.provider,
+        instance.servers,
+        instance.clients,
+        cell_size=8.0,
+        chunk_size=instance.clients.size + 1,
+    )
+    for chunk_size in (64, 257, 1000):
+        other = build_coreset(
+            instance.provider,
+            instance.servers,
+            instance.clients,
+            cell_size=8.0,
+            chunk_size=chunk_size,
+        )
+        assert np.array_equal(other.representatives, baseline.representatives)
+        assert np.array_equal(other.labels, baseline.labels)
+        assert np.array_equal(other.weights, baseline.weights)
+        assert other.epsilon == baseline.epsilon
+
+
+def test_clustered_geometry_reduces(dense_instance):
+    instance = planet_instance(5000, 8, n_clusters=16, seed=2)
+    coreset = build_coreset(
+        instance.provider, instance.servers, instance.clients, cell_size=8.0
+    )
+    assert coreset.reduction_ratio > 3.0
+
+
+def test_expand_maps_members_to_representative_servers(dense_instance):
+    matrix, servers, clients = dense_instance
+    coreset = build_coreset(matrix, servers, clients, cell_size=25.0)
+    reduced = np.arange(coreset.n_representatives) % servers.size
+    expanded = coreset.expand(reduced.astype(np.int64))
+    assert expanded.shape == (clients.size,)
+    for i in range(clients.size):
+        assert expanded[i] == reduced[coreset.labels[i]]
+
+
+def test_invalid_parameters(dense_instance):
+    matrix, servers, clients = dense_instance
+    with pytest.raises(InvalidParameterError):
+        build_coreset(matrix, servers, clients, cell_size=0.0)
+    with pytest.raises(InvalidParameterError):
+        build_coreset(matrix, servers, np.array([], dtype=np.int64), cell_size=5.0)
+
+
+def test_coreset_arrays_are_readonly(dense_instance):
+    matrix, servers, clients = dense_instance
+    coreset = build_coreset(matrix, servers, clients, cell_size=20.0)
+    for arr in (coreset.representatives, coreset.weights, coreset.labels):
+        assert not arr.flags.writeable

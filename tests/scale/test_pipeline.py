@@ -1,0 +1,213 @@
+"""solve_at_scale: the bound, exact expansion, and dense equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Assignment, ClientAssignmentProblem
+from repro.core.metrics import max_interaction_path_length
+from repro.datasets import coreset_cell_size_hint, planet_instance
+from repro.datasets.synthetic import small_world_latencies
+from repro.errors import InvalidParameterError, ScaleBoundError
+from repro.obs import MetricsRegistry, use_registry
+from repro.parallel.shm import attach_array
+from repro.scale import (
+    build_coreset,
+    expanded_objective,
+    publish_reduced_views,
+    solve_at_scale,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return planet_instance(2000, 8, n_clusters=16, seed=7)
+
+
+def test_bound_holds_and_result_is_consistent(instance):
+    result = solve_at_scale(
+        instance.provider,
+        instance.servers,
+        instance.clients,
+        cell_size=coreset_cell_size_hint(instance),
+        seed=0,
+    )
+    assert result.server_of.shape == (instance.n_clients,)
+    assert result.server_of.min() >= 0
+    assert result.server_of.max() < instance.n_servers
+    assert not result.server_of.flags.writeable
+    assert result.bound == pytest.approx(
+        result.d_reduced + 2.0 * result.epsilon
+    )
+    assert result.d_expanded <= result.bound + 1e-9
+    assert result.algorithm == "distributed-greedy"
+    assert result.elapsed_seconds > 0.0
+
+
+def test_expanded_objective_is_exact():
+    """The streamed O(|S|^2)-memory evaluation must equal the dense
+    metric on the full assignment."""
+    matrix = small_world_latencies(50, seed=4)
+    servers = np.array([2, 19, 33, 47], dtype=np.int64)
+    mask = np.ones(50, dtype=bool)
+    mask[servers] = False
+    clients = np.flatnonzero(mask).astype(np.int64)
+    rng = np.random.default_rng(1)
+    server_of = rng.integers(0, servers.size, size=clients.size).astype(
+        np.int64
+    )
+    problem = ClientAssignmentProblem(matrix, servers, clients=clients)
+    dense_d = max_interaction_path_length(Assignment(problem, server_of))
+    for chunk_size in (7, 46, 1000):
+        assert expanded_objective(
+            matrix, servers, clients, server_of, chunk_size=chunk_size
+        ) == pytest.approx(dense_d)
+
+
+def test_coordinate_and_dense_providers_agree(instance):
+    """The pipeline must be source-agnostic: running on the coordinate
+    provider and on its materialized dense matrix gives the same
+    reduction and the same objectives."""
+    dense = instance.provider.materialize()
+    cell = coreset_cell_size_hint(instance)
+    via_provider = solve_at_scale(
+        instance.provider, instance.servers, instance.clients,
+        cell_size=cell, seed=3,
+    )
+    via_dense = solve_at_scale(
+        dense, instance.servers, instance.clients, cell_size=cell, seed=3,
+    )
+    assert np.array_equal(
+        via_provider.coreset.representatives,
+        via_dense.coreset.representatives,
+    )
+    assert via_provider.epsilon == via_dense.epsilon
+    assert via_provider.d_reduced == via_dense.d_reduced
+    assert via_provider.d_expanded == via_dense.d_expanded
+    assert np.array_equal(via_provider.server_of, via_dense.server_of)
+
+
+def test_reduced_instance_carries_weights(instance):
+    result = solve_at_scale(
+        instance.provider,
+        instance.servers,
+        instance.clients,
+        cell_size=coreset_cell_size_hint(instance),
+        seed=0,
+    )
+    weights = result.reduced.assignment.problem.client_weights
+    assert weights is not None
+    assert int(np.sum(weights)) == instance.n_clients
+    assert np.array_equal(weights, result.coreset.weights)
+
+
+def test_clients_default_to_non_server_nodes(instance):
+    explicit = solve_at_scale(
+        instance.provider,
+        instance.servers,
+        instance.clients,
+        cell_size=10.0,
+        seed=0,
+    )
+    defaulted = solve_at_scale(
+        instance.provider, instance.servers, cell_size=10.0, seed=0
+    )
+    assert np.array_equal(explicit.server_of, defaulted.server_of)
+
+
+def test_to_dict_is_json_ready(instance):
+    import json
+
+    result = solve_at_scale(
+        instance.provider,
+        instance.servers,
+        instance.clients,
+        cell_size=10.0,
+        seed=0,
+    )
+    payload = result.to_dict()
+    assert set(payload) == {
+        "algorithm",
+        "n_clients",
+        "n_representatives",
+        "reduction_ratio",
+        "epsilon",
+        "cell_size",
+        "d_reduced",
+        "d_expanded",
+        "bound",
+        "elapsed_seconds",
+    }
+    assert payload["n_clients"] == instance.n_clients
+    json.dumps(payload)  # every value must serialize
+
+
+def test_pipeline_is_instrumented(instance):
+    metrics = MetricsRegistry()
+    with use_registry(metrics):
+        solve_at_scale(
+            instance.provider,
+            instance.servers,
+            instance.clients,
+            cell_size=10.0,
+            seed=0,
+        )
+    snap = metrics.snapshot()
+    assert snap["counters"]["scale.solves"] == 1
+    assert snap["counters"]["scale.coreset.clients"] == instance.n_clients
+    assert snap["gauges"]["scale.last_reduction_ratio"] > 1.0
+
+
+def test_scale_bound_error_code():
+    assert ScaleBoundError.code == "scale-bound-violated"
+
+
+def test_invalid_parameters(instance):
+    with pytest.raises(InvalidParameterError):
+        solve_at_scale(
+            instance.provider,
+            instance.servers,
+            np.array([], dtype=np.int64),
+            cell_size=10.0,
+        )
+    with pytest.raises(InvalidParameterError):
+        build_coreset(
+            instance.provider,
+            instance.servers,
+            instance.clients,
+            cell_size=10.0,
+            chunk_size=0,
+        )
+
+
+def test_publish_reduced_views_round_trip(instance):
+    coreset = build_coreset(
+        instance.provider,
+        instance.servers,
+        instance.clients,
+        cell_size=coreset_cell_size_hint(instance),
+    )
+    problem = ClientAssignmentProblem(
+        instance.provider,
+        instance.servers,
+        clients=coreset.representatives,
+        client_weights=coreset.weights,
+    )
+    published = publish_reduced_views(problem)
+    try:
+        assert set(published) == {
+            "client_server",
+            "server_client",
+            "server_server",
+        }
+        for name, source in (
+            ("client_server", problem.client_server),
+            ("server_client", problem.server_client),
+            ("server_server", problem.server_server),
+        ):
+            attached = attach_array(published[name].handle)
+            assert np.array_equal(attached, source)
+    finally:
+        for ctx in published.values():
+            ctx.close()

@@ -1,0 +1,134 @@
+"""Latency providers: protocol conformance and dense/coordinate identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import small_world_latencies
+from repro.net.coordinates import VivaldiEmbedding
+from repro.net.latency import LatencyMatrix
+from repro.net.provider import CoordinateProvider, LatencyProvider, provider_name
+from repro.obs import MetricsRegistry, use_registry
+
+
+@pytest.fixture
+def coords():
+    rng = np.random.default_rng(42)
+    return rng.uniform(0.0, 100.0, size=(30, 3))
+
+
+def test_both_sources_satisfy_the_protocol(coords):
+    assert isinstance(LatencyMatrix.from_coordinates(coords), LatencyProvider)
+    assert isinstance(CoordinateProvider(coords), LatencyProvider)
+
+
+def test_provider_name(coords):
+    assert provider_name(CoordinateProvider(coords)) == "coordinate"
+    assert provider_name(small_world_latencies(10, seed=0)) == "dense"
+
+
+class TestDenseCoordinateIdentity:
+    """Every view of a CoordinateProvider must be byte-identical to the
+    dense matrix built from the same coordinates."""
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("scale", [1.0, 2.5])
+    def test_materialize_matches_from_coordinates(self, coords, dtype, scale):
+        dense = LatencyMatrix.from_coordinates(
+            coords, scale=scale, min_latency=0.5, dtype=dtype
+        )
+        provider = CoordinateProvider(
+            coords, scale=scale, min_latency=0.5, dtype=dtype
+        )
+        assert np.array_equal(provider.materialize().values, dense.values)
+
+    def test_views_match_dense_slices(self, coords):
+        dense = LatencyMatrix.from_coordinates(coords, min_latency=0.5)
+        provider = CoordinateProvider(coords, min_latency=0.5)
+        rng = np.random.default_rng(7)
+        clients = rng.choice(30, size=12, replace=False).astype(np.int64)
+        servers = rng.choice(30, size=5, replace=False).astype(np.int64)
+        assert np.array_equal(
+            provider.client_server_distances(clients, servers),
+            dense.client_server_distances(clients, servers),
+        )
+        assert np.array_equal(
+            provider.server_client_distances(servers, clients),
+            dense.server_client_distances(servers, clients),
+        )
+        assert np.array_equal(
+            provider.server_server_distances(servers),
+            dense.server_server_distances(servers),
+        )
+
+    def test_scalar_distance_matches(self, coords):
+        dense = LatencyMatrix.from_coordinates(coords)
+        provider = CoordinateProvider(coords)
+        for u, v in ((0, 1), (5, 5), (29, 3)):
+            assert provider.distance(u, v) == dense.distance(u, v)
+
+    def test_overlapping_rows_and_cols_floor_only_off_diagonal(self, coords):
+        """A block that contains (i, i) pairs must keep the zero
+        diagonal even when min_latency would floor it."""
+        provider = CoordinateProvider(coords, min_latency=50.0)
+        nodes = np.arange(10, dtype=np.int64)
+        block = provider._block(nodes, nodes)
+        assert np.array_equal(np.diag(block), np.zeros(10))
+        off = block[~np.eye(10, dtype=bool)]
+        assert np.all(off >= 50.0)
+
+
+def test_from_embedding_round_trip(coords):
+    matrix = LatencyMatrix.from_coordinates(coords, min_latency=0.1)
+    embedding = VivaldiEmbedding(dims=3)
+    embedding.fit(matrix, rounds=30, seed=0)
+    provider = CoordinateProvider.from_embedding(embedding)
+    nodes = np.arange(matrix.n_nodes, dtype=np.int64)
+    predicted = embedding.predict_matrix()
+    assert np.array_equal(
+        provider.server_server_distances(nodes), predicted.values
+    )
+
+
+def test_astype_changes_dtype_only(coords):
+    provider = CoordinateProvider(coords)
+    f32 = provider.astype(np.float32)
+    assert f32.dtype == np.dtype(np.float32)
+    assert np.array_equal(f32.coordinates, provider.coordinates)
+    assert f32.materialize().values.dtype == np.dtype(np.float32)
+
+
+def test_row_synthesis_is_instrumented(coords):
+    metrics = MetricsRegistry()
+    provider = CoordinateProvider(coords)
+    with use_registry(metrics):
+        provider.client_server_distances(
+            np.arange(4, dtype=np.int64), np.arange(4, 7, dtype=np.int64)
+        )
+    snap = metrics.snapshot()["counters"]
+    assert snap["provider.coordinate.calls"] == 1
+    assert snap["provider.coordinate.rows"] == 4
+    assert snap["provider.coordinate.elements"] == 12
+
+
+def test_invalid_inputs_rejected():
+    from repro.errors import InvalidParameterError
+
+    with pytest.raises(InvalidParameterError):
+        CoordinateProvider(np.empty((0, 3)))
+    with pytest.raises(InvalidParameterError):
+        CoordinateProvider(np.full((4, 2), np.nan))
+    with pytest.raises(InvalidParameterError):
+        CoordinateProvider(np.ones((4, 2)), heights=np.array([1.0, -2.0, 0, 0]))
+    with pytest.raises(InvalidParameterError):
+        CoordinateProvider(np.ones((4, 2)), scale=0.0)
+    with pytest.raises(InvalidParameterError):
+        CoordinateProvider(np.ones((4, 2)), min_latency=0.0)
+
+
+def test_provider_is_immutable(coords):
+    provider = CoordinateProvider(coords)
+    with pytest.raises(AttributeError):
+        provider.anything = 1
+    assert not provider.coordinates.flags.writeable

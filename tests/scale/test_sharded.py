@@ -1,0 +1,252 @@
+"""Region-sharded online manager: sharding must not change decisions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.online import OnlineAssignmentManager, OnlineConfig
+from repro.core.metrics import max_interaction_path_length
+from repro.datasets import planet_instance
+from repro.errors import (
+    CapacityError,
+    InvalidAssignmentError,
+    InvalidParameterError,
+)
+from repro.obs import MetricsRegistry, use_registry
+from repro.scale import ShardedOnlineManager
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return planet_instance(300, 8, n_clusters=16, seed=3)
+
+
+def _drive(manager, universe, *, rng_seed, n_events=120):
+    """A deterministic join/leave/move trajectory; returns the event log.
+
+    Decisions (which server a join picks) come from the manager itself,
+    so identical logs across managers prove identical decisions.
+    """
+    rng = np.random.default_rng(rng_seed)
+    connected: list = []
+    log = []
+    for step in range(n_events):
+        roll = rng.random()
+        if connected and roll < 0.25:
+            node = connected.pop(int(rng.integers(len(connected))))
+            manager.leave(node)
+            log.append(("leave", int(node)))
+        elif connected and roll < 0.35:
+            node = connected[int(rng.integers(len(connected)))]
+            server = int(rng.integers(manager.n_servers))
+            try:
+                manager.move(node, server)
+                log.append(("move", int(node), server))
+            except CapacityError:
+                log.append(("move-full", int(node), server))
+        else:
+            candidates = [n for n in universe if not manager.is_connected(n)]
+            if not candidates:
+                continue
+            node = candidates[int(rng.integers(len(candidates)))]
+            try:
+                server = manager.join(int(node))
+                connected.append(int(node))
+                log.append(("join", int(node), int(server)))
+            except CapacityError:
+                log.append(("join-full", int(node)))
+        log.append(("d", manager.current_d()))
+    return log
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 8])
+@pytest.mark.parametrize("join_policy", ["greedy", "nearest"])
+@pytest.mark.parametrize("capacity", [None, 30])
+def test_sharded_decisions_match_unsharded(
+    instance, n_shards, join_policy, capacity
+):
+    """The whole point: shard counts 1/2/8 must produce byte-identical
+    trajectories to a single full-universe manager."""
+    universe = [int(n) for n in instance.clients]
+    config = OnlineConfig(
+        capacity=capacity, join_policy=join_policy, shards=n_shards
+    )
+    baseline = OnlineAssignmentManager(
+        instance.provider,
+        instance.servers,
+        OnlineConfig(capacity=capacity, join_policy=join_policy),
+        client_nodes=instance.clients,
+    )
+    sharded = ShardedOnlineManager(
+        instance.provider,
+        instance.servers,
+        config,
+        client_nodes=instance.clients,
+    )
+    assert sharded.n_shards == n_shards
+    log_a = _drive(baseline, universe, rng_seed=17)
+    log_b = _drive(sharded, universe, rng_seed=17)
+    assert log_a == log_b
+    assert baseline.clients == sharded.clients
+    assert np.array_equal(baseline.loads(), sharded.loads())
+    assert baseline.current_d() == sharded.current_d()
+    for node in sharded.clients:
+        assert sharded.server_of(node) == baseline.server_of(node)
+    assert sharded.verify()
+
+
+def test_shard_routing_partitions_the_universe(instance):
+    manager = ShardedOnlineManager(
+        instance.provider,
+        instance.servers,
+        OnlineConfig(shards=4),
+        client_nodes=instance.clients,
+    )
+    seen = set()
+    for node in instance.clients:
+        shard = manager.shard_of_node(int(node))
+        assert 0 <= shard < manager.n_shards
+        seen.add(shard)
+    assert len(seen) > 1  # clustered geometry spreads over regions
+    # Each connected client lives in exactly its owning shard's manager.
+    for node in instance.clients[:20]:
+        manager.join(int(node))
+    for node in instance.clients[:20]:
+        owner = manager.shard_of_node(int(node))
+        assert manager.shard(owner).is_connected(int(node))
+        for other in range(manager.n_shards):
+            if other != owner:
+                assert not manager.shard(other).is_connected(int(node))
+
+
+def test_out_of_universe_node_rejected(instance):
+    manager = ShardedOnlineManager(
+        instance.provider,
+        instance.servers,
+        OnlineConfig(shards=2),
+        client_nodes=instance.clients,
+    )
+    server_node = int(instance.servers[0])
+    with pytest.raises(InvalidAssignmentError):
+        manager.join(server_node)
+    with pytest.raises(InvalidAssignmentError):
+        manager.shard_of_node(10**9)
+
+
+def test_double_join_rejected(instance):
+    manager = ShardedOnlineManager(
+        instance.provider,
+        instance.servers,
+        OnlineConfig(shards=2),
+        client_nodes=instance.clients,
+    )
+    node = int(instance.clients[0])
+    manager.join(node)
+    with pytest.raises(InvalidAssignmentError):
+        manager.join(node)
+
+
+def test_capacity_enforced_globally(instance):
+    """Global loads gate joins even though each shard only sees a slice."""
+    servers = instance.servers[:2]
+    manager = ShardedOnlineManager(
+        instance.provider,
+        servers,
+        OnlineConfig(capacity=3, shards=4),
+        client_nodes=instance.clients,
+    )
+    joined = 0
+    with pytest.raises(CapacityError):
+        for node in instance.clients:
+            manager.join(int(node))
+            joined += 1
+    assert joined == 3 * servers.size
+    assert int(manager.loads().sum()) == joined
+    assert np.all(manager.loads() <= 3)
+
+
+def test_rebalance_never_worsens_d(instance):
+    manager = ShardedOnlineManager(
+        instance.provider,
+        instance.servers,
+        OnlineConfig(shards=4),
+        client_nodes=instance.clients,
+    )
+    rng = np.random.default_rng(5)
+    for node in instance.clients[:80]:
+        manager.join(int(node))
+    # Scramble to create repair headroom.
+    for node in instance.clients[:40]:
+        manager.move(int(node), int(rng.integers(manager.n_servers)))
+    before = manager.current_d()
+    moves = manager.rebalance(max_moves=32)
+    after = manager.current_d()
+    assert after <= before + 1e-9
+    assert moves >= 0
+    assert manager.verify()
+
+
+def test_snapshot_matches_current_d(instance):
+    manager = ShardedOnlineManager(
+        instance.provider,
+        instance.servers,
+        OnlineConfig(shards=8),
+        client_nodes=instance.clients,
+    )
+    with pytest.raises(InvalidAssignmentError):
+        manager.snapshot()
+    for node in instance.clients[:60]:
+        manager.join(int(node))
+    problem, assignment, nodes = manager.snapshot()
+    assert nodes == manager.clients
+    assert max_interaction_path_length(assignment) == pytest.approx(
+        manager.current_d()
+    )
+
+
+def test_fault_introspection_reports_all_servers_usable(instance):
+    manager = ShardedOnlineManager(
+        instance.provider,
+        instance.servers,
+        OnlineConfig(shards=2),
+        client_nodes=instance.clients,
+    )
+    assert manager.n_active_servers == manager.n_servers
+    assert manager.n_reachable_servers == manager.n_servers
+    assert manager.n_usable_servers == manager.n_servers
+    assert manager.capacity is None
+    assert manager.matrix is instance.provider
+    assert np.array_equal(manager.server_nodes, instance.servers)
+
+
+def test_churn_is_instrumented(instance):
+    metrics = MetricsRegistry()
+    with use_registry(metrics):
+        manager = ShardedOnlineManager(
+            instance.provider,
+            instance.servers,
+            OnlineConfig(shards=2),
+            client_nodes=instance.clients,
+        )
+        for node in instance.clients[:10]:
+            manager.join(int(node))
+        manager.leave(int(instance.clients[0]))
+        manager.rebalance(max_moves=8)
+    counters = metrics.snapshot()["counters"]
+    assert counters["scale.sharded.joins"] == 10
+    assert counters["scale.sharded.leaves"] == 1
+    assert counters.get("scale.sharded.rebalance_moves", 0) >= 0
+
+
+def test_invalid_construction(instance):
+    with pytest.raises(InvalidParameterError):
+        ShardedOnlineManager(
+            instance.provider, np.array([], dtype=np.int64)
+        )
+    with pytest.raises(InvalidParameterError):
+        ShardedOnlineManager(
+            instance.provider,
+            instance.servers,
+            client_nodes=np.array([], dtype=np.int64),
+        )

@@ -14,6 +14,7 @@ PUBLIC_MODULES = [
     "repro.sim",
     "repro.experiments",
     "repro.service",
+    "repro.scale",
     "repro.cli",
 ]
 
