@@ -48,6 +48,17 @@ from repro.algorithms.online import (
     OnlineConfig,
     simulate_churn,
 )
+from repro.algorithms.policies import (
+    GreedyPolicy,
+    NearestPolicy,
+    OnlinePolicy,
+    PlacementView,
+    SpreadPolicy,
+    ThresholdPolicy,
+    policy_names,
+    register_policy,
+    resolve_policy,
+)
 
 __all__ = [
     "nearest_server",
@@ -66,6 +77,15 @@ __all__ = [
     "random_assignment",
     "hill_climbing",
     "simulated_annealing",
+    "OnlinePolicy",
+    "PlacementView",
+    "GreedyPolicy",
+    "NearestPolicy",
+    "ThresholdPolicy",
+    "SpreadPolicy",
+    "policy_names",
+    "register_policy",
+    "resolve_policy",
     "run_algorithm",
     "get_algorithm",
     "register_detailed",

@@ -29,6 +29,12 @@ from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
+from repro.algorithms.policies import (
+    OnlinePolicy,
+    PlacementView,
+    resolve_policy,
+    validate_policy_name,
+)
 from repro.core.assignment import Assignment
 from repro.core.incremental import DEFAULT_TOP_K, IncrementalObjective
 from repro.core.metrics import max_interaction_path_length
@@ -64,8 +70,11 @@ class OnlineConfig:
         Optional uniform per-server client capacity (``None`` =
         unlimited).
     join_policy:
-        Placement rule for arrivals: ``"greedy"`` minimizes the
-        resulting D, ``"nearest"`` is the deployed-system default.
+        Placement rule for arrivals, by name from the
+        :mod:`repro.algorithms.policies` registry: ``"greedy"``
+        minimizes the resulting D, ``"nearest"`` is the
+        deployed-system default; ``"threshold"`` and ``"spread"`` are
+        remediation-style policies (see ``docs/scenarios.md``).
     backend:
         Kernel backend for the manager's incremental engine — one of
         ``"auto"`` (default), ``"numba"``, ``"numpy"``; see
@@ -96,11 +105,7 @@ class OnlineConfig:
             raise InvalidParameterError(
                 f"capacity must be >= 1, got {self.capacity}"
             )
-        if self.join_policy not in ("greedy", "nearest"):
-            raise InvalidParameterError(
-                f"join_policy must be 'greedy' or 'nearest', "
-                f"got {self.join_policy!r}"
-            )
+        validate_policy_name(self.join_policy)
         from repro.kernels import validate_backend_name
 
         validate_backend_name(self.backend)
@@ -227,6 +232,7 @@ class OnlineAssignmentManager:
         self._config = config
         self._capacity = config.capacity
         self._join_policy = config.join_policy
+        self._policy = resolve_policy(config.join_policy)
         #: node -> local server index
         self._assigned: Dict[int, int] = {}
         #: per-server member node sets
@@ -546,11 +552,54 @@ class OnlineAssignmentManager:
             costs = np.where(loads >= self._capacity, np.inf, costs)
         return np.where(self._usable(), costs, np.inf)
 
+    def candidate_costs(self, client_node: int) -> np.ndarray:
+        """Public masked ``L(s')`` vector for a client (policy seam).
+
+        For a connected client the cost of staying put is included
+        (own contribution excluded by the engine; own capacity slot
+        credited back), so remediation policies can compare "stay"
+        against every alternative. Unusable or saturated servers hold
+        ``+inf``.
+        """
+        return self._candidate_costs(
+            client_node, exclude_self=client_node in self._assigned
+        )
+
+    def _nearest_join_costs(self, client_node: int) -> np.ndarray:
+        """Masked outgoing legs for a join (the historical nearest rule)."""
+        costs = self._matrix.client_server_distances(
+            np.array([client_node], dtype=np.int64), self._servers
+        )[0].astype(float)
+        if self._capacity is not None:
+            costs = np.where(self.loads() >= self._capacity, np.inf, costs)
+        return np.where(self._usable(), costs, np.inf)
+
+    def placement_view(self, client_node: int) -> PlacementView:
+        """The :class:`~repro.algorithms.policies.PlacementView` a policy
+        sees when placing ``client_node``."""
+        return PlacementView(
+            client_node=client_node,
+            n_servers=self.n_servers,
+            capacity=self._capacity,
+            nearest_costs=lambda: self._nearest_join_costs(client_node),
+            path_costs=lambda: self._candidate_costs(
+                client_node, exclude_self=False
+            ),
+            loads=self.loads,
+        )
+
+    @property
+    def policy(self) -> OnlinePolicy:
+        """The manager's resolved placement policy instance."""
+        return self._policy
+
     # ------------------------------------------------------------------
     def join(self, client_node: int) -> int:
         """Connect a new client; returns its assigned local server index.
 
-        Raises :class:`~repro.errors.InvalidAssignmentError` if already
+        The placement decision is delegated to the manager's
+        :class:`~repro.algorithms.policies.OnlinePolicy`. Raises
+        :class:`~repro.errors.InvalidAssignmentError` if already
         connected and :class:`~repro.errors.CapacityError` when every
         server is saturated.
         """
@@ -559,18 +608,7 @@ class OnlineAssignmentManager:
         if not 0 <= client_node < self._matrix.n_nodes:
             raise InvalidAssignmentError(f"client node {client_node} out of range")
         engine_idx = self._engine_index(client_node)
-        if self._join_policy == "nearest":
-            costs = self._matrix.client_server_distances(
-                np.array([client_node], dtype=np.int64), self._servers
-            )[0].astype(float)
-            if self._capacity is not None:
-                costs = np.where(self.loads() >= self._capacity, np.inf, costs)
-            costs = np.where(self._usable(), costs, np.inf)
-        else:
-            costs = self._candidate_costs(client_node, exclude_self=False)
-        best = int(np.argmin(costs))
-        if not np.isfinite(costs[best]):
-            raise CapacityError("all active servers are at capacity")
+        best = self._policy.choose_server(self.placement_view(client_node))
         self._assigned[client_node] = best
         self._members[best].add(client_node)
         self._engine.apply(engine_idx, best)

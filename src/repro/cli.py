@@ -351,6 +351,72 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the scale-solve summary as JSON",
     )
 
+    p_scen = sub.add_parser(
+        "scenarios",
+        help="adversarial workloads + empirical competitive-ratio harness",
+    )
+    scen_sub = p_scen.add_subparsers(dest="scenarios_command", required=True)
+    scen_sub.add_parser("list", help="list the bundled scenarios")
+
+    scen_shared = argparse.ArgumentParser(add_help=False)
+    scen_shared.add_argument(
+        "--scenario", type=str, default="flash-crowd",
+        help="bundled scenario name (see `scenarios list`)",
+    )
+    scen_shared.add_argument(
+        "--file", type=str, default=None, metavar="PATH",
+        help="load a scenario JSON document instead of a bundled one",
+    )
+    scen_shared.add_argument(
+        "--path", choices=("library", "sharded", "wire"), default="library",
+        help="execution path: plain manager, region-sharded, or live TCP",
+    )
+    scen_shared.add_argument(
+        "--shards", type=int, default=4, help="shard count for --path sharded"
+    )
+    scen_shared.add_argument(
+        "--checkpoint-every", type=int, default=32,
+        help="events between competitive-ratio checkpoints",
+    )
+    scen_shared.add_argument(
+        "--maintain-moves", type=int, default=1,
+        help="policy.maintain move budget after each event (0 disables)",
+    )
+    scen_shared.add_argument(
+        "--offline", type=str, default="nearest-server", metavar="ALGO",
+        help="offline reference algorithm at checkpoints ('none' disables)",
+    )
+    scen_shared.add_argument(
+        "--json", action="store_true", help="emit the JSON document instead"
+    )
+    scen_shared.add_argument(
+        "--out", type=str, default=None, help="write the JSON document here"
+    )
+
+    p_scen_run = scen_sub.add_parser(
+        "run",
+        help="replay one scenario through one policy",
+        parents=[scen_shared, tracing],
+    )
+    p_scen_run.add_argument(
+        "--policy", type=str, default="greedy",
+        help="online policy (see repro.algorithms.policies)",
+    )
+    p_scen_run.add_argument(
+        "--show", action="store_true",
+        help="print the scenario JSON document and exit without replaying",
+    )
+
+    p_scen_cmp = scen_sub.add_parser(
+        "compare",
+        help="replay one scenario through several policies",
+        parents=[scen_shared, workers, tracing],
+    )
+    p_scen_cmp.add_argument(
+        "--policies", type=str, default="greedy,nearest,threshold,spread",
+        help="comma-separated policy names",
+    )
+
     p_sim = sub.add_parser("simulate", help="run the DIA event simulation")
     p_sim.add_argument("--nodes", type=int, default=120)
     p_sim.add_argument("--servers", type=int, default=10)
@@ -920,15 +986,106 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_scenario(args: argparse.Namespace):
+    from repro.scenarios import Scenario, bundled_scenario
+
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            return Scenario.loads(fh.read())
+    return bundled_scenario(args.scenario)
+
+
+def _replay_options(args: argparse.Namespace):
+    from repro.scenarios import ReplayOptions
+
+    offline = args.offline
+    if offline in (None, "", "none"):
+        offline = None
+    return ReplayOptions(
+        path=args.path,
+        shards=args.shards,
+        checkpoint_every=args.checkpoint_every,
+        maintain_moves=args.maintain_moves,
+        offline_algorithm=offline,
+    )
+
+
+def _write_json_doc(doc: dict, args: argparse.Namespace) -> None:
+    import json
+
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote JSON report to {args.out}")
+    if args.json:
+        print(text)
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        bundled_scenario,
+        check_ratios,
+        compare_to_dict,
+        render_compare_report,
+        render_run_report,
+        scenario_names,
+    )
+
+    if args.scenarios_command == "list":
+        for name in scenario_names():
+            scenario = bundled_scenario(name)
+            spec = scenario.instance
+            print(
+                f"{name:<18} {spec.kind:<9} |C|={spec.n_clients:<5} "
+                f"|S|={spec.n_servers:<3} "
+                f"cap={spec.capacity if spec.capacity is not None else '-':<4} "
+                f"{scenario.description}"
+            )
+        return 0
+
+    scenario = _load_scenario(args)
+    options = _replay_options(args)
+
+    if args.scenarios_command == "run":
+        if args.show:
+            print(scenario.dumps())
+            return 0
+        from repro.scenarios import replay_scenario
+
+        result = replay_scenario(scenario, args.policy, options=options)
+        if not (args.json and not args.out):
+            print(render_run_report(result))
+        _write_json_doc(result.to_dict(), args)
+        check_ratios(result)
+        return 0
+
+    # compare
+    from repro.parallel import TrialPool
+    from repro.scenarios import compare_policies
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    with TrialPool(args.workers) as pool:
+        results = compare_policies(
+            scenario, policies, options=options, pool=pool
+        )
+    if not (args.json and not args.out):
+        print(render_compare_report(results))
+    _write_json_doc(compare_to_dict(results), args)
+    for result in results:
+        check_ratios(result)
+    return 0
+
+
 # Arguments that steer execution mechanics or output locations, not the
 # computed result. They go in the manifest's volatile section — putting
 # them in the deterministic config would make otherwise byte-identical
 # runs (e.g. --workers 0 vs 4, different --save paths) disagree.
 _NON_RESULT_ARGS = frozenset(
     {
-        "command", "scale_command", "trace", "workers", "save", "load",
-        "out", "save_deployment", "dir", "host", "port", "base_dir",
-        "spawn", "min_throughput",
+        "command", "scale_command", "scenarios_command", "trace", "workers",
+        "save", "load", "out", "save_deployment", "dir", "host", "port",
+        "base_dir", "spawn", "min_throughput", "json", "file", "show",
     }
 )
 
@@ -1001,6 +1158,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "scenarios": _cmd_scenarios,
         "obs": _cmd_obs,
     }
     try:

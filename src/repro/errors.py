@@ -279,6 +279,18 @@ class BadRequestError(ProtocolError):
     code = "bad-request"
 
 
+class ScenarioError(ReproError):
+    """An adversarial scenario is malformed or cannot be replayed.
+
+    Examples: a segment with a nonpositive duration, a JSON document
+    with an unknown segment kind, or a replay path that cannot host the
+    scenario (fault events through a sharded manager, a planet instance
+    over the wire).
+    """
+
+    code = "scenario-error"
+
+
 class ScaleBoundError(ReproError):
     """The coreset expansion bound was violated.
 

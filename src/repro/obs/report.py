@@ -270,6 +270,66 @@ def _memory_lines(metrics: Snapshot) -> List[str]:
     return lines
 
 
+def _scenario_lines(metrics: Snapshot) -> List[str]:
+    """The scenario-harness section: per-policy ratios + LB cache.
+
+    :func:`repro.scenarios.harness.replay_scenario` records
+    ``scenarios.replay.<policy>.checkpoints`` / ``.ratio_sum`` counter
+    pairs and a ``.max_ratio`` gauge per policy, plus global
+    ``scenarios.events`` / ``scenarios.seconds`` throughput counters.
+    The §V lower bounds behind every ratio come from the process-wide
+    cache, whose ``parallel.lb_cache.*`` counters say how often a
+    checkpoint's bound was recomputed versus served from memory.
+    """
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    prefix = "scenarios.replay."
+    rows: List[Tuple[str, float, float, Optional[float]]] = []
+    for name in sorted(counters):
+        if not (name.startswith(prefix) and name.endswith(".checkpoints")):
+            continue
+        policy = name[len(prefix):-len(".checkpoints")]
+        checkpoints = float(counters[name])
+        ratio_sum = float(counters.get(f"{prefix}{policy}.ratio_sum", 0.0))
+        max_ratio = gauges.get(f"{prefix}{policy}.max_ratio")
+        rows.append((policy, checkpoints, ratio_sum, max_ratio))
+    if not rows and not counters.get("scenarios.replays"):
+        return []
+    lines: List[str] = []
+    replays = counters.get("scenarios.replays", 0)
+    events = counters.get("scenarios.events", 0)
+    seconds = counters.get("scenarios.seconds", 0.0)
+    throughput = (events / seconds) if seconds else 0.0
+    lines.append(
+        f"  {int(replays)} replays, {int(events)} events in "
+        f"{seconds:.2f} s ({throughput:.0f} ev/s)"
+    )
+    if rows:
+        width = max([len(p) for p, _, _, _ in rows] + [len("policy")])
+        lines.append(
+            f"  {'policy':<{width}}  {'checkpoints':>11}  "
+            f"{'mean ratio':>10}  {'max ratio':>9}"
+        )
+        for policy, checkpoints, ratio_sum, max_ratio in rows:
+            mean = (ratio_sum / checkpoints) if checkpoints else 0.0
+            shown_max = f"{max_ratio:>9.3f}" if max_ratio is not None else (
+                " " * 8 + "-")
+            lines.append(
+                f"  {policy:<{width}}  {checkpoints:>11.0f}  "
+                f"{mean:>10.3f}  {shown_max}"
+            )
+    hits = counters.get("parallel.lb_cache.hits", 0)
+    misses = counters.get("parallel.lb_cache.misses", 0)
+    if hits or misses:
+        total = hits + misses
+        rate = (hits / total * 100) if total else 0.0
+        lines.append(
+            f"  lower-bound cache: {int(hits)} hits / {int(misses)} misses "
+            f"({rate:.0f}% hit rate)"
+        )
+    return lines
+
+
 def render_summary(summary: TraceSummary) -> str:
     """Human-readable report of a :class:`TraceSummary`."""
     lines = [
@@ -300,6 +360,11 @@ def render_summary(summary: TraceSummary) -> str:
         lines.append("")
         lines.append("memory:")
         lines.extend(memory_lines)
+    scenario_lines = _scenario_lines(summary.metrics)
+    if scenario_lines:
+        lines.append("")
+        lines.append("scenarios:")
+        lines.extend(scenario_lines)
     metric_lines = _metric_lines(summary.metrics)
     if metric_lines:
         lines.append("")

@@ -8,7 +8,10 @@ Three pieces:
 - :mod:`repro.parallel.shm` — publish the latency matrix once via
   POSIX shared memory instead of pickling it per task;
 - :class:`~repro.parallel.cache.InstanceCache` — build each unique
-  problem instance (and its lower bound) once per process per sweep.
+  problem instance (and its lower bound) once per process per sweep;
+- :class:`~repro.parallel.cache.LowerBoundCache` — content-keyed §V
+  lower bounds shared across scenario replays
+  (:func:`~repro.parallel.cache.cached_lower_bound`).
 """
 
 from repro.parallel.cache import (
@@ -16,8 +19,12 @@ from repro.parallel.cache import (
     CachedInstance,
     CacheStats,
     InstanceCache,
+    LowerBoundCache,
     cache_stats_snapshot,
+    cached_lower_bound,
     instance_cache,
+    lb_cache_stats_snapshot,
+    lower_bound_cache,
 )
 from repro.parallel.pool import (
     PoolStats,
@@ -53,6 +60,10 @@ __all__ = [
     "CacheStats",
     "instance_cache",
     "cache_stats_snapshot",
+    "LowerBoundCache",
+    "lower_bound_cache",
+    "cached_lower_bound",
+    "lb_cache_stats_snapshot",
     "PLACEMENT_STRATEGIES",
     "PublishedArray",
     "PublishedMatrix",

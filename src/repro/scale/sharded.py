@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.algorithms.online import OnlineAssignmentManager, OnlineConfig
+from repro.algorithms.policies import OnlinePolicy, PlacementView, resolve_policy
 from repro.core.assignment import Assignment
 from repro.core.problem import ClientAssignmentProblem
 from repro.errors import (
@@ -90,6 +91,7 @@ class ShardedOnlineManager:
                     "client_nodes must be non-empty when given"
                 )
         self._universe = universe
+        self._policy = resolve_policy(config.join_policy)
         n_shards = min(config.shards, universe.size)
         #: node -> shard index, for O(1) routing
         self._shard_of: Dict[int, int] = {}
@@ -222,62 +224,104 @@ class ShardedOnlineManager:
         )
 
     # ------------------------------------------------------------------
-    def _join_costs(self, client_node: int) -> np.ndarray:
-        """Per-server join cost from the *merged* global state.
-
-        Reproduces the unsharded manager's decision exactly: for the
-        greedy policy, the candidate path lengths ``L(s')`` computed
-        from the merged ``l`` vectors (the same float64 operations, in
-        the same order, as the engine's fused kernel on a full-universe
-        engine — which is what makes shard counts 1/2/8 decide
-        identically); for the nearest policy, the client's outgoing
-        legs. Capacity masks against *global* loads.
-        """
+    def _out_leg(self, client_node: int) -> np.ndarray:
         node_arr = np.array([client_node], dtype=np.int64)
-        out_leg = np.ascontiguousarray(
+        return np.ascontiguousarray(
             self._matrix.client_server_distances(node_arr, self._servers)[0],
             dtype=np.float64,
         )
-        if self._config.join_policy == "nearest":
-            costs = out_leg.copy()
-        else:
-            in_leg = np.ascontiguousarray(
-                self._matrix.server_client_distances(self._servers, node_arr)[
-                    :, 0
-                ],
-                dtype=np.float64,
-            )
-            l_out, l_in = self.merged_l_vectors()
-            ss = np.asarray(
-                self._matrix.server_server_distances(self._servers),
-                dtype=np.float64,
-            )
-            best_in = (ss + l_in[None, :]).max(axis=1)
-            best_out = (l_out[:, None] + ss).max(axis=0)
-            costs = np.maximum(out_leg + best_in, best_out + in_leg)
-            np.maximum(costs, out_leg + in_leg, out=costs)
+
+    def _nearest_join_costs(self, client_node: int) -> np.ndarray:
+        """The client's outgoing legs, capacity-masked against global loads."""
+        costs = self._out_leg(client_node).copy()
         if self._config.capacity is not None:
             costs = np.where(
                 self.loads() >= self._config.capacity, np.inf, costs
             )
         return costs
 
+    def _path_join_costs(
+        self, client_node: int, *, loads: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Candidate path lengths ``L(s')`` from the *merged* global state.
+
+        Reproduces the unsharded manager's greedy decision exactly: the
+        same float64 operations, in the same order, as the engine's
+        fused kernel on a full-universe engine — which is what makes
+        shard counts 1/2/8 decide identically. Capacity masks against
+        *global* loads (or the adjusted ``loads`` a caller passes).
+        """
+        node_arr = np.array([client_node], dtype=np.int64)
+        out_leg = self._out_leg(client_node)
+        in_leg = np.ascontiguousarray(
+            self._matrix.server_client_distances(self._servers, node_arr)[
+                :, 0
+            ],
+            dtype=np.float64,
+        )
+        l_out, l_in = self.merged_l_vectors()
+        ss = np.asarray(
+            self._matrix.server_server_distances(self._servers),
+            dtype=np.float64,
+        )
+        best_in = (ss + l_in[None, :]).max(axis=1)
+        best_out = (l_out[:, None] + ss).max(axis=0)
+        costs = np.maximum(out_leg + best_in, best_out + in_leg)
+        np.maximum(costs, out_leg + in_leg, out=costs)
+        if self._config.capacity is not None:
+            if loads is None:
+                loads = self.loads()
+            costs = np.where(loads >= self._config.capacity, np.inf, costs)
+        return costs
+
+    def placement_view(self, client_node: int) -> PlacementView:
+        """The policy's view of one arriving client (merged global state)."""
+        return PlacementView(
+            client_node=client_node,
+            n_servers=self.n_servers,
+            capacity=self._config.capacity,
+            nearest_costs=lambda: self._nearest_join_costs(client_node),
+            path_costs=lambda: self._path_join_costs(client_node),
+            loads=self.loads,
+        )
+
+    @property
+    def policy(self) -> OnlinePolicy:
+        """The resolved placement policy shared by this manager."""
+        return self._policy
+
+    def candidate_costs(self, client_node: int) -> np.ndarray:
+        """Public masked ``L(s')`` vector for a client (policy seam).
+
+        Mirrors :meth:`OnlineAssignmentManager.candidate_costs` from
+        merged global state. A connected client's own contribution is
+        *not* removed from the merged ``l`` vectors (the reduction
+        keeps it), so the stay-put cost is an upper bound —
+        conservative for remediation policies. Capacity credits the
+        client's own slot back.
+        """
+        loads = None
+        if (
+            self._config.capacity is not None
+            and self.is_connected(client_node)
+        ):
+            loads = self.loads()
+            loads[self.server_of(client_node)] -= 1
+        return self._path_join_costs(client_node, loads=loads)
+
     def join(self, client_node: int) -> int:
         """Connect a new client; returns its assigned local server index.
 
-        The placement decision is made here, from merged global state
-        (see :meth:`_join_costs`); the binding is then installed into
-        the owning region shard.
+        The placement decision is delegated to the shared policy over a
+        merged-state :meth:`placement_view`; the binding is then
+        installed into the owning region shard.
         """
         manager = self._managers[self.shard_of_node(client_node)]
         if manager.is_connected(client_node):
             raise InvalidAssignmentError(
                 f"client {client_node} already connected"
             )
-        costs = self._join_costs(client_node)
-        best = int(np.argmin(costs))
-        if not np.isfinite(costs[best]):
-            raise CapacityError("all active servers are at capacity")
+        best = self._policy.choose_server(self.placement_view(client_node))
         manager.restore_client(client_node, best)
         registry().counter("scale.sharded.joins").inc()
         return best

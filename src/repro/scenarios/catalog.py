@@ -1,0 +1,178 @@
+"""Bundled adversarial scenarios.
+
+Six canonical adversaries, one per DSL segment family, sized so the
+full catalog replays in seconds (benchmarks scale the same shapes up
+via :mod:`benchmarks.bench_scenarios`). Each is a plain
+:class:`~repro.scenarios.dsl.Scenario` — ``repro scenarios run
+--scenario <name> --json`` prints the JSON document, which is also the
+template for authoring custom ones (``--file``).
+
+``flash-crowd`` and ``regional-outage`` run on a meridian-like matrix
+(so they replay over the wire path too); the rest use the planet
+generator's clustered geography, where regional targeting bites.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ScenarioError
+from repro.scenarios.dsl import (
+    CapacityCrunch,
+    CorrelatedBursts,
+    DiurnalWave,
+    Drain,
+    FlashCrowd,
+    InstanceSpec,
+    NemesisChurn,
+    RegionalOutage,
+    Scenario,
+)
+
+
+def _flash_crowd() -> Scenario:
+    return Scenario(
+        name="flash-crowd",
+        description=(
+            "Quiet trickle, then 120 arrivals inside 5 time units — "
+            "the match-start stampede."
+        ),
+        instance=InstanceSpec(
+            kind="meridian", n_clients=192, n_servers=8, seed=11, capacity=40
+        ),
+        segments=(
+            FlashCrowd(start=0.0, duration=20.0, joins=30),
+            FlashCrowd(start=25.0, duration=5.0, joins=120),
+            Drain(start=35.0, duration=10.0, leaves=40),
+        ),
+        seed=101,
+    )
+
+
+def _regional_outage() -> Scenario:
+    return Scenario(
+        name="regional-outage",
+        description=(
+            "A populated system loses its busiest region's server for a "
+            "window, then a second server is partitioned."
+        ),
+        instance=InstanceSpec(
+            kind="meridian", n_clients=152, n_servers=8, seed=7, capacity=40
+        ),
+        segments=(
+            FlashCrowd(start=0.0, duration=10.0, joins=110),
+            RegionalOutage(server=0, start=15.0, duration=10.0),
+            RegionalOutage(server=3, start=20.0, duration=8.0, partition=True),
+            FlashCrowd(start=16.0, duration=10.0, joins=30),
+        ),
+        seed=202,
+    )
+
+
+def _diurnal() -> Scenario:
+    return Scenario(
+        name="diurnal",
+        description=(
+            "Two day/night cycles of sinusoidal arrivals with a "
+            "night-time drain."
+        ),
+        instance=InstanceSpec(
+            kind="planet", n_clients=240, n_servers=8, n_clusters=12, seed=5
+        ),
+        segments=(
+            DiurnalWave(start=0.0, duration=80.0, period=40.0, joins=200),
+            Drain(start=40.0, duration=20.0, leaves=50),
+        ),
+        seed=303,
+        rebalance_every=48,
+    )
+
+
+def _correlated_bursts() -> Scenario:
+    return Scenario(
+        name="correlated-bursts",
+        description=(
+            "Synchronized join storms each echoed by a leave storm half "
+            "a period later."
+        ),
+        instance=InstanceSpec(
+            kind="planet", n_clients=220, n_servers=8, n_clusters=10, seed=9
+        ),
+        segments=(
+            CorrelatedBursts(
+                start=0.0, period=20.0, bursts=5, joins=40, leaves=30
+            ),
+        ),
+        seed=404,
+    )
+
+
+def _capacity_crunch() -> Scenario:
+    return Scenario(
+        name="capacity-crunch",
+        description=(
+            "Every arrival lands next to one server until its slots are "
+            "gone — the adversary capacity-aware spread exists for."
+        ),
+        instance=InstanceSpec(
+            kind="planet",
+            n_clients=200,
+            n_servers=8,
+            n_clusters=8,
+            seed=13,
+            capacity=14,
+        ),
+        segments=(
+            FlashCrowd(start=0.0, duration=10.0, joins=40),
+            CapacityCrunch(start=12.0, duration=20.0, joins=90, server=0),
+        ),
+        seed=505,
+    )
+
+
+def _nemesis() -> Scenario:
+    return Scenario(
+        name="nemesis",
+        description=(
+            "A load-following adversary: joins chase the hottest server, "
+            "leaves bleed the coolest."
+        ),
+        instance=InstanceSpec(
+            kind="planet",
+            n_clients=240,
+            n_servers=8,
+            n_clusters=12,
+            seed=21,
+            capacity=45,
+        ),
+        segments=(
+            FlashCrowd(start=0.0, duration=8.0, joins=60),
+            NemesisChurn(start=10.0, duration=40.0, events=140),
+        ),
+        seed=606,
+    )
+
+
+_BUNDLED: Dict[str, Callable[[], Scenario]] = {
+    "flash-crowd": _flash_crowd,
+    "regional-outage": _regional_outage,
+    "diurnal": _diurnal,
+    "correlated-bursts": _correlated_bursts,
+    "capacity-crunch": _capacity_crunch,
+    "nemesis": _nemesis,
+}
+
+
+def scenario_names() -> List[str]:
+    """Names of the bundled scenarios, sorted."""
+    return sorted(_BUNDLED)
+
+
+def bundled_scenario(name: str) -> Scenario:
+    """A fresh instance of the named bundled scenario."""
+    factory = _BUNDLED.get(name)
+    if factory is None:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; bundled: {scenario_names()}"
+        )
+    return factory()

@@ -1,0 +1,145 @@
+"""Rendering of scenario replay and comparison results.
+
+Plain-text reports (ASCII tables + unicode charts from
+:mod:`repro.experiments.ascii_charts`) and the JSON document behind
+``repro scenarios run/compare --json``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.ascii_charts import bar_chart, multi_series_chart
+from repro.scenarios.harness import ReplayResult
+
+
+def _fmt(value: Optional[float], precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{precision}f}"
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep] + [line(r) for r in rows])
+
+
+def summarize_result(result: ReplayResult) -> List[str]:
+    """Per-replay summary lines (the ``run`` subcommand body)."""
+    final = result.final
+    lines = [
+        f"scenario {result.scenario!r} via {result.policy} "
+        f"({result.path} path): {result.n_events} events, "
+        f"{len(result.checkpoints)} checkpoints, "
+        f"{result.elapsed_seconds:.2f}s "
+        f"({result.events_per_second:.0f} ev/s)",
+        f"  ratio vs lower bound: mean {_fmt(result.mean_ratio)}, "
+        f"max {_fmt(result.max_ratio)}",
+    ]
+    if final is not None:
+        lines.append(
+            f"  final: D={_fmt(final.d_online)} LB={_fmt(final.lower_bound)} "
+            f"connected={final.n_connected} rejected={final.rejected}"
+        )
+        if final.d_offline is not None:
+            lines.append(
+                f"  offline reference: D={_fmt(final.d_offline)} "
+                f"ratio={_fmt(final.ratio_offline)} "
+                f"regret={_fmt(final.regret)}"
+            )
+    counters = ", ".join(
+        f"{k}={v}" for k, v in sorted(result.counters.items()) if v
+    )
+    if counters:
+        lines.append(f"  counters: {counters}")
+    if len(result.checkpoints) >= 2:
+        x = [c.event_index for c in result.checkpoints]
+        lines.append("")
+        lines.append("ratio curve (D_online / LB per checkpoint):")
+        lines.append(
+            multi_series_chart(x, {result.policy: [c.ratio for c in result.checkpoints]})
+        )
+    return lines
+
+
+def render_run_report(result: ReplayResult) -> str:
+    """The full text report of one replay."""
+    return "\n".join(summarize_result(result))
+
+
+def render_compare_report(results: Sequence[ReplayResult]) -> str:
+    """The full text report of a multi-policy comparison."""
+    if not results:
+        return "no results"
+    head = results[0]
+    lines = [
+        f"scenario {head.scenario!r} — {len(results)} policies, "
+        f"{head.n_events} events each ({head.path} path)",
+        "",
+    ]
+    rows = []
+    for r in results:
+        final = r.final
+        rows.append(
+            [
+                r.policy,
+                _fmt(r.mean_ratio),
+                _fmt(r.max_ratio),
+                _fmt(final.d_online) if final else "-",
+                str(final.rejected) if final else "0",
+                str(r.counters.get("maintain_moves", 0)),
+                f"{r.events_per_second:.0f}",
+            ]
+        )
+    lines.append(
+        _table(
+            ["policy", "mean ratio", "max ratio", "final D",
+             "rejected", "moves", "ev/s"],
+            rows,
+        )
+    )
+    curves = {
+        r.policy: [c.ratio for c in r.checkpoints]
+        for r in results
+        if len(r.checkpoints) >= 2
+    }
+    shortest = min((len(v) for v in curves.values()), default=0)
+    if shortest >= 2 and curves:
+        # Align on the shortest curve (paths may drop empty checkpoints).
+        x_source = next(
+            r for r in results if len(r.checkpoints) >= shortest
+        )
+        x = [c.event_index for c in x_source.checkpoints[:shortest]]
+        lines.append("")
+        lines.append("ratio curves (D_online / LB per checkpoint):")
+        lines.append(
+            multi_series_chart(
+                x, {k: v[:shortest] for k, v in curves.items()}
+            )
+        )
+    lines.append("")
+    lines.append("mean competitive ratio:")
+    lines.append(
+        bar_chart(
+            [r.policy for r in results],
+            [r.mean_ratio for r in results],
+            unit="x",
+        )
+    )
+    return "\n".join(lines)
+
+
+def compare_to_dict(results: Sequence[ReplayResult]) -> Dict[str, Any]:
+    """The JSON document of a comparison."""
+    return {
+        "scenario": results[0].scenario if results else None,
+        "path": results[0].path if results else None,
+        "policies": [r.policy for r in results],
+        "results": [r.to_dict() for r in results],
+    }

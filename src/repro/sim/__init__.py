@@ -23,6 +23,7 @@ from repro.sim.events import (
     OperationMessage,
     StateUpdateMessage,
 )
+from repro.sim.sequencing import ordered_timed, sequence_timed
 from repro.sim.workload import (
     adversarial_pair_workload,
     diurnal_workload,
@@ -45,6 +46,8 @@ __all__ = [
     "OperationMessage",
     "StateUpdateMessage",
     "ExecutionDue",
+    "ordered_timed",
+    "sequence_timed",
     "poisson_workload",
     "uniform_workload",
     "lockstep_workload",

@@ -1,0 +1,42 @@
+"""Shared ordering of timed event streams.
+
+Both the DIA workload generators (:mod:`repro.sim.workload`) and the
+scenario DSL (:mod:`repro.scenarios.dsl`) produce lists of timed
+records that must be replayed in a canonical order: ascending time,
+ties broken by a per-record key (client index for operations, an
+explicit priority tuple for scenario events). Sequence numbers are
+assigned *after* that sort, so "same seed ⇒ byte-identical stream"
+holds for every generator that funnels through this module — one
+tie-break rule, stated once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Tuple, TypeVar
+
+K = TypeVar("K")
+R = TypeVar("R")
+
+
+def ordered_timed(raw: Iterable[Tuple[float, K]]) -> List[Tuple[float, K]]:
+    """Sort ``(time, key)`` pairs by time, ties by key.
+
+    The key may be any comparable value (an int client index, a tuple
+    ``(priority, payload)``); identical ``(time, key)`` pairs keep
+    their input order (the sort is stable).
+    """
+    return sorted(raw, key=lambda pair: (pair[0], pair[1]))
+
+
+def sequence_timed(
+    raw: Iterable[Tuple[float, K]],
+    build: Callable[[int, float, K], R],
+) -> List[R]:
+    """Order a timed stream and assign sequence numbers.
+
+    ``build(seq, time, key)`` is called once per record, in canonical
+    order, with ``seq`` counting from 0.
+    """
+    return [
+        build(seq, t, k) for seq, (t, k) in enumerate(ordered_timed(raw))
+    ]

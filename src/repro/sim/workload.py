@@ -14,16 +14,20 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.sim.events import Operation
+from repro.sim.sequencing import sequence_timed
 from repro.utils.rng import SeedLike, ensure_rng
 
 
 def _finalize(raw: List[Tuple[float, int]]) -> List[Operation]:
-    """Sort (time, client) pairs and assign sequence numbers."""
-    raw.sort(key=lambda pair: (pair[0], pair[1]))
-    return [
-        Operation(issue_sim_time=t, seq=seq, client=c)
-        for seq, (t, c) in enumerate(raw)
-    ]
+    """Sort (time, client) pairs and assign sequence numbers.
+
+    Delegates to :mod:`repro.sim.sequencing` so workloads and scenario
+    streams share one canonical tie-break rule.
+    """
+    return sequence_timed(
+        raw,
+        lambda seq, t, c: Operation(issue_sim_time=t, seq=seq, client=c),
+    )
 
 
 def poisson_workload(

@@ -1,0 +1,156 @@
+"""Tests for the content-keyed lower-bound cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClientAssignmentProblem, interaction_lower_bound
+from repro.datasets import planet_instance
+from repro.net.latency import LatencyMatrix
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.parallel import (
+    CacheStats,
+    LowerBoundCache,
+    cached_lower_bound,
+    lb_cache_stats_snapshot,
+    lower_bound_cache,
+)
+
+
+def _problem(seed=0, n=20, s=4):
+    rng = np.random.default_rng(seed)
+    sym = rng.uniform(1.0, 50.0, size=(n, n))
+    sym = (sym + sym.T) / 2.0
+    np.fill_diagonal(sym, 0.0)
+    matrix = LatencyMatrix(sym)
+    servers = np.arange(s, dtype=np.int64)
+    return matrix, ClientAssignmentProblem(matrix, servers)
+
+
+class TestLowerBoundCache:
+    def test_matches_direct_computation(self):
+        _, problem = _problem()
+        cache = LowerBoundCache()
+        assert cache.lower_bound(problem) == interaction_lower_bound(problem)
+
+    def test_hit_on_repeat(self):
+        _, problem = _problem()
+        cache = LowerBoundCache()
+        a = cache.lower_bound(problem)
+        b = cache.lower_bound(problem)
+        assert a == b
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_content_keyed_across_objects(self):
+        # Two distinct matrix objects with identical bytes share an entry.
+        matrix_a, problem_a = _problem(seed=3)
+        matrix_b = LatencyMatrix(matrix_a.values.copy())
+        problem_b = ClientAssignmentProblem(matrix_b, problem_a.servers)
+        cache = LowerBoundCache()
+        cache.lower_bound(problem_a)
+        cache.lower_bound(problem_b)
+        assert cache.stats == cache.stats.__class__(hits=1, misses=1)
+
+    def test_block_size_in_key(self):
+        _, problem = _problem()
+        cache = LowerBoundCache()
+        cache.lower_bound(problem, block_size=256)
+        cache.lower_bound(problem, block_size=64)
+        assert cache.stats.misses == 2
+
+    def test_server_and_client_sets_in_key(self):
+        matrix, problem = _problem(n=20, s=4)
+        other_servers = np.arange(4, 8, dtype=np.int64)
+        other = ClientAssignmentProblem(matrix, other_servers)
+        cache = LowerBoundCache()
+        cache.lower_bound(problem)
+        cache.lower_bound(other)
+        assert cache.stats.misses == 2
+
+    def test_capacity_ignored(self):
+        _, problem = _problem()
+        cache = LowerBoundCache()
+        a = cache.lower_bound(problem)
+        b = cache.lower_bound(problem.with_capacity(7))
+        assert a == b
+        assert cache.stats.hits == 1
+
+    def test_provider_identity_fallback(self):
+        inst = planet_instance(30, 4, seed=1)
+        problem = ClientAssignmentProblem(
+            inst.provider, inst.servers, inst.clients
+        )
+        cache = LowerBoundCache()
+        a = cache.lower_bound(problem)
+        b = cache.lower_bound(problem)
+        assert a == b
+        assert cache.stats.hits == 1
+
+    def test_coordinate_provider_content_keyed(self):
+        # Two independently built planet providers with the same seed
+        # share entries via CoordinateProvider.content_token().
+        first = planet_instance(30, 4, seed=1)
+        second = planet_instance(30, 4, seed=1)
+        assert first.provider is not second.provider
+        cache = LowerBoundCache()
+        a = cache.lower_bound(
+            ClientAssignmentProblem(first.provider, first.servers, first.clients)
+        )
+        b = cache.lower_bound(
+            ClientAssignmentProblem(
+                second.provider, second.servers, second.clients
+            )
+        )
+        assert a == b
+        assert cache.stats == CacheStats(hits=1, misses=1, evictions=0)
+
+    def test_distinct_coordinate_content_not_shared(self):
+        first = planet_instance(30, 4, seed=1)
+        second = planet_instance(30, 4, seed=2)
+        cache = LowerBoundCache()
+        cache.lower_bound(
+            ClientAssignmentProblem(first.provider, first.servers, first.clients)
+        )
+        cache.lower_bound(
+            ClientAssignmentProblem(
+                second.provider, second.servers, second.clients
+            )
+        )
+        assert cache.stats.misses == 2
+
+    def test_eviction(self):
+        cache = LowerBoundCache(maxsize=1)
+        _, p1 = _problem(seed=1)
+        _, p2 = _problem(seed=2)
+        cache.lower_bound(p1)
+        cache.lower_bound(p2)
+        cache.lower_bound(p1)  # evicted, recomputed
+        assert cache.stats.evictions >= 1
+        assert cache.stats.misses == 3
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            LowerBoundCache(maxsize=0)
+
+    def test_registry_counters(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            cache = LowerBoundCache()
+            _, problem = _problem()
+            cache.lower_bound(problem)
+            cache.lower_bound(problem)
+        snap = reg.snapshot()
+        assert snap["counters"]["parallel.lb_cache.hits"] == 1
+        assert snap["counters"]["parallel.lb_cache.misses"] == 1
+
+
+class TestProcessGlobal:
+    def test_cached_lower_bound_uses_global(self):
+        _, problem = _problem(seed=9)
+        before = lb_cache_stats_snapshot()
+        a = cached_lower_bound(problem)
+        b = cached_lower_bound(problem)
+        delta = lb_cache_stats_snapshot() - before
+        assert a == b == interaction_lower_bound(problem)
+        assert delta.hits >= 1
+        assert lower_bound_cache() is lower_bound_cache()

@@ -138,3 +138,35 @@ class TestDiurnal:
             diurnal_workload(3, peak_rate=0.1, trough_rate=0.5)
         with pytest.raises(ValueError):
             diurnal_workload(3, period=-1.0)
+
+
+class TestSequencing:
+    def test_ordered_timed_ties_by_key(self):
+        from repro.sim.sequencing import ordered_timed
+
+        raw = [(1.0, 3), (0.5, 9), (1.0, 1), (0.5, 2)]
+        assert ordered_timed(raw) == [(0.5, 2), (0.5, 9), (1.0, 1), (1.0, 3)]
+
+    def test_sequence_timed_assigns_in_order(self):
+        from repro.sim.sequencing import sequence_timed
+
+        out = sequence_timed(
+            [(2.0, "b"), (1.0, "a")], lambda seq, t, k: (seq, t, k)
+        )
+        assert out == [(0, 1.0, "a"), (1, 2.0, "b")]
+
+    def test_flash_crowd_byte_identical(self):
+        from repro.sim.workload import flash_crowd_workload
+
+        a = flash_crowd_workload(15, seed=7)
+        b = flash_crowd_workload(15, seed=7)
+        assert repr(a) == repr(b)
+        assert a == b
+
+    def test_diurnal_byte_identical(self):
+        from repro.sim.workload import diurnal_workload
+
+        a = diurnal_workload(15, seed=7)
+        b = diurnal_workload(15, seed=7)
+        assert repr(a) == repr(b)
+        assert a == b
